@@ -1,0 +1,80 @@
+"""A1 (ablation) — partial aggregation over horizontal partitions.
+
+DESIGN.md calls out local/global aggregation as an ablatable design choice:
+an aggregate over a UNION ALL of N partitions can ship raw rows and
+aggregate at the mediator, or ship one row per (branch × group). This
+bench sweeps the partition count and reports both configurations. Expected
+shape: rows shipped collapse from O(total rows) to O(partitions × groups),
+and the win grows with data volume.
+"""
+
+import pytest
+
+from repro import PlannerOptions
+from repro.workloads import build_partitioned_orders
+
+from .common import emit, format_row
+
+SQL = (
+    "SELECT o_status, COUNT(*), SUM(o_total), AVG(o_total) "
+    "FROM orders_all GROUP BY o_status"
+)
+PARTITIONS = [2, 4, 8]
+ROWS_PER_PARTITION = 1000
+WIDTHS = (10, 14, 14, 12, 12, 9)
+
+
+def test_a1_partial_aggregation_ablation(benchmark):
+    lines = [
+        format_row(
+            ("sources", "partial rows", "plain rows", "partial ms", "plain ms", "speedup"),
+            WIDTHS,
+        ),
+        "-" * 84,
+    ]
+    ratios = []
+    for count in PARTITIONS:
+        federation = build_partitioned_orders(
+            count, ROWS_PER_PARTITION, seed=5, bandwidth=100_000.0
+        )
+        gis = federation.gis
+
+        gis.network.reset()
+        partial = gis.query(SQL, PlannerOptions(partial_aggregation=True))
+        gis.network.reset()
+        plain = gis.query(SQL, PlannerOptions(partial_aggregation=False))
+        def normalized(rows):
+            return sorted(
+                tuple(round(v, 5) if isinstance(v, float) else v for v in row)
+                for row in rows
+            )
+
+        # Summation order differs between the two plans; compare to 1e-5.
+        assert normalized(partial.rows) == normalized(plain.rows)
+
+        speedup = plain.metrics.simulated_ms / max(partial.metrics.simulated_ms, 1e-9)
+        ratios.append(
+            plain.metrics.rows_shipped / max(partial.metrics.rows_shipped, 1)
+        )
+        lines.append(
+            format_row(
+                (
+                    count,
+                    partial.metrics.rows_shipped,
+                    plain.metrics.rows_shipped,
+                    partial.metrics.simulated_ms,
+                    plain.metrics.simulated_ms,
+                    f"{speedup:.1f}x",
+                ),
+                WIDTHS,
+            )
+        )
+    emit("a1_partial_agg", "A1: partial aggregation over partitions (ablation)", lines)
+
+    # Shape: every configuration ships orders of magnitude fewer rows.
+    assert min(ratios) > 50
+
+    federation = build_partitioned_orders(4, ROWS_PER_PARTITION, seed=5)
+    benchmark(
+        lambda: federation.gis.query(SQL, PlannerOptions(partial_aggregation=True))
+    )

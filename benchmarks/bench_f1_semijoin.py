@@ -1,0 +1,99 @@
+"""F1 — semijoin reduction vs full-relation shipping vs bandwidth (Figure 1).
+
+A two-site equi-join with a moderately selective probe side, swept across
+remote-link bandwidth. Series: simulated network time for (a) full
+shipping, (b) forced semijoin, (c) the cost-gated `auto` mode. Expected
+shape: semijoin wins at low bandwidth (bytes dominate), full shipping wins
+at high bandwidth (round trips dominate), a crossover in between, and
+`auto` tracking the winner everywhere.
+"""
+
+import pytest
+
+from repro import (
+    GlobalInformationSystem,
+    MemorySource,
+    NetworkLink,
+    PlannerOptions,
+    SQLiteSource,
+)
+from repro.catalog.schema import schema_from_pairs
+from repro.core.logical import RemoteQueryOp
+
+from .common import emit, format_row
+
+QUERY = "SELECT p.tag, b.payload FROM probe p JOIN big b ON p.k = b.k"
+BANDWIDTHS = [10e3, 30e3, 100e3, 300e3, 1e6, 3e6, 10e6, 100e6]
+WIDTHS = (12, 12, 12, 12, 11)
+
+
+def build(bandwidth: float) -> GlobalInformationSystem:
+    gis = GlobalInformationSystem()
+    probe = MemorySource("probe_site")
+    probe.add_table(
+        "probe",
+        schema_from_pairs("probe", [("k", "INT"), ("tag", "TEXT")]),
+        [(i % 1500, f"tag{i}") for i in range(3000)],
+    )
+    big = SQLiteSource("big_site")
+    big.load_table(
+        "big",
+        schema_from_pairs("big", [("k", "INT"), ("payload", "TEXT")]),
+        [(i % 2000, "#" * 60) for i in range(5000)],
+    )
+    gis.register_source("probe_site", probe, link=NetworkLink(5.0, 10_000_000.0))
+    gis.register_source("big_site", big, link=NetworkLink(25.0, bandwidth))
+    gis.register_table("probe", source="probe_site")
+    gis.register_table("big", source="big_site")
+    gis.analyze()
+    return gis
+
+
+def simulated_ms(gis, options):
+    gis.network.reset()
+    return gis.query(QUERY, options).metrics.simulated_ms
+
+
+def auto_choice(gis):
+    planned = gis.plan(QUERY, PlannerOptions(semijoin="auto"))
+    bound = any(
+        isinstance(n, RemoteQueryOp) and n.bind is not None
+        for n in planned.distributed.walk()
+    )
+    return "semijoin" if bound else "full"
+
+
+def test_f1_semijoin_bandwidth_crossover(benchmark):
+    lines = [
+        format_row(("bandwidth", "full ms", "semijoin ms", "auto ms", "auto chose"), WIDTHS),
+        "-" * 70,
+    ]
+    series = []
+    for bandwidth in BANDWIDTHS:
+        gis = build(bandwidth)
+        full = simulated_ms(gis, PlannerOptions(semijoin="off"))
+        semi = simulated_ms(gis, PlannerOptions(semijoin="force"))
+        auto = simulated_ms(gis, PlannerOptions(semijoin="auto"))
+        choice = auto_choice(gis)
+        series.append((bandwidth, full, semi, auto, choice))
+        lines.append(
+            format_row(
+                (f"{bandwidth/1000:.0f}KB/s", full, semi, auto, choice), WIDTHS
+            )
+        )
+    emit("f1_semijoin", "F1: semijoin vs full shipping across bandwidth", lines)
+
+    # Shape assertions.
+    low = series[0]
+    high = series[-1]
+    assert low[2] < low[1], "semijoin must win on a slow WAN"
+    assert high[1] < high[2], "full shipping must win on a fast link"
+    choices = [row[4] for row in series]
+    assert "semijoin" in choices and "full" in choices, "a crossover must exist"
+    # `auto` must track (or tie) the better strategy everywhere.
+    for _, full, semi, auto, _ in series:
+        assert auto <= min(full, semi) * 1.01
+
+    # Wall-clock of the semijoin execution at the slow-link point.
+    gis = build(30e3)
+    benchmark(lambda: gis.query(QUERY, PlannerOptions(semijoin="force")))

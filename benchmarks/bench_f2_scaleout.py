@@ -1,0 +1,75 @@
+"""F2 — scale-out over horizontally partitioned sources (Figure 2).
+
+A fixed 2000-row `orders` table is range-partitioned over 1→8 SQLite
+sources behind a UNION ALL view; an aggregate query with a pushed filter
+runs against each configuration. Reported series: sequential simulated
+time (sum of per-source transfers — a single-threaded mediator) and
+parallel simulated time (critical path — per-source max, what a mediator
+issuing fragments concurrently would see). Expected shape: parallel time
+falls near-linearly with partition count until per-message latency floors
+it; sequential time stays roughly flat (same bytes, more messages).
+"""
+
+import pytest
+
+from repro.workloads import build_partitioned_orders
+
+from .common import emit, format_row
+
+TOTAL_ROWS = 2000
+PARTITIONS = [1, 2, 4, 8]
+# A row-returning query: every configuration ships the same filtered rows,
+# isolating the transfer-parallelism effect. (A fully pushable aggregate
+# would make the 1-source case degenerate — the source computes it alone —
+# which is the *pushdown* story, not the scale-out story.)
+SQL = "SELECT o_id, o_total FROM orders_all WHERE o_total > 500"
+WIDTHS = (10, 12, 14, 14, 10)
+
+
+def test_f2_scaleout_over_partitions(benchmark):
+    lines = [
+        format_row(
+            ("sources", "rows", "sequential ms", "parallel ms", "speedup"),
+            WIDTHS,
+        ),
+        "-" * 68,
+    ]
+    series = []
+    answers = set()
+    for count in PARTITIONS:
+        federation = build_partitioned_orders(
+            count, TOTAL_ROWS // count, seed=42, latency_ms=20.0,
+            bandwidth=200_000.0,
+        )
+        gis = federation.gis
+        gis.network.reset()
+        result = gis.query(SQL)
+        answers.add(tuple(sorted(result.rows)))
+        sequential = gis.network.total.simulated_ms
+        parallel = gis.network.parallel_elapsed_ms()
+        series.append((count, sequential, parallel))
+        lines.append(
+            format_row(
+                (
+                    count,
+                    result.metrics.rows_shipped,
+                    sequential,
+                    parallel,
+                    f"{series[0][2] / parallel:.1f}x" if parallel else "-",
+                ),
+                WIDTHS,
+            )
+        )
+    emit("f2_scaleout", "F2: scale-out over horizontal partitions", lines)
+
+    # All configurations compute the same answer.
+    assert len(answers) == 1
+
+    # Shape: parallel time decreases monotonically with partitions and the
+    # 8-way configuration achieves a real speedup over the single source.
+    parallel_times = [row[2] for row in series]
+    assert all(a >= b for a, b in zip(parallel_times, parallel_times[1:]))
+    assert parallel_times[0] / parallel_times[-1] > 2.0
+
+    federation = build_partitioned_orders(4, TOTAL_ROWS // 4, seed=42)
+    benchmark(lambda: federation.gis.query(SQL))

@@ -1,0 +1,126 @@
+"""F3 — optimizer cost: DP vs greedy planning time and plan quality (Figure 3).
+
+Chain joins of 2→10 relations. Series: per-strategy planning time (ms,
+wall) and the ratio of greedy's estimated result cost to DP's. Expected
+shape: DP planning time grows exponentially in region size while greedy
+stays polynomial; greedy's plan quality stays close to DP's on chains
+(ratio ≈ 1), which is exactly why `auto` switches to greedy above
+``dp_limit``.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    Catalog,
+    GlobalInformationSystem,
+    MemorySource,
+    PlannerOptions,
+)
+from repro.catalog.schema import schema_from_pairs
+
+from .common import emit, format_row
+
+MAX_TABLES = 10
+WIDTHS = (8, 12, 12, 14, 12)
+
+
+def build_chain_gis(tables: int) -> GlobalInformationSystem:
+    """t0 ← t1 ← ... ← tn chain with varied sizes (seeded pattern)."""
+    gis = GlobalInformationSystem()
+    source = MemorySource("mem")
+    sizes = [50 + (i * 37) % 400 for i in range(tables)]
+    for index in range(tables):
+        schema = schema_from_pairs(
+            f"t{index}", [("id", "INT"), ("next_id", "INT"), ("v", "INT")]
+        )
+        rows = [
+            (k, k % sizes[(index + 1) % tables], k * 3) for k in range(sizes[index])
+        ]
+        source.add_table(f"t{index}", schema, rows)
+    gis.register_source("mem", source)
+    for index in range(tables):
+        gis.register_table(f"t{index}", source="mem")
+    gis.analyze(histogram_buckets=8)
+    return gis
+
+
+def chain_sql(tables: int) -> str:
+    joins = " ".join(
+        f"JOIN t{i} ON t{i-1}.next_id = t{i}.id" for i in range(1, tables)
+    )
+    return f"SELECT COUNT(*) FROM t0 {joins}"
+
+
+def plan_time_ms(gis, sql, strategy, repeats=3):
+    options = PlannerOptions(join_strategy=strategy, dp_limit=MAX_TABLES)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        gis.plan(sql, options)
+        best = min(best, (time.perf_counter() - started) * 1000.0)
+    return best
+
+
+def test_f3_planning_time_and_quality(benchmark):
+    lines = [
+        format_row(
+            ("joins", "dp ms", "greedy ms", "canonical ms", "dp subsets"),
+            WIDTHS,
+        ),
+        "-" * 66,
+    ]
+    dp_times = {}
+    greedy_times = {}
+    for tables in range(2, MAX_TABLES + 1):
+        gis = build_chain_gis(tables)
+        sql = chain_sql(tables)
+        dp_ms = plan_time_ms(gis, sql, "dp")
+        greedy_ms = plan_time_ms(gis, sql, "greedy")
+        canonical_ms = plan_time_ms(gis, sql, "canonical")
+        planned = gis.plan(sql, PlannerOptions(join_strategy="dp", dp_limit=MAX_TABLES))
+        dp_times[tables] = dp_ms
+        greedy_times[tables] = greedy_ms
+        lines.append(
+            format_row(
+                (
+                    tables - 1,
+                    dp_ms,
+                    greedy_ms,
+                    canonical_ms,
+                    planned.ordering_stats.subsets_enumerated,
+                ),
+                WIDTHS,
+            )
+        )
+    emit("f3_optimizer", "F3: planning cost vs join count", lines)
+
+    # Shape: DP's cost explodes relative to greedy as regions grow.
+    small_ratio = dp_times[4] / max(greedy_times[4], 1e-6)
+    large_ratio = dp_times[MAX_TABLES] / max(greedy_times[MAX_TABLES], 1e-6)
+    assert large_ratio > small_ratio
+    assert dp_times[MAX_TABLES] > 5 * greedy_times[MAX_TABLES]
+
+    # Quality: greedy matches DP's answer (correctness) and, on chains,
+    # produces plans of comparable executed cost.
+    gis = build_chain_gis(8)
+    sql = chain_sql(8)
+    answers = set()
+    shipped = {}
+    for strategy in ("dp", "greedy"):
+        gis.network.reset()
+        result = gis.query(
+            sql, PlannerOptions(join_strategy=strategy, dp_limit=MAX_TABLES)
+        )
+        answers.add(result.rows[0][0])
+        shipped[strategy] = gis.network.total.simulated_ms
+    assert len(answers) == 1
+    assert shipped["greedy"] <= shipped["dp"] * 1.5
+
+    gis = build_chain_gis(8)
+    benchmark(
+        lambda: gis.plan(
+            chain_sql(8), PlannerOptions(join_strategy="dp", dp_limit=MAX_TABLES)
+        )
+    )

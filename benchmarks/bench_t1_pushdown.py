@@ -1,0 +1,96 @@
+"""T1 — predicate+projection pushdown vs ship-everything (Table 1).
+
+Sweeps filter selectivity on the `orders` table (SQLite source) and
+compares the optimized mediator against the scans-only baseline: rows
+shipped, simulated network time, and the speedup factor. The expected
+shape: the pushdown win grows roughly as 1/selectivity, flattening out as
+selectivity approaches 1 (where both plans ship everything).
+"""
+
+import pytest
+
+from repro import PlannerOptions
+from repro.workloads import build_federation
+
+from .common import emit, format_row
+
+#: (label, WHERE clause) pairs with decreasing selectivity on o_total
+#: (o_total is skewed toward small values in [5, 5000]).
+SWEEP = [
+    ("~0.1%", "o_total > 4950"),
+    ("~1%", "o_total > 4500"),
+    ("~5%", "o_total > 3400"),
+    ("~25%", "o_total > 1300"),
+    ("~50%", "o_total > 450"),
+    ("100%", "o_total > 0"),
+]
+
+WIDTHS = (8, 10, 10, 12, 12, 9)
+
+
+@pytest.fixture(scope="module")
+def federation():
+    # Large enough that payload bytes (not per-message latency) dominate the
+    # simulated WAN cost — the regime the pushdown claim is about.
+    return build_federation(scale=10.0, seed=42)
+
+
+def _measure(gis, sql, options):
+    gis.network.reset()
+    result = gis.query(sql, options)
+    return result
+
+
+def test_t1_pushdown_vs_ship_everything(federation, benchmark):
+    gis = federation.gis
+    total_rows = federation.row_counts["orders"]
+    smart_options = PlannerOptions()
+    naive_options = PlannerOptions(pushdown="scans-only", rewrites=False)
+
+    lines = [
+        format_row(
+            ("sel", "pushdown", "ship-all", "pushdown", "ship-all", "speedup"),
+            WIDTHS,
+        ),
+        format_row(
+            ("", "rows", "rows", "net ms", "net ms", ""), WIDTHS
+        ),
+        "-" * 72,
+    ]
+    speedups = []
+    for label, where in SWEEP:
+        sql = f"SELECT o_id, o_total FROM orders WHERE {where}"
+        smart = _measure(gis, sql, smart_options)
+        naive = _measure(gis, sql, naive_options)
+        assert sorted(smart.rows) == sorted(naive.rows)
+        speedup = naive.metrics.simulated_ms / max(smart.metrics.simulated_ms, 1e-9)
+        speedups.append((label, speedup, smart.metrics.rows_shipped))
+        lines.append(
+            format_row(
+                (
+                    label,
+                    smart.metrics.rows_shipped,
+                    naive.metrics.rows_shipped,
+                    smart.metrics.simulated_ms,
+                    naive.metrics.simulated_ms,
+                    f"{speedup:.1f}x",
+                ),
+                WIDTHS,
+            )
+        )
+    emit("t1_pushdown", "T1: pushdown vs ship-everything (selectivity sweep)", lines)
+
+    # Shape assertions: the baseline always ships the whole table; the
+    # pushdown win shrinks monotonically as selectivity grows.
+    assert speedups[0][1] > speedups[-1][1]
+    assert speedups[0][1] > 3.0, "high-selectivity pushdown should win big"
+    assert speedups[-1][1] == pytest.approx(1.0, abs=0.35)
+    assert speedups[0][2] < total_rows * 0.05
+
+    # Wall-clock benchmark of the representative selective query.
+    benchmark(
+        lambda: gis.query(
+            "SELECT o_id, o_total FROM orders WHERE o_total > 4500",
+            smart_options,
+        )
+    )

@@ -1,0 +1,138 @@
+"""T3 — capability heterogeneity: pushdown degree per source class (Table 3).
+
+The same table (10k rows) is replicated onto five wrapper classes — SQLite
+(full SQL), memory (filter/project/aggregate), REST (simple filters +
+limit), CSV (scan only), key-value (key lookups only) — and the same three
+queries run against each replica. Reported per (source, query): rows
+shipped and simulated time. Expected shape: rows shipped ordered
+SQLite ≤ memory ≤ REST ≤ CSV for the filter and aggregate queries, with
+the KV source winning only on key lookups.
+"""
+
+import pytest
+
+from repro import (
+    CsvSource,
+    GlobalInformationSystem,
+    KeyValueSource,
+    MemorySource,
+    NetworkLink,
+    SQLiteSource,
+)
+from repro.catalog.schema import schema_from_pairs
+
+from .common import emit, format_row
+
+ROWS = 10_000
+SCHEMA = schema_from_pairs(
+    "events",
+    [("eid", "INT"), ("kind", "TEXT"), ("value", "FLOAT"), ("flag", "INT")],
+)
+WIDTHS = (10, 22, 10, 12)
+
+QUERIES = {
+    "filter": "SELECT eid, value FROM {table} WHERE value > 950.0",
+    "aggregate": "SELECT kind, COUNT(*), AVG(value) FROM {table} GROUP BY kind",
+    "key-lookup": "SELECT value FROM {table} WHERE eid = 4242",
+}
+
+
+def generate_rows():
+    return [
+        (i, f"k{i % 7}", float((i * 37) % 1000), i % 2) for i in range(ROWS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def gis(tmp_path_factory):
+    rows = generate_rows()
+    gis = GlobalInformationSystem()
+    link = NetworkLink(20.0, 1_000_000.0)
+
+    sqlite_source = SQLiteSource("sql_site")
+    sqlite_source.load_table("events", SCHEMA, rows)
+    gis.register_source("sql_site", sqlite_source, link=link)
+    gis.register_table("events_sql", source="sql_site", remote_table="events")
+
+    memory_source = MemorySource("mem_site")
+    memory_source.add_table("events", SCHEMA, rows)
+    gis.register_source("mem_site", memory_source, link=link)
+    gis.register_table("events_mem", source="mem_site", remote_table="events")
+
+    rest_source = RestSourceFactory(rows)
+    gis.register_source("rest_site", rest_source, link=link)
+    gis.register_table("events_rest", source="rest_site", remote_table="events")
+
+    csv_dir = str(tmp_path_factory.mktemp("t3csv"))
+    CsvSource.write_table(csv_dir, "events", SCHEMA, rows)
+    csv_source = CsvSource("csv_site", csv_dir, {"events": SCHEMA})
+    gis.register_source("csv_site", csv_source, link=link)
+    gis.register_table("events_csv", source="csv_site", remote_table="events")
+
+    kv_source = KeyValueSource("kv_site")
+    kv_source.add_table("events", SCHEMA, "eid", rows)
+    gis.register_source("kv_site", kv_source, link=link)
+    gis.register_table("events_kv", source="kv_site", remote_table="events")
+
+    gis.analyze()
+    return gis
+
+
+def RestSourceFactory(rows):
+    from repro import RestSource
+
+    source = RestSource("rest_site", page_rows=500)
+    source.add_table("events", SCHEMA, rows)
+    return source
+
+
+SOURCES = [
+    ("sqlite", "events_sql"),
+    ("memory", "events_mem"),
+    ("rest", "events_rest"),
+    ("csv", "events_csv"),
+    ("keyvalue", "events_kv"),
+]
+
+
+def test_t3_pushdown_degree_per_source_class(gis, benchmark):
+    lines = [
+        format_row(("query", "source", "rows", "net ms"), WIDTHS),
+        "-" * 60,
+    ]
+    shipped = {}
+    for query_name, template in QUERIES.items():
+        answers = set()
+        for source_label, table in SOURCES:
+            sql = template.format(table=table)
+            gis.network.reset()
+            result = gis.query(sql)
+            answers.add(tuple(sorted(map(repr, result.rows))))
+            shipped[(query_name, source_label)] = result.metrics.rows_shipped
+            lines.append(
+                format_row(
+                    (
+                        query_name,
+                        source_label,
+                        result.metrics.rows_shipped,
+                        result.metrics.simulated_ms,
+                    ),
+                    WIDTHS,
+                )
+            )
+        assert len(answers) == 1, f"replicas disagree on {query_name}"
+    emit("t3_capabilities", "T3: pushdown degree per source class", lines)
+
+    # Shape assertions: the capability ladder orders shipped volume.
+    assert shipped[("filter", "sqlite")] == shipped[("filter", "memory")]
+    assert shipped[("filter", "memory")] == shipped[("filter", "rest")]
+    assert shipped[("filter", "rest")] < shipped[("filter", "csv")]
+    assert shipped[("filter", "csv")] <= ROWS and shipped[("filter", "kv".replace("kv", "keyvalue"))] == ROWS
+    assert shipped[("aggregate", "sqlite")] < shipped[("aggregate", "rest")]
+    assert shipped[("aggregate", "memory")] < shipped[("aggregate", "csv")]
+    # Key lookup: KV and SQLite ship one row; CSV ships everything.
+    assert shipped[("key-lookup", "keyvalue")] == 1
+    assert shipped[("key-lookup", "sqlite")] == 1
+    assert shipped[("key-lookup", "csv")] == ROWS
+
+    benchmark(lambda: gis.query(QUERIES["aggregate"].format(table="events_sql")))

@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment emits its table/series both to stdout and to
+``benchmarks/results/<name>.txt`` so the regenerated numbers survive the
+pytest run (EXPERIMENTS.md records them).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, title: str, lines: Iterable[str]) -> str:
+    """Print an experiment table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join([f"== {title} ==", *lines, ""])
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print()
+    print(text)
+    return text
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """Right-align numeric-looking cells into fixed-width columns."""
+    rendered: List[str] = []
+    for cell, width in zip(cells, widths):
+        if isinstance(cell, float):
+            rendered.append(f"{cell:>{width}.1f}")
+        else:
+            rendered.append(f"{str(cell):>{width}}")
+    return " | ".join(rendered)

@@ -1,0 +1,88 @@
+"""Quickstart: federate two departmental systems and query them as one.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the minimal GIS workflow: register sources, publish tables
+into the global schema, ANALYZE, query, and inspect the distributed plan.
+"""
+
+from repro import (
+    GlobalInformationSystem,
+    MemorySource,
+    NetworkLink,
+    SQLiteSource,
+)
+from repro.catalog.schema import schema_from_pairs
+
+
+def build_federation() -> GlobalInformationSystem:
+    # --- the CRM: a departmental record manager (in-memory wrapper) -------
+    crm = MemorySource("crm")
+    crm.add_table(
+        "customers",
+        schema_from_pairs(
+            "customers",
+            [("id", "INT"), ("name", "TEXT"), ("region", "TEXT"), ("since", "DATE")],
+        ),
+        [
+            (1, "Alice Anders", "EU", "1987-04-01"),
+            (2, "Bob Bauer", "US", "1988-01-15"),
+            (3, "Cara Chen", "EU", "1989-02-06"),
+            (4, "Dan Diaz", "APAC", "1986-11-30"),
+        ],
+    )
+
+    # --- the ERP: a relational DBMS (SQLite wrapper, full SQL pushdown) ---
+    erp = SQLiteSource("erp")
+    erp.load_table(
+        "ORDERS",
+        schema_from_pairs(
+            "orders",
+            [("oid", "INT"), ("cust_id", "INT"), ("total", "FLOAT"), ("odate", "DATE")],
+        ),
+        [
+            (100, 1, 250.0, "1989-01-02"),
+            (101, 1, 80.0, "1989-02-10"),
+            (102, 2, 500.0, "1989-03-05"),
+            (103, 3, 20.0, "1989-01-20"),
+            (104, 3, 999.0, "1989-04-01"),
+            (105, 4, 10.0, "1989-05-12"),
+        ],
+    )
+
+    # --- the mediator ------------------------------------------------------
+    gis = GlobalInformationSystem()
+    gis.register_source("crm", crm, link=NetworkLink(latency_ms=25))
+    gis.register_source("erp", erp, link=NetworkLink(latency_ms=40))
+    gis.register_table("customers", source="crm")
+    gis.register_table("orders", source="erp", remote_table="ORDERS")
+    gis.analyze()  # gather statistics through the wrappers
+    return gis
+
+
+def main() -> None:
+    gis = build_federation()
+
+    sql = """
+        SELECT c.name, COUNT(*) AS orders, SUM(o.total) AS revenue
+        FROM customers c JOIN orders o ON c.id = o.cust_id
+        WHERE o.total > 50
+        GROUP BY c.name
+        ORDER BY revenue DESC
+    """
+    result = gis.query(sql)
+
+    print("=== result ===")
+    print(result.format_table())
+    print()
+    print("=== transfer metrics ===")
+    print(result.metrics.summary())
+    print()
+    print("=== how the mediator decomposed the query ===")
+    print(gis.explain(sql))
+
+
+if __name__ == "__main__":
+    main()

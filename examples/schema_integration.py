@@ -1,0 +1,112 @@
+"""Schema integration: renames, horizontal partitions, vertical splits.
+
+Run with::
+
+    python examples/schema_integration.py
+
+Shows the three classic integration patterns a 1989 GIS had to solve:
+
+1. **name/representation conflicts** — the same entity under different
+   native names and column spellings, fixed by table/column mappings;
+2. **horizontal partitioning** — one logical table range-partitioned over
+   autonomous sites, reunified by a UNION ALL integration view;
+3. **vertical partitioning** — one logical entity whose attributes live on
+   two systems, reunified by a join view.
+"""
+
+from repro import (
+    GlobalInformationSystem,
+    MemorySource,
+    NetworkLink,
+    SQLiteSource,
+)
+from repro.catalog.schema import schema_from_pairs
+
+
+def main() -> None:
+    gis = GlobalInformationSystem()
+
+    # ------------------------------------------------------------------
+    # 1. Name conflicts: the EU subsidiary calls things differently.
+    # ------------------------------------------------------------------
+    eu = SQLiteSource("eu_branch")
+    eu.load_table(
+        "KUNDEN",  # German ERP: customers table
+        schema_from_pairs(
+            "KUNDEN", [("KNR", "INT"), ("KNAME", "TEXT"), ("UMSATZ", "FLOAT")]
+        ),
+        [(1, "Weber GmbH", 1200.0), (2, "Rossi SpA", 900.0)],
+    )
+    us = MemorySource("us_branch")
+    us.add_table(
+        "customers",
+        schema_from_pairs(
+            "customers", [("cust_no", "INT"), ("cust_name", "TEXT"), ("revenue", "FLOAT")]
+        ),
+        [(10, "Acme Corp", 3100.0), (11, "Globex Inc", 450.0)],
+    )
+    gis.register_source("eu_branch", eu, link=NetworkLink(45.0))
+    gis.register_source("us_branch", us, link=NetworkLink(15.0))
+
+    # Map both native vocabularies onto one global vocabulary.
+    gis.register_table(
+        "eu_customers",
+        source="eu_branch",
+        remote_table="KUNDEN",
+        column_map={"cust_no": "KNR", "cust_name": "KNAME", "revenue": "UMSATZ"},
+    )
+    gis.register_table(
+        "us_customers", source="us_branch", remote_table="customers"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Horizontal integration: one global customer table.
+    # ------------------------------------------------------------------
+    gis.create_view(
+        "all_customers",
+        "SELECT cust_no, cust_name, revenue, 'EU' AS branch FROM eu_customers "
+        "UNION ALL "
+        "SELECT cust_no, cust_name, revenue, 'US' AS branch FROM us_customers",
+    )
+    print("=== all_customers (horizontal integration view) ===")
+    print(gis.query(
+        "SELECT branch, COUNT(*) AS n, SUM(revenue) AS total "
+        "FROM all_customers GROUP BY branch ORDER BY branch"
+    ).format_table())
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Vertical integration: shipping details live on a third system.
+    # ------------------------------------------------------------------
+    logistics = MemorySource("logistics")
+    logistics.add_table(
+        "shipping",
+        schema_from_pairs(
+            "shipping", [("cust_no", "INT"), ("carrier", "TEXT"), ("days", "INT")]
+        ),
+        [(1, "SeaFreight", 21), (2, "AirCargo", 3), (10, "Rail", 9)],
+    )
+    gis.register_source("logistics", logistics, link=NetworkLink(10.0))
+    gis.register_table("shipping", source="logistics")
+
+    gis.create_view(
+        "customer_profile",
+        "SELECT a.cust_no, a.cust_name, a.branch, s.carrier, s.days "
+        "FROM all_customers a LEFT JOIN shipping s ON a.cust_no = s.cust_no",
+    )
+    print("=== customer_profile (vertical integration over the view) ===")
+    print(gis.query(
+        "SELECT cust_name, branch, carrier, days FROM customer_profile "
+        "ORDER BY cust_name"
+    ).format_table())
+    print()
+
+    # The mediator still pushes work below the views where it can.
+    print("=== decomposition of a filtered view query ===")
+    print(gis.explain(
+        "SELECT cust_name FROM all_customers WHERE revenue > 1000"
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""WAN tuning: watch the semijoin/full-join crossover move with bandwidth.
+
+Run with::
+
+    python examples/wan_tuning.py
+
+Builds a two-site join (a small filtered probe against a large remote
+table) and sweeps the remote link's bandwidth. At low bandwidth the
+cost-gated semijoin (bind join) wins by shipping keys instead of tuples;
+at high bandwidth full shipping wins because the extra round trips cost
+more than the saved bytes. The mediator's `auto` mode should track the
+better strategy across the sweep — the crossover experiment of DESIGN.md
+(F1) in miniature.
+"""
+
+from repro import (
+    GlobalInformationSystem,
+    MemorySource,
+    NetworkLink,
+    PlannerOptions,
+    SQLiteSource,
+)
+from repro.catalog.schema import schema_from_pairs
+
+QUERY = "SELECT p.tag, b.payload FROM probe p JOIN big b ON p.k = b.k"
+
+
+def build(bandwidth: float) -> GlobalInformationSystem:
+    gis = GlobalInformationSystem()
+    probe = MemorySource("probe_site")
+    # 1500 distinct probe keys against 2000 on the remote side: the semijoin
+    # only filters out a quarter of the big table, and the key list needs
+    # three IN batches — so its extra round trips must pay for themselves,
+    # which they do only while bytes are expensive.
+    probe.add_table(
+        "probe",
+        schema_from_pairs("probe", [("k", "INT"), ("tag", "TEXT")]),
+        [(i % 1500, f"tag{i}") for i in range(3000)],
+    )
+    big = SQLiteSource("big_site")
+    big.load_table(
+        "big",
+        schema_from_pairs("big", [("k", "INT"), ("payload", "TEXT")]),
+        [(i % 2000, "#" * 60) for i in range(5000)],
+    )
+    gis.register_source("probe_site", probe, link=NetworkLink(5.0, 10_000_000.0))
+    gis.register_source("big_site", big, link=NetworkLink(25.0, bandwidth))
+    gis.register_table("probe", source="probe_site")
+    gis.register_table("big", source="big_site")
+    gis.analyze()
+    return gis
+
+
+def simulated_ms(gis: GlobalInformationSystem, options: PlannerOptions) -> float:
+    gis.network.reset()
+    result = gis.query(QUERY, options)
+    return result.metrics.simulated_ms
+
+
+def main() -> None:
+    print(f"{'bandwidth':>12} | {'full join':>10} | {'semijoin':>10} | "
+          f"{'auto':>10} | auto chose")
+    print("-" * 66)
+    for bandwidth in (10e3, 30e3, 100e3, 300e3, 1e6, 3e6, 10e6, 100e6):
+        gis = build(bandwidth)
+        full = simulated_ms(gis, PlannerOptions(semijoin="off"))
+        semi = simulated_ms(gis, PlannerOptions(semijoin="force"))
+        auto = simulated_ms(gis, PlannerOptions(semijoin="auto"))
+        planned = gis.plan(QUERY, PlannerOptions(semijoin="auto"))
+        from repro.core.logical import RemoteQueryOp
+
+        chose_semi = any(
+            isinstance(n, RemoteQueryOp) and n.bind is not None
+            for n in planned.distributed.walk()
+        )
+        label = "semijoin" if chose_semi else "full join"
+        print(
+            f"{bandwidth/1000:9.0f}KB/s | {full:8.1f}ms | {semi:8.1f}ms | "
+            f"{auto:8.1f}ms | {label}"
+        )
+    print()
+    print("Expected shape: semijoin wins at the top of the table (slow WAN),")
+    print("full shipping wins at the bottom, and `auto` tracks the winner.")
+
+
+if __name__ == "__main__":
+    main()

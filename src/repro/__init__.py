@@ -1,0 +1,102 @@
+"""gis-mediator: a federated Global Information System (ICDE 1989 reproduction).
+
+A mediator/wrapper federation engine: one global schema and SQL dialect over
+autonomous, heterogeneous component systems, with capability-driven
+pushdown, cost-based distributed join ordering, and semijoin reduction over
+a simulated wide-area network.
+
+Quickstart::
+
+    from repro import GlobalInformationSystem, MemorySource, NetworkLink
+
+    gis = GlobalInformationSystem()
+    crm = MemorySource("crm")
+    crm.add_table("customers", schema, rows)
+    gis.register_source("crm", crm, link=NetworkLink(latency_ms=25))
+    gis.register_table("customers", source="crm")
+    print(gis.query("SELECT COUNT(*) FROM customers").scalar())
+"""
+
+from .config import build_from_config, load_config
+from .catalog import (
+    Catalog,
+    Column,
+    ColumnStatistics,
+    EquiDepthHistogram,
+    TableMapping,
+    TableSchema,
+    TableStatistics,
+)
+from .core.mediator import GlobalInformationSystem
+from .core.planner import NAIVE_OPTIONS, PlannedQuery, Planner, PlannerOptions
+from .core.result import QueryMetrics, QueryResult
+from .datatypes import DataType
+from .errors import (
+    BindError,
+    CapabilityError,
+    CatalogError,
+    DuplicateObjectError,
+    ExecutionError,
+    GISError,
+    ParseError,
+    PlanError,
+    SourceError,
+    TypeCheckError,
+    UnknownObjectError,
+)
+from .sources import (
+    Adapter,
+    CsvSource,
+    KeyValueSource,
+    MemorySource,
+    NetworkLink,
+    RestSource,
+    SimulatedNetwork,
+    SourceCapabilities,
+    SQLiteSource,
+    TransferMetrics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adapter",
+    "BindError",
+    "CapabilityError",
+    "build_from_config",
+    "load_config",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnStatistics",
+    "CsvSource",
+    "DataType",
+    "DuplicateObjectError",
+    "EquiDepthHistogram",
+    "ExecutionError",
+    "GISError",
+    "GlobalInformationSystem",
+    "KeyValueSource",
+    "MemorySource",
+    "NAIVE_OPTIONS",
+    "NetworkLink",
+    "ParseError",
+    "PlanError",
+    "PlannedQuery",
+    "Planner",
+    "PlannerOptions",
+    "QueryMetrics",
+    "QueryResult",
+    "RestSource",
+    "SimulatedNetwork",
+    "SourceCapabilities",
+    "SourceError",
+    "SQLiteSource",
+    "TableMapping",
+    "TableSchema",
+    "TableStatistics",
+    "TransferMetrics",
+    "TypeCheckError",
+    "UnknownObjectError",
+    "__version__",
+]

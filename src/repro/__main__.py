@@ -1,0 +1,8 @@
+"""``python -m repro`` — the interactive federation shell."""
+
+import sys
+
+from .repl import main
+
+if __name__ == "__main__":
+    sys.exit(main())

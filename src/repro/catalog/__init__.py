@@ -1,0 +1,23 @@
+"""Global catalog: schemas, source mappings, integration views, statistics.
+
+The catalog is the mediator's picture of the federation. It records, for
+every *global* table, which component system holds it and under what native
+names (a :class:`~repro.catalog.mappings.TableMapping`), plus integration
+views (GAV: a global virtual table defined by a query over other global
+tables) and per-table statistics gathered by ``ANALYZE``.
+"""
+
+from .catalog import Catalog
+from .mappings import TableMapping
+from .schema import Column, TableSchema
+from .statistics import ColumnStatistics, EquiDepthHistogram, TableStatistics
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "EquiDepthHistogram",
+    "TableMapping",
+    "TableSchema",
+    "TableStatistics",
+]

@@ -1,0 +1,173 @@
+"""The mediator's global catalog.
+
+Holds three registries, all keyed case-insensitively:
+
+* **sources** — wrapper adapters for component systems;
+* **tables** — global base tables (each with a :class:`TableMapping` to its
+  source) and integration views (stored as SQL text, expanded at bind time);
+* **statistics** — per-table :class:`TableStatistics` gathered by ANALYZE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import CatalogError, DuplicateObjectError, UnknownObjectError
+from .mappings import TableMapping
+from .schema import TableSchema
+from .statistics import TableStatistics
+
+
+@dataclass
+class CatalogTable:
+    """A catalog entry: either a mapped base table or an integration view.
+
+    Exactly one of ``mapping`` / ``view_sql`` is set. Views carry their
+    schema too once first bound (the analyzer derives and caches it).
+
+    ``replicas`` lists *additional* copies of a base table on other
+    sources; ``mapping`` stays the primary (used by ANALYZE and as the
+    default when replica selection is off).
+    """
+
+    name: str
+    schema: Optional[TableSchema]
+    mapping: Optional[TableMapping] = None
+    view_sql: Optional[str] = None
+    replicas: List[TableMapping] = field(default_factory=list)
+
+    @property
+    def is_view(self) -> bool:
+        return self.view_sql is not None
+
+    def all_mappings(self) -> List[TableMapping]:
+        """Primary mapping plus every replica (empty for views)."""
+        if self.mapping is None:
+            return []
+        return [self.mapping, *self.replicas]
+
+
+class Catalog:
+    """Registry of sources, global tables, views, and statistics."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, Any] = {}
+        self._source_display: Dict[str, str] = {}
+        self._tables: Dict[str, CatalogTable] = {}
+        self._statistics: Dict[str, TableStatistics] = {}
+
+    # -- sources -------------------------------------------------------------
+
+    def register_source(self, name: str, adapter: Any) -> None:
+        """Register a component system's wrapper under a federation-unique name."""
+        key = name.lower()
+        if key in self._sources:
+            raise DuplicateObjectError(f"source {name!r} is already registered")
+        self._sources[key] = adapter
+        self._source_display[key] = name
+
+    def source(self, name: str) -> Any:
+        """Look up a source adapter by name."""
+        adapter = self._sources.get(name.lower())
+        if adapter is None:
+            raise UnknownObjectError(f"unknown source: {name!r}")
+        return adapter
+
+    def has_source(self, name: str) -> bool:
+        return name.lower() in self._sources
+
+    def source_names(self) -> List[str]:
+        """Registered source names in registration order."""
+        return list(self._source_display.values())
+
+    # -- tables and views ------------------------------------------------------
+
+    def register_table(
+        self, name: str, schema: TableSchema, mapping: TableMapping
+    ) -> None:
+        """Register a global base table mapped onto one source."""
+        key = name.lower()
+        if key in self._tables:
+            raise DuplicateObjectError(f"table or view {name!r} is already registered")
+        if not self.has_source(mapping.source):
+            raise UnknownObjectError(
+                f"table {name!r} maps to unknown source {mapping.source!r}"
+            )
+        mapping.validate_against(schema)
+        self._tables[key] = CatalogTable(name=name, schema=schema, mapping=mapping)
+
+    def add_replica(self, table_name: str, mapping: TableMapping) -> None:
+        """Attach an additional physical copy of a base table."""
+        entry = self.table(table_name)
+        if entry.is_view or entry.schema is None:
+            raise CatalogError(f"cannot add a replica to view {table_name!r}")
+        if not self.has_source(mapping.source):
+            raise UnknownObjectError(
+                f"replica of {table_name!r} maps to unknown source "
+                f"{mapping.source!r}"
+            )
+        mapping.validate_against(entry.schema)
+        entry.replicas.append(mapping)
+
+    def register_view(self, name: str, sql: str) -> None:
+        """Register an integration view (GAV) defined by a SQL query.
+
+        The view's schema is derived lazily on first bind; registration only
+        checks name uniqueness so views may reference tables registered later.
+        """
+        key = name.lower()
+        if key in self._tables:
+            raise DuplicateObjectError(f"table or view {name!r} is already registered")
+        self._tables[key] = CatalogTable(name=name, schema=None, view_sql=sql)
+
+    def drop(self, name: str) -> None:
+        """Remove a table or view (and its statistics)."""
+        key = name.lower()
+        if key not in self._tables:
+            raise UnknownObjectError(f"unknown table or view: {name!r}")
+        del self._tables[key]
+        self._statistics.pop(key, None)
+
+    def table(self, name: str) -> CatalogTable:
+        """Look up a table or view entry by name."""
+        entry = self._tables.get(name.lower())
+        if entry is None:
+            raise UnknownObjectError(f"unknown table or view: {name!r}")
+        return entry
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        """All registered table and view names."""
+        return [entry.name for entry in self._tables.values()]
+
+    def tables_on_source(self, source_name: str) -> List[CatalogTable]:
+        """Base tables mapped onto a given source."""
+        key = source_name.lower()
+        return [
+            entry
+            for entry in self._tables.values()
+            if entry.mapping is not None and entry.mapping.source.lower() == key
+        ]
+
+    def cache_view_schema(self, name: str, schema: TableSchema) -> None:
+        """Cache a derived view schema (set by the analyzer on first bind)."""
+        self.table(name).schema = schema
+
+    # -- statistics -----------------------------------------------------------
+
+    def set_statistics(self, table_name: str, statistics: TableStatistics) -> None:
+        """Attach statistics to a table (normally via mediator.analyze())."""
+        if table_name.lower() not in self._tables:
+            raise UnknownObjectError(f"unknown table or view: {table_name!r}")
+        self._statistics[table_name.lower()] = statistics
+
+    def statistics(self, table_name: str) -> Optional[TableStatistics]:
+        """Statistics for a table, or None if never analyzed."""
+        return self._statistics.get(table_name.lower())
+
+    def clear_statistics(self) -> None:
+        """Drop all gathered statistics (used by the stats-ablation bench)."""
+        self._statistics.clear()

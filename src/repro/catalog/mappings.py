@@ -1,0 +1,54 @@
+"""Mappings from global tables to source-native tables.
+
+A :class:`TableMapping` records where a global table physically lives: the
+owning source, the table's *native* name there, and per-column renames. The
+pushdown planner uses it to translate fragment plans into each component
+system's own vocabulary — the wrapper half of schema integration.
+
+Integration views (global virtual tables defined over other global tables,
+e.g. a UNION ALL over horizontal partitions) are stored as SQL text on the
+catalog entry and expanded by the analyzer, so they need no class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import CatalogError
+from .schema import TableSchema
+
+
+@dataclass
+class TableMapping:
+    """Binding of a global table to one source's native table.
+
+    ``column_map`` maps *global* column names (case-insensitive) to the
+    source's native column names; unmapped columns keep their global name.
+
+    Example::
+
+        TableMapping(source="crm", remote_table="CUST_MASTER",
+                     column_map={"customer_id": "CM_ID", "name": "CM_NAME"})
+    """
+
+    source: str
+    remote_table: str
+    column_map: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalize keys for case-insensitive lookup, keep values verbatim.
+        self.column_map = {k.lower(): v for k, v in self.column_map.items()}
+
+    def remote_column(self, global_name: str) -> str:
+        """Native column name for a global column."""
+        return self.column_map.get(global_name.lower(), global_name)
+
+    def validate_against(self, schema: TableSchema) -> None:
+        """Reject mappings that rename columns the schema doesn't declare."""
+        for global_name in self.column_map:
+            if not schema.has_column(global_name):
+                raise CatalogError(
+                    f"mapping for table {schema.name!r} renames unknown column "
+                    f"{global_name!r}"
+                )

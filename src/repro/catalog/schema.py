@@ -1,0 +1,95 @@
+"""Relation schemas for the global schema and for source-native tables.
+
+Names compare case-insensitively (SQL identifier semantics for unquoted
+names) but preserve their declared spelling for display and pushdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from ..datatypes import DataType, parse_type_name
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed attribute of a relation."""
+
+    name: str
+    dtype: DataType
+
+    @staticmethod
+    def of(name: str, type_name: Union[str, DataType]) -> "Column":
+        """Convenience constructor accepting a type name string."""
+        if isinstance(type_name, DataType):
+            return Column(name, type_name)
+        return Column(name, parse_type_name(type_name))
+
+
+class TableSchema:
+    """An ordered collection of columns with unique (case-insensitive) names.
+
+    Example::
+
+        schema = TableSchema("customers", [
+            Column.of("id", "INTEGER"),
+            Column.of("name", "TEXT"),
+        ])
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, int] = {}
+        for index, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in self._by_name:
+                raise CatalogError(
+                    f"table {name!r} declares duplicate column {column.name!r}"
+                )
+            self._by_name[key] = index
+
+    # -- lookups -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def column_names(self) -> List[str]:
+        """Declared column names, in order."""
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """Case-insensitive membership test."""
+        return name.lower() in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        index = self._by_name.get(name.lower())
+        if index is None:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}")
+        return self.columns[index]
+
+    def index_of(self, name: str) -> int:
+        """Ordinal position of a column by (case-insensitive) name."""
+        index = self._by_name.get(name.lower())
+        if index is None:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}")
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(f"{c.name} {c.dtype}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+
+def schema_from_pairs(
+    name: str, pairs: Sequence[Tuple[str, Union[str, DataType]]]
+) -> TableSchema:
+    """Build a TableSchema from ``(column_name, type_name)`` pairs."""
+    return TableSchema(name, [Column.of(n, t) for n, t in pairs])

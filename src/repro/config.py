@@ -1,0 +1,195 @@
+"""Declarative federation configuration.
+
+Build a whole mediator — sources, links, global tables, replicas,
+integration views, planner options — from one plain dictionary (or a JSON
+file), instead of imperative registration calls::
+
+    gis = build_from_config({
+        "sources": {
+            "erp": {
+                "type": "sqlite",
+                "tables": {
+                    "ORDERS": {
+                        "columns": [["oid", "INT"], ["total", "FLOAT"]],
+                        "rows": [[1, 9.5], [2, 100.0]],
+                    }
+                },
+                "link": {"latency_ms": 30, "bandwidth_bytes_per_s": 2e6},
+            }
+        },
+        "tables": [{"name": "orders", "source": "erp",
+                    "remote_table": "ORDERS"}],
+        "views": {"big": "SELECT * FROM orders WHERE total > 50"},
+        "analyze": True,
+    })
+
+Source ``type`` values: ``sqlite`` (optional ``path`` for a database file;
+tables with ``rows`` are created, tables without are declared over existing
+native tables), ``memory``, ``csv`` (requires ``directory``; ``rows``
+are materialized as files when given), ``keyvalue`` (each table needs a
+``key`` column), ``rest`` (optional ``page_rows``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .catalog.schema import TableSchema, schema_from_pairs
+from .core.mediator import GlobalInformationSystem
+from .core.planner import PlannerOptions
+from .errors import CatalogError
+from .sources import (
+    CsvSource,
+    KeyValueSource,
+    MemorySource,
+    NetworkLink,
+    RestSource,
+    SQLiteSource,
+)
+
+
+def load_config(path: str) -> GlobalInformationSystem:
+    """Build a federation from a JSON config file."""
+    with open(path) as handle:
+        return build_from_config(json.load(handle))
+
+
+def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
+    """Build a federation from a configuration dictionary (see module doc)."""
+    options = None
+    if "options" in config:
+        options = PlannerOptions(**config["options"])
+    gis = GlobalInformationSystem(
+        options=options,
+        fragment_retries=int(config.get("fragment_retries", 0)),
+        result_cache_size=int(config.get("result_cache_size", 0)),
+    )
+
+    sources = config.get("sources")
+    if not isinstance(sources, dict) or not sources:
+        raise CatalogError("config requires a non-empty 'sources' mapping")
+    for name, spec in sources.items():
+        adapter = _build_source(name, spec)
+        link = _build_link(spec.get("link"))
+        gis.register_source(name, adapter, link=link)
+
+    for entry in config.get("tables", []):
+        gis.register_table(
+            entry["name"],
+            source=entry["source"],
+            remote_table=entry.get("remote_table"),
+            column_map=entry.get("column_map"),
+        )
+    for entry in config.get("replicas", []):
+        gis.register_replica(
+            entry["name"],
+            source=entry["source"],
+            remote_table=entry.get("remote_table"),
+            column_map=entry.get("column_map"),
+        )
+    for name, sql in config.get("views", {}).items():
+        gis.create_view(name, sql)
+
+    if config.get("analyze", False):
+        gis.analyze()
+    return gis
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _build_link(spec: Optional[Dict[str, Any]]) -> Optional[NetworkLink]:
+    if spec is None:
+        return None
+    return NetworkLink(
+        latency_ms=float(spec.get("latency_ms", 20.0)),
+        bandwidth_bytes_per_s=float(spec.get("bandwidth_bytes_per_s", 1e6)),
+        message_overhead_bytes=int(spec.get("message_overhead_bytes", 64)),
+    )
+
+
+def _table_parts(name: str, table_spec: Any) -> Dict[str, Any]:
+    """Normalize the two table forms: a column list, or a dict with
+    columns/rows/key."""
+    if isinstance(table_spec, list):
+        return {"columns": table_spec, "rows": None, "key": None}
+    if isinstance(table_spec, dict):
+        if "columns" not in table_spec:
+            raise CatalogError(f"table {name!r} config needs 'columns'")
+        return {
+            "columns": table_spec["columns"],
+            "rows": table_spec.get("rows"),
+            "key": table_spec.get("key"),
+        }
+    raise CatalogError(f"table {name!r} config must be a list or mapping")
+
+
+def _schema_of(name: str, parts: Dict[str, Any]) -> TableSchema:
+    pairs = [(column, type_name) for column, type_name in parts["columns"]]
+    return schema_from_pairs(name, pairs)
+
+
+def _build_source(name: str, spec: Dict[str, Any]):
+    source_type = spec.get("type")
+    tables: Dict[str, Any] = spec.get("tables", {})
+    if source_type == "sqlite":
+        adapter = SQLiteSource(name, path=spec.get("path", ":memory:"))
+        for table_name, table_spec in tables.items():
+            parts = _table_parts(table_name, table_spec)
+            schema = _schema_of(table_name, parts)
+            if parts["rows"] is not None:
+                adapter.load_table(table_name, schema, parts["rows"])
+            else:
+                adapter.declare_table(table_name, schema)
+        return adapter
+    if source_type == "memory":
+        adapter = MemorySource(name)
+        for table_name, table_spec in tables.items():
+            parts = _table_parts(table_name, table_spec)
+            adapter.add_table(
+                table_name, _schema_of(table_name, parts), parts["rows"] or []
+            )
+        return adapter
+    if source_type == "csv":
+        directory = spec.get("directory")
+        if not directory:
+            raise CatalogError(f"csv source {name!r} requires 'directory'")
+        schemas: Dict[str, TableSchema] = {}
+        for table_name, table_spec in tables.items():
+            parts = _table_parts(table_name, table_spec)
+            schema = _schema_of(table_name, parts)
+            schemas[table_name] = schema
+            if parts["rows"] is not None:
+                CsvSource.write_table(directory, table_name, schema, parts["rows"])
+        return CsvSource(name, directory, schemas,
+                         page_rows=int(spec.get("page_rows", 4096)))
+    if source_type == "keyvalue":
+        adapter = KeyValueSource(name, page_rows=int(spec.get("page_rows", 512)))
+        for table_name, table_spec in tables.items():
+            parts = _table_parts(table_name, table_spec)
+            if not parts["key"]:
+                raise CatalogError(
+                    f"keyvalue table {table_name!r} requires a 'key' column"
+                )
+            adapter.add_table(
+                table_name,
+                _schema_of(table_name, parts),
+                parts["key"],
+                parts["rows"] or [],
+            )
+        return adapter
+    if source_type == "rest":
+        adapter = RestSource(name, page_rows=int(spec.get("page_rows", 100)))
+        for table_name, table_spec in tables.items():
+            parts = _table_parts(table_name, table_spec)
+            adapter.add_table(
+                table_name, _schema_of(table_name, parts), parts["rows"] or []
+            )
+        return adapter
+    raise CatalogError(
+        f"source {name!r} has unknown type {source_type!r} "
+        "(expected sqlite|memory|csv|keyvalue|rest)"
+    )

@@ -1,0 +1,25 @@
+"""The mediator core: binding, optimization, distributed execution.
+
+The pipeline (driven by :class:`~repro.core.planner.Planner`):
+
+1. parse (``repro.sql``) →
+2. analyze/bind + build logical plan (``analyzer``) →
+3. rule-based rewrites (``rewriter``) →
+4. cost-based join ordering (``join_order``) →
+5. capability-driven source pushdown (``pushdown``) →
+6. semijoin reduction (``semijoin``) →
+7. physical planning (``physical``) →
+8. Volcano-style execution with exchange operators (``executor``).
+"""
+
+from .mediator import GlobalInformationSystem
+from .planner import Planner, PlannerOptions
+from .result import QueryMetrics, QueryResult
+
+__all__ = [
+    "GlobalInformationSystem",
+    "Planner",
+    "PlannerOptions",
+    "QueryMetrics",
+    "QueryResult",
+]

@@ -1,0 +1,173 @@
+"""Aggregate accumulators shared by the executor and the fragment interpreter.
+
+Each :class:`~repro.core.logical.AggregateCall` maps to one accumulator
+instance per group. SQL semantics: aggregates ignore NULL inputs; SUM/AVG/
+MIN/MAX over an empty (or all-NULL) group yield NULL, COUNT yields 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Set
+
+from ..errors import ExecutionError
+from .logical import AggregateCall
+
+
+class Accumulator:
+    """Incremental aggregate state. ``add`` sees already-evaluated argument
+    values (or a dummy for COUNT(*))."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _CountStar(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> Any:
+        return self.count
+
+
+class _Count(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> Any:
+        return self.count
+
+
+class _Sum(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _Avg(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Any:
+        return self.total / self.count if self.count else None
+
+
+class _Min(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Max(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Distinct(Accumulator):
+    """DISTINCT wrapper: forwards each distinct non-null value once."""
+
+    def __init__(self, inner: Accumulator) -> None:
+        self.inner = inner
+        self.seen: Set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is None or value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+_FACTORIES: dict = {
+    "COUNT": _Count,
+    "SUM": _Sum,
+    "AVG": _Avg,
+    "MIN": _Min,
+    "MAX": _Max,
+}
+
+
+def make_accumulator(call: AggregateCall) -> Accumulator:
+    """Fresh accumulator for one aggregate call (one group's state)."""
+    if call.argument is None:
+        if call.function != "COUNT":
+            raise ExecutionError(f"{call.function}(*) is not a valid aggregate")
+        return _CountStar()
+    factory = _FACTORIES.get(call.function)
+    if factory is None:
+        raise ExecutionError(f"unknown aggregate function: {call.function}")
+    inner = factory()
+    return _Distinct(inner) if call.distinct else inner
+
+
+def sort_key_function(ascending: bool) -> Callable[[Any], Any]:
+    """Key wrapper implementing NULLS LAST (ASC) / NULLS FIRST (DESC).
+
+    Groups NULLs via the first tuple element so the raw values of different
+    rows never compare against None.
+    """
+
+    def key(value: Any) -> Any:
+        return (value is None, 0 if value is None else value)
+
+    return key
+
+
+def sort_rows(
+    rows: List[tuple],
+    key_functions: List[Callable[[tuple], Any]],
+    directions: List[bool],
+) -> List[tuple]:
+    """Stable multi-key sort honoring per-key direction and NULL placement.
+
+    Applies single-key stable sorts from the least significant key to the
+    most significant — the classic way to get mixed ASC/DESC ordering out of
+    a stable sort.
+    """
+    result = list(rows)
+    for key_fn, ascending in reversed(list(zip(key_functions, directions))):
+        wrapper = sort_key_function(ascending)
+        result.sort(key=lambda row: wrapper(key_fn(row)), reverse=not ascending)
+    return result

@@ -1,0 +1,1029 @@
+"""Semantic analysis: bind a parsed statement into a logical plan.
+
+Responsibilities:
+
+* resolve table references against the global catalog, expanding
+  integration views inline (with cycle detection);
+* resolve column references to :class:`~repro.core.logical.RelColumn`
+  instances through lexical scopes;
+* expand ``*`` / ``alias.*``;
+* type-check every expression;
+* normalize aggregation: collect aggregate calls from SELECT/HAVING/ORDER
+  BY, deduplicate them, and rewrite the surrounding expressions to
+  reference aggregate output columns;
+* decorrelate uncorrelated ``IN (SELECT ...)`` / ``EXISTS`` conjuncts into
+  SEMI/ANTI joins (``NOT IN`` keeps its NULL-aware semantics);
+* line up set-operation branches positionally, inserting casts where the
+  branch types merely widen.
+
+The result is a fully bound :class:`~repro.core.logical.LogicalPlan` whose
+expressions contain no syntactic :class:`~repro.sql.ast.ColumnRef` leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..catalog.catalog import Catalog, CatalogTable
+from ..catalog.schema import Column, TableSchema
+from ..datatypes import DataType, is_comparable, unify
+from ..errors import BindError, UnknownObjectError
+from ..sql import ast
+from ..sql.functions import (
+    aggregate_result_type,
+    is_aggregate_name,
+    is_scalar_name,
+)
+from ..sql.parser import parse_select
+from . import logical
+from .expressions import infer_type
+from .logical import (
+    AggregateCall,
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    JoinOp,
+    LimitOp,
+    LogicalPlan,
+    ProjectOp,
+    RelColumn,
+    ScanOp,
+    SetDifferenceOp,
+    SortOp,
+    UnionOp,
+    ValuesOp,
+    WindowOp,
+)
+
+
+@dataclass
+class Binding:
+    """One FROM-clause relation visible in a scope."""
+
+    name: str
+    columns: List[RelColumn]
+
+    def find(self, column_name: str) -> List[RelColumn]:
+        lowered = column_name.lower()
+        return [c for c in self.columns if c.name.lower() == lowered]
+
+
+class Scope:
+    """Lexical scope: the relations visible to a SELECT block's expressions.
+
+    ``parent`` links a subquery scope to the enclosing query's scope, which
+    is what makes correlated ``EXISTS`` / ``IN`` references resolvable —
+    inner relations shadow outer ones, SQL-style.
+    """
+
+    def __init__(
+        self,
+        bindings: Optional[List[Binding]] = None,
+        parent: Optional["Scope"] = None,
+    ) -> None:
+        self.bindings: List[Binding] = bindings or []
+        self.parent = parent
+
+    def add(self, binding: Binding) -> None:
+        if any(b.name.lower() == binding.name.lower() for b in self.bindings):
+            raise BindError(f"duplicate relation name in FROM: {binding.name!r}")
+        self.bindings.append(binding)
+
+    def merge(self, other: "Scope") -> "Scope":
+        merged = Scope(list(self.bindings), parent=self.parent or other.parent)
+        for binding in other.bindings:
+            merged.add(binding)
+        return merged
+
+    def binding(self, name: str) -> Binding:
+        for candidate in self.bindings:
+            if candidate.name.lower() == name.lower():
+                return candidate
+        if self.parent is not None:
+            return self.parent.binding(name)
+        raise BindError(f"unknown relation: {name!r}")
+
+    def resolve(self, table: Optional[str], column_name: str) -> RelColumn:
+        if table is not None:
+            matches = self.binding(table).find(column_name)
+            if not matches:
+                raise BindError(f"relation {table!r} has no column {column_name!r}")
+            if len(matches) > 1:
+                raise BindError(
+                    f"column {column_name!r} is ambiguous within relation {table!r}"
+                )
+            return matches[0]
+        matches: List[RelColumn] = []
+        for binding in self.bindings:
+            matches.extend(binding.find(column_name))
+        if not matches:
+            if self.parent is not None:
+                return self.parent.resolve(table, column_name)
+            raise BindError(f"unknown column: {column_name!r}")
+        if len(matches) > 1:
+            raise BindError(f"column reference {column_name!r} is ambiguous")
+        return matches[0]
+
+    def column_ids(self) -> Set[int]:
+        """Identity set of every column visible at this level (no parents)."""
+        return {
+            column.column_id
+            for binding in self.bindings
+            for column in binding.columns
+        }
+
+    def all_columns(self) -> List[RelColumn]:
+        columns: List[RelColumn] = []
+        for binding in self.bindings:
+            columns.extend(binding.columns)
+        return columns
+
+
+class Analyzer:
+    """Binds statements against a catalog. Stateless between calls except
+    for the view-expansion stack (cycle detection)."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._view_stack: List[str] = []
+
+    # -- public entry points --------------------------------------------------
+
+    def bind_statement(
+        self, statement: ast.Statement, outer: Optional[Scope] = None
+    ) -> LogicalPlan:
+        """Bind a SELECT or set-operation chain into a logical plan.
+
+        ``outer`` is the enclosing scope when binding a (possibly
+        correlated) subquery; set operations never see outer scopes.
+        """
+        if isinstance(statement, ast.SetOperation):
+            return self._bind_set_operation(statement)
+        return self._bind_select(statement, outer)
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def _bind_from(self, item: ast.FromItem) -> Tuple[LogicalPlan, Scope]:
+        if isinstance(item, ast.TableRef):
+            return self._bind_table_ref(item)
+        if isinstance(item, ast.SubqueryRef):
+            plan = self.bind_statement(item.select)
+            scope = Scope()
+            scope.add(Binding(item.alias, list(plan.output_columns)))
+            return plan, scope
+        if isinstance(item, ast.Join):
+            return self._bind_join(item)
+        raise BindError(f"unsupported FROM item: {type(item).__name__}")
+
+    def _bind_table_ref(self, ref: ast.TableRef) -> Tuple[LogicalPlan, Scope]:
+        try:
+            entry = self._catalog.table(ref.name)
+        except UnknownObjectError as exc:
+            raise BindError(str(exc)) from exc
+        binding_name = ref.alias or ref.name
+        if entry.is_view:
+            plan = self._expand_view(entry)
+            # A view reference re-exposes the view plan's columns under the
+            # (aliased) view name.
+            scope = Scope()
+            scope.add(Binding(binding_name, list(plan.output_columns)))
+            return plan, scope
+        assert entry.schema is not None
+        columns = [
+            RelColumn(column.name, column.dtype, origin=(entry.name.lower(), column.name))
+            for column in entry.schema.columns
+        ]
+        plan = ScanOp(entry, binding_name, columns)
+        scope = Scope()
+        scope.add(Binding(binding_name, columns))
+        return plan, scope
+
+    def _expand_view(self, entry: CatalogTable) -> LogicalPlan:
+        key = entry.name.lower()
+        if key in self._view_stack:
+            chain = " -> ".join(self._view_stack + [key])
+            raise BindError(f"circular view definition: {chain}")
+        self._view_stack.append(key)
+        try:
+            assert entry.view_sql is not None
+            parsed = parse_select(entry.view_sql)
+            plan = self.bind_statement(parsed)
+        finally:
+            self._view_stack.pop()
+        if entry.schema is None:
+            derived = TableSchema(
+                entry.name,
+                [Column(c.name, c.dtype) for c in plan.output_columns],
+            )
+            self._catalog.cache_view_schema(entry.name, derived)
+        return plan
+
+    def _bind_join(self, join: ast.Join) -> Tuple[LogicalPlan, Scope]:
+        left_plan, left_scope = self._bind_from(join.left)
+        right_plan, right_scope = self._bind_from(join.right)
+        scope = left_scope.merge(right_scope)
+        if join.kind == "CROSS":
+            return JoinOp(left_plan, right_plan, "CROSS", None), scope
+        if join.condition is None:
+            raise BindError(f"{join.kind} JOIN requires an ON condition")
+        condition = self._bind_expression(join.condition, scope)
+        self._require_boolean(condition, "JOIN condition")
+        return JoinOp(left_plan, right_plan, join.kind, condition), scope
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _bind_select(
+        self, select: ast.Select, outer: Optional[Scope] = None
+    ) -> LogicalPlan:
+        if select.from_item is None:
+            plan: LogicalPlan = ValuesOp([()], [])
+            scope = Scope()
+        else:
+            plan, scope = self._bind_from(select.from_item)
+        scope.parent = outer
+
+        # WHERE: plain conjuncts filter; IN/EXISTS conjuncts become joins.
+        residual, subquery_joins = self._split_where(select.where, scope)
+        if residual is not None:
+            self._require_boolean(residual, "WHERE clause")
+            plan = FilterOp(plan, residual)
+        for kind, right_plan, condition, null_aware in subquery_joins:
+            plan = JoinOp(plan, right_plan, kind, condition, null_aware)
+
+        # Select list with * expansion.
+        select_exprs: List[ast.Expr] = []
+        select_aliases: List[str] = []
+        for index, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                columns = (
+                    scope.binding(item.expr.table).columns
+                    if item.expr.table is not None
+                    else scope.all_columns()
+                )
+                if not columns:
+                    raise BindError("SELECT * with no FROM relations")
+                for column in columns:
+                    select_exprs.append(column.ref())
+                    select_aliases.append(column.name)
+                continue
+            bound = self._bind_expression(
+                item.expr, scope, allow_aggregates=True, allow_windows=True
+            )
+            select_exprs.append(bound)
+            select_aliases.append(item.alias or _derive_name(item.expr, len(select_exprs)))
+
+        bound_having = (
+            self._bind_expression(select.having, scope, allow_aggregates=True)
+            if select.having is not None
+            else None
+        )
+
+        has_aggregates = any(ast.contains_aggregate(e) for e in select_exprs) or (
+            bound_having is not None and ast.contains_aggregate(bound_having)
+        )
+        grouped = bool(select.group_by) or has_aggregates
+
+        # ORDER BY binding happens in two flavors: positional/alias references
+        # resolve to select items; anything else binds in the FROM scope.
+        order_specs: List[Tuple[Union[int, ast.Expr], bool]] = []
+        for order_item in select.order_by:
+            target = self._resolve_order_target(
+                order_item.expr,
+                select_aliases,
+                select_exprs,
+                scope,
+                allow_aggregates=grouped,
+            )
+            order_specs.append((target, order_item.ascending))
+
+        if grouped:
+            plan, select_exprs, bound_having, order_specs = self._bind_aggregation(
+                plan, scope, select, select_exprs, bound_having, order_specs
+            )
+            if bound_having is not None:
+                self._require_boolean(bound_having, "HAVING clause")
+                plan = FilterOp(plan, bound_having)
+        elif bound_having is not None:
+            raise BindError("HAVING requires GROUP BY or aggregates")
+
+        plan, select_exprs, order_specs = self._plan_windows(
+            plan, select_exprs, order_specs, grouped
+        )
+
+        # Validate select expression types. Plain column forwards keep their
+        # origin lineage so statistics survive projections.
+        output_columns = [
+            RelColumn(
+                alias,
+                infer_type(expr),
+                origin=expr.column.origin if isinstance(expr, ast.BoundRef) else None,
+            )
+            for expr, alias in zip(select_exprs, select_aliases)
+        ]
+        plan = ProjectOp(plan, list(select_exprs), output_columns)
+
+        if select.distinct:
+            plan = DistinctOp(plan)
+
+        plan = self._apply_order_limit(
+            plan,
+            select_exprs,
+            order_specs,
+            select.limit,
+            select.offset,
+            distinct=select.distinct,
+        )
+        return plan
+
+    # -- WHERE / subqueries ------------------------------------------------------
+
+    def _split_where(
+        self, where: Optional[ast.Expr], scope: Scope
+    ) -> Tuple[
+        Optional[ast.Expr],
+        List[Tuple[str, LogicalPlan, Optional[ast.Expr], bool]],
+    ]:
+        """Separate plain predicates from IN/EXISTS subquery conjuncts.
+
+        Returns ``(residual_predicate, joins)`` where each join entry is
+        ``(kind, right_plan, condition, null_aware)``.
+        """
+        if where is None:
+            return None, []
+        residual: List[ast.Expr] = []
+        joins: List[Tuple[str, LogicalPlan, Optional[ast.Expr], bool]] = []
+        for conjunct in ast.conjuncts(where):
+            node = conjunct
+            flipped = False
+            while isinstance(node, ast.UnaryOp) and node.op == "NOT":
+                node = node.operand
+                flipped = not flipped
+            if isinstance(node, ast.InSubquery):
+                negated = node.negated ^ flipped
+                operand = self._bind_expression(node.operand, scope)
+                subplan = self.bind_statement(node.subquery, outer=scope)
+                sub_columns = subplan.output_columns
+                if len(sub_columns) != 1:
+                    raise BindError("IN subquery must produce exactly one column")
+                if not is_comparable(infer_type(operand), sub_columns[0].dtype):
+                    raise BindError(
+                        "IN subquery column type is not comparable to the operand"
+                    )
+                subplan, correlation = self._decorrelate(subplan, scope)
+                if correlation and negated:
+                    raise BindError(
+                        "correlated NOT IN is not supported (its NULL "
+                        "semantics interact with correlation); rewrite with "
+                        "NOT EXISTS"
+                    )
+                condition = ast.conjoin(
+                    [ast.BinaryOp("=", operand, sub_columns[0].ref())]
+                    + correlation
+                )
+                kind = "ANTI" if negated else "SEMI"
+                joins.append((kind, subplan, condition, negated))
+                continue
+            if isinstance(node, ast.Exists):
+                negated = node.negated ^ flipped
+                subplan = self.bind_statement(node.subquery, outer=scope)
+                subplan, correlation = self._decorrelate(subplan, scope)
+                kind = "ANTI" if negated else "SEMI"
+                joins.append((kind, subplan, ast.conjoin(correlation), False))
+                continue
+            bound = self._bind_expression(conjunct, scope)
+            residual.append(bound)
+        return ast.conjoin(residual), joins
+
+    def _decorrelate(
+        self, subplan: LogicalPlan, outer_scope: Scope
+    ) -> Tuple[LogicalPlan, List[ast.Expr]]:
+        """Pull correlated WHERE conjuncts out of a bound subquery plan.
+
+        Returns the cleaned plan plus the extracted conjuncts (which become
+        part of the enclosing SEMI/ANTI join condition). Correlation is
+        supported only in the subquery's WHERE clause; outer references
+        anywhere else raise :class:`BindError`.
+        """
+        outer_ids = outer_scope.column_ids()
+        if outer_scope.parent is not None:
+            # Nested correlation levels: include every enclosing scope.
+            parent = outer_scope.parent
+            while parent is not None:
+                outer_ids |= parent.column_ids()
+                parent = parent.parent
+
+        correlation: List[ast.Expr] = []
+
+        def strip(node: LogicalPlan) -> Optional[LogicalPlan]:
+            if not isinstance(node, FilterOp):
+                return None
+            inner: List[ast.Expr] = []
+            pulled: List[ast.Expr] = []
+            for conjunct in ast.conjuncts(node.predicate):
+                refs = {c.column_id for c in ast.referenced_columns(conjunct)}
+                if refs & outer_ids:
+                    pulled.append(conjunct)
+                else:
+                    inner.append(conjunct)
+            if not pulled:
+                return None
+            correlation.extend(pulled)
+            remaining = ast.conjoin(inner)
+            if remaining is None:
+                return node.child
+            return FilterOp(node.child, remaining)
+
+        cleaned = logical.transform_plan(subplan, strip)
+
+        # Anything still referencing the outer query is unsupported.
+        leftover = _plan_expression_refs(cleaned) & outer_ids
+        if leftover:
+            raise BindError(
+                "correlated subqueries may reference outer columns only in "
+                "their WHERE clause"
+            )
+        if not correlation:
+            return cleaned, []
+
+        # The join condition needs the referenced *inner* columns in the
+        # subplan's output; widen its top projection if necessary.
+        needed: Dict[int, RelColumn] = {}
+        for conjunct in correlation:
+            for column in ast.referenced_columns(conjunct):
+                if column.column_id not in outer_ids:
+                    needed[column.column_id] = column
+        output_ids = {c.column_id for c in cleaned.output_columns}
+        missing = [c for cid, c in needed.items() if cid not in output_ids]
+        if missing:
+            if not isinstance(cleaned, ProjectOp):
+                raise BindError(
+                    "unsupported correlated subquery shape (correlation "
+                    "through aggregation/distinct is not supported)"
+                )
+            child_ids = {c.column_id for c in cleaned.child.output_columns}
+            if any(c.column_id not in child_ids for c in missing):
+                raise BindError(
+                    "unsupported correlated subquery shape (correlated "
+                    "column is not available under the select list)"
+                )
+            cleaned = ProjectOp(
+                cleaned.child,
+                cleaned.expressions + [c.ref() for c in missing],
+                cleaned.columns + missing,
+            )
+        return cleaned, correlation
+
+    # -- aggregation -------------------------------------------------------------
+
+    def _bind_aggregation(
+        self,
+        plan: LogicalPlan,
+        scope: Scope,
+        select: ast.Select,
+        select_exprs: List[ast.Expr],
+        bound_having: Optional[ast.Expr],
+        order_specs: List[Tuple[Union[int, ast.Expr], bool]],
+    ) -> Tuple[
+        LogicalPlan,
+        List[ast.Expr],
+        Optional[ast.Expr],
+        List[Tuple[Union[int, ast.Expr], bool]],
+    ]:
+        # 1. Bind GROUP BY expressions (ordinals and aliases allowed).
+        group_exprs: List[ast.Expr] = []
+        group_names: List[str] = []
+        for syntax in select.group_by:
+            if isinstance(syntax, ast.Literal) and syntax.dtype == DataType.INTEGER:
+                ordinal = syntax.value
+                if not 1 <= ordinal <= len(select_exprs):
+                    raise BindError(f"GROUP BY position {ordinal} is out of range")
+                expr = select_exprs[ordinal - 1]
+                name = _select_alias(select, ordinal - 1) or f"group{len(group_exprs)+1}"
+            else:
+                expr, name = self._bind_group_expr(syntax, scope, select, select_exprs)
+            if ast.contains_aggregate(expr):
+                raise BindError("aggregate functions are not allowed in GROUP BY")
+            group_exprs.append(expr)
+            group_names.append(name)
+
+        group_columns = [
+            RelColumn(
+                name,
+                infer_type(expr),
+                origin=expr.column.origin if isinstance(expr, ast.BoundRef) else None,
+            )
+            for name, expr in zip(group_names, group_exprs)
+        ]
+
+        # 2. Collect aggregate calls and rewrite the consuming expressions.
+        aggregates: List[AggregateCall] = []
+        aggregate_columns: List[RelColumn] = []
+
+        def rewrite(expr: ast.Expr) -> ast.Expr:
+            for index, group_expr in enumerate(group_exprs):
+                if expr == group_expr:
+                    return group_columns[index].ref()
+            if isinstance(expr, ast.FunctionCall) and is_aggregate_name(expr.name):
+                return self._register_aggregate(
+                    expr, aggregates, aggregate_columns
+                ).ref()
+            # Rebuild with rewritten children (top-down so whole group
+            # expressions match before their parts).
+            children = ast.expression_children(expr)
+            if not children:
+                return expr
+            return _rebuild(expr, [rewrite(child) for child in children])
+
+        new_select = [rewrite(expr) for expr in select_exprs]
+        new_having = rewrite(bound_having) if bound_having is not None else None
+        new_order: List[Tuple[Union[int, ast.Expr], bool]] = []
+        for target, ascending in order_specs:
+            if isinstance(target, int):
+                new_order.append((target, ascending))
+            else:
+                new_order.append((rewrite(target), ascending))
+
+        aggregate_plan = AggregateOp(
+            plan, group_exprs, group_columns, aggregates, aggregate_columns
+        )
+
+        # 3. Validate: rewritten expressions may only reference agg output.
+        allowed = {c.column_id for c in aggregate_plan.output_columns}
+        for expr in new_select + ([new_having] if new_having is not None else []):
+            self._check_grouping(expr, allowed)
+        for target, _ in new_order:
+            if not isinstance(target, int):
+                self._check_grouping(target, allowed)
+        return aggregate_plan, new_select, new_having, new_order
+
+    def _bind_group_expr(
+        self,
+        syntax: ast.Expr,
+        scope: Scope,
+        select: ast.Select,
+        select_exprs: List[ast.Expr],
+    ) -> Tuple[ast.Expr, str]:
+        """Bind one GROUP BY expression; bare names may match select aliases."""
+        if isinstance(syntax, ast.ColumnRef) and syntax.table is None:
+            try:
+                column = scope.resolve(None, syntax.name)
+                return column.ref(), column.name
+            except BindError:
+                for index, item in enumerate(select.items):
+                    if item.alias and item.alias.lower() == syntax.name.lower():
+                        return select_exprs[index], item.alias
+                raise
+        bound = self._bind_expression(syntax, scope)
+        name = syntax.name if isinstance(syntax, ast.ColumnRef) else "group"
+        return bound, name
+
+    def _register_aggregate(
+        self,
+        call: ast.FunctionCall,
+        aggregates: List[AggregateCall],
+        aggregate_columns: List[RelColumn],
+    ) -> RelColumn:
+        if call.star:
+            new_call = AggregateCall(call.name, None, False)
+            arg_type: Optional[DataType] = None
+        else:
+            if len(call.args) != 1:
+                raise BindError(f"{call.name} takes exactly one argument")
+            argument = call.args[0]
+            if ast.contains_aggregate(argument):
+                raise BindError("aggregate calls cannot be nested")
+            new_call = AggregateCall(call.name, argument, call.distinct)
+            arg_type = infer_type(argument)
+        result_type = aggregate_result_type(call.name, arg_type)
+        for index, existing in enumerate(aggregates):
+            if existing == new_call:
+                return aggregate_columns[index]
+        aggregates.append(new_call)
+        column = RelColumn(call.name.lower(), result_type)
+        aggregate_columns.append(column)
+        return column
+
+    def _check_grouping(self, expr: ast.Expr, allowed: Set[int]) -> None:
+        for column in ast.referenced_columns(expr):
+            if column.column_id not in allowed:
+                raise BindError(
+                    f"column {column.name!r} must appear in GROUP BY or inside "
+                    "an aggregate function"
+                )
+
+    # -- window functions -------------------------------------------------------
+
+    def _plan_windows(
+        self,
+        plan: LogicalPlan,
+        select_exprs: List[ast.Expr],
+        order_specs: List[Tuple[Union[int, ast.Expr], bool]],
+        grouped: bool,
+    ) -> Tuple[
+        LogicalPlan,
+        List[ast.Expr],
+        List[Tuple[Union[int, ast.Expr], bool]],
+    ]:
+        """Collect window calls from the select list / ORDER BY into a
+        WindowOp and rewrite the expressions to reference its columns."""
+        from .expressions import window_result_type
+        from .logical import AggregateCall, WindowOp, WindowSpec
+
+        windows: List[ast.WindowFunction] = []
+        for expr in select_exprs + [
+            target for target, _ in order_specs if not isinstance(target, int)
+        ]:
+            for node in ast.walk_expression(expr):
+                if isinstance(node, ast.WindowFunction) and node not in windows:
+                    windows.append(node)
+        if not windows:
+            return plan, select_exprs, order_specs
+        if grouped:
+            raise BindError(
+                "window functions combined with GROUP BY/aggregates are "
+                "not supported"
+            )
+        specs: List[WindowSpec] = []
+        columns: List[RelColumn] = []
+        for window in windows:
+            dtype = window_result_type(window)  # validates shape too
+            argument = window.args[0] if window.args else None
+            specs.append(
+                WindowSpec(
+                    window.name, argument, window.partition_by, window.order_by
+                )
+            )
+            columns.append(RelColumn(window.name.lower(), dtype))
+
+        def substitute(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.WindowFunction):
+                return columns[windows.index(node)].ref()
+            return None
+
+        new_select = [
+            ast.transform_expression(expr, substitute) for expr in select_exprs
+        ]
+        new_order: List[Tuple[Union[int, ast.Expr], bool]] = [
+            (target, asc)
+            if isinstance(target, int)
+            else (ast.transform_expression(target, substitute), asc)
+            for target, asc in order_specs
+        ]
+        return WindowOp(plan, specs, columns), new_select, new_order
+
+    # -- ORDER BY / LIMIT ----------------------------------------------------------
+
+    def _resolve_order_target(
+        self,
+        syntax: ast.Expr,
+        select_aliases: List[str],
+        select_exprs: List[ast.Expr],
+        scope: Scope,
+        allow_aggregates: bool,
+    ) -> Union[int, ast.Expr]:
+        """An ORDER BY key is either a select-item index or a bound expression."""
+        if isinstance(syntax, ast.Literal) and syntax.dtype == DataType.INTEGER:
+            ordinal = syntax.value
+            if not 1 <= ordinal <= len(select_aliases):
+                raise BindError(f"ORDER BY position {ordinal} is out of range")
+            return ordinal - 1
+        if isinstance(syntax, ast.ColumnRef) and syntax.table is None:
+            matches = [
+                index
+                for index, alias in enumerate(select_aliases)
+                if alias.lower() == syntax.name.lower()
+            ]
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                # Duplicates of the *same* expression (SELECT id, id ...)
+                # are unambiguous in every mainstream engine.
+                first = select_exprs[matches[0]]
+                if all(select_exprs[i] == first for i in matches[1:]):
+                    return matches[0]
+                raise BindError(f"ORDER BY alias {syntax.name!r} is ambiguous")
+        return self._bind_expression(
+            syntax, scope, allow_aggregates=allow_aggregates, allow_windows=True
+        )
+
+    def _apply_order_limit(
+        self,
+        plan: LogicalPlan,
+        select_exprs: List[ast.Expr],
+        order_specs: List[Tuple[Union[int, ast.Expr], bool]],
+        limit: Optional[int],
+        offset: Optional[int],
+        distinct: bool,
+    ) -> LogicalPlan:
+        if order_specs:
+            project = plan
+            # The projection is the node directly below (or below Distinct).
+            base_project = project.child if isinstance(project, DistinctOp) else project
+            assert isinstance(base_project, ProjectOp)
+            output = base_project.columns
+            keys: List[Tuple[ast.Expr, bool]] = []
+            hidden: List[Tuple[ast.Expr, RelColumn]] = []
+            for target, ascending in order_specs:
+                if isinstance(target, int):
+                    keys.append((output[target].ref(), ascending))
+                    continue
+                matched = False
+                for index, expr in enumerate(select_exprs):
+                    if expr == target:
+                        keys.append((output[index].ref(), ascending))
+                        matched = True
+                        break
+                if matched:
+                    continue
+                if distinct:
+                    raise BindError(
+                        "ORDER BY expressions must appear in the select list "
+                        "when SELECT DISTINCT is used"
+                    )
+                column = RelColumn("$order", infer_type(target))
+                hidden.append((target, column))
+                keys.append((column.ref(), ascending))
+            if hidden:
+                extended = ProjectOp(
+                    base_project.child,
+                    base_project.expressions + [expr for expr, _ in hidden],
+                    base_project.columns + [column for _, column in hidden],
+                )
+                sorted_plan: LogicalPlan = SortOp(extended, keys)
+                trim = ProjectOp(
+                    sorted_plan,
+                    [column.ref() for column in base_project.columns],
+                    [column.derive() for column in base_project.columns],
+                )
+                plan = trim
+            else:
+                plan = SortOp(plan, keys)
+        if limit is not None or offset:
+            plan = LimitOp(plan, limit, offset or 0)
+        return plan
+
+    # -- set operations ---------------------------------------------------------
+
+    def _bind_set_operation(self, operation: ast.SetOperation) -> LogicalPlan:
+        left = self.bind_statement(operation.left)
+        right = self.bind_statement(operation.right)
+        left_columns = left.output_columns
+        right_columns = right.output_columns
+        if len(left_columns) != len(right_columns):
+            raise BindError(
+                f"{operation.op} branches have different column counts "
+                f"({len(left_columns)} vs {len(right_columns)})"
+            )
+        unified: List[DataType] = []
+        for left_col, right_col in zip(left_columns, right_columns):
+            try:
+                unified.append(unify(left_col.dtype, right_col.dtype))
+            except Exception as exc:
+                raise BindError(
+                    f"{operation.op} branch column {left_col.name!r} has "
+                    f"incompatible types {left_col.dtype} and {right_col.dtype}"
+                ) from exc
+        left = _coerce_branch(left, unified)
+        right = _coerce_branch(right, unified)
+        output = [
+            RelColumn(column.name, dtype, origin=column.origin)
+            for column, dtype in zip(left_columns, unified)
+        ]
+        plan: LogicalPlan
+        if operation.op == "UNION":
+            # Always a bag union; UNION-distinct is Distinct on top, so
+            # downstream rules reason about one union shape only.
+            plan = UnionOp([left, right], output, all=True)
+            if not operation.all:
+                plan = DistinctOp(plan)
+        else:
+            plan = SetDifferenceOp(left, right, operation.op, output, operation.all)
+
+        if operation.order_by:
+            keys: List[Tuple[ast.Expr, bool]] = []
+            for item in operation.order_by:
+                if isinstance(item.expr, ast.Literal) and item.expr.dtype == DataType.INTEGER:
+                    ordinal = item.expr.value
+                    if not 1 <= ordinal <= len(output):
+                        raise BindError(f"ORDER BY position {ordinal} is out of range")
+                    keys.append((plan.output_columns[ordinal - 1].ref(), item.ascending))
+                elif isinstance(item.expr, ast.ColumnRef) and item.expr.table is None:
+                    column = plan.column_by_name(item.expr.name)
+                    keys.append((column.ref(), item.ascending))
+                else:
+                    raise BindError(
+                        "ORDER BY on a set operation must reference output "
+                        "columns by name or position"
+                    )
+            plan = SortOp(plan, keys)
+        if operation.limit is not None or operation.offset:
+            plan = LimitOp(plan, operation.limit, operation.offset or 0)
+        return plan
+
+    # -- expression binding ---------------------------------------------------------
+
+    def _bind_expression(
+        self,
+        expr: ast.Expr,
+        scope: Scope,
+        allow_aggregates: bool = False,
+        allow_windows: bool = False,
+        _in_aggregate: bool = False,
+    ) -> ast.Expr:
+        bound = self._bind_rec(
+            expr, scope, allow_aggregates, allow_windows, _in_aggregate
+        )
+        if not ast.contains_aggregate(bound):
+            infer_type(bound)  # eager validation for early, precise errors
+        return bound
+
+    def _bind_rec(
+        self,
+        expr: ast.Expr,
+        scope: Scope,
+        allow_aggregates: bool,
+        allow_windows: bool,
+        in_aggregate: bool,
+    ) -> ast.Expr:
+        if isinstance(expr, ast.ColumnRef):
+            return scope.resolve(expr.table, expr.name).ref()
+        if isinstance(expr, (ast.Literal, ast.BoundRef)):
+            return expr
+        if isinstance(expr, ast.Star):
+            raise BindError("* is only allowed in the select list")
+        if isinstance(expr, (ast.InSubquery, ast.Exists)):
+            raise BindError(
+                "IN (SELECT ...) and EXISTS are only supported as top-level "
+                "WHERE conjuncts"
+            )
+        if isinstance(expr, ast.WindowFunction):
+            if not allow_windows:
+                raise BindError(
+                    "window functions are only allowed in the select list "
+                    "and ORDER BY"
+                )
+            args = tuple(
+                self._bind_rec(arg, scope, False, False, in_aggregate)
+                for arg in expr.args
+            )
+            partition = tuple(
+                self._bind_rec(p, scope, False, False, in_aggregate)
+                for p in expr.partition_by
+            )
+            order = tuple(
+                (self._bind_rec(key, scope, False, False, in_aggregate), asc)
+                for key, asc in expr.order_by
+            )
+            return ast.WindowFunction(
+                expr.name.upper(), args, partition, order, expr.star
+            )
+        if isinstance(expr, ast.FunctionCall):
+            if is_aggregate_name(expr.name):
+                if not allow_aggregates:
+                    raise BindError(
+                        f"aggregate {expr.name} is not allowed in this clause"
+                    )
+                if in_aggregate:
+                    raise BindError("aggregate calls cannot be nested")
+                args = tuple(
+                    self._bind_rec(arg, scope, allow_aggregates, False, True)
+                    for arg in expr.args
+                )
+                return ast.FunctionCall(expr.name, args, expr.distinct, expr.star)
+            if not is_scalar_name(expr.name):
+                raise BindError(f"unknown function: {expr.name}")
+            args = tuple(
+                self._bind_rec(arg, scope, allow_aggregates, allow_windows, in_aggregate)
+                for arg in expr.args
+            )
+            return ast.FunctionCall(expr.name, args, expr.distinct, expr.star)
+        children = ast.expression_children(expr)
+        if not children:
+            return expr
+        rebuilt = [
+            self._bind_rec(child, scope, allow_aggregates, allow_windows, in_aggregate)
+            for child in children
+        ]
+        return _rebuild(expr, rebuilt)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _require_boolean(self, expr: ast.Expr, context: str) -> None:
+        if ast.contains_aggregate(expr):
+            return  # typed after aggregate rewriting
+        dtype = infer_type(expr)
+        if dtype not in (DataType.BOOLEAN, DataType.NULL):
+            raise BindError(f"{context} must be BOOLEAN, got {dtype}")
+
+
+# ---------------------------------------------------------------------------
+# module helpers
+# ---------------------------------------------------------------------------
+
+
+def _plan_expression_refs(plan: LogicalPlan) -> Set[int]:
+    """Every column id referenced by any expression anywhere in the plan."""
+    refs: Set[int] = set()
+
+    def collect(expr: Optional[ast.Expr]) -> None:
+        if expr is not None:
+            refs.update(c.column_id for c in ast.referenced_columns(expr))
+
+    for node in plan.walk():
+        if isinstance(node, FilterOp):
+            collect(node.predicate)
+        elif isinstance(node, ProjectOp):
+            for expression in node.expressions:
+                collect(expression)
+        elif isinstance(node, JoinOp):
+            collect(node.condition)
+        elif isinstance(node, AggregateOp):
+            for expression in node.group_expressions:
+                collect(expression)
+            for call in node.aggregates:
+                collect(call.argument)
+        elif isinstance(node, SortOp):
+            for expression, _ in node.keys:
+                collect(expression)
+        elif isinstance(node, WindowOp):
+            for spec in node.specs:
+                collect(spec.argument)
+                for expression in spec.partition_by:
+                    collect(expression)
+                for expression, _ in spec.order_keys:
+                    collect(expression)
+    return refs
+
+
+def _derive_name(expr: ast.Expr, position: int) -> str:
+    """Default output column name for an unaliased select item."""
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.lower()
+    return f"col{position}"
+
+
+def _select_alias(select: ast.Select, index: int) -> Optional[str]:
+    if 0 <= index < len(select.items):
+        return select.items[index].alias
+    return None
+
+
+def _coerce_branch(plan: LogicalPlan, target_types: List[DataType]) -> LogicalPlan:
+    """Wrap a set-operation branch in casts where its types merely widen."""
+    columns = plan.output_columns
+    if all(c.dtype == t or t == DataType.NULL for c, t in zip(columns, target_types)):
+        if all(c.dtype == t for c, t in zip(columns, target_types)):
+            return plan
+    expressions: List[ast.Expr] = []
+    new_columns: List[RelColumn] = []
+    changed = False
+    for column, target in zip(columns, target_types):
+        if column.dtype == target:
+            expressions.append(column.ref())
+            new_columns.append(column.derive())
+        else:
+            expressions.append(ast.Cast(column.ref(), target))
+            new_columns.append(RelColumn(column.name, target))
+            changed = True
+    if not changed:
+        return plan
+    return ProjectOp(plan, expressions, new_columns)
+
+
+def _rebuild(expr: ast.Expr, children: List[ast.Expr]) -> ast.Expr:
+    """Reassemble an expression node from rewritten children (same shapes as
+    :func:`repro.sql.ast.expression_children`)."""
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, children[0], children[1])
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, children[0])
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name, tuple(children), expr.distinct, expr.star)
+    if isinstance(expr, ast.Case):
+        cursor = 0
+        operand = None
+        if expr.operand is not None:
+            operand = children[cursor]
+            cursor += 1
+        whens = []
+        for _ in expr.whens:
+            whens.append((children[cursor], children[cursor + 1]))
+            cursor += 2
+        else_result = None
+        if expr.else_result is not None:
+            else_result = children[cursor]
+        return ast.Case(operand, tuple(whens), else_result)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(children[0], expr.dtype)
+    if isinstance(expr, ast.InList):
+        return ast.InList(children[0], tuple(children[1:]), expr.negated)
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(children[0], expr.subquery, expr.negated)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(children[0], expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(children[0], children[1], children[2], expr.negated)
+    return expr

@@ -1,0 +1,107 @@
+"""Cost model for distributed plans.
+
+Costs are virtual milliseconds, the same unit as the simulated network:
+
+* **CPU** — rows processed at the mediator, charged per row;
+* **network** — per fragment result: page-count × link latency plus
+  payload bytes over link bandwidth.
+
+The decisive property for a 1989-style federation is that wide-area
+transfer dwarfs local CPU; the defaults reflect it (one WAN round trip
+"buys" ~200k rows of local processing) and the semijoin experiment F1
+sweeps bandwidth to move that balance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sources.network import SimulatedNetwork
+from .cardinality import Estimator
+from .logical import RelColumn
+
+#: Virtual CPU cost of pushing one row through one mediator operator.
+DEFAULT_CPU_ROW_MS = 0.0001
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A plan cost split into mediator CPU and network time."""
+
+    cpu_ms: float = 0.0
+    network_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.cpu_ms + self.network_ms
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.cpu_ms + other.cpu_ms, self.network_ms + other.network_ms)
+
+    def __lt__(self, other: "Cost") -> bool:
+        return self.total_ms < other.total_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cost(cpu={self.cpu_ms:.3f}ms, net={self.network_ms:.3f}ms)"
+
+
+ZERO_COST = Cost()
+
+
+class CostModel:
+    """Prices mediator work and mediator↔source transfers."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        estimator: Estimator,
+        cpu_row_ms: float = DEFAULT_CPU_ROW_MS,
+    ) -> None:
+        self.network = network
+        self.estimator = estimator
+        self.cpu_row_ms = cpu_row_ms
+
+    def cpu(self, rows: float, factor: float = 1.0) -> Cost:
+        """CPU cost of processing ``rows`` rows (``factor`` scales per-row work)."""
+        return Cost(cpu_ms=max(rows, 0.0) * self.cpu_row_ms * factor)
+
+    def transfer(
+        self,
+        source_name: str,
+        rows: float,
+        columns: Sequence[RelColumn],
+        page_rows: int,
+    ) -> Cost:
+        """Network cost of shipping ``rows`` of ``columns`` from a source."""
+        width = self.estimator.estimate_width(columns)
+        return self.transfer_bytes(source_name, rows, rows * width, page_rows)
+
+    def transfer_bytes(
+        self,
+        source_name: str,
+        rows: float,
+        payload_bytes: float,
+        page_rows: int,
+    ) -> Cost:
+        """Network cost of a transfer with an explicit payload size."""
+        link = self.network.link_for(source_name)
+        messages = max(1, math.ceil(max(rows, 1.0) / max(page_rows, 1)))
+        return Cost(
+            network_ms=link.transfer_time_ms(max(payload_bytes, 0.0), messages)
+        )
+
+    def hash_join(self, build_rows: float, probe_rows: float, output_rows: float) -> Cost:
+        """CPU cost of a mediator-side hash join."""
+        return self.cpu(build_rows, 1.5) + self.cpu(probe_rows) + self.cpu(output_rows, 0.5)
+
+    def sort(self, rows: float) -> Cost:
+        """CPU cost of a mediator-side sort (n log n)."""
+        if rows <= 1:
+            return self.cpu(rows)
+        return self.cpu(rows, math.log2(rows))
+
+    def aggregate(self, rows: float, groups: float) -> Cost:
+        """CPU cost of hash aggregation."""
+        return self.cpu(rows, 1.2) + self.cpu(groups, 0.5)

@@ -1,0 +1,541 @@
+"""Expression type inference and compilation to Python closures.
+
+Bound expressions (leaves are :class:`~repro.sql.ast.BoundRef` /
+:class:`~repro.sql.ast.Literal`) are compiled once per physical operator
+into nested closures over row tuples. NULL is represented by ``None`` and
+the compiled code implements SQL three-valued logic:
+
+* comparisons and arithmetic propagate NULL;
+* ``AND`` / ``OR`` follow Kleene logic;
+* ``IN`` returns NULL (not FALSE) when no element matches but one is NULL;
+* division by zero yields NULL (SQLite-compatible; documented deviation
+  from engines that raise).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..datatypes import (
+    DataType,
+    arithmetic_result,
+    coerce_value,
+    is_comparable,
+    unify,
+)
+from ..errors import ExecutionError, TypeCheckError
+from ..sql import ast
+from ..sql.functions import is_aggregate_name, lookup_scalar
+
+RowFunction = Callable[[Tuple[Any, ...]], Any]
+
+# ---------------------------------------------------------------------------
+# Type inference
+# ---------------------------------------------------------------------------
+
+
+def infer_type(expr: ast.Expr) -> DataType:
+    """Static type of a bound expression; raises TypeCheckError on misuse.
+
+    Aggregate function calls are rejected here — the analyzer replaces them
+    with references to aggregate output columns before any residual
+    expression reaches type checking.
+    """
+    if isinstance(expr, ast.Literal):
+        return expr.dtype
+    if isinstance(expr, ast.BoundRef):
+        return expr.column.dtype
+    if isinstance(expr, ast.ColumnRef):
+        raise TypeCheckError(f"unresolved column reference: {expr.name!r}")
+    if isinstance(expr, ast.BinaryOp):
+        return _infer_binary(expr)
+    if isinstance(expr, ast.UnaryOp):
+        operand = infer_type(expr.operand)
+        if expr.op == "NOT":
+            if operand not in (DataType.BOOLEAN, DataType.NULL):
+                raise TypeCheckError(f"NOT requires a BOOLEAN operand, got {operand}")
+            return DataType.BOOLEAN
+        if operand == DataType.NULL:
+            return DataType.NULL
+        if operand not in (DataType.INTEGER, DataType.FLOAT):
+            raise TypeCheckError(f"unary minus requires a numeric operand, got {operand}")
+        return operand
+    if isinstance(expr, ast.FunctionCall):
+        if is_aggregate_name(expr.name):
+            raise TypeCheckError(
+                f"aggregate {expr.name} is not allowed in this context"
+            )
+        function = lookup_scalar(expr.name)
+        return function.type_rule([infer_type(arg) for arg in expr.args])
+    if isinstance(expr, ast.Case):
+        return _infer_case(expr)
+    if isinstance(expr, ast.Cast):
+        infer_type(expr.operand)  # operand must itself be well-typed
+        return expr.dtype
+    if isinstance(expr, (ast.InList, ast.InSubquery)):
+        operand = infer_type(expr.operand)
+        if isinstance(expr, ast.InList):
+            for item in expr.items:
+                item_type = infer_type(item)
+                if not is_comparable(operand, item_type):
+                    raise TypeCheckError(
+                        f"IN list item type {item_type} is not comparable to {operand}"
+                    )
+        return DataType.BOOLEAN
+    if isinstance(expr, ast.Exists):
+        return DataType.BOOLEAN
+    if isinstance(expr, ast.IsNull):
+        infer_type(expr.operand)
+        return DataType.BOOLEAN
+    if isinstance(expr, ast.Between):
+        operand = infer_type(expr.operand)
+        for bound in (expr.low, expr.high):
+            bound_type = infer_type(bound)
+            if not is_comparable(operand, bound_type):
+                raise TypeCheckError(
+                    f"BETWEEN bound type {bound_type} is not comparable to {operand}"
+                )
+        return DataType.BOOLEAN
+    if isinstance(expr, ast.WindowFunction):
+        return window_result_type(expr)
+    raise TypeCheckError(f"cannot type expression node {type(expr).__name__}")
+
+
+RANKING_WINDOW_FUNCTIONS = frozenset({"ROW_NUMBER", "RANK", "DENSE_RANK"})
+
+
+def window_result_type(window: "ast.WindowFunction") -> DataType:
+    """Static result type of a window function (also validates its shape)."""
+    from ..sql.functions import aggregate_result_type
+
+    name = window.name.upper()
+    if name in RANKING_WINDOW_FUNCTIONS:
+        if window.args or window.star:
+            raise TypeCheckError(f"{name} takes no arguments")
+        if not window.order_by:
+            raise TypeCheckError(f"{name} requires an ORDER BY in its OVER clause")
+        return DataType.INTEGER
+    if is_aggregate_name(name):
+        if window.star:
+            return aggregate_result_type(name, None)
+        if len(window.args) != 1:
+            raise TypeCheckError(f"{name} OVER takes exactly one argument")
+        return aggregate_result_type(name, infer_type(window.args[0]))
+    raise TypeCheckError(f"unknown window function: {window.name}")
+
+
+def _infer_binary(expr: ast.BinaryOp) -> DataType:
+    left = infer_type(expr.left)
+    right = infer_type(expr.right)
+    op = expr.op
+    if op in ast.ARITHMETIC_OPS:
+        return arithmetic_result(left, right, op)
+    if op in ast.COMPARISON_OPS:
+        if not is_comparable(left, right):
+            raise TypeCheckError(f"cannot compare {left} with {right}")
+        return DataType.BOOLEAN
+    if op in ast.LOGICAL_OPS:
+        for side in (left, right):
+            if side not in (DataType.BOOLEAN, DataType.NULL):
+                raise TypeCheckError(f"{op} requires BOOLEAN operands, got {side}")
+        return DataType.BOOLEAN
+    if op == "LIKE":
+        for side in (left, right):
+            if side not in (DataType.TEXT, DataType.NULL):
+                raise TypeCheckError(f"LIKE requires TEXT operands, got {side}")
+        return DataType.BOOLEAN
+    if op == "||":
+        for side in (left, right):
+            if side not in (DataType.TEXT, DataType.NULL):
+                raise TypeCheckError(f"|| requires TEXT operands, got {side}")
+        return DataType.TEXT
+    raise TypeCheckError(f"unknown binary operator {op!r}")
+
+
+def _infer_case(expr: ast.Case) -> DataType:
+    if expr.operand is not None:
+        operand = infer_type(expr.operand)
+        for when, _ in expr.whens:
+            when_type = infer_type(when)
+            if not is_comparable(operand, when_type):
+                raise TypeCheckError(
+                    f"CASE operand type {operand} is not comparable to {when_type}"
+                )
+    else:
+        for when, _ in expr.whens:
+            when_type = infer_type(when)
+            if when_type not in (DataType.BOOLEAN, DataType.NULL):
+                raise TypeCheckError("CASE WHEN condition must be BOOLEAN")
+    result = DataType.NULL
+    for _, then in expr.whens:
+        result = unify(result, infer_type(then))
+    if expr.else_result is not None:
+        result = unify(result, infer_type(expr.else_result))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def build_layout(columns: Sequence[Any]) -> Dict[int, int]:
+    """Map RelColumn ids to row positions for a physical operator's input."""
+    return {column.column_id: index for index, column in enumerate(columns)}
+
+
+def compile_expression(expr: ast.Expr, layout: Dict[int, int]) -> RowFunction:
+    """Compile a bound expression into ``fn(row) -> value``.
+
+    ``layout`` maps :attr:`RelColumn.column_id` to row positions; a reference
+    to a column missing from the layout is a physical-planning bug and raises
+    immediately (not at run time).
+    """
+    return _compile(expr, layout)
+
+
+def compile_predicate(expr: ast.Expr, layout: Dict[int, int]) -> RowFunction:
+    """Compile a predicate; NULL results collapse to False (WHERE semantics)."""
+    fn = _compile(expr, layout)
+
+    def predicate(row: Tuple[Any, ...]) -> bool:
+        return fn(row) is True
+
+    return predicate
+
+
+def evaluate_constant(expr: ast.Expr) -> Any:
+    """Evaluate an expression with no column references (for constant folding)."""
+    return _compile(expr, {})(())
+
+
+def _compile(expr: ast.Expr, layout: Dict[int, int]) -> RowFunction:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.BoundRef):
+        position = layout.get(expr.column.column_id)
+        if position is None:
+            raise ExecutionError(
+                f"column {expr.column.name!r} (id {expr.column.column_id}) "
+                "is not available in this operator's input"
+            )
+        return lambda row: row[position]
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, layout)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _compile(expr.operand, layout)
+        if expr.op == "NOT":
+            def negate(row: Tuple[Any, ...]) -> Any:
+                value = operand(row)
+                return None if value is None else (not value)
+
+            return negate
+
+        def minus(row: Tuple[Any, ...]) -> Any:
+            value = operand(row)
+            return None if value is None else -value
+
+        return minus
+    if isinstance(expr, ast.FunctionCall):
+        return _compile_function(expr, layout)
+    if isinstance(expr, ast.Case):
+        return _compile_case(expr, layout)
+    if isinstance(expr, ast.Cast):
+        operand = _compile(expr.operand, layout)
+        target = expr.dtype
+
+        def cast(row: Tuple[Any, ...]) -> Any:
+            return cast_value(operand(row), target)
+
+        return cast
+    if isinstance(expr, ast.InList):
+        return _compile_in_list(expr, layout)
+    if isinstance(expr, ast.IsNull):
+        operand = _compile(expr.operand, layout)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, ast.Between):
+        return _compile_between(expr, layout)
+    if isinstance(expr, (ast.InSubquery, ast.Exists)):
+        raise ExecutionError(
+            "subquery expressions must be decorrelated into joins before execution"
+        )
+    if isinstance(expr, ast.WindowFunction):
+        raise ExecutionError(
+            "window functions must be planned into a WindowOp before execution"
+        )
+    raise ExecutionError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def _compile_binary(expr: ast.BinaryOp, layout: Dict[int, int]) -> RowFunction:
+    op = expr.op
+    if op == "AND":
+        left = _compile(expr.left, layout)
+        right = _compile(expr.right, layout)
+
+        def kleene_and(row: Tuple[Any, ...]) -> Any:
+            lhs = left(row)
+            if lhs is False:
+                return False
+            rhs = right(row)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+
+        return kleene_and
+    if op == "OR":
+        left = _compile(expr.left, layout)
+        right = _compile(expr.right, layout)
+
+        def kleene_or(row: Tuple[Any, ...]) -> Any:
+            lhs = left(row)
+            if lhs is True:
+                return True
+            rhs = right(row)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return kleene_or
+    left = _compile(expr.left, layout)
+    right = _compile(expr.right, layout)
+    if op == "LIKE":
+        return _compile_like(left, expr.right, right)
+    if op == "||":
+        def concat(row: Tuple[Any, ...]) -> Any:
+            lhs, rhs = left(row), right(row)
+            if lhs is None or rhs is None:
+                return None
+            return lhs + rhs
+
+        return concat
+    kernel = _BINARY_KERNELS.get(op)
+    if kernel is None:
+        raise ExecutionError(f"unknown binary operator {op!r}")
+
+    def apply(row: Tuple[Any, ...]) -> Any:
+        lhs, rhs = left(row), right(row)
+        if lhs is None or rhs is None:
+            return None
+        return kernel(lhs, rhs)
+
+    return apply
+
+
+def _div(a: Any, b: Any) -> Any:
+    if b == 0:
+        return None  # SQLite-compatible: x / 0 is NULL
+    result = a / b
+    return result
+
+
+def _mod(a: Any, b: Any) -> Any:
+    if b == 0:
+        return None
+    # SQL MOD truncates toward zero (unlike Python's floor semantics).
+    return a - b * int(a / b)
+
+
+_BINARY_KERNELS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _div,
+    "%": _mod,
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def like_pattern_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern to a compiled anchored regex.
+
+    ``%`` matches any run (including empty); ``_`` matches one character;
+    everything else is literal. Case-sensitive, per the SQL standard.
+    """
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is not None:
+        return compiled
+    pieces: List[str] = []
+    for char in pattern:
+        if char == "%":
+            pieces.append(".*")
+        elif char == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(char))
+    compiled = re.compile("".join(pieces) + r"\Z", re.DOTALL)
+    if len(_LIKE_CACHE) < 1024:
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def _compile_like(
+    left: RowFunction, pattern_expr: ast.Expr, right: RowFunction
+) -> RowFunction:
+    if isinstance(pattern_expr, ast.Literal) and isinstance(pattern_expr.value, str):
+        regex = like_pattern_to_regex(pattern_expr.value)
+
+        def like_constant(row: Tuple[Any, ...]) -> Any:
+            value = left(row)
+            if value is None:
+                return None
+            return regex.match(value) is not None
+
+        return like_constant
+
+    def like_dynamic(row: Tuple[Any, ...]) -> Any:
+        value, pattern = left(row), right(row)
+        if value is None or pattern is None:
+            return None
+        return like_pattern_to_regex(pattern).match(value) is not None
+
+    return like_dynamic
+
+
+def _compile_function(expr: ast.FunctionCall, layout: Dict[int, int]) -> RowFunction:
+    if is_aggregate_name(expr.name):
+        raise ExecutionError(
+            f"aggregate {expr.name} reached the scalar compiler; "
+            "the analyzer must rewrite aggregates into aggregate columns"
+        )
+    function = lookup_scalar(expr.name)
+    arg_fns = [_compile(arg, layout) for arg in expr.args]
+    implementation = function.implementation
+    if function.null_propagating:
+        def call(row: Tuple[Any, ...]) -> Any:
+            args = [fn(row) for fn in arg_fns]
+            if any(arg is None for arg in args):
+                return None
+            return implementation(*args)
+
+        return call
+
+    def call_null_aware(row: Tuple[Any, ...]) -> Any:
+        return implementation(*(fn(row) for fn in arg_fns))
+
+    return call_null_aware
+
+
+def _compile_case(expr: ast.Case, layout: Dict[int, int]) -> RowFunction:
+    whens = [
+        (_compile(when, layout), _compile(then, layout)) for when, then in expr.whens
+    ]
+    else_fn = (
+        _compile(expr.else_result, layout) if expr.else_result is not None else None
+    )
+    if expr.operand is not None:
+        operand = _compile(expr.operand, layout)
+
+        def simple_case(row: Tuple[Any, ...]) -> Any:
+            value = operand(row)
+            for when_fn, then_fn in whens:
+                candidate = when_fn(row)
+                if value is not None and candidate is not None and value == candidate:
+                    return then_fn(row)
+            return else_fn(row) if else_fn is not None else None
+
+        return simple_case
+
+    def searched_case(row: Tuple[Any, ...]) -> Any:
+        for when_fn, then_fn in whens:
+            if when_fn(row) is True:
+                return then_fn(row)
+        return else_fn(row) if else_fn is not None else None
+
+    return searched_case
+
+
+def _compile_in_list(expr: ast.InList, layout: Dict[int, int]) -> RowFunction:
+    operand = _compile(expr.operand, layout)
+    all_literals = all(isinstance(item, ast.Literal) for item in expr.items)
+    negated = expr.negated
+    if all_literals:
+        values = [item.value for item in expr.items]  # type: ignore[union-attr]
+        has_null = any(value is None for value in values)
+        try:
+            lookup = frozenset(v for v in values if v is not None)
+        except TypeError:  # unhashable? fall back to list scan
+            lookup = None  # type: ignore[assignment]
+
+        def in_constant_3vl(row: Tuple[Any, ...]) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            if lookup is not None:
+                found = value in lookup
+            else:
+                found = any(value == v for v in values if v is not None)
+            if found:
+                result: Any = True
+            elif has_null:
+                result = None
+            else:
+                result = False
+            if result is None:
+                return None
+            return (not result) if negated else result
+
+        return in_constant_3vl
+
+    item_fns = [_compile(item, layout) for item in expr.items]
+
+    def in_dynamic(row: Tuple[Any, ...]) -> Any:
+        value = operand(row)
+        if value is None:
+            return None
+        saw_null = False
+        for fn in item_fns:
+            candidate = fn(row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if negated else True
+        if saw_null:
+            return None
+        return True if negated else False
+
+    return in_dynamic
+
+
+def _compile_between(expr: ast.Between, layout: Dict[int, int]) -> RowFunction:
+    operand = _compile(expr.operand, layout)
+    low = _compile(expr.low, layout)
+    high = _compile(expr.high, layout)
+    negated = expr.negated
+
+    def between(row: Tuple[Any, ...]) -> Any:
+        value = operand(row)
+        low_value = low(row)
+        high_value = high(row)
+        if value is None or low_value is None or high_value is None:
+            return None
+        result = low_value <= value <= high_value
+        return (not result) if negated else result
+
+    return between
+
+
+def cast_value(value: Any, dtype: DataType) -> Any:
+    """SQL CAST semantics (NULL passes through; FLOAT→INTEGER truncates)."""
+    if value is None:
+        return None
+    if dtype == DataType.INTEGER and isinstance(value, float):
+        return int(value)  # truncation toward zero, per SQL CAST
+    try:
+        return coerce_value(value, dtype)
+    except TypeCheckError as exc:
+        raise ExecutionError(str(exc)) from exc

@@ -1,0 +1,426 @@
+"""Cost-based join ordering.
+
+Operates on *join regions*: maximal trees of INNER/CROSS joins (anything
+else — outer/semi joins, aggregates, remote boundaries — is a leaf
+relation). Three strategies, compared head-to-head by experiments T2/F3:
+
+* ``canonical`` — the user's textual order, left-deep (the no-optimizer
+  baseline);
+* ``greedy`` — Greedy Operator Ordering: repeatedly join the connected pair
+  with the cheapest result (polynomial time);
+* ``dp`` — bushy dynamic programming over connected subsets (Selinger-style
+  with DPsub enumeration), exponential but optimal under the cost model.
+
+The cost model is *distribution-aware*: a subset whose relations all live on
+one join-capable source stays "located" there (its join will be pushed
+down), and shipping is charged exactly when a subset first needs the
+mediator — so the chosen order also maximizes later fragment pushdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..catalog.catalog import Catalog
+from ..errors import PlanError
+from ..sql import ast
+from .cardinality import Estimator
+from .cost import CostModel
+from .logical import (
+    FilterOp,
+    JoinOp,
+    LogicalPlan,
+    ProjectOp,
+    ScanOp,
+    transform_plan,
+)
+
+#: Regions larger than this fall back from DP to greedy.
+DEFAULT_DP_LIMIT = 10
+
+JOIN_STRATEGIES = ("dp", "greedy", "canonical", "auto")
+
+
+@dataclass
+class OrderingStats:
+    """Diagnostics from the last ordering run (read by benchmarks)."""
+
+    strategy: str = "canonical"
+    relations: int = 0
+    subsets_enumerated: int = 0
+    estimated_rows: float = 0.0
+    estimated_cost_ms: float = 0.0
+
+
+class JoinOrderer:
+    """Reorders every join region of a plan with the configured strategy."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        estimator: Estimator,
+        cost_model: CostModel,
+        strategy: str = "auto",
+        dp_limit: int = DEFAULT_DP_LIMIT,
+    ) -> None:
+        if strategy not in JOIN_STRATEGIES:
+            raise PlanError(f"unknown join-order strategy {strategy!r}")
+        self._catalog = catalog
+        self._estimator = estimator
+        self._cost = cost_model
+        self._strategy = strategy
+        self._dp_limit = dp_limit
+        self.last_stats = OrderingStats()
+
+    # -- public ---------------------------------------------------------------
+
+    def reorder(self, plan: LogicalPlan) -> LogicalPlan:
+        """Reorder all join regions (bottom-up, so nested regions settle first)."""
+
+        def visit(node: LogicalPlan) -> Optional[LogicalPlan]:
+            if isinstance(node, JoinOp) and node.kind in ("INNER", "CROSS"):
+                # Only fire at the *top* of a region; the transform is
+                # bottom-up, so detect whether our parent will also fire by
+                # leaving inner joins to the outermost call.
+                return None
+            # For each child that is an inner-join region head, reorder it.
+            children = node.children()
+            new_children = [self._maybe_reorder_region(c) for c in children]
+            if all(n is o for n, o in zip(new_children, children)):
+                return None
+            return node.with_children(new_children)
+
+        reordered = transform_plan(plan, visit)
+        return self._maybe_reorder_region(reordered)
+
+    # -- region handling -----------------------------------------------------
+
+    def _maybe_reorder_region(self, plan: LogicalPlan) -> LogicalPlan:
+        if not (isinstance(plan, JoinOp) and plan.kind in ("INNER", "CROSS")):
+            return plan
+        relations: List[LogicalPlan] = []
+        predicates: List[ast.Expr] = []
+        _flatten(plan, relations, predicates)
+        if len(relations) < 2:
+            return plan
+        strategy = self._strategy
+        if strategy == "auto":
+            strategy = "dp" if len(relations) <= self._dp_limit else "greedy"
+        if strategy == "dp" and len(relations) > self._dp_limit:
+            strategy = "greedy"
+        context = _RegionContext(
+            relations, predicates, self._catalog, self._estimator, self._cost
+        )
+        self.last_stats = OrderingStats(strategy=strategy, relations=len(relations))
+        if strategy == "canonical":
+            order = list(range(len(relations)))
+            tree = context.left_deep_tree(order)
+        elif strategy == "greedy":
+            tree = self._greedy(context)
+        else:
+            tree = self._dp(context)
+        self.last_stats.estimated_rows = context.set_rows(
+            frozenset(range(len(relations)))
+        )
+        return context.attach_remaining(tree)
+
+    # -- strategies ------------------------------------------------------------
+
+    def _greedy(self, context: "_RegionContext") -> "_Tree":
+        components: List[_Tree] = [
+            context.leaf(index) for index in range(len(context.relations))
+        ]
+        while len(components) > 1:
+            pairs = list(itertools.combinations(range(len(components)), 2))
+            connected_pairs = [
+                (i, j)
+                for i, j in pairs
+                if context.connected(components[i].members, components[j].members)
+            ]
+            pool = connected_pairs or pairs
+            i, j = min(
+                pool,
+                key=lambda pair: context.set_rows(
+                    components[pair[0]].members | components[pair[1]].members
+                ),
+            )
+            merged = context.join_trees(components[i], components[j])
+            components = [
+                c for k, c in enumerate(components) if k not in (i, j)
+            ] + [merged]
+        self.last_stats.subsets_enumerated = len(context.relations)
+        return components[0]
+
+    def _dp(self, context: "_RegionContext") -> "_Tree":
+        n = len(context.relations)
+        best: Dict[FrozenSet[int], _Tree] = {}
+        for index in range(n):
+            leaf = context.leaf(index)
+            best[leaf.members] = leaf
+        enumerated = 0
+        full = frozenset(range(n))
+        for size in range(2, n + 1):
+            for subset_tuple in itertools.combinations(range(n), size):
+                subset = frozenset(subset_tuple)
+                best_tree: Optional[_Tree] = None
+                # Enumerate proper subset splits; symmetric halves visited once.
+                members = list(subset)
+                for mask in range(1, 2 ** (len(members) - 1)):
+                    left = frozenset(
+                        members[k] for k in range(len(members)) if mask >> k & 1
+                    )
+                    right = subset - left
+                    left_tree = best.get(left)
+                    right_tree = best.get(right)
+                    if left_tree is None or right_tree is None:
+                        continue
+                    if subset != full and not context.connected(left, right):
+                        # Avoid cross products except when forced at the top.
+                        if context.has_connection_inside(subset):
+                            continue
+                    enumerated += 1
+                    candidate = context.join_trees(left_tree, right_tree)
+                    if best_tree is None or candidate.cost < best_tree.cost:
+                        best_tree = candidate
+                if best_tree is not None:
+                    best[subset] = best_tree
+        self.last_stats.subsets_enumerated = enumerated
+        result = best.get(full)
+        if result is None:  # disconnected graph: fall back to greedy
+            return self._greedy(context)
+        self.last_stats.estimated_cost_ms = result.cost
+        return result
+
+
+# ---------------------------------------------------------------------------
+# region context
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Tree:
+    """A candidate join tree over a subset of region relations."""
+
+    plan: LogicalPlan
+    members: FrozenSet[int]
+    rows: float
+    cost: float
+    location: Optional[str]  # source name if still source-located
+    applied: FrozenSet[int]  # indexes of predicates already attached
+
+
+class _RegionContext:
+    """Shared estimation state for one join region."""
+
+    def __init__(
+        self,
+        relations: List[LogicalPlan],
+        predicates: List[ast.Expr],
+        catalog: Catalog,
+        estimator: Estimator,
+        cost_model: CostModel,
+    ) -> None:
+        self.relations = relations
+        self.predicates = predicates
+        self._catalog = catalog
+        self._estimator = estimator
+        self._cost = cost_model
+        self._rel_rows = [max(estimator.estimate_rows(r), 1.0) for r in relations]
+        self._rel_width = [
+            estimator.estimate_width(r.output_columns) for r in relations
+        ]
+        self._rel_location = [self._locate(r) for r in relations]
+        self._column_owner: Dict[int, int] = {}
+        for index, relation in enumerate(relations):
+            for column in relation.output_columns:
+                self._column_owner[column.column_id] = index
+        # Predicate → relations it touches; equi-edges get NDV estimates.
+        self._pred_rels: List[FrozenSet[int]] = []
+        self._pred_denominator: List[float] = []
+        for predicate in predicates:
+            touched = frozenset(
+                self._column_owner[c.column_id]
+                for c in ast.referenced_columns(predicate)
+                if c.column_id in self._column_owner
+            )
+            self._pred_rels.append(touched)
+            self._pred_denominator.append(self._edge_denominator(predicate, touched))
+        self._rows_cache: Dict[FrozenSet[int], float] = {}
+
+    # -- location ---------------------------------------------------------
+
+    def _locate(self, relation: LogicalPlan) -> Optional[str]:
+        sources: Set[str] = set()
+        for node in relation.walk():
+            if isinstance(node, ScanOp):
+                sources.add(node.source_name.lower())
+            elif not isinstance(node, (FilterOp, ProjectOp)):
+                return None  # complex leaves execute at the mediator
+        if len(sources) != 1:
+            return None
+        (source,) = sources
+        if not self._catalog.has_source(source):
+            return None
+        if not self._catalog.source(source).capabilities().joins:
+            return None
+        return source
+
+    # -- cardinalities ---------------------------------------------------------
+
+    def set_rows(self, subset: FrozenSet[int]) -> float:
+        cached = self._rows_cache.get(subset)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        for index in subset:
+            rows *= self._rel_rows[index]
+        for touched, denominator in zip(self._pred_rels, self._pred_denominator):
+            if len(touched) >= 2 and touched <= subset:
+                rows /= denominator
+        rows = max(rows, 1.0)
+        self._rows_cache[subset] = rows
+        return rows
+
+    def _edge_denominator(self, predicate: ast.Expr, touched: FrozenSet[int]) -> float:
+        if len(touched) < 2:
+            return 1.0
+        if isinstance(predicate, ast.BinaryOp) and predicate.op == "=":
+            sides = []
+            for side in (predicate.left, predicate.right):
+                columns = ast.referenced_columns(side)
+                if len(columns) == 1:
+                    owner = self._column_owner.get(columns[0].column_id)
+                    if owner is not None:
+                        sides.append(
+                            self._estimator.column_ndv(
+                                columns[0], self._rel_rows[owner]
+                            )
+                        )
+            if len(sides) == 2:
+                return max(sides[0], sides[1], 1.0)
+        return 1.0 / 0.1  # generic predicate: selectivity 0.1
+
+    # -- connectivity ---------------------------------------------------------
+
+    def connected(self, left: FrozenSet[int], right: FrozenSet[int]) -> bool:
+        union = left | right
+        for touched in self._pred_rels:
+            if (
+                len(touched) >= 2
+                and touched <= union
+                and touched & left
+                and touched & right
+            ):
+                return True
+        return False
+
+    def has_connection_inside(self, subset: FrozenSet[int]) -> bool:
+        for touched in self._pred_rels:
+            if len(touched) >= 2 and touched <= subset:
+                return True
+        return False
+
+    # -- tree construction ---------------------------------------------------------
+
+    def leaf(self, index: int) -> _Tree:
+        applied = frozenset(
+            p for p, touched in enumerate(self._pred_rels) if touched <= {index}
+        )
+        plan = self.relations[index]
+        for p in sorted(applied):
+            plan = FilterOp(plan, self.predicates[p])
+        return _Tree(
+            plan=plan,
+            members=frozenset([index]),
+            rows=self._rel_rows[index],
+            cost=0.0,
+            location=self._rel_location[index],
+            applied=applied,
+        )
+
+    def join_trees(self, left: _Tree, right: _Tree) -> _Tree:
+        members = left.members | right.members
+        rows = self.set_rows(members)
+        # Predicates newly applicable at this join.
+        newly = [
+            p
+            for p, touched in enumerate(self._pred_rels)
+            if touched <= members
+            and p not in left.applied
+            and p not in right.applied
+            and len(touched) >= 2
+        ]
+        condition = ast.conjoin([self.predicates[p] for p in newly])
+        kind = "INNER" if condition is not None else "CROSS"
+        same_source = (
+            left.location is not None and left.location == right.location
+        )
+        cost = left.cost + right.cost
+        if same_source:
+            location = left.location
+            cost += (left.rows + right.rows) * self._cost.cpu_row_ms * 0.2
+        else:
+            location = None
+            cost += self._ship_cost(left) + self._ship_cost(right)
+            cost += self._cost.hash_join(
+                min(left.rows, right.rows), max(left.rows, right.rows), rows
+            ).total_ms
+        plan = JoinOp(left.plan, right.plan, kind, condition)
+        return _Tree(
+            plan=plan,
+            members=members,
+            rows=rows,
+            cost=cost,
+            location=location,
+            applied=left.applied | right.applied | frozenset(newly),
+        )
+
+    def _ship_cost(self, tree: _Tree) -> float:
+        if tree.location is None:
+            return 0.0  # already at the mediator; its cost was charged
+        width = self._estimator.estimate_width(tree.plan.output_columns)
+        caps = self._catalog.source(tree.location).capabilities()
+        return self._cost.transfer_bytes(
+            tree.location, tree.rows, tree.rows * width, caps.page_rows
+        ).total_ms
+
+    def left_deep_tree(self, order: Sequence[int]) -> _Tree:
+        tree = self.leaf(order[0])
+        for index in order[1:]:
+            tree = self.join_trees(tree, self.leaf(index))
+        return tree
+
+    def attach_remaining(self, tree: _Tree) -> LogicalPlan:
+        """Apply any predicates never absorbed by a join (safety net)."""
+        missing = [
+            self.predicates[p]
+            for p in range(len(self.predicates))
+            if p not in tree.applied
+        ]
+        plan = tree.plan
+        condition = ast.conjoin(missing)
+        if condition is not None:
+            plan = FilterOp(plan, condition)
+        return plan
+
+
+def _flatten(
+    plan: LogicalPlan, relations: List[LogicalPlan], predicates: List[ast.Expr]
+) -> None:
+    """Flatten an INNER/CROSS join tree into relations and predicates."""
+    if isinstance(plan, JoinOp) and plan.kind in ("INNER", "CROSS"):
+        _flatten(plan.left, relations, predicates)
+        _flatten(plan.right, relations, predicates)
+        if plan.condition is not None:
+            predicates.extend(ast.conjuncts(plan.condition))
+        return
+    if isinstance(plan, FilterOp):
+        # A filter directly over a nested join region: flatten through it.
+        child = plan.child
+        if isinstance(child, JoinOp) and child.kind in ("INNER", "CROSS"):
+            _flatten(child, relations, predicates)
+            predicates.extend(ast.conjuncts(plan.predicate))
+            return
+    relations.append(plan)

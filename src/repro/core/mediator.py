@@ -1,0 +1,397 @@
+"""The mediator facade: a Global Information System instance.
+
+:class:`GlobalInformationSystem` ties the pieces together: the catalog of
+sources/tables/views, the simulated network, the planner, and execution.
+This is the class downstream users interact with::
+
+    gis = GlobalInformationSystem()
+    gis.register_source("erp", SQLiteSource("erp"), link=NetworkLink(30.0, 2e6))
+    gis.register_table("orders", source="erp")
+    gis.create_view("big_orders", "SELECT * FROM orders WHERE total > 1000")
+    gis.analyze()
+    result = gis.query("SELECT COUNT(*) FROM big_orders")
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..catalog.catalog import Catalog
+from ..catalog.mappings import TableMapping
+from ..catalog.schema import Column, TableSchema
+from ..catalog.statistics import DEFAULT_HISTOGRAM_BUCKETS, TableStatistics
+from ..errors import CatalogError, UnknownObjectError
+from ..sources.base import Adapter
+from ..sources.network import NetworkLink, SimulatedNetwork
+from ..sql.parser import parse_select
+from .analyzer import Analyzer
+from .fragments import interpret_plan
+from .logical import ScanOp, explain_plan
+from .physical import ExecutionContext
+from .planner import PlannedQuery, Planner, PlannerOptions
+from .result import QueryMetrics, QueryResult
+
+
+class GlobalInformationSystem:
+    """A mediator over autonomous, heterogeneous component systems."""
+
+    def __init__(
+        self,
+        network: Optional[SimulatedNetwork] = None,
+        options: Optional[PlannerOptions] = None,
+        fragment_retries: int = 0,
+        result_cache_size: int = 0,
+    ) -> None:
+        """Create a mediator.
+
+        ``fragment_retries`` lets exchanges re-issue a fragment after a
+        transient :class:`~repro.errors.SourceError` (only before any rows
+        arrived). ``result_cache_size`` > 0 enables an LRU cache of query
+        results keyed by (sql, options); sources are autonomous, so the
+        cache is invalidated only by catalog changes, ``analyze()``, or
+        :meth:`clear_result_cache` — stale reads are the user's trade-off.
+        """
+        self.catalog = Catalog()
+        self.network = network or SimulatedNetwork()
+        self.planner = Planner(self.catalog, self.network, options)
+        self.fragment_retries = fragment_retries
+        self._result_cache_size = result_cache_size
+        self._result_cache: "OrderedDict[Tuple[str, Optional[PlannerOptions]], QueryResult]" = (
+            OrderedDict()
+        )
+        self.cache_hits = 0
+
+    # -- federation configuration ------------------------------------------------
+
+    def register_source(
+        self,
+        name: str,
+        adapter: Adapter,
+        link: Optional[NetworkLink] = None,
+    ) -> None:
+        """Attach a component system under a federation-unique name."""
+        self.catalog.register_source(name, adapter)
+        if link is not None:
+            self.network.set_link(name, link)
+
+    def register_table(
+        self,
+        name: str,
+        source: str,
+        remote_table: Optional[str] = None,
+        column_map: Optional[Dict[str, str]] = None,
+        schema: Optional[TableSchema] = None,
+    ) -> None:
+        """Publish a source's native table into the global schema.
+
+        Without an explicit ``schema``, the global schema derives from the
+        source's native one: native columns keep their names except those
+        mentioned (as values) in ``column_map``, which take the global name
+        (the map's key). Types always come from the native declaration.
+        """
+        adapter: Adapter = self.catalog.source(source)
+        native_name = remote_table or name
+        resolved = self._find_native_table(adapter, native_name)
+        if resolved is None:
+            raise UnknownObjectError(
+                f"source {source!r} has no table {native_name!r}"
+            )
+        native_key, native_schema = resolved
+        mapping = TableMapping(
+            source=source,
+            remote_table=native_key,
+            column_map=dict(column_map or {}),
+        )
+        if schema is None:
+            reverse = {v.lower(): k for k, v in (column_map or {}).items()}
+            columns = [
+                Column(reverse.get(c.name.lower(), c.name), c.dtype)
+                for c in native_schema.columns
+            ]
+            schema = TableSchema(name, columns)
+        else:
+            # Validate that every mapped global column lands on a native one.
+            for column in schema.columns:
+                native = mapping.remote_column(column.name)
+                if not native_schema.has_column(native):
+                    raise CatalogError(
+                        f"global column {column.name!r} maps to missing native "
+                        f"column {native!r} on {source}.{native_schema.name}"
+                    )
+        self.catalog.register_table(name, schema, mapping)
+        self.clear_result_cache()
+
+    def register_replica(
+        self,
+        name: str,
+        source: str,
+        remote_table: Optional[str] = None,
+        column_map: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Declare an additional copy of a registered table on another source.
+
+        The replica must expose (under the ``column_map`` renames) every
+        column of the table's global schema. The planner's replica selector
+        then picks the cheapest copy per query; ANALYZE keeps using the
+        primary.
+        """
+        entry = self.catalog.table(name)
+        if entry.schema is None or entry.mapping is None:
+            raise CatalogError(f"cannot add a replica to view {name!r}")
+        adapter: Adapter = self.catalog.source(source)
+        native_name = remote_table or name
+        resolved = self._find_native_table(adapter, native_name)
+        if resolved is None:
+            raise UnknownObjectError(
+                f"source {source!r} has no table {native_name!r}"
+            )
+        native_key, native_schema = resolved
+        mapping = TableMapping(
+            source=source, remote_table=native_key, column_map=dict(column_map or {})
+        )
+        for column in entry.schema.columns:
+            native = mapping.remote_column(column.name)
+            if not native_schema.has_column(native):
+                raise CatalogError(
+                    f"replica of {name!r} on {source!r} lacks column "
+                    f"{native!r} (for global {column.name!r})"
+                )
+        self.catalog.add_replica(name, mapping)
+        self.clear_result_cache()
+
+    def register_all_tables(self, source: str) -> List[str]:
+        """Publish every native table of a source under its native name."""
+        adapter: Adapter = self.catalog.source(source)
+        registered = []
+        for native_name in adapter.tables():
+            self.register_table(native_name, source=source)
+            registered.append(native_name)
+        return registered
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Define an integration view (validated by binding it once)."""
+        self.catalog.register_view(name, sql)
+        try:
+            Analyzer(self.catalog).bind_statement(parse_select(sql))
+        except Exception:
+            self.catalog.drop(name)
+            raise
+        self.clear_result_cache()
+
+    # -- statistics ---------------------------------------------------------------
+
+    def analyze(
+        self,
+        tables: Optional[Sequence[str]] = None,
+        histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+        sample_rows: Optional[int] = None,
+    ) -> Dict[str, TableStatistics]:
+        """Gather statistics by scanning sources through their wrappers.
+
+        Only base tables are analyzed (views derive estimates structurally).
+        With ``sample_rows`` the scan stops after that many rows (a prefix
+        sample — cheap but biased for sorted data) and the row count is
+        scaled up using the source's own count metadata when it offers any.
+        Returns the statistics keyed by global table name.
+        """
+        names = list(tables) if tables is not None else self.catalog.table_names()
+        collected: Dict[str, TableStatistics] = {}
+        for name in names:
+            entry = self.catalog.table(name)
+            if entry.is_view or entry.mapping is None or entry.schema is None:
+                continue
+            rows: List[Tuple[Any, ...]] = []
+            truncated = False
+            for row in self._scan_global(entry):
+                if sample_rows is not None and len(rows) >= sample_rows:
+                    truncated = True
+                    break
+                rows.append(row)
+            statistics = TableStatistics.from_rows(
+                entry.schema, rows, histogram_buckets
+            )
+            if truncated:
+                adapter: Adapter = self.catalog.source(entry.mapping.source)
+                try:
+                    total = adapter.row_count(entry.mapping.remote_table)
+                except Exception:
+                    total = None
+                if total is not None:
+                    statistics.row_count = float(total)
+            self.catalog.set_statistics(name, statistics)
+            collected[name] = statistics
+        self.clear_result_cache()
+        return collected
+
+    def _scan_global(self, entry) -> Iterator[Tuple[Any, ...]]:
+        """Scan a base table through its wrapper, in global column order."""
+        mapping = entry.mapping
+        adapter: Adapter = self.catalog.source(mapping.source)
+        resolved = self._find_native_table(adapter, mapping.remote_table)
+        if resolved is None:
+            raise UnknownObjectError(
+                f"source {mapping.source!r} lost table {mapping.remote_table!r}"
+            )
+        native_key, native_schema = resolved
+        indices = [
+            native_schema.index_of(mapping.remote_column(column.name))
+            for column in entry.schema.columns
+        ]
+        identity = indices == list(range(len(native_schema.columns)))
+        for row in adapter.scan(native_key):
+            yield row if identity else tuple(row[i] for i in indices)
+
+    # -- querying ---------------------------------------------------------------
+
+    def plan(self, sql: str, options: Optional[PlannerOptions] = None) -> PlannedQuery:
+        """Plan without executing (inspection, tests, benchmarks)."""
+        return self.planner.plan(sql, options)
+
+    def query(
+        self, sql: str, options: Optional[PlannerOptions] = None
+    ) -> QueryResult:
+        """Plan and execute a query, returning rows plus metrics."""
+        cache_key = (sql, options)
+        if self._result_cache_size > 0:
+            cached = self._result_cache.get(cache_key)
+            if cached is not None:
+                self._result_cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                hit_metrics = replace(cached.metrics.network, cache_hit=True)
+                return QueryResult(
+                    column_names=list(cached.column_names),
+                    rows=list(cached.rows),
+                    metrics=QueryMetrics(network=hit_metrics, wall_ms=0.0,
+                                         planning_ms=0.0),
+                    explain_text=cached.explain_text,
+                )
+        started = time.perf_counter()
+        planned = self.planner.plan(sql, options)
+        context = ExecutionContext(
+            self.catalog, self.network, fragment_retries=self.fragment_retries
+        )
+        rows = list(planned.physical.iterate(context))
+        context.metrics.rows_output = len(rows)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        metrics = QueryMetrics(
+            network=context.metrics,
+            wall_ms=wall_ms,
+            planning_ms=planned.planning_ms,
+        )
+        result = QueryResult(
+            column_names=planned.output_names,
+            rows=rows,
+            metrics=metrics,
+            explain_text=planned.explain(),
+        )
+        if self._result_cache_size > 0:
+            # Store a snapshot so callers mutating their result (rows is a
+            # plain list) cannot corrupt later cache hits.
+            self._result_cache[cache_key] = QueryResult(
+                column_names=list(result.column_names),
+                rows=list(result.rows),
+                metrics=result.metrics,
+                explain_text=result.explain_text,
+            )
+            while len(self._result_cache) > self._result_cache_size:
+                self._result_cache.popitem(last=False)
+        return result
+
+    def clear_result_cache(self) -> None:
+        """Drop every cached result (e.g. after sources changed underneath)."""
+        self._result_cache.clear()
+
+    def explain_analyze(
+        self, sql: str, options: Optional[PlannerOptions] = None
+    ) -> str:
+        """Execute the query and report actual rows per physical operator.
+
+        The query really runs (network is charged as usual); the report
+        shows the physical tree annotated with produced row counts plus the
+        transfer metrics.
+        """
+        from .physical import instrument_row_counts
+
+        planned = self.planner.plan(sql, options)
+        counts = instrument_row_counts(planned.physical)
+        context = ExecutionContext(
+            self.catalog, self.network, fragment_retries=self.fragment_retries
+        )
+        rows = list(planned.physical.iterate(context))
+        sections = [
+            "== physical plan (actual rows) ==",
+            planned.physical.explain(row_counts=counts),
+            "",
+            f"result rows: {len(rows)}",
+            QueryMetrics(network=context.metrics).summary(),
+        ]
+        return "\n".join(sections)
+
+    def explain(self, sql: str, options: Optional[PlannerOptions] = None) -> str:
+        """EXPLAIN text: distributed plan, physical plan, and — for SQL
+        sources — the native SQL each fragment compiles to."""
+        planned = self.planner.plan(sql, options)
+        sections = [planned.explain()]
+        fragment_sqls = self._fragment_sql(planned)
+        if fragment_sqls:
+            sections.append("")
+            sections.append("== fragment SQL ==")
+            sections.extend(fragment_sqls)
+        return "\n".join(sections)
+
+    def _fragment_sql(self, planned: PlannedQuery) -> List[str]:
+        from .logical import RemoteQueryOp
+
+        lines: List[str] = []
+        for node in planned.distributed.walk():
+            if isinstance(node, RemoteQueryOp):
+                adapter = self.catalog.source(node.source_name)
+                compiler = getattr(adapter, "compile_fragment", None)
+                if compiler is None:
+                    continue
+                from .fragments import Fragment
+
+                try:
+                    sql = compiler(Fragment(node.source_name, node.fragment))
+                except Exception:  # non-SQL fragments (bind placeholders etc.)
+                    continue
+                lines.append(f"[{node.source_name}] {sql}")
+        return lines
+
+    def reference_query(self, sql: str) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """Evaluate with the unoptimized reference interpreter.
+
+        Bypasses the whole optimizer and executes the bound plan directly
+        against full table scans — the differential-testing oracle.
+        """
+        statement = parse_select(sql)
+        bound = Analyzer(self.catalog).bind_statement(statement)
+
+        def provide(scan: ScanOp) -> Iterator[Tuple[Any, ...]]:
+            return self._scan_global(scan.table)
+
+        names = [column.name for column in bound.output_columns]
+        return names, list(interpret_plan(bound, provide))
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _find_native_table(
+        adapter: Adapter, native_name: str
+    ) -> Optional[Tuple[str, TableSchema]]:
+        """Resolve a native table case-insensitively to (stored key, schema)."""
+        tables = adapter.tables()
+        if native_name in tables:
+            return native_name, tables[native_name]
+        for name, schema in tables.items():
+            if name.lower() == native_name.lower():
+                return name, schema
+        return None
+
+    @staticmethod
+    def _find_native_schema(adapter: Adapter, native_name: str) -> Optional[TableSchema]:
+        resolved = GlobalInformationSystem._find_native_table(adapter, native_name)
+        return resolved[1] if resolved is not None else None

@@ -1,0 +1,172 @@
+"""Partial (local/global) aggregation through UNION ALL.
+
+The classic distributed-aggregation decomposition: an aggregate over a
+horizontally partitioned table —
+
+    Aggregate[G; F(x)]( UnionAll(b1, …, bn) )
+
+— becomes per-branch *partial* aggregates combined by a *final* aggregate:
+
+    Project[ combine ](
+        Aggregate[G'; F_final](
+            UnionAll( Aggregate[G_b; F_partial](b_i) … )))
+
+so each partition ships one row per group instead of its raw rows, and the
+pushdown planner can then delegate every partial aggregate to its source.
+
+Decompositions::
+
+    COUNT(*)  → partial COUNT(*)        , final SUM
+    COUNT(x)  → partial COUNT(x)        , final SUM
+    SUM(x)    → partial SUM(x)          , final SUM
+    MIN(x)    → partial MIN(x)          , final MIN
+    MAX(x)    → partial MAX(x)          , final MAX
+    AVG(x)    → partial SUM(x)+COUNT(x) , final SUM/SUM (combining project)
+
+DISTINCT aggregates are not decomposable this way; their presence disables
+the rewrite for the whole operator. The rewrite preserves output-column
+*identity*, so nothing upstream needs adjusting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..datatypes import DataType
+from ..sql import ast
+from .expressions import infer_type
+from .logical import (
+    AggregateCall,
+    AggregateOp,
+    LogicalPlan,
+    ProjectOp,
+    RelColumn,
+    UnionOp,
+    transform_plan,
+)
+
+
+def push_partial_aggregation(plan: LogicalPlan) -> LogicalPlan:
+    """Apply the local/global decomposition everywhere it is legal."""
+
+    def visit(node: LogicalPlan) -> Optional[LogicalPlan]:
+        if isinstance(node, AggregateOp):
+            return _decompose(node)
+        return None
+
+    return transform_plan(plan, visit)
+
+
+def _decompose(aggregate: AggregateOp) -> Optional[LogicalPlan]:
+    union = aggregate.child
+    if not isinstance(union, UnionOp) or not union.all or len(union.inputs) < 2:
+        return None
+    if any(call.distinct for call in aggregate.aggregates):
+        return None
+    if any(call.function not in _DECOMPOSABLE for call in aggregate.aggregates):
+        return None
+
+    # --- per-branch partial aggregates ------------------------------------
+    partial_plans: List[LogicalPlan] = []
+    first_partial_columns: Optional[List[RelColumn]] = None
+    for branch in union.inputs:
+        mapping = {
+            union_column.column_id: branch_column
+            for union_column, branch_column in zip(
+                union.columns, branch.output_columns
+            )
+        }
+        group_exprs = [
+            ast.replace_refs(expr, mapping) for expr in aggregate.group_expressions
+        ]
+        group_columns = [
+            RelColumn(column.name, column.dtype, origin=column.origin)
+            for column in aggregate.group_columns
+        ]
+        partial_calls: List[AggregateCall] = []
+        partial_columns: List[RelColumn] = []
+        for call in aggregate.aggregates:
+            for partial_fn in _partial_functions(call.function):
+                argument = (
+                    ast.replace_refs(call.argument, mapping)
+                    if call.argument is not None
+                    else None
+                )
+                partial_calls.append(AggregateCall(partial_fn, argument, False))
+                if partial_fn == "COUNT" or argument is None:
+                    dtype = DataType.INTEGER
+                else:
+                    dtype = infer_type(argument)
+                partial_columns.append(RelColumn(f"p{partial_fn.lower()}", dtype))
+        partial_plans.append(
+            AggregateOp(branch, group_exprs, group_columns, partial_calls, partial_columns)
+        )
+        if first_partial_columns is None:
+            first_partial_columns = group_columns + partial_columns
+
+    assert first_partial_columns is not None
+    union_columns = [column.derive() for column in first_partial_columns]
+    partial_union = UnionOp(partial_plans, union_columns, all=True)
+
+    # --- final aggregate over the partial rows -----------------------------
+    group_count = len(aggregate.group_expressions)
+    final_group_exprs = [column.ref() for column in union_columns[:group_count]]
+    final_group_columns = [
+        RelColumn(column.name, column.dtype, origin=column.origin)
+        for column in aggregate.group_columns
+    ]
+    final_calls: List[AggregateCall] = []
+    final_columns: List[RelColumn] = []
+    #: original aggregate index → list of final-column indexes feeding it
+    feeds: List[List[int]] = []
+    cursor = group_count
+    for call in aggregate.aggregates:
+        indexes: List[int] = []
+        for partial_fn in _partial_functions(call.function):
+            final_fn = _FINAL_FUNCTION[partial_fn]
+            partial_column = union_columns[cursor]
+            final_calls.append(
+                AggregateCall(final_fn, partial_column.ref(), False)
+            )
+            final_columns.append(
+                RelColumn(f"f{final_fn.lower()}", partial_column.dtype)
+            )
+            indexes.append(len(final_columns) - 1)
+            cursor += 1
+        feeds.append(indexes)
+    final_aggregate = AggregateOp(
+        partial_union,
+        final_group_exprs,
+        final_group_columns,
+        final_calls,
+        final_columns,
+    )
+
+    # --- combining projection (restores original output identity) ---------
+    expressions: List[ast.Expr] = [c.ref() for c in final_group_columns]
+    for call, indexes in zip(aggregate.aggregates, feeds):
+        if call.function == "AVG":
+            sum_ref = final_columns[indexes[0]].ref()
+            count_ref = final_columns[indexes[1]].ref()
+            expressions.append(ast.BinaryOp("/", sum_ref, count_ref))
+        else:
+            expressions.append(final_columns[indexes[0]].ref())
+    return ProjectOp(final_aggregate, expressions, list(aggregate.output_columns))
+
+
+_DECOMPOSABLE = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def _partial_functions(function: str) -> Tuple[str, ...]:
+    """Original aggregate → partial aggregate(s) computed per branch."""
+    if function == "AVG":
+        return ("SUM", "COUNT")
+    return (function,)
+
+
+_FINAL_FUNCTION = {
+    "COUNT": "SUM",
+    "SUM": "SUM",
+    "MIN": "MIN",
+    "MAX": "MAX",
+}

@@ -1,0 +1,940 @@
+"""Physical plan: Volcano-style operators with exchange at source boundaries.
+
+The physical planner maps each logical node onto an operator implementation:
+
+* ``RemoteQueryOp`` → :class:`ExchangeExec` (fragment execution at the
+  source + paged transfer accounting on the simulated network), or — when a
+  bind spec is attached — a :class:`BindJoinExec` at the consuming join;
+* equi-joins → :class:`HashJoinExec` (right side builds), everything else →
+  :class:`NestedLoopJoinExec`;
+* aggregation → :class:`HashAggregateExec`; sorts are full in-memory sorts.
+
+Operators pull rows through Python generators; all network charging flows
+through the :class:`ExecutionContext` so a query's transfer metrics are
+exact and deterministic.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..catalog.catalog import Catalog
+from ..datatypes import DataType
+from ..errors import ExecutionError, PlanError
+from ..sql import ast
+from ..sources.network import SimulatedNetwork
+from .aggregates import make_accumulator, sort_rows
+from .expressions import build_layout, compile_expression, compile_predicate
+from .fragments import Fragment, equi_join_keys
+from .logical import (
+    AggregateOp,
+    BindSpec,
+    DistinctOp,
+    FilterOp,
+    JoinOp,
+    LimitOp,
+    LogicalPlan,
+    ProjectOp,
+    RelColumn,
+    RemoteQueryOp,
+    ScanOp,
+    SetDifferenceOp,
+    SortOp,
+    UnionOp,
+    ValuesOp,
+    WindowOp,
+)
+
+Row = Tuple[Any, ...]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Per-query execution accounting (exposed on every QueryResult)."""
+
+    rows_shipped: int = 0
+    bytes_shipped: float = 0.0
+    messages: int = 0
+    network_ms: float = 0.0
+    fragments_executed: int = 0
+    fragment_retries: int = 0
+    semijoin_batches: int = 0
+    rows_output: int = 0
+    cache_hit: bool = False
+    per_source_rows: Dict[str, int] = field(default_factory=dict)
+
+
+class ExecutionContext:
+    """Runtime services shared by all operators of one query.
+
+    ``fragment_retries`` is how many times an exchange may re-issue a
+    fragment after a :class:`~repro.errors.SourceError`, provided no rows
+    have reached the mediator yet (re-running a half-consumed fragment
+    would duplicate rows).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        network: SimulatedNetwork,
+        fragment_retries: int = 0,
+    ) -> None:
+        self.catalog = catalog
+        self.network = network
+        self.fragment_retries = max(fragment_retries, 0)
+        self.metrics = ExecutionMetrics()
+
+    def charge_transfer(
+        self, source_name: str, rows: List[Row], messages: int
+    ) -> None:
+        """Account one page (or request) moving between mediator and source."""
+        payload = sum(_row_bytes(row) for row in rows)
+        elapsed = self.network.record_transfer(
+            source_name, payload, len(rows), messages
+        )
+        metrics = self.metrics
+        metrics.rows_shipped += len(rows)
+        metrics.bytes_shipped += payload
+        metrics.messages += messages
+        metrics.network_ms += elapsed
+        key = source_name.lower()
+        metrics.per_source_rows[key] = metrics.per_source_rows.get(key, 0) + len(rows)
+
+    def charge_request(self, source_name: str, payload_bytes: float) -> None:
+        """Account an upload-only message (semijoin key batches)."""
+        elapsed = self.network.record_transfer(source_name, payload_bytes, 0, 1)
+        self.metrics.messages += 1
+        self.metrics.bytes_shipped += payload_bytes
+        self.metrics.network_ms += elapsed
+
+
+def _row_bytes(row: Row) -> float:
+    """Actual wire size of a row (value-dependent for TEXT)."""
+    total = 0.0
+    for value in row:
+        if value is None:
+            total += 1
+        elif isinstance(value, bool):
+            total += 1
+        elif isinstance(value, (int, float)):
+            total += 8
+        elif isinstance(value, str):
+            total += len(value)
+        elif isinstance(value, datetime.date):
+            total += 4
+        else:  # pragma: no cover - no other global types exist
+            total += 8
+    return total
+
+
+# ---------------------------------------------------------------------------
+# operators
+# ---------------------------------------------------------------------------
+
+
+class PhysicalOperator:
+    """Base class: an output schema plus a pull-based row stream."""
+
+    def __init__(self, columns: Sequence[RelColumn]) -> None:
+        self.columns = list(columns)
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__.replace("Exec", "")
+
+    def children(self) -> List["PhysicalOperator"]:
+        return []
+
+    def explain(self, indent: int = 0, row_counts: Optional[Dict[int, int]] = None) -> str:
+        label = "  " * indent + self.describe()
+        if row_counts is not None and id(self) in row_counts:
+            label += f"  [{row_counts[id(self)]} rows]"
+        lines = [label]
+        for child in self.children():
+            lines.append(child.explain(indent + 1, row_counts))
+        return "\n".join(lines)
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        """This operator and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def instrument_row_counts(root: PhysicalOperator) -> Dict[int, int]:
+    """Wrap every operator's ``iterate`` to count produced rows.
+
+    Returns the (initially zeroed) ``id(op) -> rows`` map that fills in
+    during execution — the EXPLAIN ANALYZE mechanism. Wrapping mutates the
+    given tree's instances, which are per-plan and never reused.
+    """
+    counts: Dict[int, int] = {}
+
+    def wrap(op: PhysicalOperator) -> None:
+        counts[id(op)] = 0
+        original = op.iterate
+
+        def counted(ctx: ExecutionContext, _original=original, _key=id(op)):
+            for row in _original(ctx):
+                counts[_key] += 1
+                yield row
+
+        op.iterate = counted  # type: ignore[method-assign]
+
+    for operator in root.walk():
+        wrap(operator)
+    return counts
+
+
+class StaticRowsExec(PhysicalOperator):
+    """Literal rows (FROM-less selects, constant-folded empties)."""
+
+    def __init__(self, rows: List[Row], columns: Sequence[RelColumn]) -> None:
+        super().__init__(columns)
+        self._rows = rows
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        yield from self._rows
+
+    def describe(self) -> str:
+        return f"StaticRows({len(self._rows)})"
+
+
+class ExchangeExec(PhysicalOperator):
+    """Fetch a fragment's result from its source over the simulated network."""
+
+    def __init__(
+        self,
+        adapter: Any,
+        fragment: Fragment,
+        columns: Sequence[RelColumn],
+        page_rows: int,
+    ) -> None:
+        super().__init__(columns)
+        self.adapter = adapter
+        self.fragment = fragment
+        self.page_rows = max(page_rows, 1)
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        from ..errors import SourceError
+
+        ctx.metrics.fragments_executed += 1
+        attempts_left = ctx.fragment_retries
+        while True:
+            produced = False
+            page: List[Row] = []
+            try:
+                for row in self.adapter.execute(self.fragment):
+                    page.append(row)
+                    if len(page) >= self.page_rows:
+                        ctx.charge_transfer(self.fragment.source_name, page, 1)
+                        produced = True
+                        yield from page
+                        page = []
+            except SourceError:
+                # Retry is only safe before any row reached the consumer.
+                if produced or attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                ctx.metrics.fragment_retries += 1
+                continue
+            # The final (possibly empty) page closes the exchange: even an
+            # empty result costs one round trip.
+            ctx.charge_transfer(self.fragment.source_name, page, 1)
+            yield from page
+            return
+
+    def describe(self) -> str:
+        return f"Exchange(source={self.fragment.source_name})"
+
+
+class FilterExec(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, predicate: ast.Expr) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        self._predicate = compile_predicate(predicate, build_layout(child.columns))
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        predicate = self._predicate
+        for row in self.child.iterate(ctx):
+            if predicate(row):
+                yield row
+
+
+class ProjectExec(PhysicalOperator):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        expressions: Sequence[ast.Expr],
+        columns: Sequence[RelColumn],
+    ) -> None:
+        super().__init__(columns)
+        self.child = child
+        layout = build_layout(child.columns)
+        self._functions = [compile_expression(e, layout) for e in expressions]
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        functions = self._functions
+        for row in self.child.iterate(ctx):
+            yield tuple(fn(row) for fn in functions)
+
+
+class HashJoinExec(PhysicalOperator):
+    """Equi-join: builds a hash table on the right input, probes with the left.
+
+    Supports INNER, LEFT, SEMI, ANTI (with NOT IN null-awareness), plus a
+    residual predicate evaluated on candidate pairs.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        kind: str,
+        left_keys: Sequence[ast.Expr],
+        right_keys: Sequence[ast.Expr],
+        residual: Optional[ast.Expr],
+        columns: Sequence[RelColumn],
+        null_aware: bool = False,
+    ) -> None:
+        super().__init__(columns)
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.null_aware = null_aware
+        left_layout = build_layout(left.columns)
+        right_layout = build_layout(right.columns)
+        self._left_key_fns = [compile_expression(k, left_layout) for k in left_keys]
+        self._right_key_fns = [compile_expression(k, right_layout) for k in right_keys]
+        combined = build_layout(list(left.columns) + list(right.columns))
+        self._residual = (
+            compile_predicate(residual, combined) if residual is not None else None
+        )
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind})"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        table: Dict[Tuple[Any, ...], List[Row]] = {}
+        right_has_null_key = False
+        right_count = 0
+        for row in self.right.iterate(ctx):
+            right_count += 1
+            key = tuple(fn(row) for fn in self._right_key_fns)
+            if any(part is None for part in key):
+                right_has_null_key = True
+                continue
+            table.setdefault(key, []).append(row)
+        if self.kind == "ANTI" and self.null_aware and right_has_null_key:
+            return  # NOT IN with a NULL on the right: empty result
+        null_right = (None,) * len(self.right.columns)
+        for left_row in self.left.iterate(ctx):
+            key = tuple(fn(left_row) for fn in self._left_key_fns)
+            has_null_key = any(part is None for part in key)
+            matches: List[Row] = [] if has_null_key else table.get(key, [])
+            if self._residual is not None and matches:
+                matches = [
+                    right_row
+                    for right_row in matches
+                    if self._residual(left_row + right_row)
+                ]
+            if self.kind == "INNER":
+                for right_row in matches:
+                    yield left_row + right_row
+            elif self.kind == "LEFT":
+                if matches:
+                    for right_row in matches:
+                        yield left_row + right_row
+                else:
+                    yield left_row + null_right
+            elif self.kind == "SEMI":
+                if matches:
+                    yield left_row
+            elif self.kind == "ANTI":
+                if matches:
+                    continue
+                if self.null_aware and has_null_key and right_count > 0:
+                    continue  # NULL NOT IN (non-empty set) is never TRUE
+                yield left_row
+            else:  # pragma: no cover - planner guards
+                raise ExecutionError(f"hash join cannot handle kind {self.kind!r}")
+
+
+class MergeJoinExec(PhysicalOperator):
+    """Sort-merge equi-join (INNER only).
+
+    Materializes and sorts both inputs on the join keys, then merges,
+    expanding duplicate key groups pairwise. Rows with NULL keys never
+    match and are dropped up front. Exists as the classic alternative to
+    hash join; selected via ``PlannerOptions(join_algorithm="merge")``.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[ast.Expr],
+        right_keys: Sequence[ast.Expr],
+        residual: Optional[ast.Expr],
+        columns: Sequence[RelColumn],
+    ) -> None:
+        super().__init__(columns)
+        self.left = left
+        self.right = right
+        left_layout = build_layout(left.columns)
+        right_layout = build_layout(right.columns)
+        self._left_key_fns = [compile_expression(k, left_layout) for k in left_keys]
+        self._right_key_fns = [compile_expression(k, right_layout) for k in right_keys]
+        combined = build_layout(list(left.columns) + list(right.columns))
+        self._residual = (
+            compile_predicate(residual, combined) if residual is not None else None
+        )
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return "MergeJoin(INNER)"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        left_rows = self._keyed_sorted(self.left, self._left_key_fns, ctx)
+        right_rows = self._keyed_sorted(self.right, self._right_key_fns, ctx)
+        residual = self._residual
+        li = ri = 0
+        while li < len(left_rows) and ri < len(right_rows):
+            left_key = left_rows[li][0]
+            right_key = right_rows[ri][0]
+            if left_key < right_key:
+                li += 1
+            elif left_key > right_key:
+                ri += 1
+            else:
+                left_end = li
+                while left_end < len(left_rows) and left_rows[left_end][0] == left_key:
+                    left_end += 1
+                right_end = ri
+                while (
+                    right_end < len(right_rows)
+                    and right_rows[right_end][0] == right_key
+                ):
+                    right_end += 1
+                for _, left_row in left_rows[li:left_end]:
+                    for _, right_row in right_rows[ri:right_end]:
+                        row = left_row + right_row
+                        if residual is None or residual(row):
+                            yield row
+                li, ri = left_end, right_end
+
+    @staticmethod
+    def _keyed_sorted(child, key_fns, ctx):
+        keyed = []
+        for row in child.iterate(ctx):
+            key = tuple(fn(row) for fn in key_fns)
+            if any(part is None for part in key):
+                continue  # NULL keys never equi-match
+            keyed.append((key, row))
+        keyed.sort(key=lambda pair: pair[0])
+        return keyed
+
+
+class NestedLoopJoinExec(PhysicalOperator):
+    """Fallback join for non-equi conditions (and EXISTS-style semis)."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        kind: str,
+        condition: Optional[ast.Expr],
+        columns: Sequence[RelColumn],
+    ) -> None:
+        super().__init__(columns)
+        self.left = left
+        self.right = right
+        self.kind = kind
+        combined = build_layout(list(left.columns) + list(right.columns))
+        self._condition = (
+            compile_predicate(condition, combined) if condition is not None else None
+        )
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        right_rows = list(self.right.iterate(ctx))
+        condition = self._condition
+        null_right = (None,) * len(self.right.columns)
+        for left_row in self.left.iterate(ctx):
+            if self.kind in ("SEMI", "ANTI"):
+                if condition is None:
+                    matched = bool(right_rows)
+                else:
+                    matched = any(
+                        condition(left_row + right_row) for right_row in right_rows
+                    )
+                if (self.kind == "SEMI") == matched:
+                    yield left_row
+                continue
+            matched = False
+            for right_row in right_rows:
+                row = left_row + right_row
+                if condition is None or condition(row):
+                    matched = True
+                    yield row
+            if self.kind == "LEFT" and not matched:
+                yield left_row + null_right
+
+
+class BindJoinExec(PhysicalOperator):
+    """Semijoin-reduced join: ship probe keys, fetch only matching rows.
+
+    ``bound_side`` says which input is the reduced remote fragment; the
+    other input is materialized first to produce the key list.
+    """
+
+    def __init__(
+        self,
+        probe: PhysicalOperator,
+        remote: RemoteQueryOp,
+        adapter: Any,
+        page_rows: int,
+        bound_side: str,  # "left" | "right"
+        kind: str,
+        condition: Optional[ast.Expr],
+        columns: Sequence[RelColumn],
+        null_aware: bool = False,
+    ) -> None:
+        super().__init__(columns)
+        self.probe = probe
+        self.remote = remote
+        self.adapter = adapter
+        self.page_rows = max(page_rows, 1)
+        self.bound_side = bound_side
+        self.kind = kind
+        self.condition = condition
+        self.null_aware = null_aware
+        bind = remote.bind
+        assert bind is not None
+        self._bind = bind
+        self._probe_key_fn = compile_expression(
+            bind.probe_key, build_layout(probe.columns)
+        )
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.probe]
+
+    def describe(self) -> str:
+        return (
+            f"BindJoin({self.kind}, source={self.remote.source_name}, "
+            f"key={self._bind.fragment_key.name})"
+        )
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        probe_rows = list(self.probe.iterate(ctx))
+        keys: Set[Any] = set()
+        for row in probe_rows:
+            value = self._probe_key_fn(row)
+            if value is not None:
+                keys.add(value)
+        remote_rows = list(self._fetch_reduced(ctx, keys))
+
+        # Assemble the join with the original operand orientation.
+        remote_stub = StaticRowsExec(remote_rows, self.remote.columns)
+        probe_stub = StaticRowsExec(probe_rows, self.probe.columns)
+        if self.bound_side == "right":
+            left_op, right_op = probe_stub, remote_stub
+            left_cols, right_cols = self.probe.columns, self.remote.columns
+        else:
+            left_op, right_op = remote_stub, probe_stub
+            left_cols, right_cols = self.remote.columns, self.probe.columns
+        keys_split = equi_join_keys(self.condition, left_cols, right_cols)
+        if keys_split is not None:
+            left_keys, right_keys, residual = keys_split
+            join: PhysicalOperator = HashJoinExec(
+                left_op,
+                right_op,
+                self.kind,
+                left_keys,
+                right_keys,
+                ast.conjoin(residual),
+                self.columns,
+                self.null_aware,
+            )
+        else:
+            join = NestedLoopJoinExec(
+                left_op, right_op, self.kind, self.condition, self.columns
+            )
+        yield from join.iterate(ctx)
+
+    def _fetch_reduced(self, ctx: ExecutionContext, keys: Set[Any]) -> Iterator[Row]:
+        bind = self._bind
+        ordered = sorted(keys, key=repr)
+        ctx.metrics.fragments_executed += 1
+        if not ordered:
+            # Still report the (empty) round trip the mediator performs to
+            # learn there is nothing to fetch? No request is sent at all:
+            # an empty key set proves the join is empty without touching
+            # the source.
+            return
+        for start in range(0, len(ordered), bind.batch_size):
+            batch = ordered[start : start + bind.batch_size]
+            ctx.metrics.semijoin_batches += 1
+            payload = sum(_row_bytes((key,)) for key in batch)
+            ctx.charge_request(self.remote.source_name, payload)
+            literals = tuple(
+                ast.Literal(value, bind.fragment_key.dtype) for value in batch
+            )
+            predicate: ast.Expr
+            if len(literals) == 1:
+                predicate = ast.BinaryOp(
+                    "=", bind.fragment_key.ref(), literals[0]
+                )
+            else:
+                predicate = ast.InList(bind.fragment_key.ref(), literals, False)
+            fragment = Fragment(
+                self.remote.source_name,
+                FilterOp(self.remote.fragment, predicate),
+            )
+            page: List[Row] = []
+            for row in self.adapter.execute(fragment):
+                page.append(row)
+                if len(page) >= self.page_rows:
+                    ctx.charge_transfer(self.remote.source_name, page, 1)
+                    yield from page
+                    page = []
+            ctx.charge_transfer(self.remote.source_name, page, 1)
+            yield from page
+
+
+class HashAggregateExec(PhysicalOperator):
+    def __init__(self, plan: AggregateOp, child: PhysicalOperator) -> None:
+        super().__init__(plan.output_columns)
+        self.child = child
+        self.plan = plan
+        layout = build_layout(child.columns)
+        self._group_fns = [
+            compile_expression(e, layout) for e in plan.group_expressions
+        ]
+        self._argument_fns = [
+            compile_expression(call.argument, layout)
+            if call.argument is not None
+            else None
+            for call in plan.aggregates
+        ]
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in self.child.iterate(ctx):
+            key = tuple(fn(row) for fn in self._group_fns)
+            state = groups.get(key)
+            if state is None:
+                state = [make_accumulator(call) for call in self.plan.aggregates]
+                groups[key] = state
+                order.append(key)
+            for accumulator, argument_fn in zip(state, self._argument_fns):
+                accumulator.add(argument_fn(row) if argument_fn is not None else 1)
+        if not groups and not self.plan.group_expressions:
+            state = [make_accumulator(call) for call in self.plan.aggregates]
+            yield tuple(accumulator.result() for accumulator in state)
+            return
+        for key in order:
+            yield key + tuple(accumulator.result() for accumulator in groups[key])
+
+
+class WindowExec(PhysicalOperator):
+    """Materializes input and appends window-function columns."""
+
+    def __init__(self, plan: "WindowOp", child: PhysicalOperator) -> None:
+        super().__init__(plan.output_columns)
+        self.child = child
+        self.plan = plan
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        names = ", ".join(spec.function for spec in self.plan.specs)
+        return f"Window({names})"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        from .fragments import apply_window
+
+        rows = list(self.child.iterate(ctx))
+        yield from apply_window(rows, self.plan.child.output_columns, self.plan.specs)
+
+
+class SortExec(PhysicalOperator):
+    def __init__(
+        self, child: PhysicalOperator, keys: Sequence[Tuple[ast.Expr, bool]]
+    ) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        layout = build_layout(child.columns)
+        self._key_fns = [compile_expression(expr, layout) for expr, _ in keys]
+        self._directions = [ascending for _, ascending in keys]
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        rows = list(self.child.iterate(ctx))
+        yield from sort_rows(rows, self._key_fns, self._directions)
+
+
+class LimitExec(PhysicalOperator):
+    def __init__(
+        self, child: PhysicalOperator, limit: Optional[int], offset: int
+    ) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        remaining = self.limit
+        to_skip = self.offset
+        for row in self.child.iterate(ctx):
+            if to_skip > 0:
+                to_skip -= 1
+                continue
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            yield row
+
+
+class DistinctExec(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__(child.columns)
+        self.child = child
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        seen: Set[Row] = set()
+        for row in self.child.iterate(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class UnionExec(PhysicalOperator):
+    def __init__(
+        self, inputs: List[PhysicalOperator], columns: Sequence[RelColumn]
+    ) -> None:
+        super().__init__(columns)
+        self.inputs = inputs
+
+    def children(self) -> List[PhysicalOperator]:
+        return list(self.inputs)
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for child in self.inputs:
+            yield from child.iterate(ctx)
+
+
+class SetDifferenceExec(PhysicalOperator):
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        operation: str,
+        columns: Sequence[RelColumn],
+        all: bool = False,
+    ) -> None:
+        super().__init__(columns)
+        self.left = left
+        self.right = right
+        self.operation = operation
+        self.all = all
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        suffix = " ALL" if self.all else ""
+        return f"SetDifference({self.operation}{suffix})"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self.all:
+            from collections import Counter
+
+            remaining = Counter(self.right.iterate(ctx))
+            for row in self.left.iterate(ctx):
+                if remaining[row] > 0:
+                    remaining[row] -= 1
+                    if self.operation == "INTERSECT":
+                        yield row
+                elif self.operation == "EXCEPT":
+                    yield row
+            return
+        right_rows = set(self.right.iterate(ctx))
+        emitted: Set[Row] = set()
+        for row in self.left.iterate(ctx):
+            if row in emitted:
+                continue
+            member = row in right_rows
+            if (self.operation == "EXCEPT") != member:
+                emitted.add(row)
+                yield row
+
+
+# ---------------------------------------------------------------------------
+# physical planning
+# ---------------------------------------------------------------------------
+
+
+JOIN_ALGORITHMS = ("auto", "hash", "merge")
+
+
+class PhysicalPlanner:
+    """Turns an optimized logical plan into a physical operator tree.
+
+    ``join_algorithm`` selects the equi-join implementation: ``auto``/
+    ``hash`` use hash joins; ``merge`` forces sort-merge for INNER
+    equi-joins (other kinds keep hash — merge variants of semi/outer joins
+    offer nothing here and hash handles their NULL subtleties already).
+    """
+
+    def __init__(self, catalog: Catalog, join_algorithm: str = "auto") -> None:
+        if join_algorithm not in JOIN_ALGORITHMS:
+            raise PlanError(f"unknown join algorithm {join_algorithm!r}")
+        self._catalog = catalog
+        self._join_algorithm = join_algorithm
+
+    def build(self, plan: LogicalPlan) -> PhysicalOperator:
+        if isinstance(plan, RemoteQueryOp):
+            if plan.bind is not None:
+                raise PlanError(
+                    "a bound remote fragment must be consumed by its join"
+                )
+            return self._exchange(plan)
+        if isinstance(plan, ValuesOp):
+            return StaticRowsExec(list(plan.rows), plan.columns)
+        if isinstance(plan, ScanOp):
+            raise PlanError(
+                f"bare scan of {plan.table.name!r} survived pushdown; "
+                "this is a planner bug"
+            )
+        if isinstance(plan, FilterOp):
+            return FilterExec(self.build(plan.child), plan.predicate)
+        if isinstance(plan, ProjectOp):
+            return ProjectExec(
+                self.build(plan.child), plan.expressions, plan.columns
+            )
+        if isinstance(plan, JoinOp):
+            return self._join(plan)
+        if isinstance(plan, AggregateOp):
+            return HashAggregateExec(plan, self.build(plan.child))
+        if isinstance(plan, WindowOp):
+            return WindowExec(plan, self.build(plan.child))
+        if isinstance(plan, SortOp):
+            return SortExec(self.build(plan.child), plan.keys)
+        if isinstance(plan, LimitOp):
+            return LimitExec(self.build(plan.child), plan.limit, plan.offset)
+        if isinstance(plan, DistinctOp):
+            return DistinctExec(self.build(plan.child))
+        if isinstance(plan, UnionOp):
+            return UnionExec(
+                [self.build(child) for child in plan.inputs], plan.columns
+            )
+        if isinstance(plan, SetDifferenceOp):
+            return SetDifferenceExec(
+                self.build(plan.left),
+                self.build(plan.right),
+                plan.operation,
+                plan.columns,
+                plan.all,
+            )
+        raise PlanError(f"cannot build physical plan for {type(plan).__name__}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _exchange(self, plan: RemoteQueryOp) -> ExchangeExec:
+        adapter = self._catalog.source(plan.source_name)
+        page_rows = adapter.capabilities().page_rows
+        return ExchangeExec(
+            adapter,
+            Fragment(plan.source_name, plan.fragment),
+            plan.columns,
+            page_rows,
+        )
+
+    def _join(self, plan: JoinOp) -> PhysicalOperator:
+        bound_side: Optional[str] = None
+        if isinstance(plan.right, RemoteQueryOp) and plan.right.bind is not None:
+            bound_side = "right"
+        elif isinstance(plan.left, RemoteQueryOp) and plan.left.bind is not None:
+            bound_side = "left"
+        if bound_side is not None:
+            remote = plan.right if bound_side == "right" else plan.left
+            probe_logical = plan.left if bound_side == "right" else plan.right
+            assert isinstance(remote, RemoteQueryOp)
+            adapter = self._catalog.source(remote.source_name)
+            return BindJoinExec(
+                probe=self.build(probe_logical),
+                remote=remote,
+                adapter=adapter,
+                page_rows=adapter.capabilities().page_rows,
+                bound_side=bound_side,
+                kind=plan.kind,
+                condition=plan.condition,
+                columns=plan.output_columns,
+                null_aware=plan.null_aware,
+            )
+        left = self.build(plan.left)
+        right = self.build(plan.right)
+        if plan.kind == "CROSS" or plan.condition is None:
+            return NestedLoopJoinExec(
+                left, right, plan.kind, plan.condition, plan.output_columns
+            )
+        keys = equi_join_keys(plan.condition, left.columns, right.columns)
+        if keys is None:
+            return NestedLoopJoinExec(
+                left, right, plan.kind, plan.condition, plan.output_columns
+            )
+        left_keys, right_keys, residual = keys
+        if self._join_algorithm == "merge" and plan.kind == "INNER":
+            return MergeJoinExec(
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ast.conjoin(residual),
+                plan.output_columns,
+            )
+        return HashJoinExec(
+            left,
+            right,
+            plan.kind,
+            left_keys,
+            right_keys,
+            ast.conjoin(residual),
+            plan.output_columns,
+            plan.null_aware,
+        )

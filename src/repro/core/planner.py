@@ -1,0 +1,197 @@
+"""The end-to-end planning pipeline.
+
+``Planner.plan`` drives: parse → bind → rewrite → join-order → pushdown →
+semijoin → physicalize, returning a :class:`PlannedQuery` that records every
+intermediate stage for EXPLAIN, tests, and benchmarks.
+
+:class:`PlannerOptions` switches individual phases off — that is how the
+experiment suite constructs its baselines (ship-everything mediator,
+canonical join order, semijoins disabled, histogram-free estimation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..catalog.catalog import Catalog
+from ..errors import PlanError
+from ..sources.network import SimulatedNetwork
+from ..sql import ast
+from ..sql.parser import parse_select
+from .analyzer import Analyzer
+from .cardinality import Estimator
+from .cost import DEFAULT_CPU_ROW_MS, CostModel
+from .join_order import DEFAULT_DP_LIMIT, JOIN_STRATEGIES, JoinOrderer, OrderingStats
+from .logical import LogicalPlan, explain_plan
+from .physical import JOIN_ALGORITHMS, PhysicalOperator, PhysicalPlanner
+from .pushdown import PUSHDOWN_LEVELS, PushdownPlanner
+from .rewriter import rewrite
+from .semijoin import SEMIJOIN_MODES, SemijoinDecision, SemijoinPlanner
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Optimizer configuration; every field is an experiment knob.
+
+    Attributes:
+        rewrites: run the rule-based rewriter (constant folding, predicate
+            pushdown, projection pruning). Off = the naive mediator.
+        join_strategy: ``auto`` | ``dp`` | ``greedy`` | ``canonical``.
+        pushdown: ``full`` (capability envelope) | ``scans-only`` (ship
+            every base table whole).
+        semijoin: ``auto`` (cost-gated) | ``off`` | ``force``.
+        use_histograms: feed histograms to the estimator (T4 ablation).
+        partial_aggregation: decompose aggregates over UNION ALL into
+            per-branch partial aggregates (local/global aggregation).
+        dp_limit: region size above which DP falls back to greedy.
+        cpu_row_ms: virtual CPU cost per mediator row (cost model unit).
+    """
+
+    rewrites: bool = True
+    join_strategy: str = "auto"
+    join_algorithm: str = "auto"
+    pushdown: str = "full"
+    semijoin: str = "auto"
+    replicas: str = "cost"
+    use_histograms: bool = True
+    partial_aggregation: bool = True
+    dp_limit: int = DEFAULT_DP_LIMIT
+    cpu_row_ms: float = DEFAULT_CPU_ROW_MS
+
+    def __post_init__(self) -> None:
+        if self.join_strategy not in JOIN_STRATEGIES:
+            raise PlanError(f"unknown join strategy {self.join_strategy!r}")
+        if self.join_algorithm not in JOIN_ALGORITHMS:
+            raise PlanError(f"unknown join algorithm {self.join_algorithm!r}")
+        if self.pushdown not in PUSHDOWN_LEVELS:
+            raise PlanError(f"unknown pushdown level {self.pushdown!r}")
+        if self.semijoin not in SEMIJOIN_MODES:
+            raise PlanError(f"unknown semijoin mode {self.semijoin!r}")
+        if self.replicas not in ("cost", "primary"):
+            raise PlanError(f"unknown replica mode {self.replicas!r}")
+
+    def but(self, **changes) -> "PlannerOptions":
+        """A copy with some options changed (bench/baseline convenience)."""
+        return replace(self, **changes)
+
+
+#: The ship-everything, no-optimizer configuration used as the baseline
+#: mediator throughout the experiment suite.
+NAIVE_OPTIONS = PlannerOptions(
+    rewrites=False,
+    join_strategy="canonical",
+    pushdown="scans-only",
+    semijoin="off",
+    use_histograms=False,
+    partial_aggregation=False,
+)
+
+
+@dataclass
+class PlannedQuery:
+    """Everything the planner produced for one statement."""
+
+    sql: str
+    bound: LogicalPlan
+    optimized: LogicalPlan
+    distributed: LogicalPlan
+    physical: PhysicalOperator
+    output_names: List[str]
+    planning_ms: float
+    ordering_stats: OrderingStats
+    semijoin_decisions: List[SemijoinDecision] = field(default_factory=list)
+    replica_decisions: List[str] = field(default_factory=list)
+    estimates: dict = field(default_factory=dict)
+
+    def explain(self) -> str:
+        """Multi-stage EXPLAIN text with per-node cardinality estimates."""
+        sections = [
+            "== distributed plan ==",
+            explain_plan(self.distributed, estimates=self.estimates),
+            "",
+            "== physical plan ==",
+            self.physical.explain(),
+        ]
+        return "\n".join(sections)
+
+
+class Planner:
+    """Plans statements against one catalog + network configuration."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        network: SimulatedNetwork,
+        options: Optional[PlannerOptions] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.network = network
+        self.options = options or PlannerOptions()
+
+    def plan(self, sql: str, options: Optional[PlannerOptions] = None) -> PlannedQuery:
+        """Produce a fully optimized, executable plan for ``sql``."""
+        opts = options or self.options
+        started = time.perf_counter()
+        statement = parse_select(sql)
+        analyzer = Analyzer(self.catalog)
+        bound = analyzer.bind_statement(statement)
+        output_names = [column.name for column in bound.output_columns]
+
+        optimized = rewrite(bound) if opts.rewrites else bound
+
+        estimator = Estimator(self.catalog, use_histograms=opts.use_histograms)
+        cost_model = CostModel(self.network, estimator, cpu_row_ms=opts.cpu_row_ms)
+        orderer = JoinOrderer(
+            self.catalog,
+            estimator,
+            cost_model,
+            strategy=opts.join_strategy,
+            dp_limit=opts.dp_limit,
+        )
+        optimized = orderer.reorder(optimized)
+        if opts.rewrites:
+            # Reordering moves predicates around; re-prune projections.
+            optimized = rewrite(optimized)
+        if opts.partial_aggregation:
+            from .partial_agg import push_partial_aggregation
+
+            optimized = push_partial_aggregation(optimized)
+        replica_decisions: List[str] = []
+        if opts.replicas == "cost":
+            from .replicas import ReplicaSelector
+
+            selector = ReplicaSelector(self.catalog, estimator, cost_model)
+            optimized = selector.apply(optimized)
+            replica_decisions = selector.decisions
+
+        pushdown = PushdownPlanner(self.catalog, estimator, level=opts.pushdown)
+        distributed = pushdown.apply(optimized)
+
+        semijoin = SemijoinPlanner(
+            self.catalog, estimator, cost_model, mode=opts.semijoin
+        )
+        distributed = semijoin.apply(distributed)
+
+        physical = PhysicalPlanner(
+            self.catalog, join_algorithm=opts.join_algorithm
+        ).build(distributed)
+
+        estimates = {}
+        for node in distributed.walk():
+            estimates[id(node)] = estimator.estimate_rows(node)
+        planning_ms = (time.perf_counter() - started) * 1000.0
+        return PlannedQuery(
+            sql=sql,
+            bound=bound,
+            optimized=optimized,
+            distributed=distributed,
+            physical=physical,
+            output_names=output_names,
+            planning_ms=planning_ms,
+            ordering_stats=orderer.last_stats,
+            semijoin_decisions=semijoin.decisions,
+            replica_decisions=replica_decisions,
+            estimates=estimates,
+        )

@@ -1,0 +1,95 @@
+"""Replica (site) selection.
+
+When a base table is registered on several sources, the planner must pick
+which copy each scan reads — the classic *site selection* step of
+distributed query processing. The chooser runs after the rewriter (so
+filters sit directly on scans) and prices each candidate copy as the
+simulated transfer of the rows that copy would have to ship:
+
+* rows = the filtered estimate when the candidate source's envelope can
+  absorb the predicate above the scan, else the full table;
+* cost = that row volume over the candidate's link, paged by the
+  candidate's ``page_rows``.
+
+The scan's :attr:`~repro.core.logical.ScanOp.mapping` is stamped with the
+winner; everything downstream (pushdown, wrappers) reads
+``effective_mapping`` and needs no further changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..catalog.catalog import Catalog
+from ..catalog.mappings import TableMapping
+from ..sql import ast
+from .cardinality import Estimator
+from .cost import CostModel
+from .logical import FilterOp, LogicalPlan, ScanOp, transform_plan
+from .pushdown import _expression_supported
+
+
+class ReplicaSelector:
+    """Stamps every multi-copy scan with its cheapest replica."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        estimator: Estimator,
+        cost_model: CostModel,
+    ) -> None:
+        self._catalog = catalog
+        self._estimator = estimator
+        self._cost = cost_model
+        self.decisions: List[str] = []
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        self.decisions = []
+
+        def visit(node: LogicalPlan) -> Optional[LogicalPlan]:
+            if isinstance(node, ScanOp):
+                return self._choose(node, predicate=None)
+            if isinstance(node, FilterOp) and isinstance(node.child, ScanOp):
+                chosen = self._choose(node.child, predicate=node.predicate)
+                if chosen is None:
+                    return None
+                return FilterOp(chosen, node.predicate)
+            return None
+
+        return transform_plan(plan, visit)
+
+    def _choose(
+        self, scan: ScanOp, predicate: Optional[ast.Expr]
+    ) -> Optional[ScanOp]:
+        mappings = scan.table.all_mappings()
+        if len(mappings) < 2:
+            return None
+        table_rows = max(self._estimator.estimate_rows(scan), 1.0)
+        width = self._estimator.estimate_width(scan.columns)
+        selectivity = 1.0
+        if predicate is not None:
+            selectivity = self._estimator.selectivity(predicate, table_rows)
+
+        best: Optional[TableMapping] = None
+        best_cost = float("inf")
+        for mapping in mappings:
+            caps = self._catalog.source(mapping.source).capabilities()
+            absorbs = (
+                predicate is not None
+                and caps.filters
+                and _expression_supported(predicate, caps)
+            )
+            rows = table_rows * selectivity if absorbs else table_rows
+            cost = self._cost.transfer_bytes(
+                mapping.source, rows, rows * width, caps.page_rows
+            ).total_ms
+            if cost < best_cost:
+                best, best_cost = mapping, cost
+        assert best is not None
+        self.decisions.append(
+            f"{scan.table.name}: chose {best.source} "
+            f"({best_cost:.1f}ms estimated transfer)"
+        )
+        if best is scan.effective_mapping:
+            return None
+        return ScanOp(scan.table, scan.binding_name, scan.columns, mapping=best)

@@ -1,0 +1,253 @@
+"""Semijoin (bind-join) reduction planning — SDD-1's core idea.
+
+After pushdown, every cross-source join moves both inputs to the mediator
+in full. When one input is small (or heavily filtered), shipping its join
+keys *to the other input's source* and fetching only matching rows can cut
+the dominant transfer dramatically — at the price of one extra round of
+messages. This planner finds eligible joins, prices both strategies with
+the cost model, and attaches a :class:`~repro.core.logical.BindSpec` to the
+remote side when the semijoin wins (experiment F1 sweeps the bandwidth that
+decides the crossover).
+
+Eligibility for reducing remote side R by probe side P:
+
+* the join is INNER or SEMI, its condition contains exactly-one-column
+  equi-key ``p = r`` with ``r`` a bare column of R's fragment output;
+* R is a direct ``RemoteQueryOp`` without an existing bind;
+* R's source accepts an injected ``r IN (<literals>)`` filter (envelope:
+  filters + IN with a positive list cap, or a key-lookup source whose key
+  is exactly ``r``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..catalog.catalog import Catalog
+from ..datatypes import wire_width
+from ..sql import ast
+from .cardinality import Estimator
+from .cost import CostModel
+from .fragments import equi_join_keys
+from .logical import (
+    BindSpec,
+    JoinOp,
+    LogicalPlan,
+    ProjectOp,
+    RelColumn,
+    RemoteQueryOp,
+    ScanOp,
+    transform_plan,
+)
+from ..sql.ast import BoundRef
+
+
+def _unwrap_remote(plan: LogicalPlan) -> Optional[RemoteQueryOp]:
+    """The RemoteQueryOp behind ``plan``, seeing through an
+    identity-forwarding projection (the shape column pruning leaves over
+    projection-less sources). Returns None for anything else."""
+    if isinstance(plan, RemoteQueryOp):
+        return plan
+    if isinstance(plan, ProjectOp) and isinstance(plan.child, RemoteQueryOp):
+        forwards_identity = all(
+            isinstance(expr, BoundRef) and expr.column is column
+            for expr, column in zip(plan.expressions, plan.columns)
+        )
+        if forwards_identity:
+            return plan.child
+    return None
+
+SEMIJOIN_MODES = ("auto", "off", "force")
+
+#: Never send more than this many keys per IN batch, whatever the source says.
+MAX_BATCH = 1000
+
+
+@dataclass
+class SemijoinDecision:
+    """Diagnostics for one considered join (read by tests and benches)."""
+
+    applied: bool
+    reason: str
+    full_cost_ms: float = 0.0
+    reduced_cost_ms: float = 0.0
+
+
+class SemijoinPlanner:
+    """Attaches bind specs to profitable remote join inputs."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        estimator: Estimator,
+        cost_model: CostModel,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in SEMIJOIN_MODES:
+            raise ValueError(f"unknown semijoin mode {mode!r}")
+        self._catalog = catalog
+        self._estimator = estimator
+        self._cost = cost_model
+        self._mode = mode
+        self.decisions: List[SemijoinDecision] = []
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        self.decisions = []
+        if self._mode == "off":
+            return plan
+
+        def visit(node: LogicalPlan) -> Optional[LogicalPlan]:
+            if isinstance(node, JoinOp) and node.kind in ("INNER", "SEMI"):
+                return self._consider(node)
+            return None
+
+        return transform_plan(plan, visit)
+
+    # -- per-join decision ------------------------------------------------------
+
+    def _consider(self, join: JoinOp) -> Optional[JoinOp]:
+        keys = equi_join_keys(
+            join.condition, join.left.output_columns, join.right.output_columns
+        )
+        if keys is None:
+            return None
+        left_keys, right_keys, _ = keys
+
+        # Try to reduce the right side by the left, and (for INNER) vice versa.
+        candidates: List[Tuple[ast.Expr, ast.Expr, str]] = []
+        for probe, remote_key in zip(left_keys, right_keys):
+            candidates.append((probe, remote_key, "right"))
+        if join.kind == "INNER":
+            for probe, remote_key in zip(right_keys, left_keys):
+                candidates.append((probe, remote_key, "left"))
+
+        best: Optional[Tuple[float, SemijoinDecision, ast.Expr, RelColumn, int, str]] = None
+        for probe_key, remote_key, side in candidates:
+            child = join.right if side == "right" else join.left
+            probe_plan = join.left if side == "right" else join.right
+            remote = _unwrap_remote(child)
+            if remote is None or remote.bind is not None:
+                continue
+            if not isinstance(remote_key, ast.BoundRef):
+                continue
+            fragment_key = remote_key.column
+            if fragment_key.column_id not in {
+                c.column_id for c in remote.columns
+            }:
+                continue
+            batch = self._bindable_batch(remote, fragment_key)
+            if batch is None:
+                self.decisions.append(
+                    SemijoinDecision(False, "source cannot accept a key list")
+                )
+                continue
+            decision = self._evaluate(remote, probe_plan, probe_key, fragment_key, batch)
+            self.decisions.append(decision)
+            benefit = decision.full_cost_ms - decision.reduced_cost_ms
+            applicable = decision.applied or self._mode == "force"
+            if applicable and (best is None or benefit > best[0]):
+                best = (benefit, decision, probe_key, fragment_key, batch, side)
+        if best is None:
+            return None
+        _, _, probe_key, fragment_key, batch, side = best
+        child = join.right if side == "right" else join.left
+        remote = _unwrap_remote(child)
+        assert remote is not None
+        new_remote = RemoteQueryOp(
+            source_name=remote.source_name,
+            fragment=remote.fragment,
+            columns=remote.columns,
+            estimated_rows=remote.estimated_rows,
+            bind=BindSpec(probe_key, fragment_key, batch),
+        )
+        # The unwrapped projection only forwarded identity columns, so the
+        # bound remote replaces it outright (the join is already referencing
+        # those columns by identity; the extra ones ride along harmlessly —
+        # the wire cost is unchanged because the source ships full rows).
+        new_child: LogicalPlan = new_remote
+        if side == "right":
+            return JoinOp(
+                join.left, new_child, join.kind, join.condition, join.null_aware
+            )
+        return JoinOp(
+            new_child, join.right, join.kind, join.condition, join.null_aware
+        )
+
+    def _bindable_batch(
+        self, remote: RemoteQueryOp, fragment_key: RelColumn
+    ) -> Optional[int]:
+        """Batch size the source accepts for an injected key filter, or None."""
+        adapter = self._catalog.source(remote.source_name)
+        caps = adapter.capabilities()
+        if caps.key_equality_only is not None:
+            # Key-lookup sources: fragment must be a bare scan and the key
+            # column must be *the* key.
+            if not isinstance(remote.fragment, ScanOp):
+                return None
+            scan = remote.fragment
+            mapping = scan.effective_mapping
+            if mapping is None:
+                return None
+            key_column = None
+            for table_name, column in caps.key_equality_only.items():
+                if table_name.lower() == mapping.remote_table.lower():
+                    key_column = column
+                    break
+            if key_column is None:
+                return None
+            if mapping.remote_column(fragment_key.name).lower() != key_column.lower():
+                return None
+            return min(caps.in_list_max or MAX_BATCH, MAX_BATCH)
+        if not caps.filters or "IN" not in caps.predicate_ops or caps.in_list_max <= 0:
+            return None
+        return min(caps.in_list_max, MAX_BATCH)
+
+    def _evaluate(
+        self,
+        remote: RemoteQueryOp,
+        probe_plan: LogicalPlan,
+        probe_key: ast.Expr,
+        fragment_key: RelColumn,
+        batch: int,
+    ) -> SemijoinDecision:
+        estimator = self._estimator
+        probe_rows = max(estimator.estimate_rows(probe_plan), 1.0)
+        probe_columns = ast.referenced_columns(probe_key)
+        if len(probe_columns) == 1:
+            key_ndv = estimator.column_ndv(probe_columns[0], probe_rows)
+        else:
+            key_ndv = probe_rows
+        remote_rows = max(remote.estimated_rows, 1.0)
+        remote_key_ndv = estimator.column_ndv(fragment_key, remote_rows)
+        match_fraction = min(1.0, key_ndv / max(remote_key_ndv, 1.0))
+        reduced_rows = remote_rows * match_fraction
+
+        caps = self._catalog.source(remote.source_name).capabilities()
+        width = estimator.estimate_width(remote.columns)
+        full = self._cost.transfer_bytes(
+            remote.source_name, remote_rows, remote_rows * width, caps.page_rows
+        ).total_ms
+
+        key_width = wire_width(fragment_key.dtype)
+        batches = max(1, math.ceil(key_ndv / batch))
+        link = self._cost.network.link_for(remote.source_name)
+        upload = link.transfer_time_ms(key_ndv * key_width, batches)
+        download = self._cost.transfer_bytes(
+            remote.source_name,
+            reduced_rows,
+            reduced_rows * width,
+            caps.page_rows,
+        ).total_ms
+        # Each batch is its own request/response, so at least one message each.
+        download += link.latency_ms * max(batches - 1, 0)
+        reduced = upload + download
+
+        applied = reduced < full or self._mode == "force"
+        reason = (
+            f"semijoin {'wins' if applied else 'loses'}: reduced "
+            f"{reduced:.1f}ms vs full {full:.1f}ms "
+            f"(keys≈{key_ndv:.0f}, match≈{match_fraction:.2f})"
+        )
+        return SemijoinDecision(applied, reason, full, reduced)

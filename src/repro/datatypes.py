@@ -1,0 +1,249 @@
+"""The mediator's global type system.
+
+Component information systems each have their own native types; the global
+schema normalizes them to a small lattice that every wrapper knows how to
+translate into. The lattice deliberately mirrors what a 1989-era federation
+could agree on: integers, floats, decimals collapsed to float, strings,
+booleans, and dates.
+
+Coercion follows SQL semantics: ``INTEGER`` widens to ``FLOAT``; ``NULL``
+(the type of a bare NULL literal) unifies with anything; everything else
+requires an exact match or an explicit CAST.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any, Optional
+
+from .errors import TypeCheckError
+
+
+class DataType(enum.Enum):
+    """Global schema data types."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+    NULL = "NULL"  # type of the bare NULL literal; unifies with anything
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_NUMERIC = {DataType.INTEGER, DataType.FLOAT}
+
+#: Python classes accepted for each global type (NULL accepts only None).
+_PYTHON_CLASSES = {
+    DataType.INTEGER: (int,),
+    DataType.FLOAT: (float, int),
+    DataType.TEXT: (str,),
+    DataType.BOOLEAN: (bool,),
+    DataType.DATE: (datetime.date,),
+}
+
+
+def is_numeric(dtype: DataType) -> bool:
+    """Return True for types that participate in arithmetic."""
+    return dtype in _NUMERIC
+
+
+def is_comparable(left: DataType, right: DataType) -> bool:
+    """Return True if values of the two types may be compared with <, =, etc."""
+    if DataType.NULL in (left, right):
+        return True
+    if left == right:
+        return True
+    return left in _NUMERIC and right in _NUMERIC
+
+
+def unify(left: DataType, right: DataType) -> DataType:
+    """Least upper bound of two types, for CASE/COALESCE/set operations.
+
+    Raises :class:`TypeCheckError` when the types have no common supertype.
+    """
+    if left == right:
+        return left
+    if left == DataType.NULL:
+        return right
+    if right == DataType.NULL:
+        return left
+    if left in _NUMERIC and right in _NUMERIC:
+        return DataType.FLOAT
+    raise TypeCheckError(f"cannot unify types {left} and {right}")
+
+
+def arithmetic_result(left: DataType, right: DataType, operator: str) -> DataType:
+    """Result type of a binary arithmetic expression.
+
+    Division always yields FLOAT (SQL float division); other operators yield
+    INTEGER only when both operands are INTEGER.
+    """
+    if left == DataType.NULL or right == DataType.NULL:
+        # NULL propagates; pick the non-null side's numeric type if any.
+        other = right if left == DataType.NULL else left
+        if other == DataType.NULL:
+            return DataType.NULL
+        left = right = other
+    if not (is_numeric(left) and is_numeric(right)):
+        raise TypeCheckError(
+            f"operator {operator!r} requires numeric operands, got {left} and {right}"
+        )
+    if operator == "/":
+        return DataType.FLOAT
+    if left == DataType.INTEGER and right == DataType.INTEGER:
+        return DataType.INTEGER
+    return DataType.FLOAT
+
+
+def type_of_value(value: Any) -> DataType:
+    """Infer the global type of a Python value (used by literals and adapters)."""
+    if value is None:
+        return DataType.NULL
+    if isinstance(value, bool):  # must precede int: bool is an int subclass
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.TEXT
+    if isinstance(value, datetime.datetime):
+        raise TypeCheckError("datetime values are not supported; use datetime.date")
+    if isinstance(value, datetime.date):
+        return DataType.DATE
+    raise TypeCheckError(f"unsupported Python value type: {type(value).__name__}")
+
+
+def conforms(value: Any, dtype: DataType) -> bool:
+    """Check that a Python value is acceptable for a column of type ``dtype``.
+
+    NULLs are acceptable for every type (nullability is not modeled per
+    column; the 1989 federation could not rely on sources enforcing it).
+    """
+    if value is None:
+        return True
+    if dtype == DataType.NULL:
+        return False
+    if dtype == DataType.INTEGER and isinstance(value, bool):
+        return False
+    if dtype == DataType.FLOAT and isinstance(value, bool):
+        return False
+    if dtype == DataType.DATE and isinstance(value, datetime.datetime):
+        return False
+    return isinstance(value, _PYTHON_CLASSES[dtype])
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce a Python value to type ``dtype``, mirroring wrapper normalization.
+
+    Wrappers call this on every cell a source returns so heterogeneous native
+    representations (e.g. SQLite returning ISO date strings) surface as
+    uniform global values. Raises :class:`TypeCheckError` on impossible
+    coercions.
+    """
+    if value is None:
+        return None
+    if dtype == DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise TypeCheckError(f"cannot coerce {value!r} to INTEGER") from exc
+        raise TypeCheckError(f"cannot coerce {value!r} to INTEGER")
+    if dtype == DataType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise TypeCheckError(f"cannot coerce {value!r} to FLOAT") from exc
+        raise TypeCheckError(f"cannot coerce {value!r} to FLOAT")
+    if dtype == DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return str(value)
+        if isinstance(value, datetime.date):
+            return value.isoformat()
+        raise TypeCheckError(f"cannot coerce {value!r} to TEXT")
+    if dtype == DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise TypeCheckError(f"cannot coerce {value!r} to BOOLEAN")
+    if dtype == DataType.DATE:
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeCheckError(f"cannot coerce {value!r} to DATE") from exc
+        raise TypeCheckError(f"cannot coerce {value!r} to DATE")
+    raise TypeCheckError(f"cannot coerce to {dtype}")
+
+
+def parse_type_name(name: str) -> DataType:
+    """Resolve a type name as written in SQL (CAST target) or mapping files."""
+    normalized = name.strip().upper()
+    aliases = {
+        "INT": DataType.INTEGER,
+        "INTEGER": DataType.INTEGER,
+        "BIGINT": DataType.INTEGER,
+        "SMALLINT": DataType.INTEGER,
+        "FLOAT": DataType.FLOAT,
+        "REAL": DataType.FLOAT,
+        "DOUBLE": DataType.FLOAT,
+        "DECIMAL": DataType.FLOAT,
+        "NUMERIC": DataType.FLOAT,
+        "TEXT": DataType.TEXT,
+        "STRING": DataType.TEXT,
+        "VARCHAR": DataType.TEXT,
+        "CHAR": DataType.TEXT,
+        "BOOLEAN": DataType.BOOLEAN,
+        "BOOL": DataType.BOOLEAN,
+        "DATE": DataType.DATE,
+    }
+    if normalized in aliases:
+        return aliases[normalized]
+    raise TypeCheckError(f"unknown type name: {name!r}")
+
+
+#: Estimated wire width in bytes per value, used by the network cost model.
+_WIRE_WIDTHS = {
+    DataType.INTEGER: 8,
+    DataType.FLOAT: 8,
+    DataType.BOOLEAN: 1,
+    DataType.DATE: 4,
+    DataType.NULL: 1,
+}
+
+#: Average assumed width of TEXT values when no statistics are available.
+DEFAULT_TEXT_WIDTH = 24
+
+
+def wire_width(dtype: DataType, avg_text_width: Optional[float] = None) -> float:
+    """Bytes a single value of ``dtype`` occupies on the simulated wire."""
+    if dtype == DataType.TEXT:
+        return avg_text_width if avg_text_width is not None else DEFAULT_TEXT_WIDTH
+    return _WIRE_WIDTHS[dtype]

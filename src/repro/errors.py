@@ -1,0 +1,79 @@
+"""Exception hierarchy for the GIS mediator.
+
+Every error raised by the library derives from :class:`GISError`, so client
+code can catch a single base class. Subclasses partition failures by pipeline
+stage: lexing/parsing, binding/analysis, planning, execution, and the
+source-adapter boundary.
+"""
+
+from __future__ import annotations
+
+
+class GISError(Exception):
+    """Base class for all errors raised by the mediator."""
+
+
+class ParseError(GISError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the position of the offending token so callers can point at it.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class BindError(GISError):
+    """Name resolution or semantic analysis failed.
+
+    Raised for unknown tables/columns, ambiguous references, aggregate
+    misuse, and similar semantic violations.
+    """
+
+
+class TypeCheckError(BindError):
+    """An expression's operand types are incompatible and not coercible."""
+
+
+class CatalogError(GISError):
+    """The global catalog rejected a registration or lookup."""
+
+
+class DuplicateObjectError(CatalogError):
+    """A table, view, or source with the same name is already registered."""
+
+
+class UnknownObjectError(CatalogError):
+    """A referenced table, view, or source does not exist."""
+
+
+class PlanError(GISError):
+    """The optimizer could not produce a plan for a bound query."""
+
+
+class CapabilityError(PlanError):
+    """A fragment was handed to a source that cannot execute it.
+
+    This indicates a mediator bug (the pushdown planner must never emit an
+    unsupported fragment) or a direct misuse of an adapter's API.
+    """
+
+
+class ExecutionError(GISError):
+    """A runtime failure while evaluating a physical plan."""
+
+
+class SourceError(ExecutionError):
+    """A source adapter failed while executing a fragment.
+
+    Wraps the underlying adapter exception; the originating source name is
+    kept so federated failures can be attributed to a site.
+    """
+
+    def __init__(self, source_name: str, message: str) -> None:
+        self.source_name = source_name
+        super().__init__(f"source {source_name!r}: {message}")

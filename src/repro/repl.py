@@ -1,0 +1,280 @@
+r"""Interactive federation shell.
+
+``python -m repro --demo`` builds the TPC-H-lite demo federation and drops
+into a small REPL::
+
+    gis> SELECT COUNT(*) FROM orders;
+    gis> \tables
+    gis> \explain SELECT c_name FROM customers WHERE c_id = 7;
+    gis> \quit
+
+Statements end with ``;`` (multi-line input accumulates until one appears).
+Backslash commands:
+
+========  ===========================================================
+\help     this text
+\tables   list global tables and views
+\sources  list registered sources with their capability envelopes
+\schema T show a table's columns and statistics
+\explain  (prefix to a query) show the distributed plan instead of rows
+\profile  (prefix to a query) run it and show actual rows per operator
+\metrics  transfer metrics of the last executed query
+\naive    toggle the naive (no-optimizer) baseline for comparisons
+\analyze  gather statistics on all tables
+\quit     exit
+========  ===========================================================
+
+The class is I/O-stream parameterized so tests can drive it directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Iterable, List, Optional
+
+from .core.mediator import GlobalInformationSystem
+from .core.planner import NAIVE_OPTIONS, PlannerOptions
+from .core.result import QueryResult
+from .errors import GISError
+
+
+class Repl:
+    """Line-oriented shell over one mediator instance."""
+
+    PROMPT = "gis> "
+    CONTINUATION = "...> "
+
+    def __init__(
+        self,
+        gis: GlobalInformationSystem,
+        out: Optional[IO[str]] = None,
+    ) -> None:
+        self.gis = gis
+        self.out = out or sys.stdout
+        self.naive = False
+        self.last_result: Optional[QueryResult] = None
+        self._buffer: List[str] = []
+        self._done = False
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, lines: Iterable[str], interactive: bool = False) -> None:
+        """Process input lines until exhausted or \\quit."""
+        if interactive:
+            self._write(self.PROMPT, newline=False)
+        for line in lines:
+            self.feed_line(line)
+            if self._done:
+                return
+            if interactive:
+                prompt = self.CONTINUATION if self._buffer else self.PROMPT
+                self._write(prompt, newline=False)
+        # Flush a trailing statement missing its semicolon.
+        if self._buffer and not self._done:
+            self._execute(" ".join(self._buffer))
+            self._buffer = []
+
+    def feed_line(self, line: str) -> None:
+        """Process one input line (command, or a piece of a statement)."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            self._command(stripped)
+            return
+        if not stripped:
+            return
+        self._buffer.append(stripped)
+        if stripped.endswith(";"):
+            statement = " ".join(self._buffer).rstrip(";").strip()
+            self._buffer = []
+            if statement:
+                self._execute(statement)
+
+    # -- commands ---------------------------------------------------------------
+
+    def _command(self, text: str) -> None:
+        parts = text.split(None, 1)
+        name = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if name in ("\\quit", "\\q", "\\exit"):
+            self._write("bye")
+            self._done = True
+        elif name == "\\help":
+            self._write(__doc__ or "")
+        elif name == "\\tables":
+            self._show_tables()
+        elif name == "\\sources":
+            self._show_sources()
+        elif name == "\\schema":
+            self._show_schema(argument)
+        elif name == "\\metrics":
+            if self.last_result is None:
+                self._write("no query executed yet")
+            else:
+                self._write(self.last_result.metrics.summary())
+        elif name == "\\naive":
+            if argument.lower() in ("on", "off"):
+                self.naive = argument.lower() == "on"
+            else:
+                self.naive = not self.naive
+            self._write(f"naive mode {'ON' if self.naive else 'OFF'}")
+        elif name == "\\analyze":
+            collected = self.gis.analyze()
+            self._write(f"analyzed {len(collected)} tables")
+        elif name == "\\explain":
+            if not argument:
+                self._write("usage: \\explain <query>")
+            else:
+                self._guard(lambda: self._write(
+                    self.gis.explain(argument.rstrip(";"), self._options())
+                ))
+        elif name == "\\profile":
+            if not argument:
+                self._write("usage: \\profile <query>")
+            else:
+                self._guard(lambda: self._write(
+                    self.gis.explain_analyze(argument.rstrip(";"), self._options())
+                ))
+        else:
+            self._write(f"unknown command {name!r}; try \\help")
+
+    def _show_tables(self) -> None:
+        for name in sorted(self.gis.catalog.table_names(), key=str.lower):
+            entry = self.gis.catalog.table(name)
+            if entry.is_view:
+                self._write(f"  {name}  (view)")
+            else:
+                assert entry.mapping is not None
+                self._write(
+                    f"  {name}  ->  {entry.mapping.source}."
+                    f"{entry.mapping.remote_table}"
+                )
+
+    def _show_sources(self) -> None:
+        for name in self.gis.catalog.source_names():
+            adapter = self.gis.catalog.source(name)
+            caps = adapter.capabilities()
+            abilities = [
+                label
+                for label, enabled in (
+                    ("filters", caps.filters),
+                    ("projection", caps.projection),
+                    ("joins", caps.joins),
+                    ("aggregation", caps.aggregation),
+                    ("sort", caps.sort),
+                    ("limit", caps.limit),
+                )
+                if enabled
+            ]
+            if caps.key_equality_only:
+                abilities.append("key-lookup")
+            link = self.gis.network.link_for(name)
+            self._write(
+                f"  {name}: [{', '.join(abilities) or 'scan only'}] "
+                f"link={link.latency_ms:.0f}ms/"
+                f"{link.bandwidth_bytes_per_s/1000:.0f}KBps"
+            )
+
+    def _show_schema(self, table_name: str) -> None:
+        if not table_name:
+            self._write("usage: \\schema <table>")
+            return
+
+        def show() -> None:
+            entry = self.gis.catalog.table(table_name)
+            schema = entry.schema
+            if schema is None:
+                self._write(f"{table_name}: schema not yet derived (query it once)")
+                return
+            statistics = self.gis.catalog.statistics(table_name)
+            for column in schema.columns:
+                line = f"  {column.name}  {column.dtype}"
+                if statistics is not None:
+                    column_stats = statistics.column(column.name)
+                    if column_stats is not None:
+                        line += (
+                            f"  (ndv≈{column_stats.distinct_count:.0f}, "
+                            f"nulls={column_stats.null_fraction:.0%})"
+                        )
+                self._write(line)
+            if statistics is not None:
+                self._write(f"  ~{statistics.row_count:.0f} rows")
+
+        self._guard(show)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _options(self) -> Optional[PlannerOptions]:
+        return NAIVE_OPTIONS if self.naive else None
+
+    def _execute(self, sql: str) -> None:
+        def run_query() -> None:
+            result = self.gis.query(sql, self._options())
+            self.last_result = result
+            self._write(result.format_table())
+            self._write(
+                f"({len(result)} rows; {result.metrics.simulated_ms:.1f} ms "
+                "simulated network)"
+            )
+
+        self._guard(run_query)
+
+    def _guard(self, action) -> None:
+        try:
+            action()
+        except GISError as error:
+            self._write(f"error: {error}")
+
+    def _write(self, text: str, newline: bool = True) -> None:
+        self.out.write(text + ("\n" if newline else ""))
+        self.out.flush()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive shell over a GIS federation.",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="build the TPC-H-lite demo federation (6 sources, 8 tables)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="demo data scale factor (default 0.5)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        help="build the federation from a JSON config (see repro.config)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.config:
+        from .config import load_config
+
+        sys.stderr.write(f"loading federation from {arguments.config}...\n")
+        gis = load_config(arguments.config)
+    elif arguments.demo:
+        from .workloads import build_federation
+
+        sys.stderr.write("building demo federation...\n")
+        gis = build_federation(scale=arguments.scale).gis
+    else:
+        sys.stderr.write(
+            "note: empty federation (use --demo for sample data); "
+            "register sources programmatically for real use\n"
+        )
+        gis = GlobalInformationSystem()
+
+    repl = Repl(gis)
+    try:
+        repl.run(sys.stdin, interactive=sys.stdin.isatty())
+    except KeyboardInterrupt:
+        pass
+    return 0

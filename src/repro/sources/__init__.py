@@ -1,0 +1,41 @@
+"""Source adapters (wrappers) for component information systems.
+
+Each adapter presents an autonomous system to the mediator through a narrow
+interface: native table schemas, a declared capability envelope, and
+fragment execution. The mediator never reaches past the wrapper — that is
+the autonomy boundary the 1989 architecture mandates.
+
+Shipped adapters, ordered by capability:
+
+* :class:`~repro.sources.sqlite.SQLiteSource` — full SQL (filters,
+  projection, intra-source joins, aggregation, sort, limit);
+* :class:`~repro.sources.memory.MemorySource` — filters, projection,
+  aggregation, limit (no joins) — models a departmental record manager;
+* :class:`~repro.sources.rest.RestSource` — simple per-column predicates +
+  limit, paginated responses — models a remote web service;
+* :class:`~repro.sources.csvfile.CsvSource` — full scans only — models a
+  flat-file archive;
+* :class:`~repro.sources.keyvalue.KeyValueSource` — equality lookup on the
+  key column only.
+"""
+
+from .base import Adapter, SourceCapabilities
+from .csvfile import CsvSource
+from .keyvalue import KeyValueSource
+from .memory import MemorySource
+from .network import NetworkLink, SimulatedNetwork, TransferMetrics
+from .rest import RestSource
+from .sqlite import SQLiteSource
+
+__all__ = [
+    "Adapter",
+    "CsvSource",
+    "KeyValueSource",
+    "MemorySource",
+    "NetworkLink",
+    "RestSource",
+    "SimulatedNetwork",
+    "SourceCapabilities",
+    "SQLiteSource",
+    "TransferMetrics",
+]

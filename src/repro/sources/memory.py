@@ -1,0 +1,141 @@
+"""In-memory table source.
+
+Models a cooperative departmental record manager: it can filter, project,
+aggregate, and limit its own tables, but cannot join (each request touches
+one record type) — a common envelope for non-relational stores of the era.
+
+Also the workhorse test double: tables are loaded directly from Python
+rows with type validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..catalog.schema import TableSchema
+from ..datatypes import coerce_value
+from ..errors import CapabilityError, DuplicateObjectError, SourceError
+from ..core.fragments import Fragment, interpret_plan
+from ..core.logical import JoinOp, ScanOp
+from .base import Adapter, SourceCapabilities
+
+
+class MemorySource(Adapter):
+    """A wrapper over plain Python row lists.
+
+    Example::
+
+        crm = MemorySource("crm")
+        crm.add_table("customers", schema, rows)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capabilities: Optional[SourceCapabilities] = None,
+    ) -> None:
+        super().__init__(name)
+        self._tables: Dict[str, TableSchema] = {}
+        self._rows: Dict[str, List[Tuple[Any, ...]]] = {}
+        self._capabilities = capabilities or SourceCapabilities(
+            filters=True,
+            predicate_ops=frozenset(
+                {"=", "<>", "<", "<=", ">", ">=", "AND", "OR", "NOT", "LIKE",
+                 "IN", "BETWEEN", "ISNULL"}
+            ),
+            arithmetic=True,
+            functions=frozenset({"UPPER", "LOWER", "LENGTH", "ABS", "COALESCE"}),
+            projection=True,
+            joins=False,
+            aggregation=True,
+            sort=False,
+            limit=True,
+            in_list_max=1000,
+        )
+
+    # -- data loading -----------------------------------------------------------
+
+    def add_table(
+        self,
+        native_name: str,
+        schema: TableSchema,
+        rows: Sequence[Sequence[Any]],
+    ) -> None:
+        """Load a table; every cell is coerced to its declared global type."""
+        if native_name in self._tables:
+            raise DuplicateObjectError(
+                f"source {self.name!r} already has table {native_name!r}"
+            )
+        coerced: List[Tuple[Any, ...]] = []
+        for row_number, row in enumerate(rows):
+            if len(row) != len(schema.columns):
+                raise SourceError(
+                    self.name,
+                    f"table {native_name!r} row {row_number} has {len(row)} "
+                    f"values, expected {len(schema.columns)}",
+                )
+            coerced.append(
+                tuple(
+                    coerce_value(value, column.dtype)
+                    for value, column in zip(row, schema.columns)
+                )
+            )
+        self._tables[native_name] = schema
+        self._rows[native_name] = coerced
+
+    def extend_table(self, native_name: str, rows: Sequence[Sequence[Any]]) -> None:
+        """Append rows to an existing table (coerced like :meth:`add_table`)."""
+        schema = self._native_schema(native_name)
+        store = self._rows[self._resolve_name(native_name)]
+        for row in rows:
+            store.append(
+                tuple(
+                    coerce_value(value, column.dtype)
+                    for value, column in zip(row, schema.columns)
+                )
+            )
+
+    def _resolve_name(self, native_table: str) -> str:
+        if native_table in self._rows:
+            return native_table
+        for name in self._rows:
+            if name.lower() == native_table.lower():
+                return name
+        raise CapabilityError(f"source {self.name!r} has no table {native_table!r}")
+
+    # -- Adapter interface ---------------------------------------------------------
+
+    def tables(self) -> Dict[str, TableSchema]:
+        return dict(self._tables)
+
+    def capabilities(self) -> SourceCapabilities:
+        return self._capabilities
+
+    def scan(self, native_table: str) -> Iterator[Tuple[Any, ...]]:
+        yield from self._rows[self._resolve_name(native_table)]
+
+    def row_count(self, native_table: str) -> Optional[int]:
+        return len(self._rows[self._resolve_name(native_table)])
+
+    def execute(self, fragment: Fragment) -> Iterator[Tuple[Any, ...]]:
+        if not self._capabilities.joins:
+            for node in fragment.plan.walk():
+                if isinstance(node, JoinOp):
+                    raise CapabilityError(
+                        f"source {self.name!r} cannot execute joins"
+                    )
+
+        def provide(scan: ScanOp) -> Iterator[Tuple[Any, ...]]:
+            mapping = scan.effective_mapping
+            assert mapping is not None and scan.table.schema is not None
+            native_schema = self._native_schema(mapping.remote_table)
+            indices = [
+                native_schema.index_of(mapping.remote_column(column.name))
+                for column in scan.table.schema.columns
+            ]
+            rows = self.scan(mapping.remote_table)
+            if indices == list(range(len(native_schema.columns))):
+                return rows
+            return (tuple(row[i] for i in indices) for row in rows)
+
+        return interpret_plan(fragment.plan, provide)

@@ -1,0 +1,260 @@
+"""Compile a fragment's logical plan back into a *syntactic* SELECT.
+
+SQL-speaking wrappers use this to hand a pushed-down fragment to their
+native engine: the bound plan (RelColumn references) becomes an
+:class:`~repro.sql.ast.Select` whose column references carry the source's
+native table aliases and column names, ready for
+:func:`~repro.sql.printer.print_statement` in the source's dialect.
+
+The conversion is compositional — each operator wraps its child in a
+derived table when it cannot be merged — which trades SQL prettiness for
+unconditional correctness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import PlanError
+from ..sql import ast
+from ..core.logical import (
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    JoinOp,
+    LimitOp,
+    LogicalPlan,
+    ProjectOp,
+    RelColumn,
+    ScanOp,
+    SortOp,
+    UnionOp,
+    ValuesOp,
+)
+
+#: Resolves a scan leaf to (native table name, fn(global column) -> native column name).
+ScanNaming = Callable[[ScanOp], Tuple[str, Callable[[RelColumn], str]]]
+
+
+def fragment_to_statement(plan: LogicalPlan, naming: ScanNaming) -> ast.Statement:
+    """Convert a fragment plan to a syntactic statement in native names.
+
+    The statement's select list aligns positionally with
+    ``plan.output_columns``.
+    """
+    compiler = _Compiler(naming)
+    statement, _ = compiler.statement(plan)
+    return statement
+
+
+class _Compiler:
+    def __init__(self, naming: ScanNaming) -> None:
+        self._naming = naming
+        self._aliases = itertools.count(1)
+
+    def _fresh_alias(self, prefix: str = "t") -> str:
+        return f"{prefix}{next(self._aliases)}"
+
+    # -- relations ---------------------------------------------------------
+
+    def relation(
+        self, plan: LogicalPlan
+    ) -> Tuple[ast.FromItem, Dict[int, ast.Expr]]:
+        """A FROM item plus, for each of the plan's output columns, the
+        syntactic expression that reads it."""
+        if isinstance(plan, ScanOp):
+            native_table, column_namer = self._naming(plan)
+            alias = self._fresh_alias()
+            mapping: Dict[int, ast.Expr] = {
+                column.column_id: ast.ColumnRef(alias, column_namer(column))
+                for column in plan.columns
+            }
+            return ast.TableRef(native_table, alias), mapping
+        if isinstance(plan, JoinOp) and plan.kind in ("INNER", "LEFT", "CROSS"):
+            left_item, left_map = self.relation(plan.left)
+            right_item, right_map = self.relation(plan.right)
+            merged = {**left_map, **right_map}
+            condition = (
+                _translate(plan.condition, merged)
+                if plan.condition is not None
+                else None
+            )
+            return ast.Join(left_item, right_item, plan.kind, condition), merged
+        # Anything else becomes a derived table.
+        statement, names = self.statement(plan)
+        alias = self._fresh_alias("q")
+        mapping = {
+            column.column_id: ast.ColumnRef(alias, name)
+            for column, name in zip(plan.output_columns, names)
+        }
+        return ast.SubqueryRef(statement, alias), mapping
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self, plan: LogicalPlan) -> Tuple[ast.Statement, List[str]]:
+        """A full statement for ``plan`` plus its output column names."""
+        if isinstance(plan, UnionOp):
+            if len(plan.inputs) < 2:
+                return self.statement(plan.inputs[0])
+            statement, names = self.statement(plan.inputs[0])
+            for child in plan.inputs[1:]:
+                right, _ = self.statement(child)
+                statement = ast.SetOperation("UNION", statement, right, all=plan.all)
+            return statement, names
+        if isinstance(plan, ValuesOp):
+            raise PlanError("literal VALUES cannot be pushed to a source")
+        return self._select(plan)
+
+    def _select(self, plan: LogicalPlan) -> Tuple[ast.Select, List[str]]:
+        if isinstance(plan, ProjectOp):
+            item, mapping = self.relation(plan.child)
+            names = _output_names(plan.output_columns)
+            items = [
+                ast.SelectItem(_translate(expr, mapping), alias)
+                for expr, alias in zip(plan.expressions, names)
+            ]
+            return ast.Select(items=items, from_item=item), names
+        if isinstance(plan, FilterOp):
+            item, mapping = self.relation(plan.child)
+            names = _output_names(plan.output_columns)
+            items = [
+                ast.SelectItem(mapping[column.column_id], alias)
+                for column, alias in zip(plan.child.output_columns, names)
+            ]
+            where = _translate(plan.predicate, mapping)
+            return ast.Select(items=items, from_item=item, where=where), names
+        if isinstance(plan, AggregateOp):
+            item, mapping = self.relation(plan.child)
+            names = _output_names(plan.output_columns)
+            items: List[ast.SelectItem] = []
+            group_exprs: List[ast.Expr] = []
+            for index, expr in enumerate(plan.group_expressions):
+                translated = _translate(expr, mapping)
+                group_exprs.append(translated)
+                items.append(ast.SelectItem(translated, names[index]))
+            offset = len(plan.group_expressions)
+            for index, call in enumerate(plan.aggregates):
+                if call.argument is None:
+                    func = ast.FunctionCall(call.function, (), star=True)
+                else:
+                    func = ast.FunctionCall(
+                        call.function,
+                        (_translate(call.argument, mapping),),
+                        distinct=call.distinct,
+                    )
+                items.append(ast.SelectItem(func, names[offset + index]))
+            return (
+                ast.Select(items=items, from_item=item, group_by=group_exprs),
+                names,
+            )
+        if isinstance(plan, SortOp):
+            # ORDER BY must not be set already, and must precede any LIMIT.
+            select, names = self._select_over(
+                plan.child, conflict=lambda s: bool(s.order_by) or s.limit is not None
+            )
+            mapping = {
+                column.column_id: ast.ColumnRef(None, name)
+                for column, name in zip(plan.child.output_columns, names)
+            }
+            select.order_by = [
+                ast.OrderItem(_translate(expr, mapping), ascending)
+                for expr, ascending in plan.keys
+            ]
+            return select, names
+        if isinstance(plan, LimitOp):
+            # Merging onto an ORDER BY select is required (top-N); only an
+            # existing LIMIT forces a wrapper.
+            select, names = self._select_over(
+                plan.child, conflict=lambda s: s.limit is not None
+            )
+            select.limit = plan.limit if plan.limit is not None else _SQL_MAX_LIMIT
+            select.offset = plan.offset or None
+            return select, names
+        if isinstance(plan, DistinctOp):
+            select, names = self._select_over(
+                plan.child,
+                conflict=lambda s: s.distinct or bool(s.order_by) or s.limit is not None,
+            )
+            select.distinct = True
+            return select, names
+        if isinstance(plan, (ScanOp, JoinOp)):
+            item, mapping = self.relation(plan)
+            names = _output_names(plan.output_columns)
+            items = [
+                ast.SelectItem(mapping[column.column_id], alias)
+                for column, alias in zip(plan.output_columns, names)
+            ]
+            return ast.Select(items=items, from_item=item), names
+        raise PlanError(f"cannot compile plan node {type(plan).__name__} to SQL")
+
+    def _select_over(
+        self,
+        plan: LogicalPlan,
+        conflict: Callable[[ast.Select], bool],
+    ) -> Tuple[ast.Select, List[str]]:
+        """A *mutable* Select for ``plan``; wraps it in a derived table when
+        ``conflict`` says the clause we are about to set would collide."""
+        if isinstance(plan, UnionOp):
+            select, names = self._wrap_statement(plan)
+        else:
+            select, names = self._select(plan)
+        if conflict(select):
+            return self._wrap_select(select, names)
+        return select, names
+
+    def _wrap_statement(self, plan: LogicalPlan) -> Tuple[ast.Select, List[str]]:
+        statement, names = self.statement(plan)
+        if isinstance(statement, ast.Select):
+            return statement, names
+        alias = self._fresh_alias("q")
+        items = [
+            ast.SelectItem(ast.ColumnRef(alias, name), name) for name in names
+        ]
+        return (
+            ast.Select(items=items, from_item=ast.SubqueryRef(statement, alias)),
+            names,
+        )
+
+    def _wrap_select(
+        self, select: ast.Select, names: List[str]
+    ) -> Tuple[ast.Select, List[str]]:
+        alias = self._fresh_alias("q")
+        items = [
+            ast.SelectItem(ast.ColumnRef(alias, name), name) for name in names
+        ]
+        return (
+            ast.Select(items=items, from_item=ast.SubqueryRef(select, alias)),
+            names,
+        )
+
+
+#: LIMIT must carry a value when only OFFSET is wanted; SQLite accepts -1 but
+#: the portable spelling is a huge limit.
+_SQL_MAX_LIMIT = 2**62
+
+
+def _output_names(columns: List[RelColumn]) -> List[str]:
+    """Positionally unique output aliases (c0, c1, ...).
+
+    Deterministic names keep derived-table wiring trivial and dodge
+    collisions between duplicate user-facing column names.
+    """
+    return [f"c{i}" for i in range(len(columns))]
+
+
+def _translate(expr: ast.Expr, mapping: Dict[int, ast.Expr]) -> ast.Expr:
+    """Replace BoundRefs with the mapped syntactic expressions."""
+
+    def substitute(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.BoundRef):
+            target = mapping.get(node.column.column_id)
+            if target is None:
+                raise PlanError(
+                    f"fragment references column {node.column.name!r} that is "
+                    "not produced inside the fragment"
+                )
+            return target
+        return None
+
+    return ast.transform_expression(expr, substitute)

@@ -1,0 +1,68 @@
+"""SQL frontend: lexer, AST, recursive-descent parser, and SQL printer.
+
+The mediator accepts a single global query language — a practical SQL subset
+(SELECT with joins, aggregation, set operations, subqueries in FROM and IN).
+Wrappers for SQL-speaking sources reuse :mod:`repro.sql.printer` to render
+pushed-down fragments back into the source dialect.
+"""
+
+from .ast import (
+    Between,
+    BinaryOp,
+    BoundRef,
+    Case,
+    Cast,
+    ColumnRef,
+    Exists,
+    Expr,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    SetOperation,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from .lexer import Lexer, Token, TokenType
+from .parser import parse_select
+from .printer import SQLDialect, SQLitePrinterDialect, print_expression, print_statement
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "BoundRef",
+    "Case",
+    "Cast",
+    "ColumnRef",
+    "Exists",
+    "Expr",
+    "FunctionCall",
+    "InList",
+    "InSubquery",
+    "IsNull",
+    "Join",
+    "Lexer",
+    "Literal",
+    "OrderItem",
+    "Select",
+    "SelectItem",
+    "SetOperation",
+    "SQLDialect",
+    "SQLitePrinterDialect",
+    "Star",
+    "SubqueryRef",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "parse_select",
+    "print_expression",
+    "print_statement",
+]

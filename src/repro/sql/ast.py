@@ -1,0 +1,462 @@
+"""Abstract syntax tree for the mediator's SQL dialect.
+
+Two families of nodes live here:
+
+* **Expressions** (:class:`Expr` subclasses) — shared between the syntactic
+  phase (leaves are :class:`ColumnRef`) and the semantic phase (the analyzer
+  rewrites every ``ColumnRef`` into a :class:`BoundRef` pointing at a
+  :class:`~repro.core.logical.RelColumn`). All optimizer rewrites operate on
+  bound expressions.
+* **Statements** (:class:`Select`, :class:`SetOperation`) and their clause
+  helpers (:class:`TableRef`, :class:`Join`, :class:`OrderItem`, ...).
+
+Expression nodes are plain dataclasses compared by value, which makes
+rewrite-rule tests straightforward. The generic traversal helpers
+(:func:`walk_expression`, :func:`transform_expression`) keep rewrite code
+free of per-node boilerplate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..datatypes import DataType
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value with its global type (NULL literal has type NULL)."""
+
+    value: Any
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A *syntactic* column reference, e.g. ``orders.total`` or ``total``.
+
+    Only the parser produces these; the analyzer replaces every one with a
+    :class:`BoundRef`. Any ``ColumnRef`` reaching the planner is a bug.
+    """
+
+    table: Optional[str]
+    name: str
+
+
+@dataclass(frozen=True, eq=False)
+class BoundRef(Expr):
+    """A *semantic* column reference to a relation-instance column.
+
+    ``column`` is a :class:`repro.core.logical.RelColumn`; its identity (not
+    its name) is what the reference means, so self-joins and renamed views
+    never alias each other. Equality is identity equality, which is exactly
+    the semantics rewrites need.
+    """
+
+    column: Any  # RelColumn; typed loosely to avoid a circular import
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoundRef) and other.column is self.column
+
+    def __hash__(self) -> int:
+        return hash(id(self.column))
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list (expanded away by the analyzer)."""
+
+    table: Optional[str] = None
+
+
+#: Binary operators grouped by family; the analyzer type-checks per family.
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+LOGICAL_OPS = ("AND", "OR")
+STRING_OPS = ("LIKE", "||")
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """A binary expression. ``op`` is one of the operator constants above."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary minus (``-``) or logical ``NOT``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A scalar or aggregate function call.
+
+    ``name`` is stored upper-cased. ``distinct`` is only legal for
+    aggregates (``COUNT(DISTINCT x)``); ``star`` marks ``COUNT(*)``.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class WindowFunction(Expr):
+    """``name(args) OVER (PARTITION BY … ORDER BY …)``.
+
+    Supported names: ROW_NUMBER, RANK, DENSE_RANK (no arguments) and the
+    five aggregates (one argument, or star for COUNT). Frames are not
+    supported: aggregates compute over the whole partition.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+    partition_by: Tuple[Expr, ...] = ()
+    order_by: Tuple[Tuple[Expr, bool], ...] = ()
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Optional[Expr]
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    else_result: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``CAST(expr AS type)``."""
+
+    operand: Expr
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` — uncorrelated subqueries only."""
+
+    operand: Expr
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)`` — uncorrelated subqueries only."""
+
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    """One entry of a select list: an expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    """A base-table reference in FROM, with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        """The name this relation is known by inside the query."""
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    select: Union["Select", "SetOperation"]
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+
+@dataclass
+class Join:
+    """A join between two FROM items.
+
+    ``kind`` is one of ``INNER``, ``LEFT``, ``CROSS``. Comma-separated FROM
+    lists parse as CROSS joins with the conjunctive WHERE supplying the
+    predicates (the optimizer recovers the join graph either way).
+    """
+
+    left: "FromItem"
+    right: "FromItem"
+    kind: str = "INNER"
+    condition: Optional[Expr] = None
+
+
+FromItem = Union[TableRef, SubqueryRef, Join]
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    """A single SELECT block."""
+
+    items: List[SelectItem]
+    from_item: Optional[FromItem] = None
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class SetOperation:
+    """``left UNION [ALL] right`` (also INTERSECT / EXCEPT, without ALL)."""
+
+    op: str  # "UNION" | "INTERSECT" | "EXCEPT"
+    left: Union[Select, "SetOperation"]
+    right: Union[Select, "SetOperation"]
+    all: bool = False
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+Statement = Union[Select, SetOperation]
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal
+# ---------------------------------------------------------------------------
+
+
+def expression_children(expr: Expr) -> Tuple[Expr, ...]:
+    """The direct sub-expressions of ``expr`` (subqueries are not descended)."""
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, FunctionCall):
+        return expr.args
+    if isinstance(expr, Case):
+        children: List[Expr] = []
+        if expr.operand is not None:
+            children.append(expr.operand)
+        for when, then in expr.whens:
+            children.extend((when, then))
+        if expr.else_result is not None:
+            children.append(expr.else_result)
+        return tuple(children)
+    if isinstance(expr, Cast):
+        return (expr.operand,)
+    if isinstance(expr, InList):
+        return (expr.operand, *expr.items)
+    if isinstance(expr, InSubquery):
+        return (expr.operand,)
+    if isinstance(expr, IsNull):
+        return (expr.operand,)
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, WindowFunction):
+        children = list(expr.args) + list(expr.partition_by)
+        children.extend(key for key, _ in expr.order_by)
+        return tuple(children)
+    return ()
+
+
+def walk_expression(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all its sub-expressions, pre-order."""
+    yield expr
+    for child in expression_children(expr):
+        yield from walk_expression(child)
+
+
+def transform_expression(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Bottom-up rewrite: apply ``fn`` to each node after its children.
+
+    ``fn`` returns a replacement node or ``None`` to keep the (already
+    child-rewritten) node. Untouched subtrees are shared, not copied.
+    """
+    rebuilt = _rebuild_with_children(expr, fn)
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild_with_children(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Rewrite children recursively, rebuilding the node only on change."""
+    if isinstance(expr, BinaryOp):
+        left = transform_expression(expr.left, fn)
+        right = transform_expression(expr.right, fn)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = transform_expression(expr.operand, fn)
+        return expr if operand is expr.operand else UnaryOp(expr.op, operand)
+    if isinstance(expr, FunctionCall):
+        args = tuple(transform_expression(a, fn) for a in expr.args)
+        if all(new is old for new, old in zip(args, expr.args)):
+            return expr
+        return FunctionCall(expr.name, args, expr.distinct, expr.star)
+    if isinstance(expr, Case):
+        operand = (
+            transform_expression(expr.operand, fn) if expr.operand is not None else None
+        )
+        whens = tuple(
+            (transform_expression(w, fn), transform_expression(t, fn))
+            for w, t in expr.whens
+        )
+        else_result = (
+            transform_expression(expr.else_result, fn)
+            if expr.else_result is not None
+            else None
+        )
+        return Case(operand, whens, else_result)
+    if isinstance(expr, Cast):
+        operand = transform_expression(expr.operand, fn)
+        return expr if operand is expr.operand else Cast(operand, expr.dtype)
+    if isinstance(expr, InList):
+        operand = transform_expression(expr.operand, fn)
+        items = tuple(transform_expression(i, fn) for i in expr.items)
+        return InList(operand, items, expr.negated)
+    if isinstance(expr, InSubquery):
+        operand = transform_expression(expr.operand, fn)
+        if operand is expr.operand:
+            return expr
+        return InSubquery(operand, expr.subquery, expr.negated)
+    if isinstance(expr, IsNull):
+        operand = transform_expression(expr.operand, fn)
+        return expr if operand is expr.operand else IsNull(operand, expr.negated)
+    if isinstance(expr, Between):
+        operand = transform_expression(expr.operand, fn)
+        low = transform_expression(expr.low, fn)
+        high = transform_expression(expr.high, fn)
+        return Between(operand, low, high, expr.negated)
+    if isinstance(expr, WindowFunction):
+        args = tuple(transform_expression(a, fn) for a in expr.args)
+        partition = tuple(transform_expression(p, fn) for p in expr.partition_by)
+        order = tuple(
+            (transform_expression(key, fn), ascending)
+            for key, ascending in expr.order_by
+        )
+        return WindowFunction(expr.name, args, partition, order, expr.star)
+    return expr
+
+
+def referenced_columns(expr: Expr) -> List[Any]:
+    """All RelColumns referenced by a bound expression (with duplicates)."""
+    return [node.column for node in walk_expression(expr) if isinstance(node, BoundRef)]
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if the expression contains an aggregate function call."""
+    from .functions import is_aggregate_name  # local import: avoid cycle
+
+    return any(
+        isinstance(node, FunctionCall) and is_aggregate_name(node.name)
+        for node in walk_expression(expr)
+    )
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Split a predicate on top-level ANDs; ``None`` splits to ``[]``."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(predicates: Sequence[Expr]) -> Optional[Expr]:
+    """AND together a list of predicates; empty list yields ``None``."""
+    result: Optional[Expr] = None
+    for predicate in predicates:
+        result = predicate if result is None else BinaryOp("AND", result, predicate)
+    return result
+
+
+def replace_refs(expr: Expr, mapping: dict) -> Expr:
+    """Substitute RelColumns in a bound expression.
+
+    ``mapping`` maps ``RelColumn.column_id`` either to another RelColumn or
+    to a replacement :class:`Expr`. Used when predicates move through
+    projections or into pushed-down fragments.
+    """
+
+    def substitute(node: Expr) -> Optional[Expr]:
+        if isinstance(node, BoundRef):
+            target = mapping.get(node.column.column_id)
+            if target is None:
+                return None
+            if isinstance(target, Expr):
+                return target
+            return BoundRef(target)
+        return None
+
+    return transform_expression(expr, substitute)

@@ -1,0 +1,299 @@
+"""Registry of scalar and aggregate functions known to the mediator.
+
+A federation can only push a function to a source if the source declares it;
+the registry therefore records, for each function, its type signature and a
+reference Python implementation the mediator uses when it must *compensate*
+(execute the function itself above a less-capable source).
+
+Scalar functions here follow SQL NULL semantics: any NULL argument yields
+NULL unless the function is explicitly NULL-aware (COALESCE, NULLIF).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..datatypes import DataType, is_numeric, unify
+from ..errors import TypeCheckError
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_name(name: str) -> bool:
+    """True if ``name`` (any case) denotes an aggregate function."""
+    return name.upper() in AGGREGATE_NAMES
+
+
+def aggregate_result_type(name: str, arg_type: Optional[DataType]) -> DataType:
+    """Result type of aggregate ``name`` over inputs of ``arg_type``.
+
+    ``arg_type`` is ``None`` for ``COUNT(*)``.
+    """
+    upper = name.upper()
+    if upper == "COUNT":
+        return DataType.INTEGER
+    if arg_type is None:
+        raise TypeCheckError(f"{upper} requires an argument")
+    if upper == "AVG":
+        if not (is_numeric(arg_type) or arg_type == DataType.NULL):
+            raise TypeCheckError(f"AVG requires a numeric argument, got {arg_type}")
+        return DataType.FLOAT
+    if upper == "SUM":
+        if not (is_numeric(arg_type) or arg_type == DataType.NULL):
+            raise TypeCheckError(f"SUM requires a numeric argument, got {arg_type}")
+        return arg_type if arg_type != DataType.NULL else DataType.FLOAT
+    if upper in ("MIN", "MAX"):
+        return arg_type
+    raise TypeCheckError(f"unknown aggregate function: {name}")
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """A scalar function's signature and reference implementation.
+
+    ``type_rule`` maps argument types to the result type (raising
+    :class:`TypeCheckError` on a mismatch); ``implementation`` is the
+    NULL-unaware kernel — the evaluator short-circuits NULL arguments for
+    functions with ``null_propagating=True``.
+    """
+
+    name: str
+    min_args: int
+    max_args: int  # -1 for variadic
+    type_rule: Callable[[Sequence[DataType]], DataType]
+    implementation: Callable[..., Any]
+    null_propagating: bool = True
+
+
+def _require_args(name: str, args: Sequence[DataType], low: int, high: int) -> None:
+    count = len(args)
+    if count < low or (high != -1 and count > high):
+        expected = str(low) if low == high else f"{low}..{'*' if high == -1 else high}"
+        raise TypeCheckError(f"{name} expects {expected} arguments, got {count}")
+
+
+def _text_rule(name: str, *, arity: int = 1) -> Callable[[Sequence[DataType]], DataType]:
+    def rule(args: Sequence[DataType]) -> DataType:
+        _require_args(name, args, arity, arity)
+        for arg in args:
+            if arg not in (DataType.TEXT, DataType.NULL):
+                raise TypeCheckError(f"{name} requires TEXT arguments, got {arg}")
+        return DataType.TEXT
+
+    return rule
+
+
+def _numeric_identity_rule(name: str) -> Callable[[Sequence[DataType]], DataType]:
+    def rule(args: Sequence[DataType]) -> DataType:
+        _require_args(name, args, 1, 1)
+        (arg,) = args
+        if arg == DataType.NULL:
+            return DataType.NULL
+        if not is_numeric(arg):
+            raise TypeCheckError(f"{name} requires a numeric argument, got {arg}")
+        return arg
+
+    return rule
+
+
+def _instr_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("INSTR", args, 2, 2)
+    for arg in args:
+        if arg not in (DataType.TEXT, DataType.NULL):
+            raise TypeCheckError(f"INSTR requires TEXT arguments, got {arg}")
+    return DataType.INTEGER
+
+
+def _length_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("LENGTH", args, 1, 1)
+    if args[0] not in (DataType.TEXT, DataType.NULL):
+        raise TypeCheckError(f"LENGTH requires a TEXT argument, got {args[0]}")
+    return DataType.INTEGER
+
+
+def _substr_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("SUBSTR", args, 2, 3)
+    if args[0] not in (DataType.TEXT, DataType.NULL):
+        raise TypeCheckError(f"SUBSTR requires a TEXT first argument, got {args[0]}")
+    for arg in args[1:]:
+        if arg not in (DataType.INTEGER, DataType.NULL):
+            raise TypeCheckError("SUBSTR position/length must be INTEGER")
+    return DataType.TEXT
+
+
+def _substr_impl(value: str, start: int, length: Optional[int] = None) -> str:
+    # SQL SUBSTR is 1-based; negative start counts from the end (SQLite rule).
+    if start > 0:
+        begin = start - 1
+    elif start == 0:
+        begin = 0
+    else:
+        begin = max(len(value) + start, 0)
+    if length is None:
+        return value[begin:]
+    if length < 0:
+        return ""
+    return value[begin : begin + length]
+
+
+def _round_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("ROUND", args, 1, 2)
+    if args[0] != DataType.NULL and not is_numeric(args[0]):
+        raise TypeCheckError(f"ROUND requires a numeric argument, got {args[0]}")
+    if len(args) == 2 and args[1] not in (DataType.INTEGER, DataType.NULL):
+        raise TypeCheckError("ROUND digit count must be INTEGER")
+    return DataType.FLOAT
+
+
+def _coalesce_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("COALESCE", args, 1, -1)
+    result = DataType.NULL
+    for arg in args:
+        result = unify(result, arg)
+    return result
+
+
+def _coalesce_impl(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _nullif_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("NULLIF", args, 2, 2)
+    return unify(args[0], args[1])
+
+
+def _nullif_impl(left: Any, right: Any) -> Any:
+    return None if left == right else left
+
+
+def _year_rule(name: str) -> Callable[[Sequence[DataType]], DataType]:
+    def rule(args: Sequence[DataType]) -> DataType:
+        _require_args(name, args, 1, 1)
+        if args[0] not in (DataType.DATE, DataType.NULL):
+            raise TypeCheckError(f"{name} requires a DATE argument, got {args[0]}")
+        return DataType.INTEGER
+
+    return rule
+
+
+def _mod_rule(args: Sequence[DataType]) -> DataType:
+    _require_args("MOD", args, 2, 2)
+    for arg in args:
+        if arg not in (DataType.INTEGER, DataType.NULL):
+            raise TypeCheckError(f"MOD requires INTEGER arguments, got {arg}")
+    return DataType.INTEGER
+
+
+_REGISTRY: Dict[str, ScalarFunction] = {}
+
+
+def _register(function: ScalarFunction) -> None:
+    _REGISTRY[function.name] = function
+
+
+_register(ScalarFunction("UPPER", 1, 1, _text_rule("UPPER"), str.upper))
+_register(ScalarFunction("LOWER", 1, 1, _text_rule("LOWER"), str.lower))
+_register(ScalarFunction("TRIM", 1, 1, _text_rule("TRIM"), str.strip))
+_register(ScalarFunction("LTRIM", 1, 1, _text_rule("LTRIM"), str.lstrip))
+_register(ScalarFunction("RTRIM", 1, 1, _text_rule("RTRIM"), str.rstrip))
+_register(ScalarFunction("LENGTH", 1, 1, _length_rule, len))
+_register(ScalarFunction("SUBSTR", 2, 3, _substr_rule, _substr_impl))
+_register(
+    ScalarFunction(
+        "REPLACE",
+        3,
+        3,
+        _text_rule("REPLACE", arity=3),
+        lambda value, old, new: value.replace(old, new) if old else value,
+    )
+)
+_register(
+    ScalarFunction(
+        "INSTR",
+        2,
+        2,
+        _instr_rule,
+        lambda haystack, needle: haystack.find(needle) + 1,  # 1-based, 0=absent
+    )
+)
+_register(ScalarFunction("ABS", 1, 1, _numeric_identity_rule("ABS"), abs))
+_register(
+    ScalarFunction(
+        "ROUND",
+        1,
+        2,
+        _round_rule,
+        lambda value, digits=0: float(round(value, digits)),
+    )
+)
+_register(
+    ScalarFunction(
+        "FLOOR",
+        1,
+        1,
+        _numeric_identity_rule("FLOOR"),
+        lambda value: type(value)(math.floor(value)),
+    )
+)
+_register(
+    ScalarFunction(
+        "CEIL",
+        1,
+        1,
+        _numeric_identity_rule("CEIL"),
+        lambda value: type(value)(math.ceil(value)),
+    )
+)
+# SQL MOD truncates toward zero (Python's % floors, so compute directly).
+_register(ScalarFunction("MOD", 2, 2, _mod_rule, lambda a, b: a - b * int(a / b) if b else None))
+_register(
+    ScalarFunction(
+        "COALESCE", 1, -1, _coalesce_rule, _coalesce_impl, null_propagating=False
+    )
+)
+_register(
+    ScalarFunction("NULLIF", 2, 2, _nullif_rule, _nullif_impl, null_propagating=False)
+)
+_register(
+    ScalarFunction(
+        "YEAR", 1, 1, _year_rule("YEAR"), lambda date: date.year
+    )
+)
+_register(
+    ScalarFunction(
+        "MONTH", 1, 1, _year_rule("MONTH"), lambda date: date.month
+    )
+)
+_register(ScalarFunction("DAY", 1, 1, _year_rule("DAY"), lambda date: date.day))
+
+
+def lookup_scalar(name: str) -> ScalarFunction:
+    """Find a scalar function by name (any case); raise if unknown."""
+    function = _REGISTRY.get(name.upper())
+    if function is None:
+        raise TypeCheckError(f"unknown function: {name}")
+    return function
+
+
+def is_scalar_name(name: str) -> bool:
+    """True if ``name`` denotes a registered scalar function."""
+    return name.upper() in _REGISTRY
+
+
+def scalar_names() -> List[str]:
+    """All registered scalar function names (for capability declarations)."""
+    return sorted(_REGISTRY)

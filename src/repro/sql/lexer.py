@@ -1,0 +1,235 @@
+"""Hand-written tokenizer for the mediator's SQL dialect.
+
+Produces a flat token stream with line/column positions so that parse errors
+point at the offending text. Keywords are case-insensitive; identifiers keep
+their case but compare case-insensitively downstream (double-quoted
+identifiers preserve case exactly and may contain keywords).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from ..errors import ParseError
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCTUATION = "PUNCTUATION"
+    EOF = "EOF"
+
+
+#: Reserved words recognized by the parser. Anything else is an identifier.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+        "ORDER", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS",
+        "NULL", "TRUE", "FALSE", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN",
+        "ELSE", "END", "CAST", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER",
+        "CROSS", "ON", "UNION", "INTERSECT", "EXCEPT", "ALL", "ASC", "DESC",
+        "EXISTS", "DATE", "OVER", "PARTITION",
+    }
+)
+
+#: Multi-character operators must be matched before their prefixes.
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+
+_PUNCTUATION = "(),."
+
+
+def _is_ascii_digit(char: str) -> bool:
+    """ASCII-only digit test: ``str.isdigit`` accepts Unicode digits (e.g.
+    superscripts) that ``int()`` rejects."""
+    return "0" <= char <= "9"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.type == TokenType.KEYWORD and self.value in keywords
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts SQL text into a list of :class:`Token`.
+
+    Usage::
+
+        tokens = Lexer("SELECT 1").tokenize()
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Tokenize the whole input, appending a trailing EOF token."""
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type == TokenType.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self._text[self._pos : self._pos + count]
+        for char in consumed:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise ParseError("unterminated block comment", self._line, self._column)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self._line, self._column
+        if self._pos >= len(self._text):
+            return Token(TokenType.EOF, None, line, column)
+        char = self._peek()
+        if _is_ascii_digit(char) or (char == "." and _is_ascii_digit(self._peek(1))):
+            return self._lex_number(line, column)
+        if char == "'":
+            return self._lex_string(line, column)
+        if char == '"':
+            return self._lex_quoted_identifier(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, column)
+        for operator in _OPERATORS:
+            if self._text.startswith(operator, self._pos):
+                self._advance(len(operator))
+                # Normalize != to the SQL-standard spelling.
+                value = "<>" if operator == "!=" else operator
+                return Token(TokenType.OPERATOR, value, line, column)
+        if char in _PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCTUATION, char, line, column)
+        raise ParseError(f"unexpected character {char!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        saw_dot = False
+        saw_exponent = False
+        while self._pos < len(self._text):
+            char = self._peek()
+            if _is_ascii_digit(char):
+                self._advance()
+            elif char == "." and not saw_dot and not saw_exponent:
+                # A dot not followed by a digit is punctuation (e.g. "1.e"?
+                # we accept "1." as float, matching SQL lexers).
+                saw_dot = True
+                self._advance()
+            elif (
+                char in "eE"
+                and not saw_exponent
+                and (
+                    _is_ascii_digit(self._peek(1))
+                    or (self._peek(1) in "+-" and _is_ascii_digit(self._peek(2)))
+                )
+            ):
+                saw_exponent = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        text = self._text[start : self._pos]
+        if saw_dot or saw_exponent:
+            return Token(TokenType.FLOAT, float(text), line, column)
+        return Token(TokenType.INTEGER, int(text), line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        pieces: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise ParseError("unterminated string literal", line, column)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # doubled quote = escaped quote
+                    pieces.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenType.STRING, "".join(pieces), line, column)
+            else:
+                pieces.append(char)
+                self._advance()
+
+    def _lex_quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        pieces: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise ParseError("unterminated quoted identifier", line, column)
+            char = self._peek()
+            if char == '"':
+                if self._peek(1) == '"':
+                    pieces.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    if not pieces:
+                        raise ParseError("empty quoted identifier", line, column)
+                    return Token(TokenType.IDENTIFIER, "".join(pieces), line, column)
+            else:
+                pieces.append(char)
+                self._advance()
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        word = self._text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.IDENTIFIER, word, line, column)

@@ -1,0 +1,569 @@
+"""Recursive-descent parser for the mediator's SQL dialect.
+
+Grammar (informal)::
+
+    statement   := select_core (( UNION [ALL] | INTERSECT | EXCEPT ) select_core)*
+                   [ORDER BY order_list] [LIMIT n [OFFSET m]]
+    select_core := SELECT [DISTINCT] select_list [FROM from_list]
+                   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT n [OFFSET m]]
+    from_list   := from_item ("," from_item)*          -- comma = CROSS JOIN
+    from_item   := table_primary (join_tail)*
+    join_tail   := [INNER | LEFT [OUTER] | CROSS] JOIN table_primary [ON expr]
+    table_primary := identifier [[AS] alias]
+                   | "(" statement ")" [AS] alias
+
+Expression precedence, loosest first: ``OR``, ``AND``, ``NOT``, comparison
+(including ``IS [NOT] NULL``, ``[NOT] IN``, ``[NOT] BETWEEN``, ``[NOT]
+LIKE``), additive (``+ - ||``), multiplicative (``* / %``), unary minus,
+primary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..datatypes import DataType, parse_type_name
+from ..errors import ParseError, TypeCheckError
+from . import ast
+from .lexer import Lexer, Token, TokenType
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+_ADDITIVE_OPS = frozenset({"+", "-", "||"})
+_MULTIPLICATIVE_OPS = frozenset({"*", "/", "%"})
+
+
+def parse_select(sql: str) -> ast.Statement:
+    """Parse a SELECT statement (possibly a set-operation chain).
+
+    Raises :class:`~repro.errors.ParseError` on any syntax error, including
+    trailing garbage after a complete statement.
+    """
+    parser = _Parser(Lexer(sql).tokenize())
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor ------------------------------------------------------------
+
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current()
+        return ParseError(message, token.line, token.column)
+
+    def _accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self._current().matches_keyword(*keywords):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        if not self._current().matches_keyword(keyword):
+            raise self._error(f"expected {keyword}, found {self._describe_current()}")
+        return self._advance()
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._current()
+        if token.type == TokenType.PUNCTUATION and token.value == punct:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        if not self._accept_punct(punct):
+            raise self._error(f"expected {punct!r}, found {self._describe_current()}")
+
+    def _accept_operator(self, *operators: str) -> Optional[str]:
+        token = self._current()
+        if token.type == TokenType.OPERATOR and token.value in operators:
+            self._advance()
+            return token.value
+        return None
+
+    def _expect_identifier(self, what: str) -> str:
+        token = self._current()
+        if token.type != TokenType.IDENTIFIER:
+            raise self._error(f"expected {what}, found {self._describe_current()}")
+        self._advance()
+        return token.value
+
+    def _describe_current(self) -> str:
+        token = self._current()
+        if token.type == TokenType.EOF:
+            return "end of input"
+        return repr(token.value)
+
+    def expect_eof(self) -> None:
+        if self._current().type != TokenType.EOF:
+            raise self._error(f"unexpected input after statement: {self._describe_current()}")
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        left: ast.Statement = self._parse_select_core()
+        while True:
+            if self._accept_keyword("UNION"):
+                all_flag = self._accept_keyword("ALL") is not None
+                operator = "UNION"
+            elif self._accept_keyword("INTERSECT"):
+                all_flag = self._accept_keyword("ALL") is not None
+                operator = "INTERSECT"
+            elif self._accept_keyword("EXCEPT"):
+                all_flag = self._accept_keyword("ALL") is not None
+                operator = "EXCEPT"
+            else:
+                break
+            # A branch inside a set operation cannot carry its own ORDER BY
+            # or LIMIT (SQL requires parentheses for that).
+            self._reject_branch_decorations(left, operator)
+            right = self._parse_select_core()
+            left = ast.SetOperation(operator, left, right, all_flag)
+        if isinstance(left, ast.SetOperation):
+            # The final core's trailing ORDER BY / LIMIT bind to the whole
+            # set operation; hoist them up.
+            last = left.right
+            if isinstance(last, ast.Select):
+                left.order_by, last.order_by = last.order_by, []
+                left.limit, last.limit = last.limit, None
+                left.offset, last.offset = last.offset, None
+            if self._accept_keyword("ORDER"):
+                if left.order_by:
+                    raise self._error("duplicate ORDER BY on set operation")
+                self._expect_keyword("BY")
+                left.order_by = self._parse_order_list()
+            if left.limit is None:
+                left.limit, left.offset = self._parse_limit_offset()
+        return left
+
+    def _reject_branch_decorations(self, branch: ast.Statement, operator: str) -> None:
+        # The decoration, if any, sits on the rightmost core of the branch.
+        node = branch
+        while True:
+            if node.order_by or node.limit is not None or node.offset is not None:
+                raise self._error(
+                    f"ORDER BY/LIMIT before {operator} must be parenthesized"
+                )
+            if isinstance(node, ast.SetOperation):
+                node = node.right
+            else:
+                return
+
+    def _parse_select_core(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT") is not None
+        if self._accept_keyword("ALL"):
+            distinct = False
+        items = self._parse_select_list()
+        from_item: Optional[ast.FromItem] = None
+        if self._accept_keyword("FROM"):
+            from_item = self._parse_from_list()
+        where = self.parse_expression() if self._accept_keyword("WHERE") else None
+        group_by: List[ast.Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self._accept_punct(","):
+                group_by.append(self.parse_expression())
+        having = self.parse_expression() if self._accept_keyword("HAVING") else None
+        order_by: List[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_list()
+        limit, offset = self._parse_limit_offset()
+        return ast.Select(
+            items=items,
+            from_item=from_item,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_list(self) -> List[ast.SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._current()
+        # Bare `*`
+        if token.type == TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # Qualified `alias.*`
+        if (
+            token.type == TokenType.IDENTIFIER
+            and self._peek().type == TokenType.PUNCTUATION
+            and self._peek().value == "."
+        ):
+            after_dot = self._peek(2)
+            if after_dot.type == TokenType.OPERATOR and after_dot.value == "*":
+                table = self._advance().value
+                self._advance()  # '.'
+                self._advance()  # '*'
+                return ast.SelectItem(ast.Star(table))
+        expr = self.parse_expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._current().type == TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_list(self) -> List[ast.OrderItem]:
+        items: List[ast.OrderItem] = []
+        while True:
+            expr = self.parse_expression()
+            ascending = True
+            if self._accept_keyword("ASC"):
+                ascending = True
+            elif self._accept_keyword("DESC"):
+                ascending = False
+            items.append(ast.OrderItem(expr, ascending))
+            if not self._accept_punct(","):
+                return items
+
+    def _parse_limit_offset(self) -> Tuple[Optional[int], Optional[int]]:
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_nonnegative_integer("LIMIT")
+            if self._accept_keyword("OFFSET"):
+                offset = self._parse_nonnegative_integer("OFFSET")
+        return limit, offset
+
+    def _parse_nonnegative_integer(self, clause: str) -> int:
+        token = self._current()
+        if token.type != TokenType.INTEGER:
+            raise self._error(f"{clause} requires an integer literal")
+        self._advance()
+        return token.value
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _parse_from_list(self) -> ast.FromItem:
+        item = self._parse_from_item()
+        while self._accept_punct(","):
+            right = self._parse_from_item()
+            item = ast.Join(item, right, "CROSS", None)
+        return item
+
+    def _parse_from_item(self) -> ast.FromItem:
+        item: ast.FromItem = self._parse_table_primary()
+        while True:
+            kind: Optional[str] = None
+            if self._accept_keyword("INNER"):
+                kind = "INNER"
+            elif self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                kind = "LEFT"
+            elif self._accept_keyword("CROSS"):
+                kind = "CROSS"
+            elif self._current().matches_keyword("JOIN"):
+                kind = "INNER"
+            if kind is None:
+                return item
+            self._expect_keyword("JOIN")
+            right = self._parse_table_primary()
+            condition: Optional[ast.Expr] = None
+            if kind != "CROSS":
+                self._expect_keyword("ON")
+                condition = self.parse_expression()
+            item = ast.Join(item, right, kind, condition)
+
+    def _parse_table_primary(self) -> ast.FromItem:
+        if self._accept_punct("("):
+            statement = self.parse_statement()
+            self._expect_punct(")")
+            self._accept_keyword("AS")
+            alias = self._expect_identifier("subquery alias")
+            return ast.SubqueryRef(statement, alias)
+        name = self._expect_identifier("table name")
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._current().type == TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while True:
+            operator = self._accept_operator(*_COMPARISON_OPS)
+            if operator is not None:
+                right = self._parse_additive()
+                left = ast.BinaryOp(operator, left, right)
+                continue
+            if self._accept_keyword("IS"):
+                negated = self._accept_keyword("NOT") is not None
+                self._expect_keyword("NULL")
+                left = ast.IsNull(left, negated)
+                continue
+            negated = False
+            if self._current().matches_keyword("NOT") and self._peek().matches_keyword(
+                "IN", "BETWEEN", "LIKE"
+            ):
+                self._advance()
+                negated = True
+            if self._accept_keyword("IN"):
+                left = self._parse_in_tail(left, negated)
+                continue
+            if self._accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                left = ast.Between(left, low, high, negated)
+                continue
+            if self._accept_keyword("LIKE"):
+                pattern = self._parse_additive()
+                like = ast.BinaryOp("LIKE", left, pattern)
+                left = ast.UnaryOp("NOT", like) if negated else like
+                continue
+            if negated:
+                raise self._error("expected IN, BETWEEN, or LIKE after NOT")
+            return left
+
+    def _parse_in_tail(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        self._expect_punct("(")
+        if self._current().matches_keyword("SELECT"):
+            subquery = self.parse_statement()
+            self._expect_punct(")")
+            if not isinstance(subquery, ast.Select):
+                raise self._error("set operations are not supported in IN subqueries")
+            return ast.InSubquery(operand, subquery, negated)
+        items = [self.parse_expression()]
+        while self._accept_punct(","):
+            items.append(self.parse_expression())
+        self._expect_punct(")")
+        return ast.InList(operand, tuple(items), negated)
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            operator = self._accept_operator(*_ADDITIVE_OPS)
+            if operator is None:
+                return left
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(operator, left, right)
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            operator = self._accept_operator(*_MULTIPLICATIVE_OPS)
+            if operator is None:
+                return left
+            right = self._parse_unary()
+            left = ast.BinaryOp(operator, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept_operator("-"):
+            operand = self._parse_unary()
+            # Fold negative numeric literals immediately; keeps plans tidy.
+            if isinstance(operand, ast.Literal) and operand.dtype in (
+                DataType.INTEGER,
+                DataType.FLOAT,
+            ):
+                return ast.Literal(-operand.value, operand.dtype)
+            return ast.UnaryOp("-", operand)
+        if self._accept_operator("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current()
+        if token.type == TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(token.value, DataType.INTEGER)
+        if token.type == TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(token.value, DataType.FLOAT)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value, DataType.TEXT)
+        if token.matches_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None, DataType.NULL)
+        if token.matches_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True, DataType.BOOLEAN)
+        if token.matches_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False, DataType.BOOLEAN)
+        if token.matches_keyword("DATE"):
+            return self._parse_date_literal()
+        if token.matches_keyword("CAST"):
+            return self._parse_cast()
+        if token.matches_keyword("CASE"):
+            return self._parse_case()
+        if token.matches_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.parse_statement()
+            self._expect_punct(")")
+            if not isinstance(subquery, ast.Select):
+                raise self._error("set operations are not supported in EXISTS")
+            return ast.Exists(subquery, negated=False)
+        if token.type == TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.type == TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise self._error(f"unexpected token {self._describe_current()} in expression")
+
+    def _parse_date_literal(self) -> ast.Expr:
+        import datetime
+
+        self._advance()  # DATE keyword
+        token = self._current()
+        if token.type != TokenType.STRING:
+            raise self._error("DATE literal requires a string, e.g. DATE '1989-02-06'")
+        self._advance()
+        try:
+            value = datetime.date.fromisoformat(token.value)
+        except ValueError:
+            raise self._error(f"invalid DATE literal {token.value!r}") from None
+        return ast.Literal(value, DataType.DATE)
+
+    def _parse_cast(self) -> ast.Expr:
+        self._advance()  # CAST
+        self._expect_punct("(")
+        operand = self.parse_expression()
+        self._expect_keyword("AS")
+        token = self._current()
+        if token.type == TokenType.IDENTIFIER or token.matches_keyword("DATE"):
+            type_name = str(token.value)
+            self._advance()
+        else:
+            raise self._error("expected type name in CAST")
+        self._expect_punct(")")
+        try:
+            dtype = parse_type_name(type_name)
+        except TypeCheckError:
+            raise self._error(f"unknown type name {type_name!r} in CAST") from None
+        return ast.Cast(operand, dtype)
+
+    def _parse_case(self) -> ast.Expr:
+        self._advance()  # CASE
+        operand: Optional[ast.Expr] = None
+        if not self._current().matches_keyword("WHEN"):
+            operand = self.parse_expression()
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self._expect_keyword("THEN")
+            result = self.parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN clause")
+        else_result: Optional[ast.Expr] = None
+        if self._accept_keyword("ELSE"):
+            else_result = self.parse_expression()
+        self._expect_keyword("END")
+        return ast.Case(operand, tuple(whens), else_result)
+
+    def _parse_identifier_expression(self) -> ast.Expr:
+        name = self._advance().value
+        # Function call?
+        if self._current().type == TokenType.PUNCTUATION and self._current().value == "(":
+            return self._parse_function_call(name)
+        # Qualified column reference?
+        if self._current().type == TokenType.PUNCTUATION and self._current().value == ".":
+            self._advance()
+            column = self._expect_identifier("column name")
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)
+
+    def _parse_function_call(self, name: str) -> ast.Expr:
+        self._expect_punct("(")
+        upper = name.upper()
+        token = self._current()
+        star = False
+        distinct = False
+        args: List[ast.Expr] = []
+        if token.type == TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            self._expect_punct(")")
+            star = True
+        else:
+            distinct = self._accept_keyword("DISTINCT") is not None
+            if not (
+                self._current().type == TokenType.PUNCTUATION
+                and self._current().value == ")"
+            ):
+                args.append(self.parse_expression())
+                while self._accept_punct(","):
+                    args.append(self.parse_expression())
+            self._expect_punct(")")
+        if self._current().matches_keyword("OVER"):
+            if distinct:
+                raise self._error("DISTINCT is not supported in window functions")
+            return self._parse_over(upper, tuple(args), star)
+        return ast.FunctionCall(upper, tuple(args), distinct=distinct, star=star)
+
+    def _parse_over(
+        self, name: str, args: Tuple[ast.Expr, ...], star: bool
+    ) -> ast.Expr:
+        self._expect_keyword("OVER")
+        self._expect_punct("(")
+        partition: List[ast.Expr] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition.append(self.parse_expression())
+            while self._accept_punct(","):
+                partition.append(self.parse_expression())
+        order: List[Tuple[ast.Expr, bool]] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            for item in self._parse_order_list():
+                order.append((item.expr, item.ascending))
+        self._expect_punct(")")
+        return ast.WindowFunction(name, args, tuple(partition), tuple(order), star)

@@ -1,0 +1,274 @@
+"""Render AST fragments back into SQL text.
+
+The pushdown planner hands each SQL-capable wrapper a *syntactic*
+:class:`~repro.sql.ast.Select` whose column references already use the
+source's native column names; this module turns that tree into a SQL string
+in the source's dialect. Dialects differ in identifier quoting, boolean and
+date literal syntax — exactly the heterogeneity a 1989 federation had to
+paper over per component system.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, List, Optional
+
+from ..datatypes import DataType
+from ..errors import PlanError
+from . import ast
+
+
+class SQLDialect:
+    """Base dialect: ANSI-flavored quoting and literals."""
+
+    name = "ansi"
+
+    def quote_identifier(self, identifier: str) -> str:
+        """Quote an identifier; always quotes to dodge keyword collisions."""
+        escaped = identifier.replace('"', '""')
+        return f'"{escaped}"'
+
+    def literal(self, value: Any, dtype: DataType) -> str:
+        """Render a constant in this dialect."""
+        if value is None:
+            return "NULL"
+        if dtype == DataType.BOOLEAN:
+            return "TRUE" if value else "FALSE"
+        if dtype == DataType.TEXT:
+            escaped = str(value).replace("'", "''")
+            return f"'{escaped}'"
+        if dtype == DataType.DATE:
+            return f"DATE '{value.isoformat()}'"
+        if dtype == DataType.FLOAT:
+            return repr(float(value))
+        return str(value)
+
+    def cast_type_name(self, dtype: DataType) -> str:
+        """Type name used in CAST expressions."""
+        return dtype.value
+
+
+class SQLitePrinterDialect(SQLDialect):
+    """SQLite: no BOOLEAN/DATE types; booleans are 0/1, dates are ISO strings."""
+
+    name = "sqlite"
+
+    def literal(self, value: Any, dtype: DataType) -> str:
+        if value is None:
+            return "NULL"
+        if dtype == DataType.BOOLEAN:
+            return "1" if value else "0"
+        if dtype == DataType.DATE:
+            return f"'{value.isoformat()}'"
+        return super().literal(value, dtype)
+
+    def cast_type_name(self, dtype: DataType) -> str:
+        mapping = {
+            DataType.INTEGER: "INTEGER",
+            DataType.FLOAT: "REAL",
+            DataType.TEXT: "TEXT",
+            DataType.BOOLEAN: "INTEGER",
+            DataType.DATE: "TEXT",
+        }
+        return mapping.get(dtype, "TEXT")
+
+
+_DEFAULT_DIALECT = SQLDialect()
+
+
+def print_expression(expr: ast.Expr, dialect: Optional[SQLDialect] = None) -> str:
+    """Render an expression tree as SQL text."""
+    return _Printer(dialect or _DEFAULT_DIALECT).expression(expr)
+
+
+def print_statement(
+    statement: ast.Statement, dialect: Optional[SQLDialect] = None
+) -> str:
+    """Render a SELECT statement (or set-operation chain) as SQL text."""
+    return _Printer(dialect or _DEFAULT_DIALECT).statement(statement)
+
+
+class _Printer:
+    def __init__(self, dialect: SQLDialect) -> None:
+        self._dialect = dialect
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self, statement: ast.Statement) -> str:
+        if isinstance(statement, ast.SetOperation):
+            return self._set_operation(statement)
+        return self._select(statement)
+
+    def _set_operation(self, op: ast.SetOperation) -> str:
+        keyword = op.op + (" ALL" if op.all else "")
+        text = f"{self.statement(op.left)} {keyword} {self.statement(op.right)}"
+        text += self._order_limit(op.order_by, op.limit, op.offset)
+        return text
+
+    def _select(self, select: ast.Select) -> str:
+        parts: List[str] = ["SELECT"]
+        if select.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self._select_item(item) for item in select.items))
+        if select.from_item is not None:
+            parts.append("FROM")
+            parts.append(self._from_item(select.from_item))
+        if select.where is not None:
+            parts.append("WHERE")
+            parts.append(self.expression(select.where))
+        if select.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(self.expression(e) for e in select.group_by))
+        if select.having is not None:
+            parts.append("HAVING")
+            parts.append(self.expression(select.having))
+        text = " ".join(parts)
+        text += self._order_limit(select.order_by, select.limit, select.offset)
+        return text
+
+    def _order_limit(
+        self,
+        order_by: List[ast.OrderItem],
+        limit: Optional[int],
+        offset: Optional[int],
+    ) -> str:
+        text = ""
+        if order_by:
+            keys = ", ".join(
+                self.expression(item.expr) + ("" if item.ascending else " DESC")
+                for item in order_by
+            )
+            text += f" ORDER BY {keys}"
+        if limit is not None:
+            text += f" LIMIT {limit}"
+            if offset is not None:
+                text += f" OFFSET {offset}"
+        return text
+
+    def _select_item(self, item: ast.SelectItem) -> str:
+        text = self.expression(item.expr)
+        if item.alias:
+            text += f" AS {self._dialect.quote_identifier(item.alias)}"
+        return text
+
+    def _from_item(self, item: ast.FromItem) -> str:
+        if isinstance(item, ast.TableRef):
+            text = self._dialect.quote_identifier(item.name)
+            if item.alias:
+                text += f" AS {self._dialect.quote_identifier(item.alias)}"
+            return text
+        if isinstance(item, ast.SubqueryRef):
+            return (
+                f"({self.statement(item.select)}) AS "
+                f"{self._dialect.quote_identifier(item.alias)}"
+            )
+        if isinstance(item, ast.Join):
+            left = self._from_item(item.left)
+            right = self._from_item(item.right)
+            if item.kind == "CROSS":
+                return f"{left} CROSS JOIN {right}"
+            keyword = "JOIN" if item.kind == "INNER" else f"{item.kind} JOIN"
+            condition = self.expression(item.condition) if item.condition else "TRUE"
+            return f"{left} {keyword} {right} ON {condition}"
+        raise PlanError(f"cannot print FROM item: {type(item).__name__}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def expression(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Literal):
+            return self._dialect.literal(expr.value, expr.dtype)
+        if isinstance(expr, ast.ColumnRef):
+            name = self._dialect.quote_identifier(expr.name)
+            if expr.table:
+                return f"{self._dialect.quote_identifier(expr.table)}.{name}"
+            return name
+        if isinstance(expr, ast.BoundRef):
+            # Bound refs should be rewritten to ColumnRefs before printing.
+            raise PlanError("cannot print a BoundRef; rewrite to ColumnRef first")
+        if isinstance(expr, ast.BinaryOp):
+            left = self._parenthesize(expr.left)
+            right = self._parenthesize(expr.right)
+            return f"{left} {expr.op} {right}"
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._parenthesize(expr.operand)
+            return f"NOT {operand}" if expr.op == "NOT" else f"-{operand}"
+        if isinstance(expr, ast.FunctionCall):
+            if expr.star:
+                return f"{expr.name}(*)"
+            prefix = "DISTINCT " if expr.distinct else ""
+            args = ", ".join(self.expression(a) for a in expr.args)
+            return f"{expr.name}({prefix}{args})"
+        if isinstance(expr, ast.Case):
+            parts = ["CASE"]
+            if expr.operand is not None:
+                parts.append(self.expression(expr.operand))
+            for when, then in expr.whens:
+                parts.append(f"WHEN {self.expression(when)} THEN {self.expression(then)}")
+            if expr.else_result is not None:
+                parts.append(f"ELSE {self.expression(expr.else_result)}")
+            parts.append("END")
+            return " ".join(parts)
+        if isinstance(expr, ast.Cast):
+            type_name = self._dialect.cast_type_name(expr.dtype)
+            return f"CAST({self.expression(expr.operand)} AS {type_name})"
+        if isinstance(expr, ast.InList):
+            operand = self._parenthesize(expr.operand)
+            items = ", ".join(self.expression(i) for i in expr.items)
+            keyword = "NOT IN" if expr.negated else "IN"
+            return f"{operand} {keyword} ({items})"
+        if isinstance(expr, ast.InSubquery):
+            operand = self._parenthesize(expr.operand)
+            keyword = "NOT IN" if expr.negated else "IN"
+            return f"{operand} {keyword} ({self.statement(expr.subquery)})"
+        if isinstance(expr, ast.Exists):
+            keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+            return f"{keyword} ({self.statement(expr.subquery)})"
+        if isinstance(expr, ast.IsNull):
+            keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+            return f"{self._parenthesize(expr.operand)} {keyword}"
+        if isinstance(expr, ast.Between):
+            keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+            return (
+                f"{self._parenthesize(expr.operand)} {keyword} "
+                f"{self._parenthesize(expr.low)} AND {self._parenthesize(expr.high)}"
+            )
+        if isinstance(expr, ast.Star):
+            if expr.table:
+                return f"{self._dialect.quote_identifier(expr.table)}.*"
+            return "*"
+        if isinstance(expr, ast.WindowFunction):
+            call = (
+                f"{expr.name}(*)"
+                if expr.star
+                else f"{expr.name}({', '.join(self.expression(a) for a in expr.args)})"
+            )
+            clauses = []
+            if expr.partition_by:
+                clauses.append(
+                    "PARTITION BY "
+                    + ", ".join(self.expression(p) for p in expr.partition_by)
+                )
+            if expr.order_by:
+                clauses.append(
+                    "ORDER BY "
+                    + ", ".join(
+                        self.expression(key) + ("" if ascending else " DESC")
+                        for key, ascending in expr.order_by
+                    )
+                )
+            return f"{call} OVER ({' '.join(clauses)})"
+        raise PlanError(f"cannot print expression: {type(expr).__name__}")
+
+    def _parenthesize(self, expr: ast.Expr) -> str:
+        """Wrap compound children in parentheses; atoms stay bare.
+
+        Always parenthesizing compounds sidesteps precedence bookkeeping at
+        the cost of a few extra parens — harmless for machine-consumed SQL.
+        """
+        text = self.expression(expr)
+        if isinstance(
+            expr,
+            (ast.Literal, ast.ColumnRef, ast.FunctionCall, ast.Cast, ast.Case, ast.Star),
+        ):
+            return text
+        return f"({text})"

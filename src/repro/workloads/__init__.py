@@ -1,0 +1,23 @@
+"""Synthetic federated workloads for examples, tests, and benchmarks.
+
+:mod:`repro.workloads.tpch_lite` builds a deterministic retail federation
+(customers / orders / lineitems / parts / suppliers / reference data) spread
+over heterogeneous sources — the standing workload of the experiment suite.
+"""
+
+from .generator import DataGenerator
+from .queries import WORKLOAD_QUERIES, queries_by_name
+from .tpch_lite import (
+    Federation,
+    build_federation,
+    build_partitioned_orders,
+)
+
+__all__ = [
+    "DataGenerator",
+    "Federation",
+    "WORKLOAD_QUERIES",
+    "build_federation",
+    "build_partitioned_orders",
+    "queries_by_name",
+]

@@ -1,0 +1,114 @@
+"""Seeded random-data primitives.
+
+Everything the workload builders draw flows through one
+:class:`DataGenerator` so a (seed, scale) pair fully determines the
+federation's contents — benchmarks are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+import string
+from typing import Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_FIRST_NAMES = [
+    "Alice", "Bruno", "Carmen", "Dmitri", "Elena", "Farid", "Grace", "Hiro",
+    "Ingrid", "Javier", "Kyoko", "Liam", "Mona", "Nadia", "Olaf", "Priya",
+    "Quentin", "Rosa", "Stefan", "Tara", "Umar", "Vera", "Wei", "Ximena",
+    "Yusuf", "Zoe",
+]
+_LAST_NAMES = [
+    "Anders", "Bauer", "Chen", "Diaz", "Eriksson", "Fischer", "Garcia",
+    "Haddad", "Ivanov", "Jensen", "Kumar", "Larsen", "Moreau", "Nakamura",
+    "Okafor", "Petrov", "Quinn", "Rossi", "Sato", "Tanaka", "Ueda", "Vogel",
+    "Weber", "Xu", "Yamamoto", "Zhang",
+]
+_PART_ADJECTIVES = [
+    "anodized", "brushed", "burnished", "chocolate", "cornflower", "forest",
+    "frosted", "lavender", "metallic", "midnight", "polished", "powder",
+    "smoked", "spring", "steel",
+]
+_PART_NOUNS = [
+    "bearing", "bracket", "casing", "coupling", "dial", "flange", "gasket",
+    "gear", "hinge", "lever", "rotor", "spindle", "valve", "washer", "widget",
+]
+
+
+class DataGenerator:
+    """A seeded bundle of the draws the workload builders need."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self._random = random.Random(seed)
+
+    # -- numbers -----------------------------------------------------------
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._random.randint(low, high)
+
+    def money(self, low: float, high: float) -> float:
+        """A price-like float rounded to cents, skewed toward the low end."""
+        u = self._random.random() ** 2  # quadratic skew
+        return round(low + (high - low) * u, 2)
+
+    def zipf_index(self, n: int, skew: float = 1.2) -> int:
+        """A Zipf-distributed index in [0, n): index 0 is most frequent.
+
+        Uses inverse-CDF sampling over precomputed harmonic weights (cached
+        per (n, skew) — the builders reuse a handful of shapes).
+        """
+        key = (n, skew)
+        cdf = self._zipf_cache.get(key)
+        if cdf is None:
+            weights = [1.0 / (rank**skew) for rank in range(1, n + 1)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for weight in weights:
+                acc += weight / total
+                cdf.append(acc)
+            self._zipf_cache[key] = cdf
+        u = self._random.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    #: (n, skew) -> CDF; contents are deterministic, so sharing across
+    #: instances is safe and saves rebuilding for every generator.
+    _zipf_cache: dict = {}
+
+    # -- choices -----------------------------------------------------------
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def maybe_null(self, value: T, null_probability: float) -> Optional[T]:
+        """Return None with the given probability, else the value."""
+        if self._random.random() < null_probability:
+            return None
+        return value
+
+    # -- domain values ------------------------------------------------------
+
+    def person_name(self) -> str:
+        return f"{self.choice(_FIRST_NAMES)} {self.choice(_LAST_NAMES)}"
+
+    def part_name(self) -> str:
+        return f"{self.choice(_PART_ADJECTIVES)} {self.choice(_PART_NOUNS)}"
+
+    def code(self, prefix: str, width: int = 6) -> str:
+        digits = "".join(self._random.choices(string.digits, k=width))
+        return f"{prefix}{digits}"
+
+    def date_between(self, start: datetime.date, end: datetime.date) -> datetime.date:
+        """Uniform date in [start, end]."""
+        span = (end - start).days
+        return start + datetime.timedelta(days=self._random.randint(0, max(span, 0)))

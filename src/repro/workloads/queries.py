@@ -1,0 +1,59 @@
+"""Named query catalog for the TPC-H-lite federation.
+
+The end-to-end experiment (T5) and downstream users share this catalog;
+each entry exercises a distinct slice of the mediator (pushdown shapes,
+cross-source joins, semi-joins, key lookups, top-N).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: (name, sql) pairs over the schema of :func:`repro.workloads.build_federation`.
+WORKLOAD_QUERIES: List[Tuple[str, str]] = [
+    (
+        "selective_scan",
+        "SELECT o_id, o_total FROM orders WHERE o_total > 4800",
+    ),
+    (
+        "single_source_agg",
+        "SELECT o_status, COUNT(*), AVG(o_total) FROM orders GROUP BY o_status",
+    ),
+    (
+        "two_way_join",
+        "SELECT c.c_name, o.o_total FROM customers c "
+        "JOIN orders o ON c.c_id = o.o_cust_id WHERE o.o_total > 4500",
+    ),
+    (
+        "three_way_join_agg",
+        "SELECT n.n_name, COUNT(*) AS cnt FROM nations n "
+        "JOIN customers c ON n.n_id = c.c_nation_id "
+        "JOIN orders o ON c.c_id = o.o_cust_id "
+        "GROUP BY n.n_name ORDER BY cnt DESC LIMIT 5",
+    ),
+    (
+        "star_revenue",
+        "SELECT p.p_category, SUM(l.l_price * l.l_qty) AS rev FROM parts p "
+        "JOIN lineitems l ON p.p_id = l.l_part_id GROUP BY p.p_category",
+    ),
+    (
+        "semi_join",
+        "SELECT c_name FROM customers WHERE c_id IN "
+        "(SELECT o_cust_id FROM orders WHERE o_total > 4700)",
+    ),
+    (
+        "kv_profile_join",
+        "SELECT c.c_name, p.u_tier FROM customers c "
+        "JOIN profiles p ON c.c_id = p.u_cust_id WHERE c.c_balance > 8500",
+    ),
+    (
+        "top_n_orders",
+        "SELECT o_id, o_date, o_total FROM orders "
+        "ORDER BY o_total DESC LIMIT 10",
+    ),
+]
+
+
+def queries_by_name() -> Dict[str, str]:
+    """The catalog as a name → SQL mapping."""
+    return dict(WORKLOAD_QUERIES)

@@ -1,0 +1,370 @@
+"""TPC-H-lite: a deterministic retail federation over heterogeneous sources.
+
+The global schema (and where each table physically lives):
+
+===============  =====================  ==========================================
+global table     source (adapter)       shape
+===============  =====================  ==========================================
+regions          refdata (Memory)       5 rows
+nations          refdata (Memory)       25 rows, FK → regions
+customers        crm (SQLite)           300·sf rows, FK → nations
+orders           erp (SQLite)           1000·sf rows, Zipf FK → customers
+lineitems        wms (SQLite)           3000·sf rows, Zipf FK → parts, FK → orders
+parts            archive (Csv)          200·sf rows
+suppliers        vendors (Rest)         60·sf rows, FK → nations
+profiles         support (KeyValue)     one row per customer, keyed by cust_id
+===============  =====================  ==========================================
+
+``build_federation(scale, seed)`` is bit-for-bit deterministic; every
+experiment and example builds on it. ``build_partitioned_orders`` makes the
+scale-out variant for experiment F2 (orders horizontally ranged over N
+SQLite sources behind a UNION ALL view).
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..catalog.schema import TableSchema, schema_from_pairs
+from ..core.mediator import GlobalInformationSystem
+from ..core.planner import PlannerOptions
+from ..sources import (
+    CsvSource,
+    KeyValueSource,
+    MemorySource,
+    NetworkLink,
+    RestSource,
+    SimulatedNetwork,
+    SQLiteSource,
+)
+from .generator import DataGenerator
+
+DATE_LOW = datetime.date(1988, 1, 1)
+DATE_HIGH = datetime.date(1989, 12, 31)
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "ROMANIA",
+    "SAUDI ARABIA", "UNITED KINGDOM", "UNITED STATES", "VIETNAM", "RUSSIA",
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_STATUSES = ["OPEN", "SHIPPED", "DELIVERED", "RETURNED"]
+_CATEGORIES = ["FASTENER", "FITTING", "GEARBOX", "HOUSING", "TOOLING"]
+_TIERS = ["BASIC", "SILVER", "GOLD", "PLATINUM"]
+
+
+@dataclass
+class Federation:
+    """A built federation: the mediator plus raw handles for tests/benches."""
+
+    gis: GlobalInformationSystem
+    sources: Dict[str, Any]
+    row_counts: Dict[str, int]
+    tables: Dict[str, TableSchema]
+    rows: Dict[str, List[Tuple[Any, ...]]] = field(default_factory=dict)
+
+    def query(self, sql: str, options: Optional[PlannerOptions] = None):
+        """Convenience passthrough to the mediator."""
+        return self.gis.query(sql, options)
+
+
+def _schemas() -> Dict[str, TableSchema]:
+    return {
+        "regions": schema_from_pairs(
+            "regions", [("r_id", "INT"), ("r_name", "TEXT")]
+        ),
+        "nations": schema_from_pairs(
+            "nations",
+            [("n_id", "INT"), ("n_name", "TEXT"), ("n_region_id", "INT")],
+        ),
+        "customers": schema_from_pairs(
+            "customers",
+            [
+                ("c_id", "INT"),
+                ("c_name", "TEXT"),
+                ("c_nation_id", "INT"),
+                ("c_segment", "TEXT"),
+                ("c_since", "DATE"),
+                ("c_balance", "FLOAT"),
+            ],
+        ),
+        "orders": schema_from_pairs(
+            "orders",
+            [
+                ("o_id", "INT"),
+                ("o_cust_id", "INT"),
+                ("o_date", "DATE"),
+                ("o_total", "FLOAT"),
+                ("o_status", "TEXT"),
+            ],
+        ),
+        "lineitems": schema_from_pairs(
+            "lineitems",
+            [
+                ("l_id", "INT"),
+                ("l_order_id", "INT"),
+                ("l_part_id", "INT"),
+                ("l_supplier_id", "INT"),
+                ("l_qty", "INT"),
+                ("l_price", "FLOAT"),
+                ("l_discount", "FLOAT"),
+            ],
+        ),
+        "parts": schema_from_pairs(
+            "parts",
+            [
+                ("p_id", "INT"),
+                ("p_name", "TEXT"),
+                ("p_category", "TEXT"),
+                ("p_price", "FLOAT"),
+            ],
+        ),
+        "suppliers": schema_from_pairs(
+            "suppliers",
+            [
+                ("s_id", "INT"),
+                ("s_name", "TEXT"),
+                ("s_nation_id", "INT"),
+                ("s_rating", "INT"),
+            ],
+        ),
+        "profiles": schema_from_pairs(
+            "profiles",
+            [
+                ("u_cust_id", "INT"),
+                ("u_tier", "TEXT"),
+                ("u_newsletter", "BOOLEAN"),
+            ],
+        ),
+    }
+
+
+def generate_rows(
+    scale: float = 1.0, seed: int = 42
+) -> Dict[str, List[Tuple[Any, ...]]]:
+    """Generate all table contents for a (scale, seed) pair."""
+    gen = DataGenerator(seed)
+    n_customers = max(int(300 * scale), 10)
+    n_orders = max(int(1000 * scale), 20)
+    n_lineitems = max(int(3000 * scale), 40)
+    n_parts = max(int(200 * scale), 10)
+    n_suppliers = max(int(60 * scale), 5)
+
+    regions = [(i + 1, name) for i, name in enumerate(_REGIONS)]
+    nations = [
+        (i + 1, name, (i % len(_REGIONS)) + 1) for i, name in enumerate(_NATIONS)
+    ]
+    customers = [
+        (
+            cid,
+            gen.person_name(),
+            gen.integer(1, len(_NATIONS)),
+            gen.choice(_SEGMENTS),
+            gen.date_between(datetime.date(1980, 1, 1), DATE_HIGH),
+            gen.money(-500.0, 9000.0),
+        )
+        for cid in range(1, n_customers + 1)
+    ]
+    orders = [
+        (
+            oid,
+            gen.zipf_index(n_customers, 1.1) + 1,  # skewed customer activity
+            gen.date_between(DATE_LOW, DATE_HIGH),
+            gen.money(5.0, 5000.0),
+            gen.choice(_STATUSES),
+        )
+        for oid in range(1, n_orders + 1)
+    ]
+    parts = [
+        (
+            pid,
+            gen.part_name(),
+            gen.choice(_CATEGORIES),
+            gen.money(1.0, 800.0),
+        )
+        for pid in range(1, n_parts + 1)
+    ]
+    suppliers = [
+        (
+            sid,
+            f"Supplier {gen.code('S', 4)}",
+            gen.integer(1, len(_NATIONS)),
+            gen.integer(1, 5),
+        )
+        for sid in range(1, n_suppliers + 1)
+    ]
+    lineitems = [
+        (
+            lid,
+            gen.integer(1, n_orders),
+            gen.zipf_index(n_parts, 1.3) + 1,  # hot parts
+            gen.integer(1, n_suppliers),
+            gen.integer(1, 50),
+            gen.money(1.0, 900.0),
+            round(gen.integer(0, 10) / 100.0, 2),
+        )
+        for lid in range(1, n_lineitems + 1)
+    ]
+    profiles = [
+        (
+            cid,
+            _TIERS[gen.zipf_index(len(_TIERS), 1.0)],
+            gen.integer(0, 1) == 1,
+        )
+        for cid in range(1, n_customers + 1)
+    ]
+    return {
+        "regions": regions,
+        "nations": nations,
+        "customers": customers,
+        "orders": orders,
+        "lineitems": lineitems,
+        "parts": parts,
+        "suppliers": suppliers,
+        "profiles": profiles,
+    }
+
+
+def build_federation(
+    scale: float = 1.0,
+    seed: int = 42,
+    network: Optional[SimulatedNetwork] = None,
+    options: Optional[PlannerOptions] = None,
+    csv_dir: Optional[str] = None,
+    analyze: bool = True,
+    keep_rows: bool = False,
+) -> Federation:
+    """Build the standard eight-table federation over six sources.
+
+    ``csv_dir`` defaults to a fresh temporary directory (the CSV archive
+    needs real files). With ``keep_rows`` the generated Python rows stay on
+    the returned handle for oracle-style assertions.
+    """
+    schemas = _schemas()
+    data = generate_rows(scale, seed)
+
+    refdata = MemorySource("refdata")
+    refdata.add_table("regions", schemas["regions"], data["regions"])
+    refdata.add_table("nations", schemas["nations"], data["nations"])
+
+    crm = SQLiteSource("crm")
+    crm.load_table("customers", schemas["customers"], data["customers"])
+
+    erp = SQLiteSource("erp")
+    erp.load_table("orders", schemas["orders"], data["orders"])
+
+    wms = SQLiteSource("wms")
+    wms.load_table("lineitems", schemas["lineitems"], data["lineitems"])
+
+    if csv_dir is None:
+        csv_dir = tempfile.mkdtemp(prefix="gis_archive_")
+    CsvSource.write_table(csv_dir, "parts", schemas["parts"], data["parts"])
+    archive = CsvSource("archive", csv_dir, {"parts": schemas["parts"]})
+
+    vendors = RestSource("vendors", page_rows=50)
+    vendors.add_table("suppliers", schemas["suppliers"], data["suppliers"])
+
+    support = KeyValueSource("support")
+    support.add_table(
+        "profiles", schemas["profiles"], "u_cust_id", data["profiles"]
+    )
+
+    gis = GlobalInformationSystem(network=network, options=options)
+    gis.register_source("refdata", refdata, link=NetworkLink(5.0, 10_000_000.0))
+    gis.register_source("crm", crm, link=NetworkLink(25.0, 1_000_000.0))
+    gis.register_source("erp", erp, link=NetworkLink(30.0, 2_000_000.0))
+    gis.register_source("wms", wms, link=NetworkLink(35.0, 2_000_000.0))
+    gis.register_source("archive", archive, link=NetworkLink(15.0, 500_000.0))
+    gis.register_source("vendors", vendors, link=NetworkLink(80.0, 250_000.0))
+    gis.register_source("support", support, link=NetworkLink(10.0, 1_000_000.0))
+
+    for table, source in [
+        ("regions", "refdata"),
+        ("nations", "refdata"),
+        ("customers", "crm"),
+        ("orders", "erp"),
+        ("lineitems", "wms"),
+        ("parts", "archive"),
+        ("suppliers", "vendors"),
+        ("profiles", "support"),
+    ]:
+        gis.register_table(table, source=source)
+
+    if analyze:
+        gis.analyze()
+
+    federation = Federation(
+        gis=gis,
+        sources={
+            "refdata": refdata,
+            "crm": crm,
+            "erp": erp,
+            "wms": wms,
+            "archive": archive,
+            "vendors": vendors,
+            "support": support,
+        },
+        row_counts={name: len(rows) for name, rows in data.items()},
+        tables=schemas,
+        rows=data if keep_rows else {},
+    )
+    return federation
+
+
+def build_partitioned_orders(
+    partitions: int,
+    rows_per_partition: int = 500,
+    seed: int = 42,
+    network: Optional[SimulatedNetwork] = None,
+    options: Optional[PlannerOptions] = None,
+    latency_ms: float = 30.0,
+    bandwidth: float = 1_000_000.0,
+    analyze: bool = True,
+) -> Federation:
+    """A federation whose ``orders`` are range-partitioned over N SQLite
+    sources and reunified by the ``orders_all`` integration view (experiment
+    F2's scale-out substrate)."""
+    schemas = _schemas()
+    gen = DataGenerator(seed)
+    total_rows = partitions * rows_per_partition
+    all_orders = [
+        (
+            oid,
+            gen.integer(1, 300),
+            gen.date_between(DATE_LOW, DATE_HIGH),
+            gen.money(5.0, 5000.0),
+            gen.choice(_STATUSES),
+        )
+        for oid in range(1, total_rows + 1)
+    ]
+    gis = GlobalInformationSystem(network=network, options=options)
+    sources: Dict[str, Any] = {}
+    branch_sql: List[str] = []
+    for index in range(partitions):
+        source_name = f"erp{index}"
+        shard = SQLiteSource(source_name)
+        shard_rows = all_orders[
+            index * rows_per_partition : (index + 1) * rows_per_partition
+        ]
+        shard.load_table("orders_shard", schemas["orders"], shard_rows)
+        gis.register_source(
+            source_name, shard, link=NetworkLink(latency_ms, bandwidth)
+        )
+        table_name = f"orders_p{index}"
+        gis.register_table(table_name, source=source_name, remote_table="orders_shard")
+        branch_sql.append(f"SELECT * FROM {table_name}")
+    gis.create_view("orders_all", " UNION ALL ".join(branch_sql))
+    if analyze:
+        gis.analyze()
+    return Federation(
+        gis=gis,
+        sources=sources,
+        row_counts={"orders_all": total_rows},
+        tables={"orders": schemas["orders"]},
+    )

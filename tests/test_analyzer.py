@@ -1,0 +1,355 @@
+"""Semantic analysis: scopes, views, aggregation rules, set operations."""
+
+import pytest
+
+from repro import Catalog, DataType, MemorySource, TableMapping
+from repro.catalog.schema import schema_from_pairs
+from repro.core.analyzer import Analyzer
+from repro.core.logical import (
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    JoinOp,
+    LimitOp,
+    ProjectOp,
+    ScanOp,
+    SetDifferenceOp,
+    SortOp,
+    UnionOp,
+    ValuesOp,
+)
+from repro.errors import BindError
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    source = MemorySource("mem")
+    source.add_table(
+        "t",
+        schema_from_pairs("t", [("a", "INT"), ("b", "TEXT"), ("c", "FLOAT")]),
+        [],
+    )
+    source.add_table(
+        "u",
+        schema_from_pairs("u", [("a", "INT"), ("d", "DATE")]),
+        [],
+    )
+    catalog.register_source("mem", source)
+    catalog.register_table(
+        "t", schema_from_pairs("t", [("a", "INT"), ("b", "TEXT"), ("c", "FLOAT")]),
+        TableMapping("mem", "t"),
+    )
+    catalog.register_table(
+        "u", schema_from_pairs("u", [("a", "INT"), ("d", "DATE")]),
+        TableMapping("mem", "u"),
+    )
+    return catalog
+
+
+def bind(catalog, sql):
+    return Analyzer(catalog).bind_statement(parse_select(sql))
+
+
+class TestResolution:
+    def test_simple_select(self, catalog):
+        plan = bind(catalog, "SELECT a, b FROM t")
+        assert isinstance(plan, ProjectOp)
+        assert [c.name for c in plan.output_columns] == ["a", "b"]
+        assert plan.output_columns[0].dtype == DataType.INTEGER
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT 1 FROM ghost")
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT ghost FROM t")
+
+    def test_qualified_resolution(self, catalog):
+        plan = bind(catalog, "SELECT t.a, u.a FROM t, u")
+        assert len(plan.output_columns) == 2
+        assert plan.output_columns[0] is not plan.output_columns[1]
+
+    def test_ambiguous_unqualified(self, catalog):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(catalog, "SELECT a FROM t, u")
+
+    def test_alias_hides_table_name(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT t.a FROM t AS x")
+
+    def test_duplicate_binding_names(self, catalog):
+        with pytest.raises(BindError, match="duplicate"):
+            bind(catalog, "SELECT 1 FROM t, t")
+
+    def test_self_join_with_aliases(self, catalog):
+        plan = bind(catalog, "SELECT x.a, y.a FROM t x JOIN t y ON x.a = y.a")
+        assert plan.output_columns[0] is not plan.output_columns[1]
+
+    def test_star_expansion(self, catalog):
+        plan = bind(catalog, "SELECT * FROM t, u")
+        assert [c.name for c in plan.output_columns] == ["a", "b", "c", "a", "d"]
+
+    def test_qualified_star(self, catalog):
+        plan = bind(catalog, "SELECT u.* FROM t, u")
+        assert [c.name for c in plan.output_columns] == ["a", "d"]
+
+    def test_star_without_from_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT *")
+
+    def test_from_less_select(self, catalog):
+        plan = bind(catalog, "SELECT 1 + 2 AS three")
+        assert isinstance(plan, ProjectOp)
+        assert isinstance(plan.child, ValuesOp)
+        assert plan.output_columns[0].name == "three"
+
+    def test_derived_table(self, catalog):
+        plan = bind(catalog, "SELECT s.a FROM (SELECT a FROM t) s")
+        assert isinstance(plan, ProjectOp)
+
+    def test_derived_table_alias_scope(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT t.a FROM (SELECT a FROM t) s")
+
+
+class TestJoins:
+    def test_join_condition_must_be_boolean(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT 1 FROM t JOIN u ON t.a + u.a")
+
+    def test_left_join_kind_preserved(self, catalog):
+        plan = bind(catalog, "SELECT t.a FROM t LEFT JOIN u ON t.a = u.a")
+        joins = [n for n in plan.walk() if isinstance(n, JoinOp)]
+        assert joins[0].kind == "LEFT"
+
+    def test_cross_join(self, catalog):
+        plan = bind(catalog, "SELECT t.a FROM t CROSS JOIN u")
+        joins = [n for n in plan.walk() if isinstance(n, JoinOp)]
+        assert joins[0].kind == "CROSS" and joins[0].condition is None
+
+
+class TestWhere:
+    def test_where_must_be_boolean(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT a FROM t WHERE a + 1")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT a FROM t WHERE SUM(a) > 1")
+
+    def test_in_subquery_becomes_semi_join(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t WHERE a IN (SELECT a FROM u)")
+        kinds = [n.kind for n in plan.walk() if isinstance(n, JoinOp)]
+        assert "SEMI" in kinds
+
+    def test_not_in_subquery_becomes_null_aware_anti(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t WHERE a NOT IN (SELECT a FROM u)")
+        joins = [n for n in plan.walk() if isinstance(n, JoinOp)]
+        assert joins[0].kind == "ANTI" and joins[0].null_aware
+
+    def test_exists_becomes_semi_join(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        joins = [n for n in plan.walk() if isinstance(n, JoinOp)]
+        assert joins[0].kind == "SEMI" and joins[0].condition is None
+
+    def test_not_exists_becomes_anti_join(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+        joins = [n for n in plan.walk() if isinstance(n, JoinOp)]
+        assert joins[0].kind == "ANTI" and not joins[0].null_aware
+
+    def test_in_subquery_under_or_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT b FROM t WHERE a = 1 OR a IN (SELECT a FROM u)")
+
+    def test_in_subquery_multi_column_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT b FROM t WHERE a IN (SELECT a, d FROM u)")
+
+    def test_in_subquery_incomparable_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT b FROM t WHERE b IN (SELECT a FROM u)")
+
+
+class TestAggregation:
+    def test_group_by_plan_shape(self, catalog):
+        plan = bind(catalog, "SELECT b, COUNT(*) FROM t GROUP BY b")
+        aggregates = [n for n in plan.walk() if isinstance(n, AggregateOp)]
+        assert len(aggregates) == 1
+        assert len(aggregates[0].group_expressions) == 1
+        assert aggregates[0].aggregates[0].function == "COUNT"
+
+    def test_global_aggregate_without_group(self, catalog):
+        plan = bind(catalog, "SELECT SUM(a), AVG(c) FROM t")
+        (aggregate,) = [n for n in plan.walk() if isinstance(n, AggregateOp)]
+        assert aggregate.group_expressions == []
+        assert len(aggregate.aggregates) == 2
+
+    def test_duplicate_aggregates_shared(self, catalog):
+        plan = bind(catalog, "SELECT SUM(a), SUM(a) + 1 FROM t")
+        (aggregate,) = [n for n in plan.walk() if isinstance(n, AggregateOp)]
+        assert len(aggregate.aggregates) == 1
+
+    def test_ungrouped_column_rejected(self, catalog):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind(catalog, "SELECT a, COUNT(*) FROM t GROUP BY b")
+
+    def test_group_by_ordinal(self, catalog):
+        plan = bind(catalog, "SELECT b, COUNT(*) FROM t GROUP BY 1")
+        (aggregate,) = [n for n in plan.walk() if isinstance(n, AggregateOp)]
+        assert len(aggregate.group_expressions) == 1
+
+    def test_group_by_ordinal_out_of_range(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT b FROM t GROUP BY 5")
+
+    def test_group_by_alias(self, catalog):
+        plan = bind(catalog, "SELECT UPPER(b) AS ub, COUNT(*) FROM t GROUP BY ub")
+        assert isinstance(plan, ProjectOp)
+
+    def test_group_by_expression_match(self, catalog):
+        plan = bind(catalog, "SELECT a + 1, COUNT(*) FROM t GROUP BY a + 1")
+        (aggregate,) = [n for n in plan.walk() if isinstance(n, AggregateOp)]
+        assert len(aggregate.group_expressions) == 1
+
+    def test_nested_aggregate_rejected(self, catalog):
+        with pytest.raises(BindError, match="nested"):
+            bind(catalog, "SELECT SUM(COUNT(*)) FROM t")
+
+    def test_aggregate_in_group_by_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT COUNT(*) FROM t GROUP BY SUM(a)")
+
+    def test_having_without_group_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT a FROM t HAVING a > 1")
+
+    def test_having_with_aggregate(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t GROUP BY b HAVING COUNT(*) > 2")
+        filters = [n for n in plan.walk() if isinstance(n, FilterOp)]
+        assert len(filters) == 1
+
+    def test_count_distinct(self, catalog):
+        plan = bind(catalog, "SELECT COUNT(DISTINCT b) FROM t")
+        (aggregate,) = [n for n in plan.walk() if isinstance(n, AggregateOp)]
+        assert aggregate.aggregates[0].distinct
+
+    def test_aggregate_arity(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT SUM(a, c) FROM t")
+
+
+class TestOrderByLimit:
+    def test_order_by_ordinal(self, catalog):
+        plan = bind(catalog, "SELECT a, b FROM t ORDER BY 2 DESC")
+        (sort,) = [n for n in plan.walk() if isinstance(n, SortOp)]
+        assert sort.keys[0][1] is False
+
+    def test_order_by_alias(self, catalog):
+        plan = bind(catalog, "SELECT a AS k FROM t ORDER BY k")
+        assert isinstance(plan, SortOp)
+
+    def test_order_by_hidden_column(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t ORDER BY a")
+        # Hidden key forces project → sort → trim-project.
+        assert isinstance(plan, ProjectOp)
+        assert isinstance(plan.child, SortOp)
+        assert [c.name for c in plan.output_columns] == ["b"]
+
+    def test_order_by_hidden_with_distinct_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT DISTINCT b FROM t ORDER BY a")
+
+    def test_order_by_aggregate(self, catalog):
+        plan = bind(catalog, "SELECT b FROM t GROUP BY b ORDER BY COUNT(*) DESC")
+        sorts = [n for n in plan.walk() if isinstance(n, SortOp)]
+        assert sorts
+
+    def test_order_ordinal_out_of_range(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT a FROM t ORDER BY 9")
+
+    def test_limit_offset(self, catalog):
+        plan = bind(catalog, "SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert isinstance(plan, LimitOp)
+        assert plan.limit == 5 and plan.offset == 2
+
+    def test_distinct_wraps_projection(self, catalog):
+        plan = bind(catalog, "SELECT DISTINCT b FROM t")
+        assert isinstance(plan, DistinctOp)
+
+
+class TestViews:
+    def test_view_expansion(self, catalog):
+        catalog.register_view("v", "SELECT a AS x, b FROM t WHERE a > 1")
+        plan = bind(catalog, "SELECT x FROM v")
+        assert [c.name for c in plan.output_columns] == ["x"]
+
+    def test_view_schema_cached(self, catalog):
+        catalog.register_view("v", "SELECT a AS x FROM t")
+        bind(catalog, "SELECT x FROM v")
+        assert catalog.table("v").schema is not None
+        assert catalog.table("v").schema.column("x").dtype == DataType.INTEGER
+
+    def test_view_alias(self, catalog):
+        catalog.register_view("v", "SELECT a FROM t")
+        plan = bind(catalog, "SELECT w.a FROM v AS w")
+        assert plan.output_columns[0].name == "a"
+
+    def test_nested_views(self, catalog):
+        catalog.register_view("v1", "SELECT a FROM t")
+        catalog.register_view("v2", "SELECT a FROM v1 WHERE a > 0")
+        plan = bind(catalog, "SELECT a FROM v2")
+        assert plan.output_columns[0].dtype == DataType.INTEGER
+
+    def test_circular_views_detected(self, catalog):
+        catalog.register_view("v1", "SELECT a FROM v2")
+        catalog.register_view("v2", "SELECT a FROM v1")
+        with pytest.raises(BindError, match="circular"):
+            bind(catalog, "SELECT a FROM v1")
+
+    def test_view_used_twice_gets_fresh_columns(self, catalog):
+        catalog.register_view("v", "SELECT a FROM t")
+        plan = bind(catalog, "SELECT x.a, y.a FROM v x JOIN v y ON x.a = y.a")
+        assert plan.output_columns[0] is not plan.output_columns[1]
+
+
+class TestSetOperations:
+    def test_union_all(self, catalog):
+        plan = bind(catalog, "SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(plan, UnionOp) and plan.all
+
+    def test_union_distinct(self, catalog):
+        plan = bind(catalog, "SELECT a FROM t UNION SELECT a FROM u")
+        assert isinstance(plan, DistinctOp)
+        assert isinstance(plan.child, UnionOp)
+
+    def test_except_and_intersect(self, catalog):
+        plan = bind(catalog, "SELECT a FROM t EXCEPT SELECT a FROM u")
+        assert isinstance(plan, SetDifferenceOp) and plan.operation == "EXCEPT"
+        plan = bind(catalog, "SELECT a FROM t INTERSECT SELECT a FROM u")
+        assert plan.operation == "INTERSECT"
+
+    def test_column_count_mismatch(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT a, b FROM t UNION ALL SELECT a FROM u")
+
+    def test_type_widening_across_branches(self, catalog):
+        plan = bind(catalog, "SELECT a FROM t UNION ALL SELECT c FROM t")
+        assert plan.output_columns[0].dtype == DataType.FLOAT
+
+    def test_incompatible_types_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind(catalog, "SELECT a FROM t UNION ALL SELECT b FROM t")
+
+    def test_set_op_order_by_name(self, catalog):
+        plan = bind(
+            catalog, "SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a DESC"
+        )
+        assert isinstance(plan, SortOp)
+
+    def test_set_op_limit(self, catalog):
+        plan = bind(catalog, "SELECT a FROM t UNION ALL SELECT a FROM u LIMIT 3")
+        assert isinstance(plan, LimitOp)

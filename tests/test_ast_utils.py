@@ -1,0 +1,121 @@
+"""AST helpers: traversal, conjunct handling, ref substitution."""
+
+from repro.datatypes import DataType
+from repro.core.logical import RelColumn
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+def expr_of(text):
+    return parse_select(f"SELECT {text}").items[0].expr
+
+
+class TestConjuncts:
+    def test_none_is_empty(self):
+        assert ast.conjuncts(None) == []
+
+    def test_single_predicate(self):
+        expr = expr_of("a = 1")
+        assert ast.conjuncts(expr) == [expr]
+
+    def test_nested_ands_flatten(self):
+        expr = expr_of("a = 1 AND b = 2 AND c = 3")
+        parts = ast.conjuncts(expr)
+        assert len(parts) == 3
+
+    def test_or_is_not_split(self):
+        expr = expr_of("a = 1 OR b = 2")
+        assert ast.conjuncts(expr) == [expr]
+
+    def test_conjoin_inverse(self):
+        expr = expr_of("a = 1 AND b = 2")
+        rebuilt = ast.conjoin(ast.conjuncts(expr))
+        assert ast.conjuncts(rebuilt) == ast.conjuncts(expr)
+
+    def test_conjoin_empty_is_none(self):
+        assert ast.conjoin([]) is None
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        expr = expr_of("CASE WHEN a = 1 THEN b + 2 ELSE ABS(c) END")
+        names = {
+            node.name
+            for node in ast.walk_expression(expr)
+            if isinstance(node, ast.ColumnRef)
+        }
+        assert names == {"a", "b", "c"}
+
+    def test_children_of_between(self):
+        expr = expr_of("x BETWEEN lo AND hi")
+        assert len(ast.expression_children(expr)) == 3
+
+    def test_children_of_in_list(self):
+        expr = expr_of("x IN (1, 2)")
+        assert len(ast.expression_children(expr)) == 3
+
+
+class TestTransform:
+    def test_transform_replaces_leaves(self):
+        expr = expr_of("a + b * a")
+
+        def rename(node):
+            if isinstance(node, ast.ColumnRef) and node.name == "a":
+                return ast.ColumnRef(None, "z")
+            return None
+
+        result = ast.transform_expression(expr, rename)
+        names = [
+            n.name for n in ast.walk_expression(result) if isinstance(n, ast.ColumnRef)
+        ]
+        assert names.count("z") == 2 and "a" not in names
+
+    def test_transform_shares_untouched_subtrees(self):
+        expr = expr_of("a + (b * c)")
+        result = ast.transform_expression(expr, lambda node: None)
+        assert result is expr
+
+
+class TestBoundRefs:
+    def test_bound_ref_identity_equality(self):
+        column = RelColumn("x", DataType.INTEGER)
+        twin = RelColumn("x", DataType.INTEGER)
+        assert ast.BoundRef(column) == ast.BoundRef(column)
+        assert ast.BoundRef(column) != ast.BoundRef(twin)
+
+    def test_referenced_columns(self):
+        a = RelColumn("a", DataType.INTEGER)
+        b = RelColumn("b", DataType.INTEGER)
+        expr = ast.BinaryOp("+", a.ref(), ast.BinaryOp("*", b.ref(), a.ref()))
+        refs = ast.referenced_columns(expr)
+        assert refs.count(a) == 2 and refs.count(b) == 1
+
+    def test_replace_refs_with_column(self):
+        a = RelColumn("a", DataType.INTEGER)
+        b = RelColumn("b", DataType.INTEGER)
+        expr = ast.BinaryOp("=", a.ref(), ast.Literal(1, DataType.INTEGER))
+        replaced = ast.replace_refs(expr, {a.column_id: b})
+        assert ast.referenced_columns(replaced) == [b]
+
+    def test_replace_refs_with_expression(self):
+        a = RelColumn("a", DataType.INTEGER)
+        replacement = ast.BinaryOp(
+            "+", ast.Literal(1, DataType.INTEGER), ast.Literal(2, DataType.INTEGER)
+        )
+        expr = a.ref()
+        replaced = ast.replace_refs(expr, {a.column_id: replacement})
+        assert replaced == replacement
+
+    def test_replace_refs_leaves_unmapped(self):
+        a = RelColumn("a", DataType.INTEGER)
+        expr = a.ref()
+        assert ast.replace_refs(expr, {}) is expr
+
+
+class TestContainsAggregate:
+    def test_detects_aggregate(self):
+        assert ast.contains_aggregate(expr_of("SUM(x) + 1"))
+        assert ast.contains_aggregate(expr_of("COUNT(*)"))
+
+    def test_scalar_only(self):
+        assert not ast.contains_aggregate(expr_of("UPPER(x) || 'a'"))

@@ -1,0 +1,189 @@
+"""Cardinality estimation: scans, filters, joins, aggregates, histograms."""
+
+import pytest
+
+from repro import Catalog, MemorySource, TableMapping
+from repro.catalog.schema import schema_from_pairs
+from repro.catalog.statistics import TableStatistics
+from repro.core.analyzer import Analyzer
+from repro.core.cardinality import (
+    DEFAULT_TABLE_ROWS,
+    Estimator,
+)
+from repro.core.logical import FilterOp, JoinOp
+from repro.core.rewriter import rewrite
+from repro.sql.parser import parse_select
+
+
+def build_catalog(with_stats=True, histogram_buckets=16):
+    catalog = Catalog()
+    source = MemorySource("mem")
+    t_schema = schema_from_pairs("t", [("a", "INT"), ("b", "TEXT")])
+    u_schema = schema_from_pairs("u", [("a", "INT"), ("k", "INT")])
+    # t.a uniform 0..999; t.b has 10 distinct values; u.a 0..99, u.k skewed.
+    t_rows = [(i, f"b{i % 10}") for i in range(1000)]
+    u_rows = [(i, 0 if i < 90 else i) for i in range(100)]
+    source.add_table("t", t_schema, t_rows)
+    source.add_table("u", u_schema, u_rows)
+    catalog.register_source("mem", source)
+    catalog.register_table("t", t_schema, TableMapping("mem", "t"))
+    catalog.register_table("u", u_schema, TableMapping("mem", "u"))
+    if with_stats:
+        catalog.set_statistics(
+            "t", TableStatistics.from_rows(t_schema, t_rows, histogram_buckets)
+        )
+        catalog.set_statistics(
+            "u", TableStatistics.from_rows(u_schema, u_rows, histogram_buckets)
+        )
+    return catalog
+
+
+def plan_for(catalog, sql, optimized=True):
+    plan = Analyzer(catalog).bind_statement(parse_select(sql))
+    return rewrite(plan) if optimized else plan
+
+
+class TestScanEstimates:
+    def test_scan_uses_statistics(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT * FROM t", optimized=False)
+        assert estimator.estimate_rows(plan) == 1000
+
+    def test_scan_without_stats_uses_adapter_metadata(self):
+        catalog = build_catalog(with_stats=False)
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT * FROM t", optimized=False)
+        # MemorySource exposes row_count, so we still get the truth.
+        assert estimator.estimate_rows(plan) == 1000
+
+
+class TestFilterSelectivity:
+    def test_equality_via_histogram(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t WHERE b = 'b3'")
+        estimate = estimator.estimate_rows(plan)
+        assert estimate == pytest.approx(100, rel=0.5)
+
+    def test_range_via_histogram(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t WHERE a < 250")
+        assert estimator.estimate_rows(plan) == pytest.approx(250, rel=0.2)
+
+    def test_between(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t WHERE a BETWEEN 100 AND 299")
+        assert estimator.estimate_rows(plan) == pytest.approx(200, rel=0.3)
+
+    def test_conjunction_multiplies(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t WHERE a < 500 AND b = 'b1'")
+        assert estimator.estimate_rows(plan) == pytest.approx(50, rel=0.6)
+
+    def test_skew_with_histogram_beats_uniform(self):
+        catalog = build_catalog()
+        skew_aware = Estimator(catalog, use_histograms=True)
+        uniform = Estimator(catalog, use_histograms=False)
+        plan = plan_for(catalog, "SELECT k FROM u WHERE k = 0")
+        truth = 90.0
+        aware_error = abs(skew_aware.estimate_rows(plan) - truth)
+        uniform_error = abs(uniform.estimate_rows(plan) - truth)
+        assert aware_error < uniform_error
+
+    def test_in_list(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t WHERE b IN ('b1', 'b2')")
+        assert estimator.estimate_rows(plan) == pytest.approx(200, rel=0.5)
+
+    def test_or_combination(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t WHERE a < 100 OR a >= 900")
+        assert estimator.estimate_rows(plan) == pytest.approx(200, rel=0.4)
+
+    def test_selectivity_clamped(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(
+            catalog, "SELECT a FROM t WHERE a < 100 AND a < 100 AND a < 100"
+        )
+        assert 0 <= estimator.estimate_rows(plan) <= 1000
+
+
+class TestJoinEstimates:
+    def test_equi_join_uses_ndv(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT 1 FROM t JOIN u ON t.a = u.a")
+        # |t|*|u| / max(ndv)=1000 → ≈100
+        assert estimator.estimate_rows(plan) == pytest.approx(100, rel=0.3)
+
+    def test_cross_join_is_product(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT 1 FROM t CROSS JOIN u", optimized=False)
+        assert estimator.estimate_rows(plan) == pytest.approx(100_000)
+
+    def test_semi_join_bounded_by_left(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(
+            catalog, "SELECT a FROM t WHERE a IN (SELECT a FROM u)", optimized=False
+        )
+        assert estimator.estimate_rows(plan) <= 1000
+
+    def test_left_join_at_least_left(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(
+            catalog, "SELECT t.a FROM t LEFT JOIN u ON t.a = u.a", optimized=False
+        )
+        assert estimator.estimate_rows(plan) >= 1000
+
+
+class TestAggregateAndMisc:
+    def test_global_aggregate_is_one(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT COUNT(*) FROM t", optimized=False)
+        assert estimator.estimate_rows(plan) == 1.0
+
+    def test_group_count_via_ndv(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT b, COUNT(*) FROM t GROUP BY b")
+        assert estimator.estimate_rows(plan) == pytest.approx(10, rel=0.2)
+
+    def test_limit_caps(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT a FROM t LIMIT 7", optimized=False)
+        assert estimator.estimate_rows(plan) == 7
+
+    def test_union_sums(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(
+            catalog,
+            "SELECT a FROM t UNION ALL SELECT a FROM u",
+            optimized=False,
+        )
+        assert estimator.estimate_rows(plan) == pytest.approx(1100)
+
+    def test_width_uses_measured_text(self):
+        catalog = build_catalog()
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT b FROM t", optimized=False)
+        width = estimator.estimate_width(plan.output_columns)
+        assert width == pytest.approx(2.0, abs=0.5)  # "b3" etc.
+
+    def test_width_default_without_stats(self):
+        catalog = build_catalog(with_stats=False)
+        estimator = Estimator(catalog)
+        plan = plan_for(catalog, "SELECT b FROM t", optimized=False)
+        assert estimator.estimate_width(plan.output_columns) == 24.0

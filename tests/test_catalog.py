@@ -1,0 +1,129 @@
+"""Catalog, schemas, and mappings."""
+
+import pytest
+
+from repro import Catalog, Column, DataType, TableMapping, TableSchema
+from repro.catalog.schema import schema_from_pairs
+from repro.catalog.statistics import TableStatistics
+from repro.errors import CatalogError, DuplicateObjectError, UnknownObjectError
+from repro.sources import MemorySource
+
+
+def simple_schema(name="t"):
+    return schema_from_pairs(name, [("a", "INT"), ("b", "TEXT")])
+
+
+class TestTableSchema:
+    def test_lookup_is_case_insensitive(self):
+        schema = simple_schema()
+        assert schema.column("A").dtype == DataType.INTEGER
+        assert schema.index_of("B") == 1
+        assert schema.has_column("a") and not schema.has_column("z")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("x", DataType.INTEGER), Column("X", DataType.TEXT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            simple_schema().column("nope")
+
+    def test_iteration_and_names(self):
+        schema = simple_schema()
+        assert schema.column_names() == ["a", "b"]
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]
+
+    def test_column_of_accepts_type_objects(self):
+        assert Column.of("x", DataType.DATE).dtype == DataType.DATE
+
+
+class TestTableMapping:
+    def test_remote_column_defaults_to_global_name(self):
+        mapping = TableMapping("src", "T", {"a": "COL_A"})
+        assert mapping.remote_column("a") == "COL_A"
+        assert mapping.remote_column("A") == "COL_A"
+        assert mapping.remote_column("b") == "b"
+
+    def test_validate_rejects_unknown_global_column(self):
+        mapping = TableMapping("src", "T", {"ghost": "X"})
+        with pytest.raises(CatalogError):
+            mapping.validate_against(simple_schema())
+
+
+class TestCatalog:
+    def make_catalog(self):
+        catalog = Catalog()
+        source = MemorySource("mem")
+        source.add_table("t", simple_schema(), [(1, "x")])
+        catalog.register_source("mem", source)
+        return catalog
+
+    def test_register_and_lookup_source(self):
+        catalog = self.make_catalog()
+        assert catalog.has_source("MEM")
+        assert catalog.source("Mem").name == "mem"
+        assert catalog.source_names() == ["mem"]
+
+    def test_duplicate_source_rejected(self):
+        catalog = self.make_catalog()
+        with pytest.raises(DuplicateObjectError):
+            catalog.register_source("MEM", MemorySource("other"))
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().source("ghost")
+
+    def test_register_table_and_lookup(self):
+        catalog = self.make_catalog()
+        catalog.register_table("t", simple_schema(), TableMapping("mem", "t"))
+        entry = catalog.table("T")
+        assert not entry.is_view
+        assert entry.mapping.source == "mem"
+
+    def test_table_requires_known_source(self):
+        catalog = self.make_catalog()
+        with pytest.raises(UnknownObjectError):
+            catalog.register_table("t", simple_schema(), TableMapping("ghost", "t"))
+
+    def test_duplicate_table_rejected(self):
+        catalog = self.make_catalog()
+        catalog.register_table("t", simple_schema(), TableMapping("mem", "t"))
+        with pytest.raises(DuplicateObjectError):
+            catalog.register_view("T", "SELECT 1")
+
+    def test_views_and_drop(self):
+        catalog = self.make_catalog()
+        catalog.register_view("v", "SELECT 1")
+        assert catalog.table("v").is_view
+        catalog.drop("V")
+        assert not catalog.has_table("v")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().drop("ghost")
+
+    def test_tables_on_source(self):
+        catalog = self.make_catalog()
+        catalog.register_table("t", simple_schema(), TableMapping("mem", "t"))
+        catalog.register_view("v", "SELECT 1")
+        names = [entry.name for entry in catalog.tables_on_source("MEM")]
+        assert names == ["t"]
+
+    def test_statistics_lifecycle(self):
+        catalog = self.make_catalog()
+        catalog.register_table("t", simple_schema(), TableMapping("mem", "t"))
+        assert catalog.statistics("t") is None
+        catalog.set_statistics("t", TableStatistics(row_count=5))
+        assert catalog.statistics("T").row_count == 5
+        catalog.clear_statistics()
+        assert catalog.statistics("t") is None
+
+    def test_statistics_require_known_table(self):
+        catalog = self.make_catalog()
+        with pytest.raises(UnknownObjectError):
+            catalog.set_statistics("ghost", TableStatistics(row_count=1))

@@ -1,0 +1,211 @@
+"""Declarative federation configuration (repro.config)."""
+
+import json
+
+import pytest
+
+from repro.config import build_from_config, load_config
+from repro.errors import CatalogError, PlanError
+
+
+def base_config(tmp_path=None):
+    return {
+        "sources": {
+            "erp": {
+                "type": "sqlite",
+                "tables": {
+                    "ORDERS": {
+                        "columns": [["oid", "INT"], ["cust_id", "INT"],
+                                    ["total", "FLOAT"]],
+                        "rows": [[1, 10, 9.5], [2, 10, 100.0], [3, 11, 55.0]],
+                    }
+                },
+                "link": {"latency_ms": 30, "bandwidth_bytes_per_s": 2e6},
+            },
+            "crm": {
+                "type": "memory",
+                "tables": {
+                    "customers": {
+                        "columns": [["id", "INT"], ["name", "TEXT"]],
+                        "rows": [[10, "Ada"], [11, "Grace"]],
+                    }
+                },
+            },
+        },
+        "tables": [
+            {"name": "orders", "source": "erp", "remote_table": "ORDERS"},
+            {"name": "customers", "source": "crm"},
+        ],
+        "views": {"big_orders": "SELECT * FROM orders WHERE total > 50"},
+        "analyze": True,
+    }
+
+
+class TestBuild:
+    def test_end_to_end(self):
+        gis = build_from_config(base_config())
+        result = gis.query(
+            "SELECT c.name, COUNT(*) FROM customers c "
+            "JOIN big_orders o ON c.id = o.cust_id GROUP BY c.name ORDER BY 1"
+        )
+        assert result.rows == [("Ada", 1), ("Grace", 1)]
+
+    def test_link_configured(self):
+        gis = build_from_config(base_config())
+        assert gis.network.link_for("erp").latency_ms == 30.0
+
+    def test_analyze_ran(self):
+        gis = build_from_config(base_config())
+        assert gis.catalog.statistics("orders") is not None
+
+    def test_analyze_skippable(self):
+        config = base_config()
+        config["analyze"] = False
+        gis = build_from_config(config)
+        assert gis.catalog.statistics("orders") is None
+
+    def test_planner_options_passed(self):
+        config = base_config()
+        config["options"] = {"join_strategy": "canonical", "semijoin": "off"}
+        gis = build_from_config(config)
+        assert gis.planner.options.join_strategy == "canonical"
+
+    def test_invalid_options_rejected(self):
+        config = base_config()
+        config["options"] = {"join_strategy": "quantum"}
+        with pytest.raises(PlanError):
+            build_from_config(config)
+
+    def test_cache_and_retries(self):
+        config = base_config()
+        config["result_cache_size"] = 4
+        config["fragment_retries"] = 2
+        gis = build_from_config(config)
+        assert gis.fragment_retries == 2
+        gis.query("SELECT COUNT(*) FROM orders")
+        assert gis.query("SELECT COUNT(*) FROM orders").metrics.network.cache_hit
+
+    def test_replicas(self):
+        config = base_config()
+        config["sources"]["backup"] = {
+            "type": "sqlite",
+            "tables": {
+                "ORDERS": {
+                    "columns": [["oid", "INT"], ["cust_id", "INT"],
+                                ["total", "FLOAT"]],
+                    "rows": [[1, 10, 9.5], [2, 10, 100.0], [3, 11, 55.0]],
+                }
+            },
+            "link": {"latency_ms": 1, "bandwidth_bytes_per_s": 1e9},
+        }
+        config["replicas"] = [
+            {"name": "orders", "source": "backup", "remote_table": "ORDERS"}
+        ]
+        gis = build_from_config(config)
+        planned = gis.plan("SELECT oid FROM orders")
+        from repro.core.logical import RemoteQueryOp
+
+        sources = {
+            n.source_name for n in planned.distributed.walk()
+            if isinstance(n, RemoteQueryOp)
+        }
+        assert sources == {"backup"}
+
+
+class TestSourceTypes:
+    def test_csv_source_with_materialized_rows(self, tmp_path):
+        config = {
+            "sources": {
+                "archive": {
+                    "type": "csv",
+                    "directory": str(tmp_path),
+                    "tables": {
+                        "parts": {
+                            "columns": [["p_id", "INT"], ["p_name", "TEXT"]],
+                            "rows": [[1, "bolt"], [2, "nut"]],
+                        }
+                    },
+                }
+            },
+            "tables": [{"name": "parts", "source": "archive"}],
+        }
+        gis = build_from_config(config)
+        assert gis.query("SELECT COUNT(*) FROM parts").scalar() == 2
+
+    def test_keyvalue_requires_key(self):
+        config = {
+            "sources": {
+                "kv": {
+                    "type": "keyvalue",
+                    "tables": {"t": {"columns": [["k", "INT"]], "rows": []}},
+                }
+            }
+        }
+        with pytest.raises(CatalogError, match="key"):
+            build_from_config(config)
+
+    def test_keyvalue_and_rest(self):
+        config = {
+            "sources": {
+                "kv": {
+                    "type": "keyvalue",
+                    "tables": {
+                        "profiles": {
+                            "columns": [["uid", "INT"], ["tier", "TEXT"]],
+                            "rows": [[1, "GOLD"], [2, "BASIC"]],
+                            "key": "uid",
+                        }
+                    },
+                },
+                "feed": {
+                    "type": "rest",
+                    "page_rows": 10,
+                    "tables": {
+                        "events": {
+                            "columns": [["eid", "INT"], ["uid", "INT"]],
+                            "rows": [[100, 1], [101, 2], [102, 1]],
+                        }
+                    },
+                },
+            },
+            "tables": [
+                {"name": "profiles", "source": "kv"},
+                {"name": "events", "source": "feed"},
+            ],
+        }
+        gis = build_from_config(config)
+        result = gis.query(
+            "SELECT p.tier, COUNT(*) FROM profiles p "
+            "JOIN events e ON p.uid = e.uid GROUP BY p.tier ORDER BY 1"
+        )
+        assert result.rows == [("BASIC", 1), ("GOLD", 2)]
+
+    def test_unknown_source_type(self):
+        with pytest.raises(CatalogError, match="unknown type"):
+            build_from_config({"sources": {"x": {"type": "oracle"}}})
+
+    def test_sources_required(self):
+        with pytest.raises(CatalogError, match="sources"):
+            build_from_config({})
+
+    def test_csv_requires_directory(self):
+        with pytest.raises(CatalogError, match="directory"):
+            build_from_config({"sources": {"c": {"type": "csv"}}})
+
+    def test_column_list_shorthand(self):
+        config = {
+            "sources": {
+                "m": {"type": "memory", "tables": {"t": [["a", "INT"]]}}
+            },
+            "tables": [{"name": "t", "source": "m"}],
+        }
+        gis = build_from_config(config)
+        assert gis.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+class TestJsonFile:
+    def test_load_config_from_json(self, tmp_path):
+        path = tmp_path / "federation.json"
+        path.write_text(json.dumps(base_config()))
+        gis = load_config(str(path))
+        assert gis.query("SELECT COUNT(*) FROM orders").scalar() == 3

@@ -1,0 +1,160 @@
+"""Correlated EXISTS / IN decorrelation into semi/anti joins."""
+
+import pytest
+
+from repro.core.logical import JoinOp
+from repro.errors import BindError
+
+from .conftest import CUSTOMERS, ORDERS, assert_same_rows, make_small_gis
+
+
+@pytest.fixture(scope="module")
+def gis():
+    return make_small_gis()
+
+
+def names_with(predicate):
+    return sorted(
+        (row[1],) for row in CUSTOMERS if predicate(row)
+    )
+
+
+def orders_of(customer_id):
+    return [row for row in ORDERS if row[1] == customer_id]
+
+
+class TestCorrelatedExists:
+    def test_simple_correlated_exists(self, gis):
+        result = gis.query(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cust_id = c.id)"
+        )
+        expected = names_with(lambda c: bool(orders_of(c[0])))
+        assert sorted(result.rows) == expected
+
+    def test_correlated_exists_with_inner_filter(self, gis):
+        result = gis.query(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cust_id = c.id AND o.total > 400)"
+        )
+        expected = names_with(
+            lambda c: any(o[2] > 400 for o in orders_of(c[0]))
+        )
+        assert sorted(result.rows) == expected
+
+    def test_correlated_not_exists(self, gis):
+        result = gis.query(
+            "SELECT name FROM customers c WHERE NOT EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cust_id = c.id)"
+        )
+        expected = names_with(lambda c: not orders_of(c[0]))
+        assert sorted(result.rows) == expected
+
+    def test_non_equality_correlation(self, gis):
+        # Correlation through an inequality: nested-loop semi join path.
+        result = gis.query(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.total > c.balance AND o.cust_id = c.id)"
+        )
+        expected = names_with(
+            lambda c: any(o[2] > c[4] for o in orders_of(c[0]))
+        )
+        assert sorted(result.rows) == expected
+
+    def test_correlation_combined_with_outer_filter(self, gis):
+        result = gis.query(
+            "SELECT name FROM customers c WHERE c.region = 'EU' AND EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cust_id = c.id)"
+        )
+        expected = names_with(
+            lambda c: c[2] == "EU" and bool(orders_of(c[0]))
+        )
+        assert sorted(result.rows) == expected
+
+    def test_plan_contains_semi_join_with_condition(self, gis):
+        planned = gis.plan(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cust_id = c.id)"
+        )
+        joins = [
+            n for n in planned.distributed.walk() if isinstance(n, JoinOp)
+        ]
+        assert joins and joins[0].kind == "SEMI"
+        assert joins[0].condition is not None
+
+
+class TestCorrelatedIn:
+    def test_correlated_in(self, gis):
+        result = gis.query(
+            "SELECT name FROM customers c WHERE c.id IN "
+            "(SELECT o.cust_id FROM orders o WHERE o.total > c.balance)"
+        )
+        expected = names_with(
+            lambda c: any(o[2] > c[4] and o[1] == c[0] for o in ORDERS)
+        )
+        assert sorted(result.rows) == expected
+
+    def test_correlated_not_in_rejected(self, gis):
+        with pytest.raises(BindError, match="NOT IN"):
+            gis.query(
+                "SELECT name FROM customers c WHERE c.id NOT IN "
+                "(SELECT o.cust_id FROM orders o WHERE o.total > c.balance)"
+            )
+
+
+class TestUnsupportedShapes:
+    def test_outer_ref_in_select_list_rejected(self, gis):
+        with pytest.raises(BindError, match="WHERE clause"):
+            gis.query(
+                "SELECT name FROM customers c WHERE EXISTS "
+                "(SELECT c.id FROM orders o)"
+            )
+
+    def test_outer_ref_under_aggregate_rejected(self, gis):
+        with pytest.raises(BindError):
+            gis.query(
+                "SELECT name FROM customers c WHERE EXISTS "
+                "(SELECT SUM(o.total + c.balance) FROM orders o)"
+            )
+
+    def test_unknown_column_still_fails_cleanly(self, gis):
+        with pytest.raises(BindError, match="ghost"):
+            gis.query(
+                "SELECT name FROM customers c WHERE EXISTS "
+                "(SELECT 1 FROM orders o WHERE o.ghost = c.id)"
+            )
+
+    def test_inner_shadows_outer(self, gis):
+        # `id` exists on both sides of this self-correlation; the inner
+        # relation must win, making the subquery uncorrelated.
+        result = gis.query(
+            "SELECT name FROM customers outer_c WHERE EXISTS "
+            "(SELECT 1 FROM customers WHERE id = 1)"
+        )
+        assert len(result.rows) == len(CUSTOMERS)
+
+
+class TestAgainstUncorrelatedEquivalents:
+    def test_exists_equals_in_formulation(self, gis):
+        correlated = gis.query(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cust_id = c.id AND o.total > 100)"
+        )
+        uncorrelated = gis.query(
+            "SELECT name FROM customers c WHERE c.id IN "
+            "(SELECT o_1.cust_id FROM orders o_1 WHERE o_1.total > 100)"
+        )
+        assert_same_rows(correlated.rows, uncorrelated.rows)
+
+    def test_federation_correlated_exists(self, federation):
+        sql = (
+            "SELECT c_name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.o_cust_id = c.c_id "
+            "AND o.o_total > 4800)"
+        )
+        correlated = federation.gis.query(sql)
+        equivalent = federation.gis.query(
+            "SELECT c_name FROM customers c WHERE c_id IN "
+            "(SELECT o_cust_id FROM orders WHERE o_total > 4800)"
+        )
+        assert_same_rows(correlated.rows, equivalent.rows)

@@ -1,0 +1,195 @@
+"""Type lattice: inference, unification, coercion, wire widths."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    DataType,
+    arithmetic_result,
+    coerce_value,
+    conforms,
+    is_comparable,
+    is_numeric,
+    parse_type_name,
+    type_of_value,
+    unify,
+    wire_width,
+)
+from repro.errors import TypeCheckError
+
+
+class TestTypeOfValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, DataType.NULL),
+            (True, DataType.BOOLEAN),
+            (3, DataType.INTEGER),
+            (3.5, DataType.FLOAT),
+            ("x", DataType.TEXT),
+            (datetime.date(1989, 2, 6), DataType.DATE),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert type_of_value(value) == expected
+
+    def test_bool_is_not_integer(self):
+        # bool subclasses int in Python; the lattice must not conflate them.
+        assert type_of_value(True) == DataType.BOOLEAN
+
+    def test_datetime_rejected(self):
+        with pytest.raises(TypeCheckError):
+            type_of_value(datetime.datetime(1989, 1, 1, 12))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            type_of_value(object())
+
+
+class TestUnify:
+    def test_null_unifies_with_anything(self):
+        for dtype in DataType:
+            assert unify(DataType.NULL, dtype) == dtype
+            assert unify(dtype, DataType.NULL) == dtype
+
+    def test_numeric_widening(self):
+        assert unify(DataType.INTEGER, DataType.FLOAT) == DataType.FLOAT
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeCheckError):
+            unify(DataType.TEXT, DataType.INTEGER)
+
+
+class TestArithmetic:
+    def test_integer_division_yields_float(self):
+        assert arithmetic_result(DataType.INTEGER, DataType.INTEGER, "/") == DataType.FLOAT
+
+    def test_integer_addition_stays_integer(self):
+        assert arithmetic_result(DataType.INTEGER, DataType.INTEGER, "+") == DataType.INTEGER
+
+    def test_mixed_widens(self):
+        assert arithmetic_result(DataType.INTEGER, DataType.FLOAT, "*") == DataType.FLOAT
+
+    def test_null_propagates_type(self):
+        assert arithmetic_result(DataType.NULL, DataType.INTEGER, "+") == DataType.INTEGER
+        assert arithmetic_result(DataType.NULL, DataType.NULL, "+") == DataType.NULL
+
+    def test_text_arithmetic_rejected(self):
+        with pytest.raises(TypeCheckError):
+            arithmetic_result(DataType.TEXT, DataType.INTEGER, "+")
+
+
+class TestComparability:
+    def test_numerics_comparable(self):
+        assert is_comparable(DataType.INTEGER, DataType.FLOAT)
+
+    def test_null_comparable_with_all(self):
+        assert is_comparable(DataType.NULL, DataType.DATE)
+
+    def test_text_date_not_comparable(self):
+        assert not is_comparable(DataType.TEXT, DataType.DATE)
+
+    def test_is_numeric(self):
+        assert is_numeric(DataType.FLOAT)
+        assert not is_numeric(DataType.TEXT)
+
+
+class TestCoercion:
+    def test_int_from_string(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+
+    def test_int_from_integral_float(self):
+        assert coerce_value(4.0, DataType.INTEGER) == 4
+
+    def test_int_from_fractional_float_rejected(self):
+        with pytest.raises(TypeCheckError):
+            coerce_value(4.5, DataType.INTEGER)
+
+    def test_float_from_int(self):
+        value = coerce_value(3, DataType.FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_date_from_iso_string(self):
+        assert coerce_value("1989-02-06", DataType.DATE) == datetime.date(1989, 2, 6)
+
+    def test_date_from_datetime(self):
+        moment = datetime.datetime(1989, 2, 6, 15, 30)
+        assert coerce_value(moment, DataType.DATE) == datetime.date(1989, 2, 6)
+
+    def test_bad_date_string_rejected(self):
+        with pytest.raises(TypeCheckError):
+            coerce_value("not-a-date", DataType.DATE)
+
+    def test_bool_from_int(self):
+        assert coerce_value(1, DataType.BOOLEAN) is True
+        assert coerce_value(0, DataType.BOOLEAN) is False
+
+    def test_bool_from_out_of_range_int_rejected(self):
+        with pytest.raises(TypeCheckError):
+            coerce_value(2, DataType.BOOLEAN)
+
+    def test_bool_from_string(self):
+        assert coerce_value("TRUE", DataType.BOOLEAN) is True
+
+    def test_text_from_date(self):
+        assert coerce_value(datetime.date(1989, 1, 1), DataType.TEXT) == "1989-01-01"
+
+    def test_none_passes_through(self):
+        for dtype in (DataType.INTEGER, DataType.TEXT, DataType.DATE):
+            assert coerce_value(None, dtype) is None
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9))
+    def test_coerce_int_roundtrip_through_text(self, value):
+        assert coerce_value(coerce_value(value, DataType.TEXT), DataType.INTEGER) == value
+
+    @given(st.dates())
+    def test_coerce_date_roundtrip_through_text(self, value):
+        assert coerce_value(coerce_value(value, DataType.TEXT), DataType.DATE) == value
+
+
+class TestConforms:
+    def test_null_conforms_everywhere(self):
+        assert conforms(None, DataType.INTEGER)
+
+    def test_bool_does_not_conform_as_integer(self):
+        assert not conforms(True, DataType.INTEGER)
+
+    def test_int_conforms_as_float(self):
+        assert conforms(3, DataType.FLOAT)
+
+    def test_datetime_does_not_conform_as_date(self):
+        assert not conforms(datetime.datetime(1989, 1, 1), DataType.DATE)
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("int", DataType.INTEGER),
+            ("BIGINT", DataType.INTEGER),
+            ("double", DataType.FLOAT),
+            ("VARCHAR", DataType.TEXT),
+            ("bool", DataType.BOOLEAN),
+            (" date ", DataType.DATE),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert parse_type_name(name) == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(TypeCheckError):
+            parse_type_name("BLOB")
+
+
+class TestWireWidth:
+    def test_fixed_widths(self):
+        assert wire_width(DataType.INTEGER) == 8
+        assert wire_width(DataType.BOOLEAN) == 1
+        assert wire_width(DataType.DATE) == 4
+
+    def test_text_default_and_override(self):
+        assert wire_width(DataType.TEXT) == 24
+        assert wire_width(DataType.TEXT, avg_text_width=10.5) == 10.5

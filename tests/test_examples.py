@@ -1,0 +1,62 @@
+"""The example scripts must run cleanly and print their headline output."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, timeout=300):
+    path = os.path.join(EXAMPLES_DIR, name)
+    process = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "=== result ===" in output
+    assert "Cara" in output  # top revenue customer
+    assert "fragment SQL" in output
+
+
+def test_enterprise_federation():
+    output = run_example("enterprise_federation.py")
+    assert "Revenue by customer segment" in output
+    assert "speedup on simulated WAN" in output
+    # Optimized must beat naive.
+    import re
+
+    match = re.search(r"speedup on simulated WAN: ([\d.]+)x", output)
+    assert match and float(match.group(1)) > 1.0
+
+
+def test_schema_integration():
+    output = run_example("schema_integration.py")
+    assert "all_customers" in output
+    assert "Weber GmbH" in output
+    assert "EU" in output and "US" in output
+
+
+def test_custom_adapter():
+    output = run_example("custom_adapter.py")
+    assert "errors and warnings per user" in output
+    assert "Bob" in output and "ERROR" in output
+    assert "RemoteQuery source=applog" in output
+
+
+def test_wan_tuning():
+    output = run_example("wan_tuning.py")
+    assert "semijoin" in output and "full join" in output
+    # The crossover must actually appear in the sweep.
+    lines = [l for l in output.splitlines() if "KB/s" in l]
+    choices = ["semijoin" if "semijoin" in l else "full" for l in lines]
+    assert "semijoin" in choices and "full" in choices

@@ -1,0 +1,146 @@
+"""Scalar/aggregate function registry: signatures and reference kernels."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.errors import TypeCheckError
+from repro.sql.functions import (
+    aggregate_result_type,
+    is_aggregate_name,
+    is_scalar_name,
+    lookup_scalar,
+    scalar_names,
+)
+
+
+class TestRegistry:
+    def test_aggregate_names(self):
+        for name in ("count", "SUM", "Avg", "MIN", "max"):
+            assert is_aggregate_name(name)
+        assert not is_aggregate_name("UPPER")
+
+    def test_scalar_lookup_case_insensitive(self):
+        assert lookup_scalar("upper") is lookup_scalar("UPPER")
+
+    def test_unknown_scalar(self):
+        with pytest.raises(TypeCheckError):
+            lookup_scalar("FROBNICATE")
+        assert not is_scalar_name("FROBNICATE")
+
+    def test_scalar_names_sorted_and_complete(self):
+        names = scalar_names()
+        assert names == sorted(names)
+        for expected in ("UPPER", "COALESCE", "SUBSTR", "YEAR", "ROUND"):
+            assert expected in names
+
+
+class TestAggregateTypes:
+    def test_count_is_integer(self):
+        assert aggregate_result_type("COUNT", None) == DataType.INTEGER
+        assert aggregate_result_type("COUNT", DataType.TEXT) == DataType.INTEGER
+
+    def test_avg_is_float(self):
+        assert aggregate_result_type("AVG", DataType.INTEGER) == DataType.FLOAT
+
+    def test_sum_preserves_type(self):
+        assert aggregate_result_type("SUM", DataType.INTEGER) == DataType.INTEGER
+        assert aggregate_result_type("SUM", DataType.FLOAT) == DataType.FLOAT
+
+    def test_min_max_preserve_type(self):
+        assert aggregate_result_type("MIN", DataType.DATE) == DataType.DATE
+        assert aggregate_result_type("MAX", DataType.TEXT) == DataType.TEXT
+
+    def test_sum_rejects_text(self):
+        with pytest.raises(TypeCheckError):
+            aggregate_result_type("SUM", DataType.TEXT)
+
+    def test_avg_requires_argument(self):
+        with pytest.raises(TypeCheckError):
+            aggregate_result_type("AVG", None)
+
+
+class TestScalarKernels:
+    def test_upper_lower_trim(self):
+        assert lookup_scalar("UPPER").implementation("abc") == "ABC"
+        assert lookup_scalar("LOWER").implementation("AbC") == "abc"
+        assert lookup_scalar("TRIM").implementation("  x ") == "x"
+
+    def test_length(self):
+        assert lookup_scalar("LENGTH").implementation("hello") == 5
+
+    def test_substr_one_based(self):
+        substr = lookup_scalar("SUBSTR").implementation
+        assert substr("federation", 1, 3) == "fed"
+        assert substr("federation", 4) == "eration"
+
+    def test_substr_negative_start(self):
+        substr = lookup_scalar("SUBSTR").implementation
+        assert substr("federation", -4) == "tion"
+
+    def test_substr_negative_length_empty(self):
+        substr = lookup_scalar("SUBSTR").implementation
+        assert substr("abc", 1, -1) == ""
+
+    def test_abs_and_round(self):
+        assert lookup_scalar("ABS").implementation(-4) == 4
+        assert lookup_scalar("ROUND").implementation(2.567, 1) == 2.6
+
+    def test_floor_ceil_preserve_int(self):
+        assert lookup_scalar("FLOOR").implementation(3) == 3
+        assert isinstance(lookup_scalar("CEIL").implementation(3), int)
+        assert lookup_scalar("FLOOR").implementation(2.7) == 2.0
+        assert lookup_scalar("CEIL").implementation(2.1) == 3.0
+
+    def test_mod_truncating(self):
+        mod = lookup_scalar("MOD").implementation
+        assert mod(7, 3) == 1
+        assert mod(-7, 3) == -1  # SQL truncates toward zero
+
+    def test_mod_by_zero_is_null(self):
+        assert lookup_scalar("MOD").implementation(5, 0) is None
+
+    def test_coalesce(self):
+        coalesce = lookup_scalar("COALESCE").implementation
+        assert coalesce(None, None, 3, 4) == 3
+        assert coalesce(None, None) is None
+
+    def test_nullif(self):
+        nullif = lookup_scalar("NULLIF").implementation
+        assert nullif(1, 1) is None
+        assert nullif(1, 2) == 1
+
+    def test_date_parts(self):
+        import datetime
+
+        date = datetime.date(1989, 2, 6)
+        assert lookup_scalar("YEAR").implementation(date) == 1989
+        assert lookup_scalar("MONTH").implementation(date) == 2
+        assert lookup_scalar("DAY").implementation(date) == 6
+
+
+class TestTypeRules:
+    def test_upper_rejects_integer(self):
+        with pytest.raises(TypeCheckError):
+            lookup_scalar("UPPER").type_rule([DataType.INTEGER])
+
+    def test_arity_errors(self):
+        with pytest.raises(TypeCheckError):
+            lookup_scalar("LENGTH").type_rule([DataType.TEXT, DataType.TEXT])
+        with pytest.raises(TypeCheckError):
+            lookup_scalar("SUBSTR").type_rule([DataType.TEXT])
+
+    def test_coalesce_unifies(self):
+        rule = lookup_scalar("COALESCE").type_rule
+        assert rule([DataType.NULL, DataType.INTEGER, DataType.FLOAT]) == DataType.FLOAT
+        with pytest.raises(TypeCheckError):
+            rule([DataType.TEXT, DataType.INTEGER])
+
+    def test_abs_identity_type(self):
+        rule = lookup_scalar("ABS").type_rule
+        assert rule([DataType.INTEGER]) == DataType.INTEGER
+        assert rule([DataType.FLOAT]) == DataType.FLOAT
+        assert rule([DataType.NULL]) == DataType.NULL
+
+    def test_year_requires_date(self):
+        with pytest.raises(TypeCheckError):
+            lookup_scalar("YEAR").type_rule([DataType.TEXT])

@@ -1,0 +1,139 @@
+"""Tokenizer behavior: token classes, positions, comments, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import Lexer, TokenType
+
+
+def tokens_of(sql):
+    return [t for t in Lexer(sql).tokenize() if t.type != TokenType.EOF]
+
+
+def kinds_of(sql):
+    return [t.type for t in tokens_of(sql)]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        for text in ("select", "SELECT", "SeLeCt"):
+            (token,) = tokens_of(text)
+            assert token.type == TokenType.KEYWORD
+            assert token.value == "SELECT"
+
+    def test_identifier_preserves_case(self):
+        (token,) = tokens_of("CamelCase")
+        assert token.type == TokenType.IDENTIFIER
+        assert token.value == "CamelCase"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (token,) = tokens_of("_tab_1x")
+        assert token.value == "_tab_1x"
+
+    def test_integer_literal(self):
+        (token,) = tokens_of("12345")
+        assert token.type == TokenType.INTEGER
+        assert token.value == 12345
+
+    def test_float_literal(self):
+        (token,) = tokens_of("3.25")
+        assert token.type == TokenType.FLOAT
+        assert token.value == 3.25
+
+    def test_float_scientific_notation(self):
+        (token,) = tokens_of("1.5e3")
+        assert token.type == TokenType.FLOAT
+        assert token.value == 1500.0
+
+    def test_float_negative_exponent(self):
+        (token,) = tokens_of("2E-2")
+        assert token.value == pytest.approx(0.02)
+
+    def test_trailing_dot_float(self):
+        (token,) = tokens_of("7.")
+        assert token.type == TokenType.FLOAT
+        assert token.value == 7.0
+
+    def test_string_literal(self):
+        (token,) = tokens_of("'hello'")
+        assert token.type == TokenType.STRING
+        assert token.value == "hello"
+
+    def test_string_with_doubled_quote_escape(self):
+        (token,) = tokens_of("'it''s'")
+        assert token.value == "it's"
+
+    def test_empty_string_literal(self):
+        (token,) = tokens_of("''")
+        assert token.value == ""
+
+    def test_quoted_identifier(self):
+        (token,) = tokens_of('"Select"')
+        assert token.type == TokenType.IDENTIFIER
+        assert token.value == "Select"
+
+    def test_quoted_identifier_with_escape(self):
+        (token,) = tokens_of('"a""b"')
+        assert token.value == 'a"b'
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("<>", "<>"), ("!=", "<>"), ("<=", "<="), (">=", ">="), ("||", "||"),
+         ("=", "="), ("<", "<"), (">", ">"), ("+", "+"), ("-", "-"),
+         ("*", "*"), ("/", "/"), ("%", "%")],
+    )
+    def test_operator_tokens(self, text, expected):
+        (token,) = tokens_of(text)
+        assert token.type == TokenType.OPERATOR
+        assert token.value == expected
+
+    def test_adjacent_operators_split_greedily(self):
+        values = [t.value for t in tokens_of("a<=b")]
+        assert values == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        values = [t.value for t in tokens_of("(a, b.c)")]
+        assert values == ["(", "a", ",", "b", ".", "c", ")"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_is_skipped(self):
+        values = [t.value for t in tokens_of("1 -- comment here\n2")]
+        assert values == [1, 2]
+
+    def test_block_comment_is_skipped(self):
+        values = [t.value for t in tokens_of("1 /* multi\nline */ 2")]
+        assert values == [1, 2]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of("1 /* oops")
+
+    def test_newlines_advance_line_numbers(self):
+        tokens = tokens_of("a\nbb\n  c")
+        assert [(t.line, t.column) for t in tokens] == [(1, 1), (2, 1), (3, 3)]
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of("'abc")
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of('"abc')
+
+    def test_empty_quoted_identifier_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of('""')
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(ParseError) as info:
+            tokens_of("a @ b")
+        assert info.value.column == 3
+
+    def test_eof_token_is_appended(self):
+        all_tokens = Lexer("x").tokenize()
+        assert all_tokens[-1].type == TokenType.EOF

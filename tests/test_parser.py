@@ -1,0 +1,272 @@
+"""Parser: statement shapes, expression precedence, and error reporting."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+def expr_of(sql_expr):
+    statement = parse_select(f"SELECT {sql_expr}")
+    assert isinstance(statement, ast.Select)
+    return statement.items[0].expr
+
+
+class TestSelectShape:
+    def test_minimal_select(self):
+        statement = parse_select("SELECT 1")
+        assert isinstance(statement, ast.Select)
+        assert statement.from_item is None
+        assert statement.items[0].expr == ast.Literal(1, DataType.INTEGER)
+
+    def test_select_list_aliases(self):
+        statement = parse_select("SELECT a AS x, b y, c FROM t")
+        assert [i.alias for i in statement.items] == ["x", "y", None]
+
+    def test_star_and_qualified_star(self):
+        statement = parse_select("SELECT *, t.* FROM t")
+        assert statement.items[0].expr == ast.Star()
+        assert statement.items[1].expr == ast.Star("t")
+
+    def test_distinct_flag(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+        assert not parse_select("SELECT ALL a FROM t").distinct
+
+    def test_where_group_having_order_limit(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) FROM t WHERE b > 1 GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5 OFFSET 2"
+        )
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].ascending is False
+        assert statement.limit == 5
+        assert statement.offset == 2
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t LIMIT 'x'")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT 1 extra ,")
+
+
+class TestFromClause:
+    def test_table_alias_forms(self):
+        statement = parse_select("SELECT 1 FROM tbl AS t")
+        assert isinstance(statement.from_item, ast.TableRef)
+        assert statement.from_item.alias == "t"
+        statement = parse_select("SELECT 1 FROM tbl t")
+        assert statement.from_item.alias == "t"
+
+    def test_comma_list_becomes_cross_join(self):
+        statement = parse_select("SELECT 1 FROM a, b, c")
+        join = statement.from_item
+        assert isinstance(join, ast.Join) and join.kind == "CROSS"
+        assert isinstance(join.left, ast.Join) and join.left.kind == "CROSS"
+
+    def test_inner_join_with_on(self):
+        statement = parse_select("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        join = statement.from_item
+        assert join.kind == "INNER"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_left_outer_join(self):
+        statement = parse_select("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert statement.from_item.kind == "LEFT"
+
+    def test_cross_join_has_no_condition(self):
+        statement = parse_select("SELECT 1 FROM a CROSS JOIN b")
+        assert statement.from_item.kind == "CROSS"
+        assert statement.from_item.condition is None
+
+    def test_inner_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT 1 FROM a JOIN b")
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT 1 FROM (SELECT 1)")
+
+    def test_derived_table(self):
+        statement = parse_select("SELECT 1 FROM (SELECT a FROM t) AS sub")
+        assert isinstance(statement.from_item, ast.SubqueryRef)
+        assert statement.from_item.alias == "sub"
+
+
+class TestExpressionPrecedence:
+    def test_or_binds_loosest(self):
+        expr = expr_of("a AND b OR c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert expr.left.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = expr_of("NOT a AND b")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, ast.UnaryOp) and expr.left.op == "NOT"
+
+    def test_comparison_under_logic(self):
+        expr = expr_of("a < b AND c >= d")
+        assert expr.op == "AND"
+        assert expr.left.op == "<"
+        assert expr.right.op == ">="
+
+    def test_multiplication_over_addition(self):
+        expr = expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus_folds_into_literal(self):
+        assert expr_of("-5") == ast.Literal(-5, DataType.INTEGER)
+        assert expr_of("-2.5") == ast.Literal(-2.5, DataType.FLOAT)
+
+    def test_unary_minus_on_column(self):
+        expr = expr_of("-x")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "-"
+
+    def test_unary_plus_is_identity(self):
+        assert expr_of("+7") == ast.Literal(7, DataType.INTEGER)
+
+    def test_concat_is_additive(self):
+        expr = expr_of("a || b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "||"
+
+
+class TestPredicates:
+    def test_between(self):
+        expr = expr_of("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between) and not expr.negated
+
+    def test_not_between(self):
+        expr = expr_of("x NOT BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between) and expr.negated
+
+    def test_between_does_not_swallow_and(self):
+        expr = expr_of("x BETWEEN 1 AND 10 AND y = 2")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "AND"
+        assert isinstance(expr.left, ast.Between)
+
+    def test_in_list(self):
+        expr = expr_of("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in_list(self):
+        expr = expr_of("x NOT IN (1)")
+        assert expr.negated
+
+    def test_in_subquery(self):
+        expr = expr_of("x IN (SELECT y FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_exists(self):
+        expr = expr_of("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_is_null_and_is_not_null(self):
+        assert expr_of("x IS NULL") == ast.IsNull(ast.ColumnRef(None, "x"), False)
+        assert expr_of("x IS NOT NULL") == ast.IsNull(ast.ColumnRef(None, "x"), True)
+
+    def test_like_and_not_like(self):
+        expr = expr_of("name LIKE 'A%'")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "LIKE"
+        negated = expr_of("name NOT LIKE 'A%'")
+        assert isinstance(negated, ast.UnaryOp) and negated.op == "NOT"
+
+    def test_dangling_not_requires_predicate_keyword(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a NOT 5 FROM t")
+
+
+class TestLiteralsAndSpecials:
+    def test_null_true_false(self):
+        assert expr_of("NULL") == ast.Literal(None, DataType.NULL)
+        assert expr_of("TRUE") == ast.Literal(True, DataType.BOOLEAN)
+        assert expr_of("FALSE") == ast.Literal(False, DataType.BOOLEAN)
+
+    def test_date_literal(self):
+        expr = expr_of("DATE '1989-02-06'")
+        assert expr == ast.Literal(datetime.date(1989, 2, 6), DataType.DATE)
+
+    def test_invalid_date_literal(self):
+        with pytest.raises(ParseError):
+            expr_of("DATE '1989-13-45'")
+
+    def test_cast(self):
+        expr = expr_of("CAST(x AS INTEGER)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.dtype == DataType.INTEGER
+
+    def test_cast_unknown_type(self):
+        with pytest.raises(ParseError):
+            expr_of("CAST(x AS BLOB)")
+
+    def test_searched_case(self):
+        expr = expr_of("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+        assert expr.else_result == ast.Literal("y", DataType.TEXT)
+
+    def test_simple_case(self):
+        expr = expr_of("CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'z' END")
+        assert expr.operand is not None
+        assert len(expr.whens) == 2
+        assert expr.else_result is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            expr_of("CASE ELSE 1 END")
+
+    def test_function_call_and_count_star(self):
+        expr = expr_of("COUNT(*)")
+        assert isinstance(expr, ast.FunctionCall) and expr.star
+        expr = expr_of("SUM(DISTINCT x)")
+        assert expr.distinct
+
+    def test_qualified_column(self):
+        assert expr_of("t.col") == ast.ColumnRef("t", "col")
+
+
+class TestSetOperations:
+    def test_union_all_chain_left_associative(self):
+        statement = parse_select("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3")
+        assert isinstance(statement, ast.SetOperation)
+        assert statement.op == "UNION" and statement.all is False
+        assert isinstance(statement.left, ast.SetOperation)
+        assert statement.left.all is True
+
+    def test_intersect_and_except(self):
+        statement = parse_select("SELECT a FROM t INTERSECT SELECT a FROM u")
+        assert statement.op == "INTERSECT"
+        statement = parse_select("SELECT a FROM t EXCEPT SELECT a FROM u")
+        assert statement.op == "EXCEPT"
+
+    def test_order_limit_bind_to_whole_set_operation(self):
+        statement = parse_select("SELECT 1 UNION ALL SELECT 2 ORDER BY 1 LIMIT 1")
+        assert isinstance(statement, ast.SetOperation)
+        assert statement.limit == 1
+        assert len(statement.order_by) == 1
+
+
+class TestErrorPositions:
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_select("SELECT FROM t")
+        assert "line 1" in str(info.value)
+
+    def test_expected_keyword_message(self):
+        with pytest.raises(ParseError) as info:
+            parse_select("SELECT a FROM t GROUP a")
+        assert "BY" in str(info.value)

@@ -1,0 +1,78 @@
+"""Parser robustness: arbitrary input must parse or raise ParseError — never
+crash with anything else, and never hang."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.sql.ast import Select, SetOperation
+from repro.sql.lexer import Lexer
+from repro.sql.parser import parse_select
+
+sql_ish_tokens = st.sampled_from(
+    [
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "JOIN",
+        "ON", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "CASE", "WHEN",
+        "THEN", "ELSE", "END", "UNION", "ALL", "EXISTS", "OVER", "PARTITION",
+        "t", "u", "a", "b", "x1", "COUNT", "SUM", "UPPER",
+        "1", "2.5", "'s'", "NULL", "TRUE", "*", "(", ")", ",", ".", "=",
+        "<", ">", "<=", ">=", "<>", "+", "-", "/", "%", "||", ";", "AS",
+    ]
+)
+
+
+class TestLexerTotal:
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.text(max_size=80))
+    def test_lexer_never_crashes(self, text):
+        try:
+            tokens = Lexer(text).tokenize()
+        except ParseError:
+            return
+        assert tokens[-1].type.name == "EOF"
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=40))
+    def test_lexer_handles_decoded_binary(self, blob):
+        text = blob.decode("utf-8", errors="replace")
+        try:
+            Lexer(text).tokenize()
+        except ParseError:
+            pass
+
+
+class TestParserTotal:
+    @settings(max_examples=300, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(sql_ish_tokens, max_size=25).map(" ".join))
+    def test_token_soup_parses_or_parse_errors(self, text):
+        try:
+            statement = parse_select(text)
+        except ParseError:
+            return
+        assert isinstance(statement, (Select, SetOperation))
+
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.text(max_size=120))
+    def test_arbitrary_text_parses_or_parse_errors(self, text):
+        try:
+            statement = parse_select(text)
+        except ParseError:
+            return
+        assert isinstance(statement, (Select, SetOperation))
+
+    def test_deeply_nested_parentheses(self):
+        depth = 60
+        text = "SELECT " + "(" * depth + "1" + ")" * depth
+        statement = parse_select(text)
+        assert isinstance(statement, Select)
+
+    def test_pathological_but_valid(self):
+        text = (
+            "SELECT CASE WHEN a = 1 AND NOT b < 2 THEN -x ELSE y || 'z' END "
+            "FROM t JOIN u ON t.a = u.b WHERE c BETWEEN 1 AND 2 OR d IN (1,2)"
+        )
+        parse_select(text)

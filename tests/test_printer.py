@@ -1,0 +1,119 @@
+"""SQL printer: round-trips through the parser and dialect differences."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.sql import ast
+from repro.sql.parser import parse_select
+from repro.sql.printer import (
+    SQLDialect,
+    SQLitePrinterDialect,
+    print_expression,
+    print_statement,
+)
+
+
+def roundtrip(sql):
+    """Parse → print → parse; both parses must agree structurally."""
+    first = parse_select(sql)
+    printed = print_statement(first)
+    second = parse_select(printed)
+    return first, second, printed
+
+
+ROUNDTRIP_QUERIES = [
+    "SELECT 1",
+    "SELECT a, b AS x FROM t",
+    "SELECT * FROM t WHERE a > 1 AND b < 2 OR NOT c = 3",
+    "SELECT t.a FROM t JOIN u ON t.id = u.id LEFT JOIN v ON u.k = v.k",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b NOT IN (1, 2)",
+    "SELECT a FROM t WHERE name LIKE 'A%' AND x IS NOT NULL",
+    "SELECT COUNT(*), SUM(DISTINCT x) FROM t GROUP BY a HAVING COUNT(*) > 1",
+    "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+    "SELECT CASE a WHEN 1 THEN 2 END FROM t",
+    "SELECT CAST(a AS FLOAT) FROM t",
+    "SELECT a FROM t ORDER BY a DESC, b LIMIT 3 OFFSET 1",
+    "SELECT a FROM (SELECT a FROM t) AS s",
+    "SELECT 1 UNION ALL SELECT 2",
+    "SELECT a FROM t WHERE d = DATE '1989-02-06'",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+    "SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+    "SELECT a || 'x' FROM t",
+    "SELECT -a, +b FROM t",
+    "SELECT a FROM t CROSS JOIN u",
+    "SELECT DISTINCT a FROM t",
+    "SELECT ROW_NUMBER() OVER (PARTITION BY g ORDER BY a DESC) FROM t",
+    "SELECT SUM(a) OVER (), COUNT(*) OVER (PARTITION BY g) FROM t",
+    "SELECT a FROM t EXCEPT ALL SELECT a FROM u",
+    "SELECT a FROM t INTERSECT ALL SELECT a FROM u",
+]
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+def test_roundtrip_stability(sql):
+    first, second, printed = roundtrip(sql)
+    assert first == second, f"printed form changed semantics: {printed}"
+
+
+class TestLiterals:
+    def test_string_escaping(self):
+        text = print_expression(ast.Literal("it's", DataType.TEXT))
+        assert text == "'it''s'"
+
+    def test_null_and_booleans_ansi(self):
+        dialect = SQLDialect()
+        assert print_expression(ast.Literal(None, DataType.NULL), dialect) == "NULL"
+        assert print_expression(ast.Literal(True, DataType.BOOLEAN), dialect) == "TRUE"
+
+    def test_booleans_sqlite(self):
+        dialect = SQLitePrinterDialect()
+        assert print_expression(ast.Literal(True, DataType.BOOLEAN), dialect) == "1"
+        assert print_expression(ast.Literal(False, DataType.BOOLEAN), dialect) == "0"
+
+    def test_date_ansi_vs_sqlite(self):
+        literal = ast.Literal(datetime.date(1989, 2, 6), DataType.DATE)
+        assert print_expression(literal) == "DATE '1989-02-06'"
+        assert print_expression(literal, SQLitePrinterDialect()) == "'1989-02-06'"
+
+    def test_float_repr_is_precise(self):
+        literal = ast.Literal(0.1, DataType.FLOAT)
+        assert float(print_expression(literal)) == 0.1
+
+
+class TestIdentifiers:
+    def test_identifiers_are_quoted(self):
+        text = print_expression(ast.ColumnRef("t", "select"))
+        assert text == '"t"."select"'
+
+    def test_embedded_quote_doubled(self):
+        text = print_expression(ast.ColumnRef(None, 'we"ird'))
+        assert text == '"we""ird"'
+
+
+class TestDialectCasts:
+    def test_sqlite_cast_types(self):
+        dialect = SQLitePrinterDialect()
+        cast = ast.Cast(ast.ColumnRef(None, "x"), DataType.DATE)
+        assert print_expression(cast, dialect) == 'CAST("x" AS TEXT)'
+        cast = ast.Cast(ast.ColumnRef(None, "x"), DataType.FLOAT)
+        assert print_expression(cast, dialect) == 'CAST("x" AS REAL)'
+
+
+class TestStatementForms:
+    def test_order_by_desc_suffix(self):
+        printed = print_statement(parse_select("SELECT a FROM t ORDER BY a DESC"))
+        assert printed.endswith('ORDER BY "a" DESC')
+
+    def test_set_operation_with_limit(self):
+        printed = print_statement(parse_select("SELECT 1 UNION ALL SELECT 2 LIMIT 5"))
+        assert "UNION ALL" in printed and printed.endswith("LIMIT 5")
+
+    def test_bound_ref_refuses_to_print(self):
+        from repro.core.logical import RelColumn
+        from repro.errors import PlanError
+
+        column = RelColumn("x", DataType.INTEGER)
+        with pytest.raises(PlanError):
+            print_expression(ast.BoundRef(column))

@@ -1,0 +1,179 @@
+"""Capability-driven pushdown: fragment boundaries per source class."""
+
+import pytest
+
+from repro.core.logical import (
+    AggregateOp,
+    FilterOp,
+    JoinOp,
+    LimitOp,
+    ProjectOp,
+    RemoteQueryOp,
+    ScanOp,
+    SortOp,
+)
+from repro.core.planner import PlannerOptions
+
+from .conftest import make_small_gis
+
+
+def remotes_of(plan):
+    return [n for n in plan.walk() if isinstance(n, RemoteQueryOp)]
+
+
+class TestFullPushdown:
+    def test_filter_and_projection_pushed_to_sqlite(self):
+        gis = make_small_gis()
+        planned = gis.plan("SELECT cust_id FROM orders WHERE total > 100")
+        (remote,) = remotes_of(planned.distributed)
+        assert remote.source_name == "erp"
+        # The whole query went to the source: nothing but the remote remains.
+        assert isinstance(planned.distributed, RemoteQueryOp)
+        kinds = {type(n) for n in remote.fragment.walk()}
+        assert FilterOp in kinds and ScanOp in kinds
+
+    def test_aggregation_pushed_to_sqlite(self):
+        gis = make_small_gis()
+        planned = gis.plan(
+            "SELECT status, COUNT(*), SUM(total) FROM orders GROUP BY status"
+        )
+        assert isinstance(planned.distributed, RemoteQueryOp)
+        assert any(
+            isinstance(n, AggregateOp)
+            for n in planned.distributed.fragment.walk()
+        )
+
+    def test_sort_limit_pushed_to_sqlite(self):
+        gis = make_small_gis()
+        planned = gis.plan("SELECT oid FROM orders ORDER BY total DESC LIMIT 2")
+        assert isinstance(planned.distributed, RemoteQueryOp)
+        fragment_kinds = {type(n) for n in planned.distributed.fragment.walk()}
+        assert SortOp in fragment_kinds and LimitOp in fragment_kinds
+
+    def test_memory_source_cannot_sort(self):
+        gis = make_small_gis()
+        planned = gis.plan("SELECT name FROM customers ORDER BY name")
+        # The sort compensates at the mediator; the scan+project still push.
+        assert not isinstance(planned.distributed, RemoteQueryOp)
+        assert isinstance(planned.distributed, SortOp) or any(
+            isinstance(n, SortOp) for n in planned.distributed.walk()
+        )
+        assert remotes_of(planned.distributed)
+
+    def test_cross_source_join_stays_at_mediator(self):
+        gis = make_small_gis()
+        planned = gis.plan(
+            "SELECT c.name FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        joins = [n for n in planned.distributed.walk() if isinstance(n, JoinOp)]
+        assert joins, "join must execute at the mediator"
+        assert len(remotes_of(planned.distributed)) == 2
+
+    def test_same_source_join_pushed(self):
+        gis = make_small_gis()
+        planned = gis.plan(
+            "SELECT a.oid FROM orders a JOIN orders b ON a.oid = b.oid"
+        )
+        assert isinstance(planned.distributed, RemoteQueryOp)
+        assert any(
+            isinstance(n, JoinOp) for n in planned.distributed.fragment.walk()
+        )
+
+    def test_estimated_rows_stamped(self):
+        gis = make_small_gis()
+        planned = gis.plan("SELECT oid FROM orders WHERE total > 100")
+        (remote,) = remotes_of(planned.distributed)
+        assert remote.estimated_rows > 0
+
+
+class TestScansOnlyBaseline:
+    def test_everything_ships(self):
+        gis = make_small_gis()
+        options = PlannerOptions(pushdown="scans-only")
+        planned = gis.plan(
+            "SELECT cust_id FROM orders WHERE total > 100", options
+        )
+        (remote,) = remotes_of(planned.distributed)
+        assert isinstance(remote.fragment, ScanOp)
+        # Compensation happens above the exchange.
+        assert any(
+            isinstance(n, FilterOp) for n in planned.distributed.walk()
+        )
+
+    def test_naive_ships_more_rows(self):
+        gis = make_small_gis()
+        smart = gis.query("SELECT cust_id FROM orders WHERE total > 400")
+        gis2 = make_small_gis()
+        naive = gis2.query(
+            "SELECT cust_id FROM orders WHERE total > 400",
+            PlannerOptions(pushdown="scans-only"),
+        )
+        assert sorted(smart.rows) == sorted(naive.rows)
+        assert smart.metrics.rows_shipped < naive.metrics.rows_shipped
+
+
+class TestCapabilityEnvelopes:
+    def test_rest_source_accepts_simple_filters_only(self, federation):
+        planned = federation.gis.plan(
+            "SELECT s_name FROM suppliers WHERE s_rating >= 4"
+        )
+        remotes = remotes_of(planned.distributed)
+        assert remotes and remotes[0].source_name == "vendors"
+        assert any(
+            isinstance(n, FilterOp) for n in remotes[0].fragment.walk()
+        )
+
+    def test_rest_source_rejects_like(self, federation):
+        planned = federation.gis.plan(
+            "SELECT s_name FROM suppliers WHERE s_name LIKE 'Supplier S1%'"
+        )
+        remotes = remotes_of(planned.distributed)
+        # LIKE compensates at the mediator: fragment is a bare scan.
+        assert isinstance(remotes[0].fragment, ScanOp)
+
+    def test_csv_source_is_scan_only(self, federation):
+        planned = federation.gis.plan(
+            "SELECT p_name FROM parts WHERE p_price > 100"
+        )
+        remotes = remotes_of(planned.distributed)
+        assert remotes[0].source_name == "archive"
+        assert isinstance(remotes[0].fragment, ScanOp)
+
+    def test_kv_source_key_equality_pushed(self, federation):
+        planned = federation.gis.plan(
+            "SELECT u_tier FROM profiles WHERE u_cust_id = 7"
+        )
+        remotes = remotes_of(planned.distributed)
+        assert remotes[0].source_name == "support"
+        assert isinstance(remotes[0].fragment, FilterOp)
+
+    def test_kv_source_non_key_filter_compensated(self, federation):
+        planned = federation.gis.plan(
+            "SELECT u_cust_id FROM profiles WHERE u_tier = 'GOLD'"
+        )
+        remotes = remotes_of(planned.distributed)
+        assert isinstance(remotes[0].fragment, ScanOp)
+
+    def test_kv_key_in_list_pushed(self, federation):
+        planned = federation.gis.plan(
+            "SELECT u_tier FROM profiles WHERE u_cust_id IN (1, 2, 3)"
+        )
+        remotes = remotes_of(planned.distributed)
+        assert isinstance(remotes[0].fragment, FilterOp)
+
+    def test_union_view_splits_into_per_source_fragments(self):
+        from repro.workloads import build_partitioned_orders
+
+        federation = build_partitioned_orders(3, 50)
+        planned = federation.gis.plan(
+            "SELECT COUNT(*) FROM orders_all WHERE o_total > 1000"
+        )
+        remotes = remotes_of(planned.distributed)
+        assert len(remotes) == 3
+        sources = {r.source_name for r in remotes}
+        assert sources == {"erp0", "erp1", "erp2"}
+        # Each fragment carries its own filter (pushed into the branches).
+        for remote in remotes:
+            assert any(
+                isinstance(n, FilterOp) for n in remote.fragment.walk()
+            )

@@ -1,0 +1,168 @@
+"""The interactive shell, driven through its stream interface."""
+
+import io
+
+import pytest
+
+from repro.repl import Repl
+
+from .conftest import make_small_gis
+
+
+def drive(*lines, naive=False):
+    gis = make_small_gis()
+    out = io.StringIO()
+    repl = Repl(gis, out=out)
+    repl.naive = naive
+    repl.run(list(lines))
+    return out.getvalue(), repl
+
+
+class TestStatements:
+    def test_simple_query(self):
+        output, _ = drive("SELECT COUNT(*) FROM customers;")
+        assert "5" in output and "rows" in output
+
+    def test_multiline_statement(self):
+        output, _ = drive(
+            "SELECT name FROM customers",
+            "WHERE id = 1;",
+        )
+        assert "Alice" in output
+
+    def test_missing_semicolon_flushes_at_eof(self):
+        output, _ = drive("SELECT COUNT(*) FROM orders")
+        assert "7" in output
+
+    def test_sql_error_reported_not_raised(self):
+        output, _ = drive("SELECT ghost FROM customers;")
+        assert "error:" in output
+
+    def test_parse_error_reported(self):
+        output, _ = drive("SELEKT 1;")
+        assert "error:" in output
+
+    def test_blank_lines_ignored(self):
+        output, _ = drive("", "   ", "SELECT 1;")
+        assert "error" not in output
+
+
+class TestCommands:
+    def test_tables(self):
+        output, _ = drive("\\tables")
+        assert "customers" in output and "crm" in output
+
+    def test_tables_shows_views(self):
+        gis = make_small_gis()
+        gis.create_view("v", "SELECT id FROM customers")
+        out = io.StringIO()
+        Repl(gis, out=out).run(["\\tables"])
+        assert "(view)" in out.getvalue()
+
+    def test_sources_lists_capabilities(self):
+        output, _ = drive("\\sources")
+        assert "erp" in output and "joins" in output
+
+    def test_schema_with_statistics(self):
+        output, _ = drive("\\schema orders")
+        assert "total" in output and "rows" in output
+
+    def test_schema_unknown_table(self):
+        output, _ = drive("\\schema ghost")
+        assert "error:" in output
+
+    def test_metrics_requires_query(self):
+        output, _ = drive("\\metrics")
+        assert "no query" in output
+
+    def test_metrics_after_query(self):
+        output, _ = drive("SELECT 1;", "\\metrics")
+        assert "simulated" in output
+
+    def test_explain(self):
+        output, _ = drive("\\explain SELECT name FROM customers WHERE id = 1;")
+        assert "distributed plan" in output
+
+    def test_naive_toggle(self):
+        output, repl = drive("\\naive on")
+        assert "naive mode ON" in output and repl.naive
+        output, repl = drive("\\naive")
+        assert repl.naive  # toggled from default off
+
+    def test_naive_mode_still_answers_correctly(self):
+        output, _ = drive("\\naive on", "SELECT COUNT(*) FROM customers;")
+        assert "5" in output
+
+    def test_analyze(self):
+        output, _ = drive("\\analyze")
+        assert "analyzed 2 tables" in output
+
+    def test_quit_stops_processing(self):
+        output, _ = drive("\\quit", "SELECT 1;")
+        assert "bye" in output
+        assert "col" not in output  # the query never ran
+
+    def test_unknown_command(self):
+        output, _ = drive("\\frobnicate")
+        assert "unknown command" in output
+
+    def test_help(self):
+        output, _ = drive("\\help")
+        assert "\\tables" in output
+
+
+class TestMainEntry:
+    def test_demo_pipeline(self):
+        import subprocess
+        import sys
+
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "--demo", "--scale", "0.1"],
+            input="SELECT COUNT(*) FROM regions;\n\\quit\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 0
+        assert "5" in process.stdout
+        assert "bye" in process.stdout
+
+
+class TestProfileCommand:
+    def test_profile_runs_and_reports(self):
+        output, _ = drive("\\profile SELECT COUNT(*) FROM customers;")
+        assert "actual rows" in output and "result rows: 1" in output
+
+    def test_profile_requires_query(self):
+        output, _ = drive("\\profile")
+        assert "usage" in output
+
+
+class TestConfigEntry:
+    def test_repl_from_json_config(self, tmp_path):
+        import json
+        import subprocess
+        import sys
+
+        config = {
+            "sources": {
+                "m": {
+                    "type": "memory",
+                    "tables": {
+                        "t": {"columns": [["a", "INT"]], "rows": [[1], [2]]}
+                    },
+                }
+            },
+            "tables": [{"name": "t", "source": "m"}],
+        }
+        path = tmp_path / "fed.json"
+        path.write_text(json.dumps(config))
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "--config", str(path)],
+            input="SELECT COUNT(*) FROM t;\n\\quit\n",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode == 0
+        assert "2" in process.stdout

@@ -1,0 +1,216 @@
+"""Replica (site) selection: cheapest copy wins, results never change."""
+
+import pytest
+
+from repro import (
+    CsvSource,
+    GlobalInformationSystem,
+    MemorySource,
+    NetworkLink,
+    PlannerOptions,
+    SQLiteSource,
+)
+from repro.catalog.schema import schema_from_pairs
+from repro.core.logical import RemoteQueryOp
+from repro.errors import CatalogError, UnknownObjectError
+
+from .conftest import assert_same_rows
+
+SCHEMA = schema_from_pairs(
+    "items", [("id", "INT"), ("grp", "INT"), ("payload", "TEXT")]
+)
+ROWS = [(i, i % 10, "x" * 40) for i in range(2000)]
+
+
+def build_gis(primary_link, replica_link, replica_source=None):
+    gis = GlobalInformationSystem()
+    primary = SQLiteSource("site_a")
+    primary.load_table("items", SCHEMA, ROWS)
+    gis.register_source("site_a", primary, link=primary_link)
+    if replica_source is None:
+        replica_source = SQLiteSource("site_b")
+        replica_source.load_table("items", SCHEMA, ROWS)
+    gis.register_source("site_b", replica_source, link=replica_link)
+    gis.register_table("items", source="site_a")
+    gis.register_replica("items", source="site_b")
+    gis.analyze()
+    return gis
+
+
+def chosen_sources(gis, sql, options=None):
+    planned = gis.plan(sql, options)
+    return {
+        n.source_name for n in planned.distributed.walk()
+        if isinstance(n, RemoteQueryOp)
+    }
+
+
+SLOW = NetworkLink(30.0, 50_000.0)
+FAST = NetworkLink(10.0, 5_000_000.0)
+
+
+class TestSelection:
+    def test_faster_replica_chosen(self):
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        assert chosen_sources(gis, "SELECT id FROM items") == {"site_b"}
+
+    def test_primary_kept_when_faster(self):
+        gis = build_gis(primary_link=FAST, replica_link=SLOW)
+        assert chosen_sources(gis, "SELECT id FROM items") == {"site_a"}
+
+    def test_primary_mode_ignores_replicas(self):
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        assert chosen_sources(
+            gis, "SELECT id FROM items", PlannerOptions(replicas="primary")
+        ) == {"site_a"}
+
+    def test_capability_beats_raw_bandwidth_when_selective(self, tmp_path):
+        # The replica is a scan-only CSV on a fast link; the primary is a
+        # filter-capable SQLite on a slower one. With a selective filter the
+        # SQLite copy ships far fewer rows and must win.
+        CsvSource.write_table(str(tmp_path), "items", SCHEMA, ROWS)
+        csv_replica = CsvSource("site_b", str(tmp_path), {"items": SCHEMA})
+        gis = build_gis(
+            primary_link=NetworkLink(20.0, 500_000.0),
+            replica_link=NetworkLink(20.0, 1_000_000.0),
+            replica_source=csv_replica,
+        )
+        assert chosen_sources(gis, "SELECT id FROM items WHERE id = 7") == {
+            "site_a"
+        }
+        # ...but an unselective scan goes to the faster link.
+        assert chosen_sources(gis, "SELECT id FROM items") == {"site_b"}
+
+    def test_decisions_recorded(self):
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        planned = gis.plan("SELECT id FROM items")
+        assert planned.replica_decisions
+        assert "site_b" in planned.replica_decisions[0]
+
+    def test_self_join_each_scan_chooses(self):
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        sources = chosen_sources(
+            gis,
+            "SELECT a.id FROM items a JOIN items b ON a.id = b.grp",
+        )
+        # Both scans pick the fast site; the join co-locates and pushes.
+        assert sources == {"site_b"}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT COUNT(*) FROM items",
+            "SELECT grp, COUNT(*) FROM items GROUP BY grp",
+            "SELECT id FROM items WHERE grp = 3 AND id < 100",
+        ],
+    )
+    def test_same_rows_regardless_of_replica(self, sql):
+        replicated = build_gis(primary_link=SLOW, replica_link=FAST)
+        plain = build_gis(primary_link=SLOW, replica_link=FAST)
+        with_replica = replicated.query(sql)
+        primary_only = plain.query(sql, PlannerOptions(replicas="primary"))
+        assert_same_rows(with_replica.rows, primary_only.rows)
+
+    def test_replica_actually_reduces_simulated_time(self):
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        gis.network.reset()
+        fast = gis.query("SELECT payload FROM items")
+        gis.network.reset()
+        slow = gis.query(
+            "SELECT payload FROM items", PlannerOptions(replicas="primary")
+        )
+        assert fast.metrics.simulated_ms < slow.metrics.simulated_ms / 5
+
+
+class TestRegistrationValidation:
+    def test_replica_requires_known_source(self):
+        gis = GlobalInformationSystem()
+        source = MemorySource("m")
+        source.add_table("items", SCHEMA, [])
+        gis.register_source("m", source)
+        gis.register_table("items", source="m")
+        with pytest.raises(UnknownObjectError):
+            gis.register_replica("items", source="ghost")
+
+    def test_replica_schema_must_cover_columns(self):
+        gis = GlobalInformationSystem()
+        full = MemorySource("full")
+        full.add_table("items", SCHEMA, [])
+        narrow = MemorySource("narrow")
+        narrow.add_table(
+            "items", schema_from_pairs("items", [("id", "INT")]), []
+        )
+        gis.register_source("full", full)
+        gis.register_source("narrow", narrow)
+        gis.register_table("items", source="full")
+        with pytest.raises(CatalogError, match="lacks column"):
+            gis.register_replica("items", source="narrow")
+
+    def test_replica_on_view_rejected(self):
+        gis = GlobalInformationSystem()
+        source = MemorySource("m")
+        source.add_table("items", SCHEMA, [])
+        gis.register_source("m", source)
+        gis.register_table("items", source="m")
+        gis.create_view("v", "SELECT id FROM items")
+        with pytest.raises(CatalogError):
+            gis.register_replica("v", source="m")
+
+    def test_replica_with_column_map(self):
+        gis = GlobalInformationSystem()
+        primary = MemorySource("p")
+        primary.add_table("items", SCHEMA, ROWS[:10])
+        alt_schema = schema_from_pairs(
+            "ALT", [("I", "INT"), ("G", "INT"), ("P", "TEXT")]
+        )
+        replica = MemorySource("r")
+        replica.add_table("ALT", alt_schema, ROWS[:10])
+        gis.register_source("p", primary, link=SLOW)
+        gis.register_source("r", replica, link=FAST)
+        gis.register_table("items", source="p")
+        gis.register_replica(
+            "items", source="r", remote_table="ALT",
+            column_map={"id": "I", "grp": "G", "payload": "P"},
+        )
+        gis.analyze()
+        result = gis.query("SELECT id, grp FROM items WHERE id = 3")
+        assert result.rows == [(3, 3)]
+        assert chosen_sources(gis, "SELECT id FROM items") == {"r"}
+
+class TestReplicaInterplay:
+    def test_semijoin_binds_against_chosen_replica(self):
+        # The bind join must send its key batches to the replica the
+        # selector picked, not the primary.
+        from repro import MemorySource, PlannerOptions
+        from repro.core.logical import RemoteQueryOp
+
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        probe = MemorySource("probe")
+        probe.add_table(
+            "probe", schema_from_pairs("probe", [("k", "INT")]),
+            [(1,), (2,), (3,)],
+        )
+        gis.register_source("probe", probe, link=FAST)
+        gis.register_table("probe", source="probe")
+        gis.analyze(tables=["probe"])
+        sql = "SELECT p.k, i.payload FROM probe p JOIN items i ON p.k = i.id"
+        planned = gis.plan(sql, PlannerOptions(semijoin="force"))
+        bound = [
+            n for n in planned.distributed.walk()
+            if isinstance(n, RemoteQueryOp) and n.bind is not None
+        ]
+        assert bound and bound[0].source_name == "site_b"
+        result = gis.query(sql, PlannerOptions(semijoin="force"))
+        assert sorted(r[0] for r in result.rows) == [1, 2, 3]
+
+    def test_partial_aggregation_on_replicated_partitions(self):
+        # Replica selection and partial aggregation compose: each branch
+        # aggregates at whichever copy is cheapest.
+        gis = build_gis(primary_link=SLOW, replica_link=FAST)
+        result = gis.query(
+            "SELECT grp, COUNT(*) FROM items GROUP BY grp ORDER BY grp"
+        )
+        assert len(result.rows) == 10
+        assert all(count == 200 for _, count in result.rows)

@@ -1,0 +1,145 @@
+"""Fragment retries, failure attribution, and the result cache."""
+
+from typing import Iterator
+
+import pytest
+
+from repro import (
+    GlobalInformationSystem,
+    MemorySource,
+    PlannerOptions,
+    SourceError,
+)
+from repro.catalog.schema import schema_from_pairs
+from repro.core.fragments import Fragment
+
+
+class FlakySource(MemorySource):
+    """Fails the first N execute() calls before yielding anything."""
+
+    def __init__(self, name, failures=1, fail_midstream=False):
+        super().__init__(name)
+        self.failures_left = failures
+        self.fail_midstream = fail_midstream
+        self.execute_calls = 0
+
+    def execute(self, fragment: Fragment) -> Iterator[tuple]:
+        self.execute_calls += 1
+        if self.fail_midstream:
+            yield from self._fail_midstream(fragment)
+            return
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise SourceError(self.name, "transient outage")
+        yield from super().execute(fragment)
+
+    def _fail_midstream(self, fragment: Fragment) -> Iterator[tuple]:
+        rows = list(super().execute(fragment))
+        # Emit most rows, then die — past the first page, unretryable.
+        yield from rows[:-1]
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise SourceError(self.name, "mid-stream outage")
+        yield rows[-1]
+
+
+SCHEMA = schema_from_pairs("t", [("a", "INT"), ("b", "TEXT")])
+ROWS = [(i, f"v{i}") for i in range(2500)]  # > 1 page at default page size
+
+
+def build(source, retries=0, cache=0):
+    gis = GlobalInformationSystem(
+        fragment_retries=retries, result_cache_size=cache
+    )
+    source.add_table("t", SCHEMA, ROWS)
+    gis.register_source("flaky", source)
+    gis.register_table("t", source="flaky")
+    return gis
+
+
+class TestFragmentRetries:
+    def test_no_retries_by_default(self):
+        gis = build(FlakySource("flaky", failures=1))
+        with pytest.raises(SourceError, match="transient"):
+            gis.query("SELECT COUNT(*) FROM t")
+
+    def test_retry_recovers_transient_failure(self):
+        source = FlakySource("flaky", failures=1)
+        gis = build(source, retries=1)
+        result = gis.query("SELECT COUNT(*) FROM t")
+        assert result.scalar() == 2500
+        assert source.execute_calls == 2
+        assert result.metrics.network.fragment_retries == 1
+
+    def test_retries_exhausted_reraises(self):
+        gis = build(FlakySource("flaky", failures=3), retries=2)
+        with pytest.raises(SourceError):
+            gis.query("SELECT COUNT(*) FROM t")
+
+    def test_midstream_failure_never_retried(self):
+        # Rows already reached the mediator: a retry would duplicate them.
+        source = FlakySource("flaky", failures=1, fail_midstream=True)
+        gis = build(source, retries=5)
+        with pytest.raises(SourceError, match="mid-stream"):
+            gis.query("SELECT a FROM t")
+        assert source.execute_calls == 1
+
+    def test_error_attributes_source_name(self):
+        gis = build(FlakySource("flaky", failures=1))
+        with pytest.raises(SourceError, match="'flaky'"):
+            gis.query("SELECT 1 FROM t LIMIT 1")
+
+
+class TestResultCache:
+    def test_cache_hit_skips_network(self):
+        gis = build(MemorySource("flaky"), cache=8)
+        first = gis.query("SELECT COUNT(*) FROM t")
+        before = gis.network.total.messages
+        second = gis.query("SELECT COUNT(*) FROM t")
+        assert second.rows == first.rows
+        assert second.metrics.network.cache_hit
+        assert gis.network.total.messages == before
+        assert gis.cache_hits == 1
+
+    def test_different_options_are_different_entries(self):
+        gis = build(MemorySource("flaky"), cache=8)
+        gis.query("SELECT COUNT(*) FROM t")
+        result = gis.query(
+            "SELECT COUNT(*) FROM t", PlannerOptions(pushdown="scans-only")
+        )
+        assert not result.metrics.network.cache_hit
+
+    def test_lru_eviction(self):
+        gis = build(MemorySource("flaky"), cache=2)
+        gis.query("SELECT 1 FROM t LIMIT 1")
+        gis.query("SELECT 2 FROM t LIMIT 1")
+        gis.query("SELECT 3 FROM t LIMIT 1")  # evicts query "1"
+        result = gis.query("SELECT 1 FROM t LIMIT 1")
+        assert not result.metrics.network.cache_hit
+
+    def test_analyze_invalidates(self):
+        gis = build(MemorySource("flaky"), cache=8)
+        gis.query("SELECT COUNT(*) FROM t")
+        gis.analyze()
+        result = gis.query("SELECT COUNT(*) FROM t")
+        assert not result.metrics.network.cache_hit
+
+    def test_new_view_invalidates(self):
+        gis = build(MemorySource("flaky"), cache=8)
+        gis.query("SELECT COUNT(*) FROM t")
+        gis.create_view("v", "SELECT a FROM t")
+        result = gis.query("SELECT COUNT(*) FROM t")
+        assert not result.metrics.network.cache_hit
+
+    def test_cached_rows_are_isolated(self):
+        gis = build(MemorySource("flaky"), cache=8)
+        first = gis.query("SELECT a FROM t LIMIT 3")
+        first.rows.append(("tampered",))
+        second = gis.query("SELECT a FROM t LIMIT 3")
+        assert len(second.rows) == 3
+
+    def test_disabled_by_default(self):
+        gis = build(MemorySource("flaky"))
+        gis.query("SELECT COUNT(*) FROM t")
+        result = gis.query("SELECT COUNT(*) FROM t")
+        assert not result.metrics.network.cache_hit

@@ -1,0 +1,127 @@
+"""Statistics and equi-depth histograms, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.schema import schema_from_pairs
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    EquiDepthHistogram,
+    TableStatistics,
+)
+from repro.datatypes import DataType
+
+
+class TestHistogramBasics:
+    def test_build_empty_returns_none(self):
+        assert EquiDepthHistogram.build([]) is None
+        assert EquiDepthHistogram.build([None, None]) is None
+
+    def test_single_value(self):
+        histogram = EquiDepthHistogram.build([5, 5, 5])
+        assert histogram.selectivity_eq(5) == pytest.approx(1.0)
+        assert histogram.selectivity_eq(6) == 0.0
+
+    def test_uniform_eq(self):
+        histogram = EquiDepthHistogram.build(list(range(100)), buckets=10)
+        assert histogram.selectivity_eq(50) == pytest.approx(0.01, abs=0.01)
+
+    def test_le_monotone(self):
+        histogram = EquiDepthHistogram.build(list(range(100)), buckets=8)
+        previous = -1.0
+        for value in range(0, 100, 7):
+            current = histogram.selectivity_le(value)
+            assert current >= previous
+            previous = current
+
+    def test_range_estimate(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)), buckets=16)
+        estimate = histogram.selectivity_range(100, 300)
+        assert estimate == pytest.approx(0.2, abs=0.05)
+
+    def test_skew_eq_accuracy(self):
+        # 90% of values are 0; a histogram must see that.
+        values = [0] * 900 + list(range(1, 101))
+        histogram = EquiDepthHistogram.build(values, buckets=16)
+        assert histogram.selectivity_eq(0) > 0.5
+
+    def test_bucket_count_capped_by_data(self):
+        histogram = EquiDepthHistogram.build([1, 2, 3], buckets=64)
+        assert histogram.bucket_count <= 3
+
+    def test_text_histogram(self):
+        histogram = EquiDepthHistogram.build(list("abcdefghij"))
+        assert histogram.selectivity_le("e") >= 0.4
+
+
+class TestHistogramProperties:
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300))
+    def test_le_bounds(self, values):
+        histogram = EquiDepthHistogram.build(values, buckets=8)
+        for probe in (-2000, 0, 2000):
+            assert 0.0 <= histogram.selectivity_le(probe) <= 1.0
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=200))
+    def test_le_of_max_is_one(self, values):
+        histogram = EquiDepthHistogram.build(values, buckets=8)
+        assert histogram.selectivity_le(max(values)) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    def test_le_below_min_is_zero(self, values):
+        histogram = EquiDepthHistogram.build(values, buckets=8)
+        assert histogram.selectivity_le(min(values) - 1) == 0.0
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    def test_eq_close_to_truth(self, values):
+        histogram = EquiDepthHistogram.build(values, buckets=len(set(values)))
+        probe = values[0]
+        truth = values.count(probe) / len(values)
+        assert histogram.selectivity_eq(probe) == pytest.approx(truth, abs=0.35)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=100))
+    def test_total_rows_preserved(self, values):
+        histogram = EquiDepthHistogram.build(values, buckets=7)
+        assert histogram.total_rows == len(values)
+
+
+class TestColumnStatistics:
+    def test_from_values_basic(self):
+        stats = ColumnStatistics.from_values(
+            [1, 2, 2, None, 5], DataType.INTEGER
+        )
+        assert stats.null_fraction == pytest.approx(0.2)
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1 and stats.max_value == 5
+
+    def test_text_width_measured(self):
+        stats = ColumnStatistics.from_values(["ab", "abcd"], DataType.TEXT)
+        assert stats.avg_width == pytest.approx(3.0)
+
+    def test_histograms_disabled_with_zero_buckets(self):
+        stats = ColumnStatistics.from_values([1, 2, 3], DataType.INTEGER, 0)
+        assert stats.histogram is None
+
+    def test_empty_column(self):
+        stats = ColumnStatistics.from_values([], DataType.INTEGER)
+        assert stats.null_fraction == 0.0
+        assert stats.min_value is None
+
+
+class TestTableStatistics:
+    def test_from_rows(self):
+        schema = schema_from_pairs("t", [("a", "INT"), ("name", "TEXT")])
+        stats = TableStatistics.from_rows(
+            schema, [(1, "xx"), (2, "yyyy"), (3, None)]
+        )
+        assert stats.row_count == 3
+        assert stats.column("A").distinct_count == 3
+        assert stats.column("name").null_fraction == pytest.approx(1 / 3)
+        assert stats.column("ghost") is None
+
+    def test_average_row_width(self):
+        schema = schema_from_pairs("t", [("a", "INT"), ("name", "TEXT")])
+        stats = TableStatistics.from_rows(schema, [(1, "abcd")])
+        # 8 bytes for the INT plus measured text width 4.
+        assert stats.average_row_width(schema) == pytest.approx(12.0)

@@ -1,0 +1,120 @@
+"""Workload generators: determinism, shape, and skew properties."""
+
+import pytest
+
+from repro.workloads import (
+    WORKLOAD_QUERIES,
+    build_federation,
+    build_partitioned_orders,
+    queries_by_name,
+)
+from repro.workloads.generator import DataGenerator
+from repro.workloads.tpch_lite import generate_rows
+
+
+class TestDataGenerator:
+    def test_determinism(self):
+        a = DataGenerator(7)
+        b = DataGenerator(7)
+        assert [a.integer(0, 100) for _ in range(20)] == [
+            b.integer(0, 100) for _ in range(20)
+        ]
+        assert a.person_name() == b.person_name()
+
+    def test_different_seeds_differ(self):
+        a = [DataGenerator(1).integer(0, 10**9) for _ in range(3)]
+        b = [DataGenerator(2).integer(0, 10**9) for _ in range(3)]
+        assert a != b
+
+    def test_money_bounds_and_rounding(self):
+        generator = DataGenerator(3)
+        for _ in range(100):
+            value = generator.money(5.0, 100.0)
+            assert 5.0 <= value <= 100.0
+            assert round(value, 2) == value
+
+    def test_zipf_skew(self):
+        generator = DataGenerator(11)
+        draws = [generator.zipf_index(100, 1.3) for _ in range(5000)]
+        # Index 0 must dominate the tail decisively.
+        assert draws.count(0) > draws.count(50) * 5
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_zipf_low_skew_flatter(self):
+        generator = DataGenerator(11)
+        steep = [generator.zipf_index(50, 2.0) for _ in range(2000)]
+        flat = [generator.zipf_index(50, 0.5) for _ in range(2000)]
+        assert steep.count(0) > flat.count(0)
+
+    def test_date_between_inclusive(self):
+        import datetime
+
+        generator = DataGenerator(5)
+        low = datetime.date(1989, 1, 1)
+        high = datetime.date(1989, 1, 3)
+        seen = {generator.date_between(low, high) for _ in range(100)}
+        assert seen <= {low, low + datetime.timedelta(1), high}
+        assert len(seen) == 3
+
+    def test_maybe_null(self):
+        generator = DataGenerator(5)
+        always = [generator.maybe_null(1, 0.0) for _ in range(50)]
+        never = [generator.maybe_null(1, 1.0) for _ in range(50)]
+        assert all(v == 1 for v in always)
+        assert all(v is None for v in never)
+
+
+class TestGenerateRows:
+    def test_deterministic_per_seed(self):
+        assert generate_rows(0.2, seed=9) == generate_rows(0.2, seed=9)
+
+    def test_scale_controls_sizes(self):
+        small = generate_rows(0.2)
+        large = generate_rows(1.0)
+        assert len(large["orders"]) > len(small["orders"])
+        assert len(large["lineitems"]) == 3 * len(large["orders"])
+
+    def test_referential_integrity(self):
+        data = generate_rows(0.3, seed=4)
+        customer_ids = {row[0] for row in data["customers"]}
+        nation_ids = {row[0] for row in data["nations"]}
+        assert all(row[1] in customer_ids for row in data["orders"])
+        assert all(row[2] in nation_ids for row in data["customers"])
+        part_ids = {row[0] for row in data["parts"]}
+        assert all(row[2] in part_ids for row in data["lineitems"])
+
+    def test_profiles_one_per_customer(self):
+        data = generate_rows(0.3, seed=4)
+        assert len(data["profiles"]) == len(data["customers"])
+
+
+class TestBuilders:
+    def test_federation_row_counts_consistent(self, federation):
+        for table, count in federation.row_counts.items():
+            result = federation.gis.query(f"SELECT COUNT(*) FROM {table}")
+            assert result.scalar() == count
+
+    def test_partitioned_orders_reassemble(self):
+        federation = build_partitioned_orders(3, 40, seed=2)
+        total = federation.gis.query("SELECT COUNT(*) FROM orders_all").scalar()
+        assert total == 120
+        per_part = federation.gis.query("SELECT COUNT(*) FROM orders_p1").scalar()
+        assert per_part == 40
+
+    def test_same_seed_same_answers(self):
+        a = build_federation(scale=0.2, seed=3)
+        b = build_federation(scale=0.2, seed=3)
+        sql = "SELECT SUM(o_total) FROM orders"
+        assert a.gis.query(sql).scalar() == b.gis.query(sql).scalar()
+
+
+class TestQueryCatalog:
+    def test_catalog_names_unique(self):
+        names = [name for name, _ in WORKLOAD_QUERIES]
+        assert len(names) == len(set(names))
+        assert queries_by_name()["semi_join"].startswith("SELECT")
+
+    @pytest.mark.parametrize("name,sql", WORKLOAD_QUERIES)
+    def test_every_catalog_query_runs(self, federation, name, sql):
+        result = federation.gis.query(sql)
+        assert result.column_names
