@@ -28,6 +28,18 @@ tables with ``rows`` are created, tables without are declared over existing
 native tables), ``memory``, ``csv`` (requires ``directory``; ``rows``
 are materialized as files when given), ``keyvalue`` (each table needs a
 ``key`` column), ``rest`` (optional ``page_rows``).
+
+A top-level ``scheduler`` section configures parallel fragment execution
+and the robustness envelope (see ``docs/parallel_execution.md``)::
+
+    "scheduler": {
+        "max_parallel_fragments": 8,
+        "max_parallel_per_source": 2,
+        "fragment_timeout_ms": 2000,
+        "retry": {"retries": 3, "backoff_ms": 50, "multiplier": 2,
+                  "max_ms": 5000, "jitter": 0.2},
+        "circuit_breaker": {"failure_threshold": 5, "reset_ms": 30000}
+    }
 """
 
 from __future__ import annotations
@@ -38,7 +50,7 @@ from typing import Any, Dict, Optional
 from .catalog.schema import TableSchema, schema_from_pairs
 from .core.mediator import GlobalInformationSystem
 from .core.planner import PlannerOptions
-from .errors import CatalogError
+from .errors import CatalogError, PlanError
 from .sources import (
     CsvSource,
     KeyValueSource,
@@ -60,9 +72,14 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
     options = None
     if "options" in config:
         options = PlannerOptions(**config["options"])
+    fragment_retries = int(config.get("fragment_retries", 0))
+    if "scheduler" in config:
+        options, fragment_retries = _apply_scheduler_config(
+            config["scheduler"], options, fragment_retries
+        )
     gis = GlobalInformationSystem(
         options=options,
-        fragment_retries=int(config.get("fragment_retries", 0)),
+        fragment_retries=fragment_retries,
         result_cache_size=int(config.get("result_cache_size", 0)),
     )
 
@@ -99,6 +116,124 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
 # ---------------------------------------------------------------------------
 # internals
 # ---------------------------------------------------------------------------
+
+
+def _int_option(section: str, spec: Dict[str, Any], key: str) -> Optional[int]:
+    if key not in spec:
+        return None
+    value = spec[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise CatalogError(
+            f"scheduler config: {section}{key!r} must be an integer "
+            f"(got {value!r})"
+        )
+    return value
+
+
+def _float_option(section: str, spec: Dict[str, Any], key: str) -> Optional[float]:
+    if key not in spec:
+        return None
+    value = spec[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CatalogError(
+            f"scheduler config: {section}{key!r} must be a number "
+            f"(got {value!r})"
+        )
+    return float(value)
+
+
+def _check_keys(section: str, spec: Dict[str, Any], allowed: tuple) -> None:
+    unknown = sorted(set(spec) - set(allowed))
+    if unknown:
+        raise CatalogError(
+            f"unknown scheduler config key(s) {unknown} in {section}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _apply_scheduler_config(
+    spec: Any, options: Optional[PlannerOptions], fragment_retries: int
+):
+    """Fold the declarative ``scheduler`` section into planner options.
+
+    Returns the updated ``(options, fragment_retries)`` pair. Every key is
+    validated with a specific error message; unknown keys are rejected so
+    typos cannot silently disable a knob.
+    """
+    if not isinstance(spec, dict):
+        raise CatalogError(
+            f"'scheduler' config must be a mapping (got {type(spec).__name__})"
+        )
+    _check_keys(
+        "scheduler",
+        spec,
+        (
+            "max_parallel_fragments",
+            "max_parallel_per_source",
+            "fragment_timeout_ms",
+            "retry",
+            "circuit_breaker",
+        ),
+    )
+    changes: Dict[str, Any] = {}
+    for key, reader in (
+        ("max_parallel_fragments", _int_option),
+        ("max_parallel_per_source", _int_option),
+        ("fragment_timeout_ms", _float_option),
+    ):
+        value = reader("", spec, key)
+        if value is not None:
+            changes[key] = value
+
+    retry = spec.get("retry", {})
+    if not isinstance(retry, dict):
+        raise CatalogError(
+            f"scheduler 'retry' config must be a mapping "
+            f"(got {type(retry).__name__})"
+        )
+    _check_keys(
+        "scheduler.retry", retry,
+        ("retries", "backoff_ms", "multiplier", "max_ms", "jitter"),
+    )
+    retries = _int_option("retry.", retry, "retries")
+    if retries is not None:
+        if retries < 0:
+            raise CatalogError(
+                f"scheduler config: retry.'retries' must be >= 0 (got {retries})"
+            )
+        fragment_retries = retries
+    for config_key, option_key, reader in (
+        ("backoff_ms", "retry_backoff_ms", _float_option),
+        ("multiplier", "retry_backoff_multiplier", _float_option),
+        ("max_ms", "retry_backoff_max_ms", _float_option),
+        ("jitter", "retry_jitter", _float_option),
+    ):
+        value = reader("retry.", retry, config_key)
+        if value is not None:
+            changes[option_key] = value
+
+    breaker = spec.get("circuit_breaker", {})
+    if not isinstance(breaker, dict):
+        raise CatalogError(
+            f"scheduler 'circuit_breaker' config must be a mapping "
+            f"(got {type(breaker).__name__})"
+        )
+    _check_keys(
+        "scheduler.circuit_breaker", breaker, ("failure_threshold", "reset_ms")
+    )
+    threshold = _int_option("circuit_breaker.", breaker, "failure_threshold")
+    if threshold is not None:
+        changes["breaker_failure_threshold"] = threshold
+    reset_ms = _float_option("circuit_breaker.", breaker, "reset_ms")
+    if reset_ms is not None:
+        changes["breaker_reset_ms"] = reset_ms
+
+    if changes:
+        try:
+            options = (options or PlannerOptions()).but(**changes)
+        except PlanError as exc:
+            raise CatalogError(f"invalid scheduler config: {exc}") from exc
+    return options, fragment_retries
 
 
 def _build_link(spec: Optional[Dict[str, Any]]) -> Optional[NetworkLink]:

@@ -14,6 +14,7 @@ This is the class downstream users interact with::
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
@@ -30,9 +31,10 @@ from ..sql.parser import parse_select
 from .analyzer import Analyzer
 from .fragments import interpret_plan
 from .logical import ScanOp, explain_plan
-from .physical import ExecutionContext
+from .physical import ExchangeExec, ExecutionContext
 from .planner import PlannedQuery, Planner, PlannerOptions
 from .result import QueryMetrics, QueryResult
+from .scheduler import CircuitBreakerRegistry, FragmentScheduler, SchedulerConfig
 
 
 class GlobalInformationSystem:
@@ -53,15 +55,23 @@ class GlobalInformationSystem:
         results keyed by (sql, options); sources are autonomous, so the
         cache is invalidated only by catalog changes, ``analyze()``, or
         :meth:`clear_result_cache` — stale reads are the user's trade-off.
+
+        Scheduling knobs (parallel fragments, timeouts, backoff, circuit
+        breakers) live on :class:`PlannerOptions`; the mediator owns the
+        per-source breaker registry (``self.breakers``) so breaker state
+        persists across queries. The mediator is safe to query from
+        multiple threads.
         """
         self.catalog = Catalog()
         self.network = network or SimulatedNetwork()
         self.planner = Planner(self.catalog, self.network, options)
         self.fragment_retries = fragment_retries
+        self.breakers = CircuitBreakerRegistry()
         self._result_cache_size = result_cache_size
         self._result_cache: "OrderedDict[Tuple[str, Optional[PlannerOptions]], QueryResult]" = (
             OrderedDict()
         )
+        self._cache_lock = threading.Lock()
         self.cache_hits = 0
 
     # -- federation configuration ------------------------------------------------
@@ -250,16 +260,64 @@ class GlobalInformationSystem:
         """Plan without executing (inspection, tests, benchmarks)."""
         return self.planner.plan(sql, options)
 
+    def _execution_context(
+        self, options: Optional[PlannerOptions]
+    ) -> ExecutionContext:
+        """Build the runtime context for one query, arming the fragment
+        scheduler and circuit breakers when the options call for them."""
+        opts = options or self.planner.options
+        config = SchedulerConfig.from_options(opts, self.fragment_retries)
+        context = ExecutionContext(
+            self.catalog,
+            self.network,
+            fragment_retries=config.retry.retries,
+            scheduler_config=config,
+            breakers=self.breakers,
+        )
+        if config.scheduled:
+            context.scheduler = FragmentScheduler(
+                config, self.breakers, self.catalog
+            )
+            if config.parallel:
+                mode = f"parallel({config.max_parallel_fragments})"
+            else:
+                mode = "sequential+timeout"
+            context.metrics.scheduler_mode = mode
+        return context
+
+    def _execute(self, planned: PlannedQuery, context: ExecutionContext) -> List[Tuple[Any, ...]]:
+        """Drain the physical plan, prestarting independent exchanges so
+        their sources transfer concurrently; always tears the scheduler
+        down (abandoning workers of failed/hung fragments)."""
+        scheduler = context.scheduler
+        if scheduler is None:
+            return list(planned.physical.iterate(context))
+        try:
+            if context.scheduler_config.parallel:
+                scheduler.prestart(
+                    (
+                        op
+                        for op in planned.physical.walk()
+                        if isinstance(op, ExchangeExec)
+                    ),
+                    context,
+                )
+            return list(planned.physical.iterate(context))
+        finally:
+            scheduler.close(context)
+
     def query(
         self, sql: str, options: Optional[PlannerOptions] = None
     ) -> QueryResult:
         """Plan and execute a query, returning rows plus metrics."""
         cache_key = (sql, options)
         if self._result_cache_size > 0:
-            cached = self._result_cache.get(cache_key)
+            with self._cache_lock:
+                cached = self._result_cache.get(cache_key)
+                if cached is not None:
+                    self._result_cache.move_to_end(cache_key)
+                    self.cache_hits += 1
             if cached is not None:
-                self._result_cache.move_to_end(cache_key)
-                self.cache_hits += 1
                 hit_metrics = replace(cached.metrics.network, cache_hit=True)
                 return QueryResult(
                     column_names=list(cached.column_names),
@@ -270,10 +328,8 @@ class GlobalInformationSystem:
                 )
         started = time.perf_counter()
         planned = self.planner.plan(sql, options)
-        context = ExecutionContext(
-            self.catalog, self.network, fragment_retries=self.fragment_retries
-        )
-        rows = list(planned.physical.iterate(context))
+        context = self._execution_context(options)
+        rows = self._execute(planned, context)
         context.metrics.rows_output = len(rows)
         wall_ms = (time.perf_counter() - started) * 1000.0
         metrics = QueryMetrics(
@@ -290,19 +346,21 @@ class GlobalInformationSystem:
         if self._result_cache_size > 0:
             # Store a snapshot so callers mutating their result (rows is a
             # plain list) cannot corrupt later cache hits.
-            self._result_cache[cache_key] = QueryResult(
-                column_names=list(result.column_names),
-                rows=list(result.rows),
-                metrics=result.metrics,
-                explain_text=result.explain_text,
-            )
-            while len(self._result_cache) > self._result_cache_size:
-                self._result_cache.popitem(last=False)
+            with self._cache_lock:
+                self._result_cache[cache_key] = QueryResult(
+                    column_names=list(result.column_names),
+                    rows=list(result.rows),
+                    metrics=result.metrics,
+                    explain_text=result.explain_text,
+                )
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
         return result
 
     def clear_result_cache(self) -> None:
         """Drop every cached result (e.g. after sources changed underneath)."""
-        self._result_cache.clear()
+        with self._cache_lock:
+            self._result_cache.clear()
 
     def explain_analyze(
         self, sql: str, options: Optional[PlannerOptions] = None
@@ -317,10 +375,8 @@ class GlobalInformationSystem:
 
         planned = self.planner.plan(sql, options)
         counts = instrument_row_counts(planned.physical)
-        context = ExecutionContext(
-            self.catalog, self.network, fragment_retries=self.fragment_retries
-        )
-        rows = list(planned.physical.iterate(context))
+        context = self._execution_context(options)
+        rows = self._execute(planned, context)
         sections = [
             "== physical plan (actual rows) ==",
             planned.physical.explain(row_counts=counts),

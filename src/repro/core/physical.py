@@ -17,6 +17,8 @@ exact and deterministic.
 from __future__ import annotations
 
 import datetime
+import random
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -64,6 +66,13 @@ class ExecutionMetrics:
     rows_output: int = 0
     cache_hit: bool = False
     per_source_rows: Dict[str, int] = field(default_factory=dict)
+    # -- fragment scheduler statistics (see repro.core.scheduler) --
+    scheduler_mode: str = "sequential"
+    fragments_in_flight_peak: int = 0
+    scheduler_stalls: int = 0
+    breaker_trips: int = 0
+    breaker_fallbacks: int = 0
+    parallel_ms: float = 0.0
 
 
 class ExecutionContext:
@@ -73,6 +82,12 @@ class ExecutionContext:
     fragment after a :class:`~repro.errors.SourceError`, provided no rows
     have reached the mediator yet (re-running a half-consumed fragment
     would duplicate rows).
+
+    ``scheduler_config`` / ``breakers`` arm the parallel fragment scheduler
+    and the per-source circuit breakers (see :mod:`repro.core.scheduler`);
+    both default to off, which is the byte-identical sequential engine.
+    Metrics accumulation is lock-protected because scheduler worker threads
+    charge transfers concurrently.
     """
 
     def __init__(
@@ -80,34 +95,79 @@ class ExecutionContext:
         catalog: Catalog,
         network: SimulatedNetwork,
         fragment_retries: int = 0,
+        scheduler_config=None,
+        breakers=None,
     ) -> None:
         self.catalog = catalog
         self.network = network
         self.fragment_retries = max(fragment_retries, 0)
+        self.scheduler_config = scheduler_config
+        self.breakers = breakers
+        self.scheduler = None  # set by the mediator when config.scheduled
         self.metrics = ExecutionMetrics()
+        self._metrics_lock = threading.Lock()
+
+    @property
+    def retry_policy(self):
+        """The effective retry policy (scheduler config, else legacy knob)."""
+        from .scheduler import RetryPolicy
+
+        if self.scheduler_config is not None:
+            return self.scheduler_config.retry
+        return RetryPolicy(retries=self.fragment_retries)
+
+    def breaker_for(self, source_name: str):
+        """This source's circuit breaker, or None when breakers are off."""
+        if self.breakers is None or self.scheduler_config is None:
+            return None
+        threshold = self.scheduler_config.breaker_threshold
+        if threshold <= 0:
+            return None
+        return self.breakers.breaker_for(
+            source_name, threshold, self.scheduler_config.breaker_reset_ms
+        )
+
+    def add_metric(self, name: str, amount) -> None:
+        """Thread-safe increment of a numeric metric field."""
+        with self._metrics_lock:
+            setattr(self.metrics, name, getattr(self.metrics, name) + amount)
+
+    def set_metric(self, name: str, value) -> None:
+        with self._metrics_lock:
+            setattr(self.metrics, name, value)
 
     def charge_transfer(
         self, source_name: str, rows: List[Row], messages: int
-    ) -> None:
-        """Account one page (or request) moving between mediator and source."""
+    ) -> float:
+        """Account one page (or request) moving between mediator and source.
+
+        Returns the simulated elapsed milliseconds of this transfer so the
+        scheduler can attribute it to the fragment's virtual-clock lane.
+        """
         payload = sum(_row_bytes(row) for row in rows)
         elapsed = self.network.record_transfer(
             source_name, payload, len(rows), messages
         )
-        metrics = self.metrics
-        metrics.rows_shipped += len(rows)
-        metrics.bytes_shipped += payload
-        metrics.messages += messages
-        metrics.network_ms += elapsed
-        key = source_name.lower()
-        metrics.per_source_rows[key] = metrics.per_source_rows.get(key, 0) + len(rows)
+        with self._metrics_lock:
+            metrics = self.metrics
+            metrics.rows_shipped += len(rows)
+            metrics.bytes_shipped += payload
+            metrics.messages += messages
+            metrics.network_ms += elapsed
+            key = source_name.lower()
+            metrics.per_source_rows[key] = (
+                metrics.per_source_rows.get(key, 0) + len(rows)
+            )
+        return elapsed
 
-    def charge_request(self, source_name: str, payload_bytes: float) -> None:
+    def charge_request(self, source_name: str, payload_bytes: float) -> float:
         """Account an upload-only message (semijoin key batches)."""
         elapsed = self.network.record_transfer(source_name, payload_bytes, 0, 1)
-        self.metrics.messages += 1
-        self.metrics.bytes_shipped += payload_bytes
-        self.metrics.network_ms += elapsed
+        with self._metrics_lock:
+            self.metrics.messages += 1
+            self.metrics.bytes_shipped += payload_bytes
+            self.metrics.network_ms += elapsed
+        return elapsed
 
 
 def _row_bytes(row: Row) -> float:
@@ -205,7 +265,13 @@ class StaticRowsExec(PhysicalOperator):
 
 
 class ExchangeExec(PhysicalOperator):
-    """Fetch a fragment's result from its source over the simulated network."""
+    """Fetch a fragment's result from its source over the simulated network.
+
+    ``mode`` is "sequential" (pull pages inline, the classic path) or
+    "parallel" (async-pull: a scheduler worker thread fetches pages into a
+    bounded queue that this operator drains — see
+    :class:`repro.core.scheduler.FragmentScheduler`).
+    """
 
     def __init__(
         self,
@@ -213,43 +279,82 @@ class ExchangeExec(PhysicalOperator):
         fragment: Fragment,
         columns: Sequence[RelColumn],
         page_rows: int,
+        mode: str = "sequential",
     ) -> None:
         super().__init__(columns)
         self.adapter = adapter
         self.fragment = fragment
         self.page_rows = max(page_rows, 1)
+        self.mode = mode
 
     def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if ctx.scheduler is not None:
+            yield from ctx.scheduler.stream_exchange(self, ctx)
+            return
+        yield from self._iterate_direct(ctx)
+
+    def _iterate_direct(self, ctx: ExecutionContext) -> Iterator[Row]:
+        """The sequential path, now wrapped in the robustness envelope
+        (breaker gate + backoff) when those knobs are armed."""
         from ..errors import SourceError
+        from .scheduler import replica_fallback, sleep_ms
 
         ctx.metrics.fragments_executed += 1
-        attempts_left = ctx.fragment_retries
+        policy = ctx.retry_policy
+        adapter, fragment = self.adapter, self.fragment
+        source = fragment.source_name
+        rng = random.Random(f"{source}:direct")
+        attempt = 0
         while True:
+            breaker = ctx.breaker_for(source)
+            if breaker is not None and not breaker.allow():
+                fallback = (
+                    replica_fallback(ctx.catalog, fragment, ctx.breakers)
+                    if ctx.breakers is not None
+                    else None
+                )
+                if fallback is None:
+                    raise SourceError(
+                        source,
+                        "circuit breaker open; no healthy replica registered "
+                        "(failing fast)",
+                    )
+                source, adapter, fragment = fallback
+                ctx.add_metric("breaker_fallbacks", 1)
+                continue  # re-evaluate the replica's own breaker
             produced = False
             page: List[Row] = []
             try:
-                for row in self.adapter.execute(self.fragment):
+                for row in adapter.execute(fragment):
                     page.append(row)
                     if len(page) >= self.page_rows:
-                        ctx.charge_transfer(self.fragment.source_name, page, 1)
+                        ctx.charge_transfer(source, page, 1)
                         produced = True
                         yield from page
                         page = []
             except SourceError:
+                if breaker is not None and breaker.record_failure():
+                    ctx.add_metric("breaker_trips", 1)
                 # Retry is only safe before any row reached the consumer.
-                if produced or attempts_left <= 0:
+                if produced or attempt >= policy.retries:
                     raise
-                attempts_left -= 1
+                attempt += 1
                 ctx.metrics.fragment_retries += 1
+                sleep_ms(policy.delay_ms(attempt, rng))
                 continue
             # The final (possibly empty) page closes the exchange: even an
             # empty result costs one round trip.
-            ctx.charge_transfer(self.fragment.source_name, page, 1)
+            ctx.charge_transfer(source, page, 1)
             yield from page
+            if breaker is not None:
+                breaker.record_success()
             return
 
     def describe(self) -> str:
-        return f"Exchange(source={self.fragment.source_name})"
+        label = f"Exchange(source={self.fragment.source_name})"
+        if self.mode == "parallel":
+            label = label[:-1] + ", parallel)"
+        return label
 
 
 class FilterExec(PhysicalOperator):
@@ -582,44 +687,84 @@ class BindJoinExec(PhysicalOperator):
             )
         yield from join.iterate(ctx)
 
+    def _batch_fragment(self, batch: Sequence[Any]) -> Fragment:
+        """The reduced fragment fetching one key batch."""
+        bind = self._bind
+        literals = tuple(
+            ast.Literal(value, bind.fragment_key.dtype) for value in batch
+        )
+        predicate: ast.Expr
+        if len(literals) == 1:
+            predicate = ast.BinaryOp("=", bind.fragment_key.ref(), literals[0])
+        else:
+            predicate = ast.InList(bind.fragment_key.ref(), literals, False)
+        return Fragment(
+            self.remote.source_name,
+            FilterOp(self.remote.fragment, predicate),
+        )
+
     def _fetch_reduced(self, ctx: ExecutionContext, keys: Set[Any]) -> Iterator[Row]:
+        from ..errors import SourceError
+
         bind = self._bind
         ordered = sorted(keys, key=repr)
-        ctx.metrics.fragments_executed += 1
+        ctx.add_metric("fragments_executed", 1)
         if not ordered:
             # Still report the (empty) round trip the mediator performs to
             # learn there is nothing to fetch? No request is sent at all:
             # an empty key set proves the join is empty without touching
             # the source.
             return
-        for start in range(0, len(ordered), bind.batch_size):
-            batch = ordered[start : start + bind.batch_size]
-            ctx.metrics.semijoin_batches += 1
-            payload = sum(_row_bytes((key,)) for key in batch)
-            ctx.charge_request(self.remote.source_name, payload)
-            literals = tuple(
-                ast.Literal(value, bind.fragment_key.dtype) for value in batch
-            )
-            predicate: ast.Expr
-            if len(literals) == 1:
-                predicate = ast.BinaryOp(
-                    "=", bind.fragment_key.ref(), literals[0]
+        source = self.remote.source_name
+        batches = [
+            ordered[start : start + bind.batch_size]
+            for start in range(0, len(ordered), bind.batch_size)
+        ]
+        if ctx.scheduler is not None:
+            # Ship every key batch up front: the batches are independent
+            # reduced fragments, so they fetch concurrently (subject to the
+            # per-source cap) while we drain them in order.
+            tasks = []
+            for batch in batches:
+                ctx.add_metric("semijoin_batches", 1)
+                payload = sum(_row_bytes((key,)) for key in batch)
+                ctx.charge_request(source, payload)
+                tasks.append(
+                    ctx.scheduler.submit_fragment(
+                        self.adapter, self._batch_fragment(batch), self.page_rows, ctx
+                    )
                 )
-            else:
-                predicate = ast.InList(bind.fragment_key.ref(), literals, False)
-            fragment = Fragment(
-                self.remote.source_name,
-                FilterOp(self.remote.fragment, predicate),
+            for task in tasks:
+                yield from ctx.scheduler.stream(task, ctx)
+            return
+        breaker = ctx.breaker_for(source)
+        if breaker is not None and not breaker.allow():
+            raise SourceError(
+                source,
+                "circuit breaker open; no healthy replica registered "
+                "(failing fast)",
             )
-            page: List[Row] = []
-            for row in self.adapter.execute(fragment):
-                page.append(row)
-                if len(page) >= self.page_rows:
-                    ctx.charge_transfer(self.remote.source_name, page, 1)
-                    yield from page
-                    page = []
-            ctx.charge_transfer(self.remote.source_name, page, 1)
-            yield from page
+        try:
+            for batch in batches:
+                ctx.metrics.semijoin_batches += 1
+                payload = sum(_row_bytes((key,)) for key in batch)
+                ctx.charge_request(source, payload)
+                fragment = self._batch_fragment(batch)
+                page: List[Row] = []
+                for row in self.adapter.execute(fragment):
+                    page.append(row)
+                    if len(page) >= self.page_rows:
+                        ctx.charge_transfer(source, page, 1)
+                        yield from page
+                        page = []
+                ctx.charge_transfer(source, page, 1)
+                yield from page
+        except SourceError:
+            if breaker is not None and breaker.record_failure():
+                ctx.add_metric("breaker_trips", 1)
+            raise
+        if breaker is not None:
+            breaker.record_success()
 
 
 class HashAggregateExec(PhysicalOperator):
@@ -821,11 +966,17 @@ class PhysicalPlanner:
     offer nothing here and hash handles their NULL subtleties already).
     """
 
-    def __init__(self, catalog: Catalog, join_algorithm: str = "auto") -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        join_algorithm: str = "auto",
+        parallel_fragments: int = 1,
+    ) -> None:
         if join_algorithm not in JOIN_ALGORITHMS:
             raise PlanError(f"unknown join algorithm {join_algorithm!r}")
         self._catalog = catalog
         self._join_algorithm = join_algorithm
+        self._parallel_fragments = max(parallel_fragments, 1)
 
     def build(self, plan: LogicalPlan) -> PhysicalOperator:
         if isinstance(plan, RemoteQueryOp):
@@ -883,6 +1034,7 @@ class PhysicalPlanner:
             Fragment(plan.source_name, plan.fragment),
             plan.columns,
             page_rows,
+            mode="parallel" if self._parallel_fragments > 1 else "sequential",
         )
 
     def _join(self, plan: JoinOp) -> PhysicalOperator:

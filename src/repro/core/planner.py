@@ -47,6 +47,20 @@ class PlannerOptions:
             per-branch partial aggregates (local/global aggregation).
         dp_limit: region size above which DP falls back to greedy.
         cpu_row_ms: virtual CPU cost per mediator row (cost model unit).
+        max_parallel_fragments: worker threads fetching independent
+            fragments concurrently; 1 = classic sequential execution.
+        max_parallel_per_source: concurrent fragments allowed against any
+            one component system (autonomy: don't stampede a site).
+        fragment_timeout_ms: fail a fragment whose source makes no progress
+            for this long; 0 disables the timeout.
+        retry_backoff_ms: base delay before a fragment retry (grows by
+            ``retry_backoff_multiplier`` per attempt up to
+            ``retry_backoff_max_ms``); 0 retries immediately.
+        retry_jitter: spread each backoff uniformly over ±this fraction.
+        breaker_failure_threshold: consecutive source failures that trip the
+            per-source circuit breaker; 0 disables breakers.
+        breaker_reset_ms: how long a tripped breaker stays open before
+            admitting a half-open probe.
     """
 
     rewrites: bool = True
@@ -59,6 +73,15 @@ class PlannerOptions:
     partial_aggregation: bool = True
     dp_limit: int = DEFAULT_DP_LIMIT
     cpu_row_ms: float = DEFAULT_CPU_ROW_MS
+    max_parallel_fragments: int = 1
+    max_parallel_per_source: int = 2
+    fragment_timeout_ms: float = 0.0
+    retry_backoff_ms: float = 0.0
+    retry_backoff_multiplier: float = 2.0
+    retry_backoff_max_ms: float = 5000.0
+    retry_jitter: float = 0.0
+    breaker_failure_threshold: int = 0
+    breaker_reset_ms: float = 30000.0
 
     def __post_init__(self) -> None:
         if self.join_strategy not in JOIN_STRATEGIES:
@@ -71,6 +94,46 @@ class PlannerOptions:
             raise PlanError(f"unknown semijoin mode {self.semijoin!r}")
         if self.replicas not in ("cost", "primary"):
             raise PlanError(f"unknown replica mode {self.replicas!r}")
+        if self.max_parallel_fragments < 1:
+            raise PlanError(
+                "max_parallel_fragments must be >= 1 "
+                f"(got {self.max_parallel_fragments!r})"
+            )
+        if self.max_parallel_per_source < 1:
+            raise PlanError(
+                "max_parallel_per_source must be >= 1 "
+                f"(got {self.max_parallel_per_source!r})"
+            )
+        if self.fragment_timeout_ms < 0:
+            raise PlanError(
+                f"fragment_timeout_ms must be >= 0 (got {self.fragment_timeout_ms!r})"
+            )
+        if self.retry_backoff_ms < 0:
+            raise PlanError(
+                f"retry_backoff_ms must be >= 0 (got {self.retry_backoff_ms!r})"
+            )
+        if self.retry_backoff_multiplier < 1:
+            raise PlanError(
+                "retry_backoff_multiplier must be >= 1 "
+                f"(got {self.retry_backoff_multiplier!r})"
+            )
+        if self.retry_backoff_max_ms < 0:
+            raise PlanError(
+                f"retry_backoff_max_ms must be >= 0 (got {self.retry_backoff_max_ms!r})"
+            )
+        if not 0 <= self.retry_jitter < 1:
+            raise PlanError(
+                f"retry_jitter must be in [0, 1) (got {self.retry_jitter!r})"
+            )
+        if self.breaker_failure_threshold < 0:
+            raise PlanError(
+                "breaker_failure_threshold must be >= 0 "
+                f"(got {self.breaker_failure_threshold!r})"
+            )
+        if self.breaker_reset_ms < 0:
+            raise PlanError(
+                f"breaker_reset_ms must be >= 0 (got {self.breaker_reset_ms!r})"
+            )
 
     def but(self, **changes) -> "PlannerOptions":
         """A copy with some options changed (bench/baseline convenience)."""
@@ -175,7 +238,9 @@ class Planner:
         distributed = semijoin.apply(distributed)
 
         physical = PhysicalPlanner(
-            self.catalog, join_algorithm=opts.join_algorithm
+            self.catalog,
+            join_algorithm=opts.join_algorithm,
+            parallel_fragments=opts.max_parallel_fragments,
         ).build(distributed)
 
         estimates = {}

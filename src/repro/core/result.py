@@ -39,13 +39,27 @@ class QueryMetrics:
         return self.network.messages
 
     def summary(self) -> str:
-        return (
+        lines = [
             f"{self.network.rows_shipped} rows / "
             f"{self.network.bytes_shipped:.0f} bytes shipped in "
             f"{self.network.messages} messages; "
             f"simulated network {self.simulated_ms:.1f} ms; "
             f"wall {self.wall_ms:.1f} ms (planning {self.planning_ms:.1f} ms)"
-        )
+        ]
+        net = self.network
+        if net.scheduler_mode != "sequential":
+            lines.append(
+                f"scheduler {net.scheduler_mode}: "
+                f"peak {net.fragments_in_flight_peak} fragments in flight, "
+                f"{net.scheduler_stalls} stalls; "
+                f"simulated critical path {net.parallel_ms:.1f} ms"
+            )
+        if net.breaker_trips or net.breaker_fallbacks:
+            lines.append(
+                f"circuit breakers: {net.breaker_trips} trips, "
+                f"{net.breaker_fallbacks} replica fallbacks"
+            )
+        return "\n".join(lines)
 
 
 class QueryResult:

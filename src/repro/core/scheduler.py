@@ -1,0 +1,579 @@
+"""Parallel fragment scheduler: real concurrent exchange execution.
+
+The 1989 GIS architecture assumes the mediator issues subqueries to many
+autonomous sources *concurrently*; until this module existed the engine
+drained exchanges one at a time and benchmarks merely simulated
+parallelism. :class:`FragmentScheduler` makes it real: every independent
+exchange fragment is fetched by its own worker thread, pages stream back
+through bounded queues (pipelined — the consumer joins while producers are
+still fetching), and a global plus per-source concurrency cap bounds the
+fan-out.
+
+Every source call runs inside a **robustness envelope**:
+
+* **timeout** — a fragment that makes no progress for
+  ``fragment_timeout_ms`` raises :class:`~repro.errors.SourceError` instead
+  of hanging the query (the stuck worker is abandoned; threads are daemons);
+* **retry with exponential backoff + jitter** (:class:`RetryPolicy`) —
+  generalizes the old immediate before-first-page retry. A fragment is
+  re-issued only while no page has reached the mediator, so a retry can
+  never duplicate rows;
+* **circuit breaker** (:class:`CircuitBreaker`) — consecutive failures trip
+  a per-source breaker; further calls fail fast (or reroute to a registered
+  replica via :func:`replica_fallback`) until a reset period elapses, after
+  which a single half-open probe decides whether to close it again.
+
+Sequential execution (``max_parallel_fragments=1`` and no timeout) never
+constructs a scheduler and is byte-for-byte the old code path, so all
+deterministic benchmarks keep their semantics. Parallel mode returns
+bit-identical rows: each exchange's page order is preserved and operators
+drain exchanges in the same order as before — only wall-clock time and the
+interleaving of network charges change.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import SourceError
+from .fragments import Fragment
+from .logical import ScanOp, transform_plan
+
+Row = Tuple[Any, ...]
+
+#: Pages buffered per fragment before its producer blocks (backpressure).
+QUEUE_DEPTH_PAGES = 8
+
+#: Poll interval for cancellation-aware blocking operations (seconds).
+_POLL_S = 0.02
+
+#: Real-time sleep hook; tests patch this to observe the backoff schedule.
+_default_sleep = time.sleep
+
+
+def sleep_ms(ms: float) -> None:
+    """Sleep for a backoff delay (routed through the patchable hook)."""
+    if ms > 0:
+        _default_sleep(ms / 1000.0)
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for fragment re-issues.
+
+    ``retries`` is the attempt budget; the delay before the *n*-th retry is
+    ``backoff_ms * multiplier**(n-1)`` capped at ``max_ms``, then spread
+    uniformly over ``[base*(1-jitter), base*(1+jitter)]`` so simultaneous
+    retries against a struggling source de-synchronize. ``backoff_ms=0``
+    (the default) retries immediately — the pre-scheduler behavior.
+    """
+
+    retries: int = 0
+    backoff_ms: float = 0.0
+    multiplier: float = 2.0
+    max_ms: float = 5000.0
+    jitter: float = 0.0
+
+    def base_delay_ms(self, attempt: int) -> float:
+        """Deterministic delay before the ``attempt``-th retry (1-based)."""
+        if self.backoff_ms <= 0:
+            return 0.0
+        return min(self.backoff_ms * self.multiplier ** (attempt - 1), self.max_ms)
+
+    def delay_ms(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The jittered delay actually slept before the ``attempt``-th retry."""
+        base = self.base_delay_ms(attempt)
+        if base <= 0 or self.jitter <= 0:
+            return base
+        u = (rng or random).random()
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * u)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-source failure gate with the classic three-state machine.
+
+    CLOSED counts consecutive failures; at ``failure_threshold`` it trips
+    OPEN and every call fails fast. After ``reset_ms`` the breaker moves to
+    HALF_OPEN and admits exactly one probe: success closes it, failure
+    re-opens it (another trip). Thread-safe; breakers outlive individual
+    queries so repeated failing queries accumulate toward the trip.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_ms: float = 30000.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(failure_threshold, 1)
+        self.reset_ms = reset_ms
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trip_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN:
+            elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+            if elapsed_ms >= self.reset_ms:
+                self._state = HALF_OPEN
+                self._probing = False
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (HALF_OPEN admits a single probe.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when it trips the breaker open."""
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            tripping = self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            )
+            if tripping:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                self.trip_count += 1
+            return tripping
+
+
+class CircuitBreakerRegistry:
+    """Per-source breakers, created lazily, shared by all of a mediator's
+    queries (state must persist across queries for trips to mean anything)."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(
+        self, source_name: str, failure_threshold: int, reset_ms: float
+    ) -> CircuitBreaker:
+        key = source_name.lower()
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(failure_threshold, reset_ms, self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def get(self, source_name: str) -> Optional[CircuitBreaker]:
+        with self._lock:
+            return self._breakers.get(source_name.lower())
+
+    def trip_count(self) -> int:
+        with self._lock:
+            return sum(b.trip_count for b in self._breakers.values())
+
+    def reset(self) -> None:
+        """Forget all breaker state (e.g. after repairing a federation)."""
+        with self._lock:
+            self._breakers.clear()
+
+
+# ---------------------------------------------------------------------------
+# scheduler configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Runtime knobs for one query's fragment execution."""
+
+    max_parallel_fragments: int = 1
+    max_parallel_per_source: int = 2
+    fragment_timeout_ms: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: int = 0
+    breaker_reset_ms: float = 30000.0
+
+    @property
+    def parallel(self) -> bool:
+        return self.max_parallel_fragments > 1
+
+    @property
+    def scheduled(self) -> bool:
+        """Does this configuration need worker threads at all? Timeouts
+        require a producer thread even at concurrency 1."""
+        return self.parallel or self.fragment_timeout_ms > 0
+
+    @staticmethod
+    def from_options(options, fragment_retries: int) -> "SchedulerConfig":
+        """Derive the runtime config from PlannerOptions + the mediator's
+        retry budget."""
+        return SchedulerConfig(
+            max_parallel_fragments=options.max_parallel_fragments,
+            max_parallel_per_source=options.max_parallel_per_source,
+            fragment_timeout_ms=options.fragment_timeout_ms,
+            retry=RetryPolicy(
+                retries=max(fragment_retries, 0),
+                backoff_ms=options.retry_backoff_ms,
+                multiplier=options.retry_backoff_multiplier,
+                max_ms=options.retry_backoff_max_ms,
+                jitter=options.retry_jitter,
+            ),
+            breaker_threshold=options.breaker_failure_threshold,
+            breaker_reset_ms=options.breaker_reset_ms,
+        )
+
+
+# ---------------------------------------------------------------------------
+# replica fallback
+# ---------------------------------------------------------------------------
+
+
+def replica_fallback(catalog, fragment: Fragment, breakers):
+    """Re-target a fragment at a replica site when its source's breaker is
+    open.
+
+    Succeeds only when *every* scan in the fragment has a registered copy on
+    one common alternative source whose breaker (if any) admits calls; the
+    plan is rebuilt with each scan stamped onto that source's mapping
+    (column identities are preserved, so the fragment's output layout is
+    unchanged). Returns ``(source_name, adapter, fragment)`` or None.
+
+    The fallback assumes the replica's capability envelope covers the
+    fragment (true for same-kind replicas, the normal case); a weaker
+    replica rejects the fragment with a CapabilityError, which surfaces
+    like any other source failure.
+    """
+    scans = [node for node in fragment.plan.walk() if isinstance(node, ScanOp)]
+    if not scans:
+        return None
+    broken = fragment.source_name.lower()
+    shared: Optional[Set[str]] = None
+    for scan in scans:
+        sources = {m.source.lower() for m in scan.table.all_mappings()} - {broken}
+        shared = sources if shared is None else shared & sources
+    for key in sorted(shared or ()):
+        breaker = breakers.get(key) if breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            continue
+        chosen: Dict[int, Any] = {}
+        for scan in scans:
+            chosen[id(scan)] = next(
+                m for m in scan.table.all_mappings() if m.source.lower() == key
+            )
+
+        def remap(node):
+            if isinstance(node, ScanOp) and id(node) in chosen:
+                return ScanOp(
+                    node.table, node.binding_name, node.columns,
+                    mapping=chosen[id(node)],
+                )
+            return None
+
+        plan = transform_plan(fragment.plan, remap)
+        display = chosen[id(scans[0])].source
+        return display, catalog.source(display), Fragment(display, plan)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+
+class _FragmentTask:
+    """One in-flight fragment fetch: its producer thread and page queue."""
+
+    __slots__ = (
+        "index", "adapter", "fragment", "page_rows", "queue",
+        "cancelled", "done", "virtual_ms", "thread",
+    )
+
+    def __init__(self, index: int, adapter, fragment: Fragment, page_rows: int):
+        self.index = index
+        self.adapter = adapter
+        self.fragment = fragment
+        self.page_rows = page_rows
+        self.queue: "queue.Queue" = queue.Queue(maxsize=QUEUE_DEPTH_PAGES)
+        self.cancelled = False
+        self.done = False
+        self.virtual_ms = 0.0
+        self.thread: Optional[threading.Thread] = None
+
+    def put(self, item, stop: threading.Event) -> bool:
+        """Enqueue one item, giving up if the task or query is cancelled."""
+        while not (stop.is_set() or self.cancelled):
+            try:
+                self.queue.put(item, timeout=_POLL_S)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+
+class FragmentScheduler:
+    """Runs fragment fetches on daemon worker threads with bounded queues.
+
+    One scheduler serves one query. ``prestart`` launches every independent
+    exchange before iteration begins, so by the time the root operator pulls
+    its first row all sources are transferring concurrently. Consumers
+    (:class:`~repro.core.physical.ExchangeExec` in async-pull mode, and
+    bind-join batch fetches) drain their fragment's queue in order, which
+    preserves the exact row order of sequential execution.
+
+    Producers are capped twice: ``max_parallel_fragments`` globally and
+    ``max_parallel_per_source`` per component system (autonomous sources
+    ration their own admission; the mediator must not stampede one site).
+    Worker threads are daemons and are *abandoned*, not joined, when a
+    fragment times out — the only safe option against a hung source.
+    """
+
+    def __init__(
+        self,
+        config: SchedulerConfig,
+        breakers: Optional[CircuitBreakerRegistry],
+        catalog,
+        clock=time.monotonic,
+    ) -> None:
+        self._config = config
+        self._breakers = breakers
+        self._catalog = catalog
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._global_slots = threading.Semaphore(max(config.max_parallel_fragments, 1))
+        self._source_slots: Dict[str, threading.Semaphore] = {}
+        self._by_exchange: Dict[int, _FragmentTask] = {}
+        self._tasks: List[_FragmentTask] = []
+        self._in_flight = 0
+        self.peak_in_flight = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def prestart(self, exchanges, ctx) -> None:
+        """Launch every independent exchange's fetch before iteration."""
+        for exchange in exchanges:
+            if id(exchange) not in self._by_exchange:
+                ctx.add_metric("fragments_executed", 1)
+                self._by_exchange[id(exchange)] = self.submit_fragment(
+                    exchange.adapter, exchange.fragment, exchange.page_rows, ctx
+                )
+
+    def stream_exchange(self, exchange, ctx) -> Iterator[Row]:
+        """Async-pull entry point for ExchangeExec."""
+        task = self._by_exchange.get(id(exchange))
+        if task is None:
+            ctx.add_metric("fragments_executed", 1)
+            task = self.submit_fragment(
+                exchange.adapter, exchange.fragment, exchange.page_rows, ctx
+            )
+            self._by_exchange[id(exchange)] = task
+        return self.stream(task, ctx)
+
+    def submit_fragment(self, adapter, fragment: Fragment, page_rows: int, ctx) -> _FragmentTask:
+        """Start fetching one fragment in the background; returns its task."""
+        with self._lock:
+            index = len(self._tasks)
+            task = _FragmentTask(index, adapter, fragment, max(page_rows, 1))
+            self._tasks.append(task)
+        thread = threading.Thread(
+            target=self._produce,
+            args=(task, ctx),
+            name=f"gis-fragment-{index}-{fragment.source_name}",
+            daemon=True,
+        )
+        task.thread = thread
+        thread.start()
+        return task
+
+    # -- consumption --------------------------------------------------------
+
+    def stream(self, task: _FragmentTask, ctx) -> Iterator[Row]:
+        """Yield the fragment's rows in production order, enforcing the
+        no-progress timeout while waiting."""
+        timeout_ms = self._config.fragment_timeout_ms
+        timeout_s = timeout_ms / 1000.0 if timeout_ms > 0 else None
+        while True:
+            if task.queue.empty() and not task.done:
+                ctx.add_metric("scheduler_stalls", 1)
+            try:
+                kind, payload = task.queue.get(timeout=timeout_s)
+            except queue.Empty:
+                task.cancelled = True
+                source = task.fragment.source_name
+                breaker = ctx.breaker_for(source)
+                if breaker is not None and breaker.record_failure():
+                    ctx.add_metric("breaker_trips", 1)
+                raise SourceError(
+                    source,
+                    f"fragment made no progress for {timeout_ms:.0f} ms "
+                    "(timeout; source may be hung)",
+                )
+            if kind == "rows":
+                yield from payload
+            elif kind == "end":
+                return
+            else:  # "error"
+                raise payload
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self, ctx) -> None:
+        """Cancel producers, unblock any stuck on full queues, and publish
+        scheduler statistics into the query's metrics."""
+        self._stop.set()
+        for task in self._tasks:
+            task.cancelled = True
+            while True:
+                try:
+                    task.queue.get_nowait()
+                except queue.Empty:
+                    break
+        # Realized virtual-clock critical path: greedy list scheduling of
+        # the fragments (in submission order) over the configured number of
+        # lanes — the simulated elapsed time of the schedule actually taken,
+        # as opposed to the per-source max, which assumes unbounded fan-out.
+        lanes = [0.0] * max(self._config.max_parallel_fragments, 1)
+        for task in self._tasks:
+            slot = lanes.index(min(lanes))
+            lanes[slot] += task.virtual_ms
+        ctx.set_metric("parallel_ms", max(lanes) if self._tasks else 0.0)
+        ctx.set_metric("fragments_in_flight_peak", self.peak_in_flight)
+
+    # -- producer side ------------------------------------------------------
+
+    def _source_slot(self, source_name: str) -> threading.Semaphore:
+        key = source_name.lower()
+        with self._lock:
+            slot = self._source_slots.get(key)
+            if slot is None:
+                slot = threading.Semaphore(max(self._config.max_parallel_per_source, 1))
+                self._source_slots[key] = slot
+            return slot
+
+    def _acquire(self, semaphore: threading.Semaphore, task: _FragmentTask) -> bool:
+        while not (self._stop.is_set() or task.cancelled):
+            if semaphore.acquire(timeout=_POLL_S):
+                return True
+        return False
+
+    def _produce(self, task: _FragmentTask, ctx) -> None:
+        if not self._acquire(self._global_slots, task):
+            return
+        try:
+            with self._lock:
+                self._in_flight += 1
+                self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+            self._run_envelope(task, ctx)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+            self._global_slots.release()
+
+    def _run_envelope(self, task: _FragmentTask, ctx) -> None:
+        """Execute one fragment inside the robustness envelope."""
+        config = self._config
+        adapter, fragment = task.adapter, task.fragment
+        source = fragment.source_name
+        rng = random.Random(f"{source}:{task.index}")
+        attempt = 0
+        while not (self._stop.is_set() or task.cancelled):
+            breaker = ctx.breaker_for(source)
+            if breaker is not None and not breaker.allow():
+                fallback = replica_fallback(self._catalog, fragment, self._breakers)
+                if fallback is None:
+                    task.done = True
+                    task.put(
+                        ("error", SourceError(
+                            source,
+                            "circuit breaker open; no healthy replica "
+                            "registered (failing fast)",
+                        )),
+                        self._stop,
+                    )
+                    return
+                source, adapter, fragment = fallback
+                ctx.add_metric("breaker_fallbacks", 1)
+                continue  # re-evaluate the replica's own breaker
+            slot = self._source_slot(source)
+            if not self._acquire(slot, task):
+                return
+            produced = False
+            page: List[Row] = []
+            try:
+                for row in adapter.execute(fragment):
+                    if self._stop.is_set() or task.cancelled:
+                        return
+                    page.append(row)
+                    if len(page) >= task.page_rows:
+                        task.virtual_ms += ctx.charge_transfer(source, page, 1)
+                        if not task.put(("rows", page), self._stop):
+                            return
+                        produced = True
+                        page = []
+            except SourceError as exc:
+                if breaker is not None and breaker.record_failure():
+                    ctx.add_metric("breaker_trips", 1)
+                if produced or attempt >= config.retry.retries:
+                    task.done = True
+                    task.put(("error", exc), self._stop)
+                    return
+                attempt += 1
+                ctx.add_metric("fragment_retries", 1)
+                sleep_ms(config.retry.delay_ms(attempt, rng))
+                continue
+            except BaseException as exc:  # surface planner/adapter bugs
+                task.done = True
+                task.put(("error", exc), self._stop)
+                return
+            finally:
+                slot.release()
+            # The final (possibly empty) page closes the exchange: even an
+            # empty result costs one round trip.
+            task.virtual_ms += ctx.charge_transfer(source, page, 1)
+            if page and not task.put(("rows", page), self._stop):
+                return
+            if breaker is not None:
+                breaker.record_success()
+            task.done = True
+            task.put(("end", None), self._stop)
+            return

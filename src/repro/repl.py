@@ -20,6 +20,7 @@ Backslash commands:
 \profile  (prefix to a query) run it and show actual rows per operator
 \metrics  transfer metrics of the last executed query
 \naive    toggle the naive (no-optimizer) baseline for comparisons
+\parallel N|off  fetch fragments with N concurrent workers (off = sequential)
 \analyze  gather statistics on all tables
 \quit     exit
 ========  ===========================================================
@@ -52,6 +53,7 @@ class Repl:
         self.gis = gis
         self.out = out or sys.stdout
         self.naive = False
+        self.parallel = 1
         self.last_result: Optional[QueryResult] = None
         self._buffer: List[str] = []
         self._done = False
@@ -117,6 +119,18 @@ class Repl:
             else:
                 self.naive = not self.naive
             self._write(f"naive mode {'ON' if self.naive else 'OFF'}")
+        elif name == "\\parallel":
+            if argument.lower() in ("off", "1", ""):
+                self.parallel = 1
+                self._write("parallel fragment execution OFF (sequential)")
+            elif argument.isdigit() and int(argument) > 1:
+                self.parallel = int(argument)
+                self._write(
+                    f"parallel fragment execution ON "
+                    f"({self.parallel} workers)"
+                )
+            else:
+                self._write("usage: \\parallel <N>|off")
         elif name == "\\analyze":
             collected = self.gis.analyze()
             self._write(f"analyzed {len(collected)} tables")
@@ -204,7 +218,12 @@ class Repl:
     # -- execution ---------------------------------------------------------------
 
     def _options(self) -> Optional[PlannerOptions]:
-        return NAIVE_OPTIONS if self.naive else None
+        base = NAIVE_OPTIONS if self.naive else None
+        if self.parallel > 1:
+            base = (base or PlannerOptions()).but(
+                max_parallel_fragments=self.parallel
+            )
+        return base
 
     def _execute(self, sql: str) -> None:
         def run_query() -> None:

@@ -13,6 +13,7 @@ something laptop-friendly: 20 ms round trips, 1 MB/s.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -62,12 +63,18 @@ class SimulatedNetwork:
     returned virtual time also accumulates into the per-source ledger, which
     benchmarks read to compute sequential (sum) and parallel (max) elapsed
     time.
+
+    Accounting is lock-protected: the fragment scheduler's worker threads
+    charge transfers concurrently (the virtual clock itself stays
+    deterministic — each transfer's cost depends only on its own link and
+    payload, so accumulation order does not change the totals).
     """
 
     def __init__(self, default_link: Optional[NetworkLink] = None) -> None:
         self._default_link = default_link or NetworkLink()
         self._links: Dict[str, NetworkLink] = {}
         self._per_source: Dict[str, TransferMetrics] = {}
+        self._lock = threading.Lock()
         self.total = TransferMetrics()
 
     # -- configuration ---------------------------------------------------------
@@ -95,22 +102,28 @@ class SimulatedNetwork:
         metrics = TransferMetrics(
             rows=rows, bytes=payload_bytes, messages=messages, simulated_ms=elapsed
         )
-        self.total.merge(metrics)
-        self._per_source.setdefault(source_name.lower(), TransferMetrics()).merge(metrics)
+        with self._lock:
+            self.total.merge(metrics)
+            self._per_source.setdefault(
+                source_name.lower(), TransferMetrics()
+            ).merge(metrics)
         return elapsed
 
     def per_source(self) -> Dict[str, TransferMetrics]:
         """Per-source ledgers (keys lower-cased)."""
-        return dict(self._per_source)
+        with self._lock:
+            return dict(self._per_source)
 
     def parallel_elapsed_ms(self) -> float:
         """Virtual elapsed time if all sources were drained concurrently
         (critical path = the slowest source)."""
-        if not self._per_source:
-            return 0.0
-        return max(m.simulated_ms for m in self._per_source.values())
+        with self._lock:
+            if not self._per_source:
+                return 0.0
+            return max(m.simulated_ms for m in self._per_source.values())
 
     def reset(self) -> None:
         """Zero all counters (links stay configured)."""
-        self._per_source.clear()
-        self.total = TransferMetrics()
+        with self._lock:
+            self._per_source.clear()
+            self.total = TransferMetrics()

@@ -11,6 +11,7 @@ way out, exercising the heterogeneity machinery.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from ..catalog.schema import TableSchema
@@ -47,7 +48,11 @@ class SQLiteSource(Adapter):
         capabilities: Optional[SourceCapabilities] = None,
     ) -> None:
         super().__init__(name)
-        self._connection = sqlite3.connect(path)
+        # The fragment scheduler executes fragments from worker threads;
+        # sqlite3 objects are not thread-safe, so cross-thread use is
+        # allowed at connect time and every cursor runs under the lock.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
         self._tables: Dict[str, TableSchema] = {}
         self._capabilities = capabilities or SourceCapabilities.full_sql()
         self._register_missing_functions()
@@ -112,20 +117,23 @@ class SQLiteSource(Adapter):
             f'"{column.name}" {_SQLITE_TYPES[column.dtype]}'
             for column in schema.columns
         )
-        self._connection.execute(f'CREATE TABLE "{native_name}" ({columns_sql})')
-        if rows:
-            placeholders = ", ".join("?" for _ in schema.columns)
-            self._connection.executemany(
-                f'INSERT INTO "{native_name}" VALUES ({placeholders})',
-                [
-                    tuple(
-                        _to_sqlite(coerce_value(value, column.dtype))
-                        for value, column in zip(row, schema.columns)
-                    )
-                    for row in rows
-                ],
+        with self._lock:
+            self._connection.execute(
+                f'CREATE TABLE "{native_name}" ({columns_sql})'
             )
-        self._connection.commit()
+            if rows:
+                placeholders = ", ".join("?" for _ in schema.columns)
+                self._connection.executemany(
+                    f'INSERT INTO "{native_name}" VALUES ({placeholders})',
+                    [
+                        tuple(
+                            _to_sqlite(coerce_value(value, column.dtype))
+                            for value, column in zip(row, schema.columns)
+                        )
+                        for row in rows
+                    ],
+                )
+            self._connection.commit()
         self._tables[native_name] = schema
 
     def declare_table(self, native_name: str, schema: TableSchema) -> None:
@@ -149,13 +157,28 @@ class SQLiteSource(Adapter):
     def capabilities(self) -> SourceCapabilities:
         return self._capabilities
 
+    #: Rows pulled per lock acquisition when streaming query results.
+    _FETCH_CHUNK = 512
+
+    def _stream(self, sql: str) -> Iterator[Tuple[Any, ...]]:
+        """Run ``sql`` and stream its rows, holding the connection lock only
+        while actually touching the cursor (concurrent fragments from the
+        scheduler share one sqlite3 connection)."""
+        with self._lock:
+            cursor = self._connection.execute(sql)
+        while True:
+            with self._lock:
+                chunk = cursor.fetchmany(self._FETCH_CHUNK)
+            if not chunk:
+                return
+            yield from chunk
+
     def scan(self, native_table: str) -> Iterator[Tuple[Any, ...]]:
         schema = self._native_schema(native_table)
         columns_sql = ", ".join(f'"{column.name}"' for column in schema.columns)
-        cursor = self._connection.execute(
+        for row in self._stream(
             f'SELECT {columns_sql} FROM "{native_table}"'
-        )
-        for row in cursor:
+        ):
             yield tuple(
                 _from_sqlite(value, column.dtype)
                 for value, column in zip(row, schema.columns)
@@ -163,19 +186,27 @@ class SQLiteSource(Adapter):
 
     def row_count(self, native_table: str) -> Optional[int]:
         self._native_schema(native_table)  # existence check
-        cursor = self._connection.execute(
-            f'SELECT COUNT(*) FROM "{native_table}"'
-        )
-        return int(cursor.fetchone()[0])
+        with self._lock:
+            cursor = self._connection.execute(
+                f'SELECT COUNT(*) FROM "{native_table}"'
+            )
+            return int(cursor.fetchone()[0])
 
     def execute(self, fragment: Fragment) -> Iterator[Tuple[Any, ...]]:
         sql = self.compile_fragment(fragment)
         try:
-            cursor = self._connection.execute(sql)
+            stream = self._stream(sql)
+            first = next(stream, None)
         except sqlite3.Error as exc:
             raise SourceError(self.name, f"{exc} (sql: {sql})") from exc
         output = fragment.output_columns
-        for row in cursor:
+
+        def rows():
+            if first is not None:
+                yield first
+            yield from stream
+
+        for row in rows():
             yield tuple(
                 _from_sqlite(value, column.dtype)
                 for value, column in zip(row, output)

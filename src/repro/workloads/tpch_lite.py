@@ -326,10 +326,15 @@ def build_partitioned_orders(
     latency_ms: float = 30.0,
     bandwidth: float = 1_000_000.0,
     analyze: bool = True,
+    adapter_wrapper=None,
 ) -> Federation:
     """A federation whose ``orders`` are range-partitioned over N SQLite
     sources and reunified by the ``orders_all`` integration view (experiment
-    F2's scale-out substrate)."""
+    F2's scale-out substrate).
+
+    ``adapter_wrapper`` (shard adapter → adapter) lets benchmarks interpose
+    per-shard behavior, e.g. injecting real wall-clock latency to measure
+    parallel speedup."""
     schemas = _schemas()
     gen = DataGenerator(seed)
     total_rows = partitions * rows_per_partition
@@ -353,8 +358,9 @@ def build_partitioned_orders(
             index * rows_per_partition : (index + 1) * rows_per_partition
         ]
         shard.load_table("orders_shard", schemas["orders"], shard_rows)
+        adapter = shard if adapter_wrapper is None else adapter_wrapper(shard)
         gis.register_source(
-            source_name, shard, link=NetworkLink(latency_ms, bandwidth)
+            source_name, adapter, link=NetworkLink(latency_ms, bandwidth)
         )
         table_name = f"orders_p{index}"
         gis.register_table(table_name, source=source_name, remote_table="orders_shard")

@@ -203,6 +203,105 @@ class TestSourceTypes:
         assert gis.query("SELECT COUNT(*) FROM t").scalar() == 0
 
 
+class TestSchedulerConfig:
+    def test_full_knob_set(self):
+        config = base_config()
+        config["scheduler"] = {
+            "max_parallel_fragments": 8,
+            "max_parallel_per_source": 3,
+            "fragment_timeout_ms": 2000,
+            "retry": {"retries": 3, "backoff_ms": 50, "multiplier": 3,
+                      "max_ms": 4000, "jitter": 0.2},
+            "circuit_breaker": {"failure_threshold": 5, "reset_ms": 10000},
+        }
+        gis = build_from_config(config)
+        opts = gis.planner.options
+        assert opts.max_parallel_fragments == 8
+        assert opts.max_parallel_per_source == 3
+        assert opts.fragment_timeout_ms == 2000.0
+        assert opts.retry_backoff_ms == 50.0
+        assert opts.retry_backoff_multiplier == 3.0
+        assert opts.retry_backoff_max_ms == 4000.0
+        assert opts.retry_jitter == 0.2
+        assert opts.breaker_failure_threshold == 5
+        assert opts.breaker_reset_ms == 10000.0
+        assert gis.fragment_retries == 3
+
+    def test_scheduler_queries_still_correct(self):
+        config = base_config()
+        config["scheduler"] = {"max_parallel_fragments": 4}
+        gis = build_from_config(config)
+        result = gis.query(
+            "SELECT c.name, COUNT(*) FROM customers c "
+            "JOIN big_orders o ON c.id = o.cust_id GROUP BY c.name ORDER BY 1"
+        )
+        assert result.rows == [("Ada", 1), ("Grace", 1)]
+        assert result.metrics.network.scheduler_mode == "parallel(4)"
+
+    def test_merges_with_explicit_options(self):
+        config = base_config()
+        config["options"] = {"join_strategy": "canonical"}
+        config["scheduler"] = {"max_parallel_fragments": 2}
+        gis = build_from_config(config)
+        assert gis.planner.options.join_strategy == "canonical"
+        assert gis.planner.options.max_parallel_fragments == 2
+
+    def test_retries_key_overrides_legacy_fragment_retries(self):
+        config = base_config()
+        config["fragment_retries"] = 1
+        config["scheduler"] = {"retry": {"retries": 4}}
+        gis = build_from_config(config)
+        assert gis.fragment_retries == 4
+
+    def test_unknown_key_rejected(self):
+        config = base_config()
+        config["scheduler"] = {"max_parallel": 4}
+        with pytest.raises(CatalogError, match="max_parallel"):
+            build_from_config(config)
+
+    def test_unknown_retry_key_rejected(self):
+        config = base_config()
+        config["scheduler"] = {"retry": {"backof_ms": 10}}
+        with pytest.raises(CatalogError, match="backof_ms"):
+            build_from_config(config)
+
+    def test_wrong_type_rejected(self):
+        config = base_config()
+        config["scheduler"] = {"max_parallel_fragments": "lots"}
+        with pytest.raises(CatalogError, match="must be an integer"):
+            build_from_config(config)
+
+    def test_bool_is_not_an_integer(self):
+        config = base_config()
+        config["scheduler"] = {"max_parallel_fragments": True}
+        with pytest.raises(CatalogError, match="must be an integer"):
+            build_from_config(config)
+
+    def test_non_mapping_section_rejected(self):
+        config = base_config()
+        config["scheduler"] = [4]
+        with pytest.raises(CatalogError, match="mapping"):
+            build_from_config(config)
+
+    def test_out_of_range_value_rejected(self):
+        config = base_config()
+        config["scheduler"] = {"max_parallel_fragments": 0}
+        with pytest.raises(CatalogError, match="invalid scheduler config"):
+            build_from_config(config)
+
+    def test_negative_retries_rejected(self):
+        config = base_config()
+        config["scheduler"] = {"retry": {"retries": -1}}
+        with pytest.raises(CatalogError, match="retries"):
+            build_from_config(config)
+
+    def test_jitter_range_enforced(self):
+        config = base_config()
+        config["scheduler"] = {"retry": {"jitter": 1.5}}
+        with pytest.raises(CatalogError, match="jitter"):
+            build_from_config(config)
+
+
 class TestJsonFile:
     def test_load_config_from_json(self, tmp_path):
         path = tmp_path / "federation.json"
