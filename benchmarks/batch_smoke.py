@@ -1,0 +1,113 @@
+"""CI benchmark smoke: batch executor must match and beat row mode.
+
+Runs the T5 end-to-end workload twice over the TPC-H-lite federation —
+once batch-at-a-time (default ``batch_size=1024``) and once row-at-a-time
+(``batch_size=1``) — and fails the build when:
+
+* any query's rows differ between the modes (bit-identical requirement),
+* any query's simulated-network accounting differs (messages, rows or
+  bytes shipped — the page-granular charging invariant), or
+* the batch-mode workload is slower overall than row mode (ratio < 1.0).
+
+The workload-level speedup ratio is written to
+``benchmarks/results/batch_smoke.txt``. Run directly::
+
+    python benchmarks/batch_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import PlannerOptions  # noqa: E402
+from repro.workloads import WORKLOAD_QUERIES, build_federation  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "batch_smoke.txt"
+)
+SCALE = 2.0
+REPEATS = 2
+
+BATCH = PlannerOptions()  # default batch_size=1024
+ROW = PlannerOptions(batch_size=1)
+
+
+def run_workload(gis, options):
+    """Total best-of-N wall ms plus per-query (rows, network) snapshots."""
+    total_ms = 0.0
+    snapshots = []
+    for name, sql in WORKLOAD_QUERIES:
+        best_ms, snapshot = float("inf"), None
+        for _ in range(REPEATS):
+            gis.network.reset()
+            started = time.perf_counter()
+            result = gis.query(sql, options)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            best_ms = min(best_ms, elapsed)
+            net = result.metrics.network
+            snapshot = (
+                result.rows,
+                net.rows_shipped,
+                net.messages,
+                net.bytes_shipped,
+            )
+        total_ms += best_ms
+        snapshots.append((name, snapshot))
+    return total_ms, snapshots
+
+
+def main() -> int:
+    print(f"building TPC-H-lite federation (scale {SCALE})...")
+    gis = build_federation(scale=SCALE, seed=42).gis
+
+    batch_ms, batch_runs = run_workload(gis, BATCH)
+    row_ms, row_runs = run_workload(gis, ROW)
+
+    failures = []
+    for (name, batch_snap), (_, row_snap) in zip(batch_runs, row_runs):
+        batch_rows, b_shipped, b_messages, b_bytes = batch_snap
+        row_rows, r_shipped, r_messages, r_bytes = row_snap
+        if batch_rows != row_rows:
+            failures.append(f"{name}: result rows differ between modes")
+        if (b_shipped, b_messages, b_bytes) != (r_shipped, r_messages, r_bytes):
+            failures.append(
+                f"{name}: network accounting differs "
+                f"(batch {b_shipped}r/{b_messages}m/{b_bytes:.0f}B vs "
+                f"row {r_shipped}r/{r_messages}m/{r_bytes:.0f}B)"
+            )
+
+    ratio = row_ms / batch_ms if batch_ms > 0 else float("inf")
+    lines = [
+        "== batch smoke: T5 workload, batch vs row mode ==",
+        f"batch mode (1024): {batch_ms:.1f} ms",
+        f"row mode (1):      {row_ms:.1f} ms",
+        f"speedup ratio:     {ratio:.2f}x",
+        f"queries checked:   {len(batch_runs)} (rows + network identical)",
+        "",
+    ]
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        handle.write("\n".join(lines))
+    print("\n".join(lines))
+
+    if failures:
+        print("FAIL: batch/row mismatches:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if ratio < 1.0:
+        print(
+            f"FAIL: batch mode slower than row mode ({ratio:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

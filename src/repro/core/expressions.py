@@ -30,6 +30,12 @@ from ..sql.functions import is_aggregate_name, lookup_scalar
 
 RowFunction = Callable[[Tuple[Any, ...]], Any]
 
+#: Batch kernel: a whole column of values for a batch of rows.
+BatchFunction = Callable[[Sequence[Tuple[Any, ...]]], List[Any]]
+
+#: Batch predicate kernel: the surviving rows of a batch.
+BatchPredicate = Callable[[Sequence[Tuple[Any, ...]]], List[Tuple[Any, ...]]]
+
 # ---------------------------------------------------------------------------
 # Type inference
 # ---------------------------------------------------------------------------
@@ -205,9 +211,48 @@ def compile_predicate(expr: ast.Expr, layout: Dict[int, int]) -> RowFunction:
     return predicate
 
 
+def compile_batch_expression(expr: ast.Expr, layout: Dict[int, int]) -> BatchFunction:
+    """Compile a bound expression into ``fn(rows) -> [value, ...]``.
+
+    The batch kernel evaluates the expression over a whole batch in one
+    call, amortizing dispatch over the batch instead of paying it per row.
+    Literals and bare column references get dedicated kernels (a fill and a
+    column gather); everything else falls back to a list comprehension over
+    the row-compiled closure — still one Python-level call per batch.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda rows: [value] * len(rows)
+    if isinstance(expr, ast.BoundRef):
+        position = _layout_position(expr, layout)
+        return lambda rows: [row[position] for row in rows]
+    fn = _compile(expr, layout)
+    return lambda rows: [fn(row) for row in rows]
+
+
+def compile_batch_predicate(expr: ast.Expr, layout: Dict[int, int]) -> BatchPredicate:
+    """Compile a predicate into ``fn(rows) -> surviving rows``.
+
+    WHERE semantics: rows whose predicate evaluates to NULL are dropped,
+    exactly like :func:`compile_predicate` row by row.
+    """
+    fn = _compile(expr, layout)
+    return lambda rows: [row for row in rows if fn(row) is True]
+
+
 def evaluate_constant(expr: ast.Expr) -> Any:
     """Evaluate an expression with no column references (for constant folding)."""
     return _compile(expr, {})(())
+
+
+def _layout_position(expr: "ast.BoundRef", layout: Dict[int, int]) -> int:
+    position = layout.get(expr.column.column_id)
+    if position is None:
+        raise ExecutionError(
+            f"column {expr.column.name!r} (id {expr.column.column_id}) "
+            "is not available in this operator's input"
+        )
+    return position
 
 
 def _compile(expr: ast.Expr, layout: Dict[int, int]) -> RowFunction:
@@ -215,12 +260,7 @@ def _compile(expr: ast.Expr, layout: Dict[int, int]) -> RowFunction:
         value = expr.value
         return lambda row: value
     if isinstance(expr, ast.BoundRef):
-        position = layout.get(expr.column.column_id)
-        if position is None:
-            raise ExecutionError(
-                f"column {expr.column.name!r} (id {expr.column.column_id}) "
-                "is not available in this operator's input"
-            )
+        position = _layout_position(expr, layout)
         return lambda row: row[position]
     if isinstance(expr, ast.BinaryOp):
         return _compile_binary(expr, layout)

@@ -273,6 +273,7 @@ class GlobalInformationSystem:
             fragment_retries=config.retry.retries,
             scheduler_config=config,
             breakers=self.breakers,
+            batch_size=opts.batch_size,
         )
         if config.scheduled:
             context.scheduler = FragmentScheduler(
@@ -286,12 +287,12 @@ class GlobalInformationSystem:
         return context
 
     def _execute(self, planned: PlannedQuery, context: ExecutionContext) -> List[Tuple[Any, ...]]:
-        """Drain the physical plan, prestarting independent exchanges so
-        their sources transfer concurrently; always tears the scheduler
-        down (abandoning workers of failed/hung fragments)."""
+        """Drain the physical plan batch-at-a-time, prestarting independent
+        exchanges so their sources transfer concurrently; always tears the
+        scheduler down (abandoning workers of failed/hung fragments)."""
         scheduler = context.scheduler
         if scheduler is None:
-            return list(planned.physical.iterate(context))
+            return self._drain_batches(planned.physical, context)
         try:
             if context.scheduler_config.parallel:
                 scheduler.prestart(
@@ -302,9 +303,23 @@ class GlobalInformationSystem:
                     ),
                     context,
                 )
-            return list(planned.physical.iterate(context))
+            return self._drain_batches(planned.physical, context)
         finally:
             scheduler.close(context)
+
+    @staticmethod
+    def _drain_batches(root, context: ExecutionContext) -> List[Tuple[Any, ...]]:
+        """Materialize the root operator's batch stream, recording how
+        the dataflow was batched (non-empty batches only)."""
+        rows: List[Tuple[Any, ...]] = []
+        batches = 0
+        for batch in root.iterate_batches(context):
+            if batch:
+                batches += 1
+                rows.extend(batch)
+        context.metrics.batches_output = batches
+        context.metrics.batch_rows_avg = len(rows) / batches if batches else 0.0
+        return rows
 
     def query(
         self, sql: str, options: Optional[PlannerOptions] = None
@@ -368,18 +383,20 @@ class GlobalInformationSystem:
         """Execute the query and report actual rows per physical operator.
 
         The query really runs (network is charged as usual); the report
-        shows the physical tree annotated with produced row counts plus the
-        transfer metrics.
+        shows the physical tree annotated with produced row and batch
+        counts plus the transfer metrics.
         """
         from .physical import instrument_row_counts
 
         planned = self.planner.plan(sql, options)
-        counts = instrument_row_counts(planned.physical)
+        batch_counts: Dict[int, int] = {}
+        counts = instrument_row_counts(planned.physical, batch_counts)
         context = self._execution_context(options)
         rows = self._execute(planned, context)
         sections = [
             "== physical plan (actual rows) ==",
-            planned.physical.explain(row_counts=counts),
+            planned.physical.explain(row_counts=counts,
+                                     batch_counts=batch_counts),
             "",
             f"result rows: {len(rows)}",
             QueryMetrics(network=context.metrics).summary(),

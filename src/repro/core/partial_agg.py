@@ -26,6 +26,12 @@ Decompositions::
 DISTINCT aggregates are not decomposable this way; their presence disables
 the rewrite for the whole operator. The rewrite preserves output-column
 *identity*, so nothing upstream needs adjusting.
+
+The final aggregate runs as a batch-at-a-time
+:class:`~repro.core.physical.HashAggregateExec`: partial rows from every
+branch accumulate into the group table one batch at a time, so the
+combining step's cost stays flat regardless of the executor's
+``batch_size``.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Physical plan: Volcano-style operators with exchange at source boundaries.
+"""Physical plan: batch-at-a-time operators with exchange at source boundaries.
 
 The physical planner maps each logical node onto an operator implementation:
 
@@ -9,9 +9,20 @@ The physical planner maps each logical node onto an operator implementation:
   :class:`NestedLoopJoinExec`;
 * aggregation → :class:`HashAggregateExec`; sorts are full in-memory sorts.
 
-Operators pull rows through Python generators; all network charging flows
-through the :class:`ExecutionContext` so a query's transfer metrics are
-exact and deterministic.
+Operators pull **batches** (lists of row tuples, up to
+``ExecutionContext.batch_size`` rows each) through Python generators:
+``iterate_batches`` is the native protocol every built-in operator
+implements, and the classic row-at-a-time ``iterate`` survives as a thin
+compatibility shim that flattens batches (so direct callers and third-party
+operators keep working — a subclass overriding only ``iterate`` is chunked
+transparently). ``batch_size=1`` degenerates to the old row-pull engine.
+
+Network accounting is independent of the batch size: exchanges charge the
+simulated network once per **adapter page** (``capabilities().page_rows``)
+in every mode, and charged pages are only ever *split* — never coalesced —
+into dataflow batches, so a query's transfer metrics are bit-identical
+across batch sizes. All charging flows through the
+:class:`ExecutionContext` so those metrics are exact and deterministic.
 """
 
 from __future__ import annotations
@@ -28,7 +39,13 @@ from ..errors import ExecutionError, PlanError
 from ..sql import ast
 from ..sources.network import SimulatedNetwork
 from .aggregates import make_accumulator, sort_rows
-from .expressions import build_layout, compile_expression, compile_predicate
+from .expressions import (
+    build_layout,
+    compile_batch_expression,
+    compile_batch_predicate,
+    compile_expression,
+    compile_predicate,
+)
 from .fragments import Fragment, equi_join_keys
 from .logical import (
     AggregateOp,
@@ -51,6 +68,12 @@ from .logical import (
 
 Row = Tuple[Any, ...]
 
+#: The unit of dataflow between operators: a list of row tuples.
+Batch = List[Row]
+
+#: Default rows per dataflow batch (mirrors sources.base.DEFAULT_PAGE_ROWS).
+DEFAULT_BATCH_ROWS = 1024
+
 
 @dataclass
 class ExecutionMetrics:
@@ -66,6 +89,9 @@ class ExecutionMetrics:
     rows_output: int = 0
     cache_hit: bool = False
     per_source_rows: Dict[str, int] = field(default_factory=dict)
+    # -- batch execution statistics --
+    batches_output: int = 0
+    batch_rows_avg: float = 0.0
     # -- fragment scheduler statistics (see repro.core.scheduler) --
     scheduler_mode: str = "sequential"
     fragments_in_flight_peak: int = 0
@@ -88,6 +114,11 @@ class ExecutionContext:
     both default to off, which is the byte-identical sequential engine.
     Metrics accumulation is lock-protected because scheduler worker threads
     charge transfers concurrently.
+
+    ``batch_size`` is the dataflow granularity: how many rows operators
+    hand each other per ``iterate_batches`` step. It never affects network
+    accounting (exchanges charge per adapter page regardless); ``1``
+    degenerates to row-at-a-time execution.
     """
 
     def __init__(
@@ -97,6 +128,7 @@ class ExecutionContext:
         fragment_retries: int = 0,
         scheduler_config=None,
         breakers=None,
+        batch_size: int = DEFAULT_BATCH_ROWS,
     ) -> None:
         self.catalog = catalog
         self.network = network
@@ -104,6 +136,7 @@ class ExecutionContext:
         self.scheduler_config = scheduler_config
         self.breakers = breakers
         self.scheduler = None  # set by the mediator when config.scheduled
+        self.batch_size = max(batch_size, 1)
         self.metrics = ExecutionMetrics()
         self._metrics_lock = threading.Lock()
 
@@ -137,14 +170,22 @@ class ExecutionContext:
             setattr(self.metrics, name, value)
 
     def charge_transfer(
-        self, source_name: str, rows: List[Row], messages: int
+        self, source_name: str, rows: List[Row], messages: int, sizer=None
     ) -> float:
         """Account one page (or request) moving between mediator and source.
+
+        ``sizer`` is an optional memoized batch sizer (see
+        :func:`make_batch_sizer`) that computes the page's wire size in one
+        call from per-column dtype closures; without one the page is sized
+        value by value. Both produce identical totals.
 
         Returns the simulated elapsed milliseconds of this transfer so the
         scheduler can attribute it to the fragment's virtual-clock lane.
         """
-        payload = sum(_row_bytes(row) for row in rows)
+        if sizer is not None:
+            payload = sizer(rows)
+        else:
+            payload = sum(_row_bytes(row) for row in rows)
         elapsed = self.network.record_transfer(
             source_name, payload, len(rows), messages
         )
@@ -174,19 +215,114 @@ def _row_bytes(row: Row) -> float:
     """Actual wire size of a row (value-dependent for TEXT)."""
     total = 0.0
     for value in row:
-        if value is None:
-            total += 1
-        elif isinstance(value, bool):
-            total += 1
-        elif isinstance(value, (int, float)):
-            total += 8
-        elif isinstance(value, str):
-            total += len(value)
-        elif isinstance(value, datetime.date):
-            total += 4
-        else:  # pragma: no cover - no other global types exist
-            total += 8
+        total += _value_bytes(value)
     return total
+
+
+def _value_bytes(value: Any) -> float:
+    """Wire size of one value (the per-value fallback the sizers memoize)."""
+    if value is None:
+        return 1.0
+    if isinstance(value, bool):
+        return 1.0
+    if isinstance(value, (int, float)):
+        return 8.0
+    if isinstance(value, str):
+        return float(len(value))
+    if isinstance(value, datetime.date):
+        return 4.0
+    return 8.0  # pragma: no cover - no other global types exist
+
+
+def _column_sizer(dtype):
+    """A per-column sizer ``fn(values) -> bytes`` specialized on the dtype.
+
+    Each closure reproduces :func:`_value_bytes` exactly for the values a
+    column of that dtype can hold (including NULLs and, defensively,
+    booleans inside numeric columns), so memoized totals are identical to
+    the value-by-value sum — just without an isinstance chain per cell.
+    """
+    if dtype in (DataType.BOOLEAN, DataType.NULL):
+        # bools and NULLs are both 1 byte: a constant per value.
+        return lambda values: float(sum(1 for _ in values))
+    if dtype in (DataType.INTEGER, DataType.FLOAT):
+        return lambda values: sum(
+            1.0 if (v is None or v is True or v is False) else 8.0
+            for v in values
+        )
+    if dtype is DataType.DATE:
+        return lambda values: sum(1.0 if v is None else 4.0 for v in values)
+    if dtype is DataType.TEXT:
+        return lambda values: sum(
+            float(len(v)) if isinstance(v, str) else _value_bytes(v)
+            for v in values
+        )
+    return lambda values: sum(_value_bytes(v) for v in values)
+
+
+def make_batch_sizer(columns: Sequence[RelColumn]):
+    """Memoized wire sizing for one fragment's output schema.
+
+    Returns ``fn(rows) -> bytes``: per-column dtype closures are resolved
+    once per fragment (at plan time) instead of re-dispatching on every
+    value of every row in :func:`_row_bytes`. Totals are identical.
+    """
+    sizers = [(index, _column_sizer(column.dtype)) for index, column in enumerate(columns)]
+
+    def batch_bytes(rows: Sequence[Row]) -> float:
+        total = 0.0
+        for index, sizer in sizers:
+            total += sizer(row[index] for row in rows)
+        return total
+
+    return batch_bytes
+
+
+# ---------------------------------------------------------------------------
+# batching helpers
+# ---------------------------------------------------------------------------
+
+
+def chunk_rows(rows, size: int) -> Iterator[Batch]:
+    """Group a row stream into batches of at most ``size`` rows.
+
+    Never yields an empty batch; an empty stream yields nothing.
+    """
+    batch: Batch = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def split_batches(batches, size: int) -> Iterator[Batch]:
+    """Re-chunk batches down to at most ``size`` rows each.
+
+    Splits only — batches are never coalesced across their boundaries.
+    This matters at exchanges: each incoming batch is one *charged* network
+    page, and merging across pages would make a limit-terminated consumer
+    wait for (and charge) pages it would not otherwise have fetched.
+    Empty batches are dropped.
+    """
+    for batch in batches:
+        if len(batch) <= size:
+            if batch:
+                yield batch
+        else:
+            for start in range(0, len(batch), size):
+                yield batch[start : start + size]
+
+
+def _emit_chunked(rows: Batch, size: int) -> Iterator[Batch]:
+    """Yield one materialized batch, split if it outgrew ``size``."""
+    if len(rows) <= size:
+        yield rows
+    else:
+        for start in range(0, len(rows), size):
+            yield rows[start : start + size]
 
 
 # ---------------------------------------------------------------------------
@@ -195,13 +331,30 @@ def _row_bytes(row: Row) -> float:
 
 
 class PhysicalOperator:
-    """Base class: an output schema plus a pull-based row stream."""
+    """Base class: an output schema plus a pull-based batch stream.
+
+    ``iterate_batches`` is the native protocol (all built-in operators
+    override it); ``iterate`` is the row-at-a-time compatibility shim that
+    flattens batches. A third-party subclass may still override *only*
+    ``iterate`` — the base ``iterate_batches`` detects that and chunks the
+    legacy row stream into batches of ``ctx.batch_size``.
+    """
 
     def __init__(self, columns: Sequence[RelColumn]) -> None:
         self.columns = list(columns)
 
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        if type(self).iterate is not PhysicalOperator.iterate:
+            # Legacy operator: only the row stream exists; chunk it.
+            yield from chunk_rows(self.iterate(ctx), ctx.batch_size)
+            return
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither iterate_batches nor iterate"
+        )
+
     def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        raise NotImplementedError
+        for batch in self.iterate_batches(ctx):
+            yield from batch
 
     def describe(self) -> str:
         return type(self).__name__.replace("Exec", "")
@@ -209,13 +362,21 @@ class PhysicalOperator:
     def children(self) -> List["PhysicalOperator"]:
         return []
 
-    def explain(self, indent: int = 0, row_counts: Optional[Dict[int, int]] = None) -> str:
+    def explain(
+        self,
+        indent: int = 0,
+        row_counts: Optional[Dict[int, int]] = None,
+        batch_counts: Optional[Dict[int, int]] = None,
+    ) -> str:
         label = "  " * indent + self.describe()
         if row_counts is not None and id(self) in row_counts:
-            label += f"  [{row_counts[id(self)]} rows]"
+            label += f"  [{row_counts[id(self)]} rows"
+            if batch_counts is not None and batch_counts.get(id(self)):
+                label += f" / {batch_counts[id(self)]} batches"
+            label += "]"
         lines = [label]
         for child in self.children():
-            lines.append(child.explain(indent + 1, row_counts))
+            lines.append(child.explain(indent + 1, row_counts, batch_counts))
         return "\n".join(lines)
 
     def walk(self) -> Iterator["PhysicalOperator"]:
@@ -225,25 +386,48 @@ class PhysicalOperator:
             yield from child.walk()
 
 
-def instrument_row_counts(root: PhysicalOperator) -> Dict[int, int]:
-    """Wrap every operator's ``iterate`` to count produced rows.
+def instrument_row_counts(
+    root: PhysicalOperator,
+    batch_counts: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Wrap every operator's batch stream to count produced rows.
 
     Returns the (initially zeroed) ``id(op) -> rows`` map that fills in
-    during execution — the EXPLAIN ANALYZE mechanism. Wrapping mutates the
-    given tree's instances, which are per-plan and never reused.
+    during execution — the EXPLAIN ANALYZE mechanism. Pass ``batch_counts``
+    to additionally collect ``id(op) -> batches`` produced. Exactly one
+    layer is wrapped per operator: ``iterate_batches`` when the operator
+    implements it natively, else the legacy ``iterate`` (whose batch counts
+    stay 0) — so rows are never double-counted through the shim. Wrapping
+    mutates the given tree's instances, which are per-plan and never reused.
     """
     counts: Dict[int, int] = {}
 
     def wrap(op: PhysicalOperator) -> None:
         counts[id(op)] = 0
-        original = op.iterate
+        if batch_counts is not None:
+            batch_counts[id(op)] = 0
+        if type(op).iterate_batches is PhysicalOperator.iterate_batches and (
+            type(op).iterate is not PhysicalOperator.iterate
+        ):
+            original_rows = op.iterate
+
+            def counted_rows(ctx: ExecutionContext, _original=original_rows, _key=id(op)):
+                for row in _original(ctx):
+                    counts[_key] += 1
+                    yield row
+
+            op.iterate = counted_rows  # type: ignore[method-assign]
+            return
+        original = op.iterate_batches
 
         def counted(ctx: ExecutionContext, _original=original, _key=id(op)):
-            for row in _original(ctx):
-                counts[_key] += 1
-                yield row
+            for batch in _original(ctx):
+                counts[_key] += len(batch)
+                if batch_counts is not None:
+                    batch_counts[_key] += 1
+                yield batch
 
-        op.iterate = counted  # type: ignore[method-assign]
+        op.iterate_batches = counted  # type: ignore[method-assign]
 
     for operator in root.walk():
         wrap(operator)
@@ -257,8 +441,10 @@ class StaticRowsExec(PhysicalOperator):
         super().__init__(columns)
         self._rows = rows
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        yield from self._rows
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        rows, size = self._rows, ctx.batch_size
+        for start in range(0, len(rows), size):
+            yield list(rows[start : start + size])
 
     def describe(self) -> str:
         return f"StaticRows({len(self._rows)})"
@@ -286,16 +472,21 @@ class ExchangeExec(PhysicalOperator):
         self.fragment = fragment
         self.page_rows = max(page_rows, 1)
         self.mode = mode
+        self._sizer = make_batch_sizer(columns)
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         if ctx.scheduler is not None:
-            yield from ctx.scheduler.stream_exchange(self, ctx)
-            return
-        yield from self._iterate_direct(ctx)
+            pages = ctx.scheduler.stream_exchange_pages(self, ctx)
+        else:
+            pages = self._direct_pages(ctx)
+        # Charged pages are split down to the dataflow batch size, never
+        # merged across page boundaries (see split_batches).
+        yield from split_batches(pages, ctx.batch_size)
 
-    def _iterate_direct(self, ctx: ExecutionContext) -> Iterator[Row]:
-        """The sequential path, now wrapped in the robustness envelope
-        (breaker gate + backoff) when those knobs are armed."""
+    def _direct_pages(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """The sequential path, wrapped in the robustness envelope
+        (breaker gate + backoff) when those knobs are armed. Yields the
+        fragment's charged pages in order."""
         from ..errors import SourceError
         from .scheduler import replica_fallback, sleep_ms
 
@@ -303,6 +494,7 @@ class ExchangeExec(PhysicalOperator):
         policy = ctx.retry_policy
         adapter, fragment = self.adapter, self.fragment
         source = fragment.source_name
+        sizer = self._sizer
         rng = random.Random(f"{source}:direct")
         attempt = 0
         while True:
@@ -323,15 +515,15 @@ class ExchangeExec(PhysicalOperator):
                 ctx.add_metric("breaker_fallbacks", 1)
                 continue  # re-evaluate the replica's own breaker
             produced = False
-            page: List[Row] = []
             try:
-                for row in adapter.execute(fragment):
-                    page.append(row)
-                    if len(page) >= self.page_rows:
-                        ctx.charge_transfer(source, page, 1)
+                for page in adapter.execute_pages(fragment, self.page_rows):
+                    # Every page — including the final (possibly empty)
+                    # one — costs a round trip; an empty result still
+                    # charges one message.
+                    ctx.charge_transfer(source, page, 1, sizer)
+                    if page:
+                        yield page
                         produced = True
-                        yield from page
-                        page = []
             except SourceError:
                 if breaker is not None and breaker.record_failure():
                     ctx.add_metric("breaker_trips", 1)
@@ -342,10 +534,6 @@ class ExchangeExec(PhysicalOperator):
                 ctx.metrics.fragment_retries += 1
                 sleep_ms(policy.delay_ms(attempt, rng))
                 continue
-            # The final (possibly empty) page closes the exchange: even an
-            # empty result costs one round trip.
-            ctx.charge_transfer(source, page, 1)
-            yield from page
             if breaker is not None:
                 breaker.record_success()
             return
@@ -361,16 +549,19 @@ class FilterExec(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, predicate: ast.Expr) -> None:
         super().__init__(child.columns)
         self.child = child
-        self._predicate = compile_predicate(predicate, build_layout(child.columns))
+        self._kernel = compile_batch_predicate(
+            predicate, build_layout(child.columns)
+        )
 
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        predicate = self._predicate
-        for row in self.child.iterate(ctx):
-            if predicate(row):
-                yield row
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        kernel = self._kernel
+        for batch in self.child.iterate_batches(ctx):
+            selected = kernel(batch)
+            if selected:
+                yield selected
 
 
 class ProjectExec(PhysicalOperator):
@@ -383,15 +574,19 @@ class ProjectExec(PhysicalOperator):
         super().__init__(columns)
         self.child = child
         layout = build_layout(child.columns)
-        self._functions = [compile_expression(e, layout) for e in expressions]
+        self._kernels = [compile_batch_expression(e, layout) for e in expressions]
 
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        functions = self._functions
-        for row in self.child.iterate(ctx):
-            yield tuple(fn(row) for fn in functions)
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        kernels = self._kernels
+        for batch in self.child.iterate_batches(ctx):
+            if not kernels:  # zero-column projection keeps its row count
+                yield [()] * len(batch)
+                continue
+            columns = [kernel(batch) for kernel in kernels]
+            yield list(zip(*columns))
 
 
 class HashJoinExec(PhysicalOperator):
@@ -432,50 +627,62 @@ class HashJoinExec(PhysicalOperator):
     def describe(self) -> str:
         return f"HashJoin({self.kind})"
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         table: Dict[Tuple[Any, ...], List[Row]] = {}
         right_has_null_key = False
         right_count = 0
-        for row in self.right.iterate(ctx):
-            right_count += 1
-            key = tuple(fn(row) for fn in self._right_key_fns)
-            if any(part is None for part in key):
-                right_has_null_key = True
-                continue
-            table.setdefault(key, []).append(row)
+        right_key_fns = self._right_key_fns
+        for batch in self.right.iterate_batches(ctx):
+            right_count += len(batch)
+            for row in batch:
+                key = tuple(fn(row) for fn in right_key_fns)
+                if any(part is None for part in key):
+                    right_has_null_key = True
+                    continue
+                table.setdefault(key, []).append(row)
         if self.kind == "ANTI" and self.null_aware and right_has_null_key:
             return  # NOT IN with a NULL on the right: empty result
         null_right = (None,) * len(self.right.columns)
-        for left_row in self.left.iterate(ctx):
-            key = tuple(fn(left_row) for fn in self._left_key_fns)
-            has_null_key = any(part is None for part in key)
-            matches: List[Row] = [] if has_null_key else table.get(key, [])
-            if self._residual is not None and matches:
-                matches = [
-                    right_row
-                    for right_row in matches
-                    if self._residual(left_row + right_row)
-                ]
-            if self.kind == "INNER":
-                for right_row in matches:
-                    yield left_row + right_row
-            elif self.kind == "LEFT":
-                if matches:
+        left_key_fns = self._left_key_fns
+        residual = self._residual
+        kind = self.kind
+        size = ctx.batch_size
+        for batch in self.left.iterate_batches(ctx):
+            out: Batch = []
+            for left_row in batch:
+                key = tuple(fn(left_row) for fn in left_key_fns)
+                has_null_key = any(part is None for part in key)
+                matches: List[Row] = [] if has_null_key else table.get(key, [])
+                if residual is not None and matches:
+                    matches = [
+                        right_row
+                        for right_row in matches
+                        if residual(left_row + right_row)
+                    ]
+                if kind == "INNER":
                     for right_row in matches:
-                        yield left_row + right_row
-                else:
-                    yield left_row + null_right
-            elif self.kind == "SEMI":
-                if matches:
-                    yield left_row
-            elif self.kind == "ANTI":
-                if matches:
-                    continue
-                if self.null_aware and has_null_key and right_count > 0:
-                    continue  # NULL NOT IN (non-empty set) is never TRUE
-                yield left_row
-            else:  # pragma: no cover - planner guards
-                raise ExecutionError(f"hash join cannot handle kind {self.kind!r}")
+                        out.append(left_row + right_row)
+                elif kind == "LEFT":
+                    if matches:
+                        for right_row in matches:
+                            out.append(left_row + right_row)
+                    else:
+                        out.append(left_row + null_right)
+                elif kind == "SEMI":
+                    if matches:
+                        out.append(left_row)
+                elif kind == "ANTI":
+                    if matches:
+                        continue
+                    if self.null_aware and has_null_key and right_count > 0:
+                        continue  # NULL NOT IN (non-empty set) is never TRUE
+                    out.append(left_row)
+                else:  # pragma: no cover - planner guards
+                    raise ExecutionError(
+                        f"hash join cannot handle kind {self.kind!r}"
+                    )
+            if out:
+                yield from _emit_chunked(out, size)
 
 
 class MergeJoinExec(PhysicalOperator):
@@ -514,7 +721,10 @@ class MergeJoinExec(PhysicalOperator):
     def describe(self) -> str:
         return "MergeJoin(INNER)"
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        yield from chunk_rows(self._merge(ctx), ctx.batch_size)
+
+    def _merge(self, ctx: ExecutionContext) -> Iterator[Row]:
         left_rows = self._keyed_sorted(self.left, self._left_key_fns, ctx)
         right_rows = self._keyed_sorted(self.right, self._right_key_fns, ctx)
         residual = self._residual
@@ -546,11 +756,12 @@ class MergeJoinExec(PhysicalOperator):
     @staticmethod
     def _keyed_sorted(child, key_fns, ctx):
         keyed = []
-        for row in child.iterate(ctx):
-            key = tuple(fn(row) for fn in key_fns)
-            if any(part is None for part in key):
-                continue  # NULL keys never equi-match
-            keyed.append((key, row))
+        for batch in child.iterate_batches(ctx):
+            for row in batch:
+                key = tuple(fn(row) for fn in key_fns)
+                if any(part is None for part in key):
+                    continue  # NULL keys never equi-match
+                keyed.append((key, row))
         keyed.sort(key=lambda pair: pair[0])
         return keyed
 
@@ -581,29 +792,40 @@ class NestedLoopJoinExec(PhysicalOperator):
     def describe(self) -> str:
         return f"NestedLoopJoin({self.kind})"
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        right_rows = list(self.right.iterate(ctx))
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        right_rows = [
+            row
+            for batch in self.right.iterate_batches(ctx)
+            for row in batch
+        ]
         condition = self._condition
         null_right = (None,) * len(self.right.columns)
-        for left_row in self.left.iterate(ctx):
-            if self.kind in ("SEMI", "ANTI"):
-                if condition is None:
-                    matched = bool(right_rows)
-                else:
-                    matched = any(
-                        condition(left_row + right_row) for right_row in right_rows
-                    )
-                if (self.kind == "SEMI") == matched:
-                    yield left_row
-                continue
-            matched = False
-            for right_row in right_rows:
-                row = left_row + right_row
-                if condition is None or condition(row):
-                    matched = True
-                    yield row
-            if self.kind == "LEFT" and not matched:
-                yield left_row + null_right
+        kind = self.kind
+        size = ctx.batch_size
+        for batch in self.left.iterate_batches(ctx):
+            out: Batch = []
+            for left_row in batch:
+                if kind in ("SEMI", "ANTI"):
+                    if condition is None:
+                        matched = bool(right_rows)
+                    else:
+                        matched = any(
+                            condition(left_row + right_row)
+                            for right_row in right_rows
+                        )
+                    if (kind == "SEMI") == matched:
+                        out.append(left_row)
+                    continue
+                matched = False
+                for right_row in right_rows:
+                    row = left_row + right_row
+                    if condition is None or condition(row):
+                        matched = True
+                        out.append(row)
+                if kind == "LEFT" and not matched:
+                    out.append(left_row + null_right)
+            if out:
+                yield from _emit_chunked(out, size)
 
 
 class BindJoinExec(PhysicalOperator):
@@ -637,9 +859,11 @@ class BindJoinExec(PhysicalOperator):
         bind = remote.bind
         assert bind is not None
         self._bind = bind
-        self._probe_key_fn = compile_expression(
+        self._probe_key_kernel = compile_batch_expression(
             bind.probe_key, build_layout(probe.columns)
         )
+        self._remote_sizer = make_batch_sizer(remote.columns)
+        self._key_sizer = _column_sizer(bind.fragment_key.dtype)
 
     def children(self) -> List[PhysicalOperator]:
         return [self.probe]
@@ -650,14 +874,18 @@ class BindJoinExec(PhysicalOperator):
             f"key={self._bind.fragment_key.name})"
         )
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        probe_rows = list(self.probe.iterate(ctx))
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        probe_rows: List[Row] = []
         keys: Set[Any] = set()
-        for row in probe_rows:
-            value = self._probe_key_fn(row)
-            if value is not None:
-                keys.add(value)
-        remote_rows = list(self._fetch_reduced(ctx, keys))
+        key_kernel = self._probe_key_kernel
+        for batch in self.probe.iterate_batches(ctx):
+            probe_rows.extend(batch)
+            for value in key_kernel(batch):
+                if value is not None:
+                    keys.add(value)
+        remote_rows: List[Row] = []
+        for page in self._fetch_reduced_pages(ctx, keys):
+            remote_rows.extend(page)
 
         # Assemble the join with the original operand orientation.
         remote_stub = StaticRowsExec(remote_rows, self.remote.columns)
@@ -685,7 +913,7 @@ class BindJoinExec(PhysicalOperator):
             join = NestedLoopJoinExec(
                 left_op, right_op, self.kind, self.condition, self.columns
             )
-        yield from join.iterate(ctx)
+        yield from join.iterate_batches(ctx)
 
     def _batch_fragment(self, batch: Sequence[Any]) -> Fragment:
         """The reduced fragment fetching one key batch."""
@@ -703,7 +931,9 @@ class BindJoinExec(PhysicalOperator):
             FilterOp(self.remote.fragment, predicate),
         )
 
-    def _fetch_reduced(self, ctx: ExecutionContext, keys: Set[Any]) -> Iterator[Row]:
+    def _fetch_reduced_pages(
+        self, ctx: ExecutionContext, keys: Set[Any]
+    ) -> Iterator[Batch]:
         from ..errors import SourceError
 
         bind = self._bind
@@ -716,6 +946,8 @@ class BindJoinExec(PhysicalOperator):
             # the source.
             return
         source = self.remote.source_name
+        sizer = self._remote_sizer
+        key_sizer = self._key_sizer
         batches = [
             ordered[start : start + bind.batch_size]
             for start in range(0, len(ordered), bind.batch_size)
@@ -727,15 +959,18 @@ class BindJoinExec(PhysicalOperator):
             tasks = []
             for batch in batches:
                 ctx.add_metric("semijoin_batches", 1)
-                payload = sum(_row_bytes((key,)) for key in batch)
-                ctx.charge_request(source, payload)
+                ctx.charge_request(source, key_sizer(batch))
                 tasks.append(
                     ctx.scheduler.submit_fragment(
-                        self.adapter, self._batch_fragment(batch), self.page_rows, ctx
+                        self.adapter,
+                        self._batch_fragment(batch),
+                        self.page_rows,
+                        ctx,
+                        sizer=sizer,
                     )
                 )
             for task in tasks:
-                yield from ctx.scheduler.stream(task, ctx)
+                yield from ctx.scheduler.stream_pages(task, ctx)
             return
         breaker = ctx.breaker_for(source)
         if breaker is not None and not breaker.allow():
@@ -747,18 +982,12 @@ class BindJoinExec(PhysicalOperator):
         try:
             for batch in batches:
                 ctx.metrics.semijoin_batches += 1
-                payload = sum(_row_bytes((key,)) for key in batch)
-                ctx.charge_request(source, payload)
+                ctx.charge_request(source, key_sizer(batch))
                 fragment = self._batch_fragment(batch)
-                page: List[Row] = []
-                for row in self.adapter.execute(fragment):
-                    page.append(row)
-                    if len(page) >= self.page_rows:
-                        ctx.charge_transfer(source, page, 1)
-                        yield from page
-                        page = []
-                ctx.charge_transfer(source, page, 1)
-                yield from page
+                for page in self.adapter.execute_pages(fragment, self.page_rows):
+                    ctx.charge_transfer(source, page, 1, sizer)
+                    if page:
+                        yield page
         except SourceError:
             if breaker is not None and breaker.record_failure():
                 ctx.add_metric("breaker_trips", 1)
@@ -786,24 +1015,39 @@ class HashAggregateExec(PhysicalOperator):
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         groups: Dict[Tuple[Any, ...], List[Any]] = {}
         order: List[Tuple[Any, ...]] = []
-        for row in self.child.iterate(ctx):
-            key = tuple(fn(row) for fn in self._group_fns)
-            state = groups.get(key)
-            if state is None:
-                state = [make_accumulator(call) for call in self.plan.aggregates]
-                groups[key] = state
-                order.append(key)
-            for accumulator, argument_fn in zip(state, self._argument_fns):
-                accumulator.add(argument_fn(row) if argument_fn is not None else 1)
+        group_fns = self._group_fns
+        argument_fns = self._argument_fns
+        aggregates = self.plan.aggregates
+        for batch in self.child.iterate_batches(ctx):
+            for row in batch:
+                key = tuple(fn(row) for fn in group_fns)
+                state = groups.get(key)
+                if state is None:
+                    state = [make_accumulator(call) for call in aggregates]
+                    groups[key] = state
+                    order.append(key)
+                for accumulator, argument_fn in zip(state, argument_fns):
+                    accumulator.add(
+                        argument_fn(row) if argument_fn is not None else 1
+                    )
         if not groups and not self.plan.group_expressions:
-            state = [make_accumulator(call) for call in self.plan.aggregates]
-            yield tuple(accumulator.result() for accumulator in state)
+            state = [make_accumulator(call) for call in aggregates]
+            yield [tuple(accumulator.result() for accumulator in state)]
             return
+        size = ctx.batch_size
+        out: Batch = []
         for key in order:
-            yield key + tuple(accumulator.result() for accumulator in groups[key])
+            out.append(
+                key + tuple(accumulator.result() for accumulator in groups[key])
+            )
+            if len(out) >= size:
+                yield out
+                out = []
+        if out:
+            yield out
 
 
 class WindowExec(PhysicalOperator):
@@ -821,11 +1065,18 @@ class WindowExec(PhysicalOperator):
         names = ", ".join(spec.function for spec in self.plan.specs)
         return f"Window({names})"
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         from .fragments import apply_window
 
-        rows = list(self.child.iterate(ctx))
-        yield from apply_window(rows, self.plan.child.output_columns, self.plan.specs)
+        rows = [
+            row
+            for batch in self.child.iterate_batches(ctx)
+            for row in batch
+        ]
+        yield from chunk_rows(
+            apply_window(rows, self.plan.child.output_columns, self.plan.specs),
+            ctx.batch_size,
+        )
 
 
 class SortExec(PhysicalOperator):
@@ -841,9 +1092,15 @@ class SortExec(PhysicalOperator):
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
-        rows = list(self.child.iterate(ctx))
-        yield from sort_rows(rows, self._key_fns, self._directions)
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        rows = [
+            row
+            for batch in self.child.iterate_batches(ctx)
+            for row in batch
+        ]
+        yield from chunk_rows(
+            sort_rows(rows, self._key_fns, self._directions), ctx.batch_size
+        )
 
 
 class LimitExec(PhysicalOperator):
@@ -858,18 +1115,28 @@ class LimitExec(PhysicalOperator):
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         remaining = self.limit
         to_skip = self.offset
-        for row in self.child.iterate(ctx):
+        if remaining is not None and remaining <= 0:
+            return  # LIMIT 0: nothing to pull at all
+        for batch in self.child.iterate_batches(ctx):
             if to_skip > 0:
-                to_skip -= 1
+                if to_skip >= len(batch):
+                    to_skip -= len(batch)
+                    continue
+                batch = batch[to_skip:]
+                to_skip = 0
+            if remaining is None:
+                yield batch
                 continue
-            if remaining is not None:
-                if remaining <= 0:
-                    return
-                remaining -= 1
-            yield row
+            if len(batch) >= remaining:
+                # The limit lands inside (or exactly at the end of) this
+                # batch: emit the prefix and stop pulling the child.
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
 
 
 class DistinctExec(PhysicalOperator):
@@ -880,12 +1147,16 @@ class DistinctExec(PhysicalOperator):
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         seen: Set[Row] = set()
-        for row in self.child.iterate(ctx):
-            if row not in seen:
-                seen.add(row)
-                yield row
+        for batch in self.child.iterate_batches(ctx):
+            out: Batch = []
+            for row in batch:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            if out:
+                yield out
 
 
 class UnionExec(PhysicalOperator):
@@ -898,9 +1169,9 @@ class UnionExec(PhysicalOperator):
     def children(self) -> List[PhysicalOperator]:
         return list(self.inputs)
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         for child in self.inputs:
-            yield from child.iterate(ctx)
+            yield from child.iterate_batches(ctx)
 
 
 class SetDifferenceExec(PhysicalOperator):
@@ -925,28 +1196,44 @@ class SetDifferenceExec(PhysicalOperator):
         suffix = " ALL" if self.all else ""
         return f"SetDifference({self.operation}{suffix})"
 
-    def iterate(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         if self.all:
             from collections import Counter
 
-            remaining = Counter(self.right.iterate(ctx))
-            for row in self.left.iterate(ctx):
-                if remaining[row] > 0:
-                    remaining[row] -= 1
-                    if self.operation == "INTERSECT":
-                        yield row
-                elif self.operation == "EXCEPT":
-                    yield row
+            remaining = Counter(
+                row
+                for batch in self.right.iterate_batches(ctx)
+                for row in batch
+            )
+            for batch in self.left.iterate_batches(ctx):
+                out: Batch = []
+                for row in batch:
+                    if remaining[row] > 0:
+                        remaining[row] -= 1
+                        if self.operation == "INTERSECT":
+                            out.append(row)
+                    elif self.operation == "EXCEPT":
+                        out.append(row)
+                if out:
+                    yield out
             return
-        right_rows = set(self.right.iterate(ctx))
+        right_rows = {
+            row
+            for batch in self.right.iterate_batches(ctx)
+            for row in batch
+        }
         emitted: Set[Row] = set()
-        for row in self.left.iterate(ctx):
-            if row in emitted:
-                continue
-            member = row in right_rows
-            if (self.operation == "EXCEPT") != member:
-                emitted.add(row)
-                yield row
+        for batch in self.left.iterate_batches(ctx):
+            out = []
+            for row in batch:
+                if row in emitted:
+                    continue
+                member = row in right_rows
+                if (self.operation == "EXCEPT") != member:
+                    emitted.add(row)
+                    out.append(row)
+            if out:
+                yield out
 
 
 # ---------------------------------------------------------------------------

@@ -61,6 +61,10 @@ class PlannerOptions:
             per-source circuit breaker; 0 disables breakers.
         breaker_reset_ms: how long a tripped breaker stays open before
             admitting a half-open probe.
+        batch_size: rows per batch handed between physical operators
+            (batch-at-a-time execution); 1 degenerates to classic
+            row-at-a-time pulls. Purely an executor knob — plans, results,
+            and simulated network accounting are identical at every value.
     """
 
     rewrites: bool = True
@@ -82,6 +86,7 @@ class PlannerOptions:
     retry_jitter: float = 0.0
     breaker_failure_threshold: int = 0
     breaker_reset_ms: float = 30000.0
+    batch_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.join_strategy not in JOIN_STRATEGIES:
@@ -111,6 +116,10 @@ class PlannerOptions:
         if self.retry_backoff_ms < 0:
             raise PlanError(
                 f"retry_backoff_ms must be >= 0 (got {self.retry_backoff_ms!r})"
+            )
+        if self.batch_size < 1:
+            raise PlanError(
+                f"batch_size must be >= 1 (got {self.batch_size!r})"
             )
         if self.retry_backoff_multiplier < 1:
             raise PlanError(

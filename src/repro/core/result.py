@@ -47,6 +47,11 @@ class QueryMetrics:
             f"wall {self.wall_ms:.1f} ms (planning {self.planning_ms:.1f} ms)"
         ]
         net = self.network
+        if net.batches_output:
+            lines.append(
+                f"{net.rows_output} result rows in {net.batches_output} "
+                f"batches (avg {net.batch_rows_avg:.1f} rows/batch)"
+            )
         if net.scheduler_mode != "sequential":
             lines.append(
                 f"scheduler {net.scheduler_mode}: "
@@ -118,7 +123,7 @@ class QueryResult:
         ]
         lines = [header, rule, *body]
         if len(self.rows) > max_rows:
-            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+            lines.append(f"... (+{len(self.rows) - max_rows} more rows)")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

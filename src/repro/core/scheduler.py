@@ -324,15 +324,23 @@ class _FragmentTask:
     """One in-flight fragment fetch: its producer thread and page queue."""
 
     __slots__ = (
-        "index", "adapter", "fragment", "page_rows", "queue",
+        "index", "adapter", "fragment", "page_rows", "sizer", "queue",
         "cancelled", "done", "virtual_ms", "thread",
     )
 
-    def __init__(self, index: int, adapter, fragment: Fragment, page_rows: int):
+    def __init__(
+        self,
+        index: int,
+        adapter,
+        fragment: Fragment,
+        page_rows: int,
+        sizer=None,
+    ):
         self.index = index
         self.adapter = adapter
         self.fragment = fragment
         self.page_rows = page_rows
+        self.sizer = sizer
         self.queue: "queue.Queue" = queue.Queue(maxsize=QUEUE_DEPTH_PAGES)
         self.cancelled = False
         self.done = False
@@ -395,25 +403,38 @@ class FragmentScheduler:
             if id(exchange) not in self._by_exchange:
                 ctx.add_metric("fragments_executed", 1)
                 self._by_exchange[id(exchange)] = self.submit_fragment(
-                    exchange.adapter, exchange.fragment, exchange.page_rows, ctx
+                    exchange.adapter, exchange.fragment, exchange.page_rows,
+                    ctx, sizer=getattr(exchange, "_sizer", None),
                 )
 
-    def stream_exchange(self, exchange, ctx) -> Iterator[Row]:
-        """Async-pull entry point for ExchangeExec."""
+    def stream_exchange_pages(self, exchange, ctx) -> Iterator[List[Row]]:
+        """Async-pull entry point for ExchangeExec: response pages in
+        production order."""
         task = self._by_exchange.get(id(exchange))
         if task is None:
             ctx.add_metric("fragments_executed", 1)
             task = self.submit_fragment(
-                exchange.adapter, exchange.fragment, exchange.page_rows, ctx
+                exchange.adapter, exchange.fragment, exchange.page_rows,
+                ctx, sizer=getattr(exchange, "_sizer", None),
             )
             self._by_exchange[id(exchange)] = task
-        return self.stream(task, ctx)
+        return self.stream_pages(task, ctx)
 
-    def submit_fragment(self, adapter, fragment: Fragment, page_rows: int, ctx) -> _FragmentTask:
+    def stream_exchange(self, exchange, ctx) -> Iterator[Row]:
+        """Row-granular compatibility wrapper over
+        :meth:`stream_exchange_pages`."""
+        for page in self.stream_exchange_pages(exchange, ctx):
+            yield from page
+
+    def submit_fragment(
+        self, adapter, fragment: Fragment, page_rows: int, ctx, sizer=None
+    ) -> _FragmentTask:
         """Start fetching one fragment in the background; returns its task."""
         with self._lock:
             index = len(self._tasks)
-            task = _FragmentTask(index, adapter, fragment, max(page_rows, 1))
+            task = _FragmentTask(
+                index, adapter, fragment, max(page_rows, 1), sizer
+            )
             self._tasks.append(task)
         thread = threading.Thread(
             target=self._produce,
@@ -427,9 +448,12 @@ class FragmentScheduler:
 
     # -- consumption --------------------------------------------------------
 
-    def stream(self, task: _FragmentTask, ctx) -> Iterator[Row]:
-        """Yield the fragment's rows in production order, enforcing the
-        no-progress timeout while waiting."""
+    def stream_pages(self, task: _FragmentTask, ctx) -> Iterator[List[Row]]:
+        """Yield the fragment's response pages in production order,
+        enforcing the no-progress timeout while waiting. Pages are handed
+        through exactly as the producer queued them (never re-chunked), so
+        the consumer sees the same page boundaries the network was charged
+        for."""
         timeout_ms = self._config.fragment_timeout_ms
         timeout_s = timeout_ms / 1000.0 if timeout_ms > 0 else None
         while True:
@@ -449,11 +473,16 @@ class FragmentScheduler:
                     "(timeout; source may be hung)",
                 )
             if kind == "rows":
-                yield from payload
+                yield payload
             elif kind == "end":
                 return
             else:  # "error"
                 raise payload
+
+    def stream(self, task: _FragmentTask, ctx) -> Iterator[Row]:
+        """Row-granular compatibility wrapper over :meth:`stream_pages`."""
+        for page in self.stream_pages(task, ctx):
+            yield from page
 
     # -- shutdown -----------------------------------------------------------
 
@@ -538,18 +567,21 @@ class FragmentScheduler:
             if not self._acquire(slot, task):
                 return
             produced = False
-            page: List[Row] = []
             try:
-                for row in adapter.execute(fragment):
+                # The adapter's page contract: zero or more full pages, then
+                # exactly one final partial (possibly empty) page. Every page
+                # — including the trailing empty one that says "result
+                # complete" — costs one response message on the wire.
+                for page in adapter.execute_pages(fragment, task.page_rows):
                     if self._stop.is_set() or task.cancelled:
                         return
-                    page.append(row)
-                    if len(page) >= task.page_rows:
-                        task.virtual_ms += ctx.charge_transfer(source, page, 1)
+                    task.virtual_ms += ctx.charge_transfer(
+                        source, page, 1, task.sizer
+                    )
+                    if page:
                         if not task.put(("rows", page), self._stop):
                             return
                         produced = True
-                        page = []
             except SourceError as exc:
                 if breaker is not None and breaker.record_failure():
                     ctx.add_metric("breaker_trips", 1)
@@ -567,11 +599,6 @@ class FragmentScheduler:
                 return
             finally:
                 slot.release()
-            # The final (possibly empty) page closes the exchange: even an
-            # empty result costs one round trip.
-            task.virtual_ms += ctx.charge_transfer(source, page, 1)
-            if page and not task.put(("rows", page), self._stop):
-                return
             if breaker is not None:
                 breaker.record_success()
             task.done = True

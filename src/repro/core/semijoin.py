@@ -17,6 +17,13 @@ Eligibility for reducing remote side R by probe side P:
 * R's source accepts an injected ``r IN (<literals>)`` filter (envelope:
   filters + IN with a positive list cap, or a key-lookup source whose key
   is exactly ``r``).
+
+At runtime the attached bind executes as
+:class:`~repro.core.physical.BindJoinExec`: probe keys are collected
+batch-at-a-time, each bind list ships as one request, and the reduced
+result streams back page-granularly at the remote source's page size —
+so the message accounting priced here is exactly what execution charges,
+at every ``batch_size``.
 """
 
 from __future__ import annotations

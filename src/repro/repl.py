@@ -21,6 +21,7 @@ Backslash commands:
 \metrics  transfer metrics of the last executed query
 \naive    toggle the naive (no-optimizer) baseline for comparisons
 \parallel N|off  fetch fragments with N concurrent workers (off = sequential)
+\batch N|off  rows per operator batch (off = planner default, 1 = row-at-a-time)
 \analyze  gather statistics on all tables
 \quit     exit
 ========  ===========================================================
@@ -54,6 +55,7 @@ class Repl:
         self.out = out or sys.stdout
         self.naive = False
         self.parallel = 1
+        self.batch: Optional[int] = None
         self.last_result: Optional[QueryResult] = None
         self._buffer: List[str] = []
         self._done = False
@@ -131,6 +133,15 @@ class Repl:
                 )
             else:
                 self._write("usage: \\parallel <N>|off")
+        elif name == "\\batch":
+            if argument.lower() in ("off", ""):
+                self.batch = None
+                self._write("batch size: planner default")
+            elif argument.isdigit() and int(argument) >= 1:
+                self.batch = int(argument)
+                self._write(f"batch size: {self.batch} rows")
+            else:
+                self._write("usage: \\batch <N>|off")
         elif name == "\\analyze":
             collected = self.gis.analyze()
             self._write(f"analyzed {len(collected)} tables")
@@ -223,6 +234,8 @@ class Repl:
             base = (base or PlannerOptions()).but(
                 max_parallel_fragments=self.parallel
             )
+        if self.batch is not None:
+            base = (base or PlannerOptions()).but(batch_size=self.batch)
         return base
 
     def _execute(self, sql: str) -> None:

@@ -27,6 +27,25 @@ ALL_PREDICATE_OPS = frozenset(
 DEFAULT_PAGE_ROWS = 1024
 
 
+def paginate(rows, page_rows: int):
+    """Chunk a row stream into response pages.
+
+    Yields zero or more *full* pages of exactly ``page_rows`` rows followed
+    by exactly one final partial page — possibly empty. The trailing page
+    models the response message that tells the mediator the result is
+    complete (an empty result still costs one round trip), so it is always
+    emitted, even when the row count divides evenly into pages.
+    """
+    page_rows = max(page_rows, 1)
+    page = []
+    for row in rows:
+        page.append(row)
+        if len(page) >= page_rows:
+            yield page
+            page = []
+    yield page
+
+
 @dataclass(frozen=True)
 class SourceCapabilities:
     """What one component system can execute natively.
@@ -100,6 +119,8 @@ class Adapter(abc.ABC):
     * :meth:`tables` — native table schemas (native names/column names);
     * :meth:`capabilities` — the pushdown envelope;
     * :meth:`execute` — run a fragment, yield global-typed row tuples;
+    * :meth:`execute_pages` — the same result as response pages (what the
+      exchange actually drains and charges; default chunks ``execute``);
     * :meth:`scan` — full scan of one native table (ANALYZE, weak sources).
     """
 
@@ -123,6 +144,20 @@ class Adapter(abc.ABC):
         :class:`~repro.errors.CapabilityError` on violations (defense against
         planner bugs, and direct API misuse).
         """
+
+    def execute_pages(
+        self, fragment: "Fragment", page_rows: int
+    ) -> Iterator[list]:
+        """Execute a fragment and stream its rows in response pages.
+
+        The page contract (what the exchange charges the simulated network
+        for, one message per page): zero or more full pages of exactly
+        ``page_rows`` rows, then exactly one final partial page — possibly
+        empty. The default implementation chunks :meth:`execute`; adapters
+        whose native protocol is already paged (cursors, paginated APIs)
+        should override this to align their fetches with the page size.
+        """
+        return paginate(self.execute(fragment), page_rows)
 
     @abc.abstractmethod
     def scan(self, native_table: str) -> Iterator[Tuple[Any, ...]]:
@@ -153,4 +188,11 @@ class Adapter(abc.ABC):
 # which live in core; core imports sources only for typing.
 from ..core.fragments import Fragment  # noqa: E402  (re-export for adapters)
 
-__all__ = ["Adapter", "SourceCapabilities", "Fragment", "ALL_PREDICATE_OPS"]
+__all__ = [
+    "Adapter",
+    "SourceCapabilities",
+    "Fragment",
+    "ALL_PREDICATE_OPS",
+    "DEFAULT_PAGE_ROWS",
+    "paginate",
+]

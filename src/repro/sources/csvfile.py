@@ -42,7 +42,9 @@ class CsvSource(Adapter):
         super().__init__(name)
         self._directory = directory
         self._schemas = dict(schemas)
-        self._capabilities = SourceCapabilities.scan_only(page_rows=page_rows)
+        self._capabilities = SourceCapabilities.scan_only(
+            page_rows=max(page_rows, 1)
+        )
 
     @staticmethod
     def write_table(

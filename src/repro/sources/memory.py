@@ -17,7 +17,7 @@ from ..datatypes import coerce_value
 from ..errors import CapabilityError, DuplicateObjectError, SourceError
 from ..core.fragments import Fragment, interpret_plan
 from ..core.logical import JoinOp, ScanOp
-from .base import Adapter, SourceCapabilities
+from .base import Adapter, SourceCapabilities, paginate
 
 
 class MemorySource(Adapter):
@@ -33,6 +33,7 @@ class MemorySource(Adapter):
         self,
         name: str,
         capabilities: Optional[SourceCapabilities] = None,
+        page_rows: Optional[int] = None,
     ) -> None:
         super().__init__(name)
         self._tables: Dict[str, TableSchema] = {}
@@ -52,6 +53,11 @@ class MemorySource(Adapter):
             limit=True,
             in_list_max=1000,
         )
+        if page_rows is not None:
+            # Response page size knob (rows per simulated network message).
+            self._capabilities = self._capabilities.restricted(
+                page_rows=max(page_rows, 1)
+            )
 
     # -- data loading -----------------------------------------------------------
 
@@ -139,3 +145,41 @@ class MemorySource(Adapter):
             return (tuple(row[i] for i in indices) for row in rows)
 
         return interpret_plan(fragment.plan, provide)
+
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
+        """Paged fragment execution with a fast path for bare table scans:
+        the stored row list is sliced directly into pages instead of being
+        re-chunked row by row. Follows the page contract (full pages, then
+        one final partial — possibly empty — page)."""
+        page_rows = max(page_rows, 1)
+        plan = fragment.plan
+        # Subclasses that override execute() (fault-injection doubles,
+        # instrumented sources) must keep seeing every call: take the slow
+        # path through their execute() rather than slicing stored rows.
+        overridden = type(self).execute is not MemorySource.execute
+        if not overridden and isinstance(plan, ScanOp):
+            mapping = plan.effective_mapping
+            if mapping is not None and plan.table.schema is not None:
+                native_schema = self._native_schema(mapping.remote_table)
+                indices = [
+                    native_schema.index_of(mapping.remote_column(column.name))
+                    for column in plan.table.schema.columns
+                ]
+                rows = self._rows[self._resolve_name(mapping.remote_table)]
+                identity = indices == list(range(len(native_schema.columns)))
+                full = len(rows) // page_rows
+                for index in range(full):
+                    chunk = rows[index * page_rows : (index + 1) * page_rows]
+                    yield (
+                        list(chunk)
+                        if identity
+                        else [tuple(row[i] for i in indices) for row in chunk]
+                    )
+                tail = rows[full * page_rows :]
+                yield (
+                    list(tail)
+                    if identity
+                    else [tuple(row[i] for i in indices) for row in tail]
+                )
+                return
+        yield from paginate(self.execute(fragment), page_rows)

@@ -212,6 +212,36 @@ class SQLiteSource(Adapter):
                 for value, column in zip(row, output)
             )
 
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
+        """Page-aligned fragment execution: ``fetchmany(page_rows)`` per
+        response page, so one cursor fetch produces exactly one charged
+        page instead of re-chunking a row stream. Follows the page
+        contract: full pages, then one final partial (possibly empty) page.
+        """
+        page_rows = max(page_rows, 1)
+        sql = self.compile_fragment(fragment)
+        output = fragment.output_columns
+        try:
+            with self._lock:
+                cursor = self._connection.execute(sql)
+                chunk = cursor.fetchmany(page_rows)
+        except sqlite3.Error as exc:
+            raise SourceError(self.name, f"{exc} (sql: {sql})") from exc
+        while True:
+            page = [
+                tuple(
+                    _from_sqlite(value, column.dtype)
+                    for value, column in zip(row, output)
+                )
+                for row in chunk
+            ]
+            if len(page) < page_rows:
+                yield page  # final partial (possibly empty) page
+                return
+            yield page
+            with self._lock:
+                chunk = cursor.fetchmany(page_rows)
+
     def compile_fragment(self, fragment: Fragment) -> str:
         """The native SQL this wrapper runs for a fragment (EXPLAIN surface)."""
 

@@ -257,8 +257,8 @@ class TestExplainAnalyze:
             "GROUP BY c.region"
         )
         assert "actual rows" in text
-        assert "Exchange(source=crm)  [5 rows]" in text
-        assert "HashJoin(INNER)  [4 rows]" in text
+        assert "Exchange(source=crm)  [5 rows / 1 batches]" in text
+        assert "HashJoin(INNER)  [4 rows / 1 batches]" in text
         assert "result rows: 2" in text
 
     def test_charges_the_network(self, small_gis):

@@ -140,3 +140,26 @@ def test_random_in_lists(values):
         {row[0] for row in CUSTOMERS if row[0] in set(values)}
     )
     assert sorted(r[0] for r in result.rows) == expected
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(predicate_tree(), st.integers(1, 16))
+def test_random_filters_invariant_under_batch_size(tree, batch_size):
+    # The batch-at-a-time executor is a pure dataflow change: any batch
+    # size (including awkward ones that never divide the input evenly)
+    # must produce bit-identical rows and network accounting.
+    from repro import PlannerOptions
+
+    sql_predicate, _ = tree
+    sql = (
+        "SELECT c.name, o.oid FROM customers c "
+        f"JOIN orders o ON c.id = o.cust_id WHERE {sql_predicate} "
+        "ORDER BY o.oid"
+    )
+    default = GIS.query(sql)
+    variant = GIS.query(sql, PlannerOptions(batch_size=batch_size))
+    assert variant.rows == default.rows
+    assert variant.metrics.network.messages == default.metrics.network.messages
+    assert variant.metrics.network.bytes_shipped == \
+        default.metrics.network.bytes_shipped

@@ -131,3 +131,72 @@ def test_fuzzed_queries_match_across_join_algorithms(sql, algorithm):
     default = GIS.query(sql)
     variant = GIS.query(sql, PlannerOptions(join_algorithm=algorithm))
     assert_same_rows(default.rows, variant.rows)
+
+
+# -- batch-at-a-time vs row-at-a-time equivalence ---------------------------
+#
+# batch_size is purely an executor knob: for every fuzzed query the rows
+# must be bit-identical (including order) and the simulated network
+# accounting must not move by a single byte or message.
+
+_INT_METRICS = ("rows_shipped", "messages", "fragments_executed",
+                "semijoin_batches", "fragment_retries")
+_FLOAT_METRICS = ("bytes_shipped", "network_ms")
+
+
+def _assert_identical_network(batch_net, row_net, exact_floats=True):
+    for name in _INT_METRICS:
+        assert getattr(batch_net, name) == getattr(row_net, name), name
+    for name in _FLOAT_METRICS:
+        if exact_floats:
+            assert getattr(batch_net, name) == getattr(row_net, name), name
+        else:
+            assert getattr(batch_net, name) == pytest.approx(
+                getattr(row_net, name)
+            ), name
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(select_query(), st.sampled_from([1, 3, 1024]))
+def test_fuzzed_batch_modes_bit_identical(sql, batch_size):
+    default = GIS.query(sql)
+    variant = GIS.query(sql, PlannerOptions(batch_size=batch_size))
+    assert variant.rows == default.rows
+    _assert_identical_network(
+        variant.metrics.network, default.metrics.network
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(select_query())
+def test_fuzzed_batch_modes_identical_under_parallel_scheduler(sql):
+    # Float metrics accumulate in worker-completion order under the
+    # parallel scheduler, so compare them with a tolerance; integer
+    # accounting must still be exact.
+    batch = GIS.query(sql, PlannerOptions(max_parallel_fragments=4))
+    row = GIS.query(
+        sql, PlannerOptions(max_parallel_fragments=4, batch_size=1)
+    )
+    assert batch.rows == row.rows
+    _assert_identical_network(
+        batch.metrics.network, row.metrics.network, exact_floats=False
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(select_query())
+def test_fuzzed_explain_analyze_row_counts_match_across_modes(sql):
+    import re
+
+    batch_text = GIS.explain_analyze(sql)
+    row_text = GIS.explain_analyze(sql, PlannerOptions(batch_size=1))
+    strip = lambda text: re.sub(r" / \d+ batches", "", text)
+    batch_plan = strip(batch_text).split("== physical plan")[1].split("\n\n")[0]
+    row_plan = strip(row_text).split("== physical plan")[1].split("\n\n")[0]
+    assert batch_plan == row_plan

@@ -143,6 +143,10 @@ class TestParallelEquivalence:
                 barrier.wait(timeout=10)
                 yield from self._inner.execute(fragment)
 
+            def execute_pages(self, fragment, page_rows):
+                barrier.wait(timeout=10)
+                yield from self._inner.execute_pages(fragment, page_rows)
+
         federation = build_partitioned_orders(
             4, 100, seed=42, adapter_wrapper=BarrierAdapter
         )
