@@ -8,8 +8,6 @@ shape: rows shipped collapse from O(total rows) to O(partitions × groups),
 and the win grows with data volume.
 """
 
-import pytest
-
 from repro import PlannerOptions
 from repro.workloads import build_partitioned_orders
 

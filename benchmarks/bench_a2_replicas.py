@@ -7,8 +7,6 @@ link degrades, and selection never loses (it can always fall back to the
 primary).
 """
 
-import pytest
-
 from repro import (
     GlobalInformationSystem,
     NetworkLink,

@@ -8,8 +8,6 @@ at high bandwidth (round trips dominate), a crossover in between, and
 `auto` tracking the winner everywhere.
 """
 
-import pytest
-
 from repro import (
     GlobalInformationSystem,
     MemorySource,

@@ -24,8 +24,6 @@ flat (same bytes, more messages / same sleeps, serialized).
 
 import time
 
-import pytest
-
 from repro.core.planner import PlannerOptions
 from repro.workloads import build_partitioned_orders
 

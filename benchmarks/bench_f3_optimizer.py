@@ -10,10 +10,7 @@ stays polynomial; greedy's plan quality stays close to DP's on chains
 
 import time
 
-import pytest
-
 from repro import (
-    Catalog,
     GlobalInformationSystem,
     MemorySource,
     PlannerOptions,

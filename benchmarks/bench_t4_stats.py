@@ -8,9 +8,7 @@ counts. Reported metric: the **Q-error** of the cardinality estimate
 order of magnitude on hot keys, and more buckets help until they saturate.
 """
 
-import pytest
-
-from repro import Catalog, GlobalInformationSystem, MemorySource
+from repro import GlobalInformationSystem, MemorySource
 from repro.catalog.schema import schema_from_pairs
 from repro.core.analyzer import Analyzer
 from repro.core.cardinality import Estimator

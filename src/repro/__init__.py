@@ -31,6 +31,7 @@ from .core.mediator import GlobalInformationSystem
 from .core.planner import NAIVE_OPTIONS, PlannedQuery, Planner, PlannerOptions
 from .core.result import QueryMetrics, QueryResult
 from .datatypes import DataType
+from .obs import MetricsRegistry, Observability, Tracer
 from .errors import (
     BindError,
     CapabilityError,
@@ -78,7 +79,9 @@ __all__ = [
     "GlobalInformationSystem",
     "KeyValueSource",
     "MemorySource",
+    "MetricsRegistry",
     "NAIVE_OPTIONS",
+    "Observability",
     "NetworkLink",
     "ParseError",
     "PlanError",
@@ -95,6 +98,7 @@ __all__ = [
     "TableMapping",
     "TableSchema",
     "TableStatistics",
+    "Tracer",
     "TransferMetrics",
     "TypeCheckError",
     "UnknownObjectError",

@@ -40,6 +40,18 @@ and the robustness envelope (see ``docs/parallel_execution.md``)::
                   "max_ms": 5000, "jitter": 0.2},
         "circuit_breaker": {"failure_threshold": 5, "reset_ms": 30000}
     }
+
+A top-level ``observability`` section arms the tracing/metrics subsystem
+(see ``docs/observability.md``)::
+
+    "observability": {
+        "trace": true,                       # record spans for every query
+        "trace_out": "trace.json",           # Chrome trace_event file
+        "trace_jsonl": "spans.jsonl",        # streaming span log
+        "metrics": true,                     # aggregate the metrics registry
+        "slow_query_ms": 250,                # slow-query log threshold
+        "slow_query_log": "slow.jsonl"       # optional slow-query file
+    }
 """
 
 from __future__ import annotations
@@ -77,10 +89,14 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         options, fragment_retries = _apply_scheduler_config(
             config["scheduler"], options, fragment_retries
         )
+    observability = None
+    if "observability" in config:
+        observability = _build_observability(config["observability"])
     gis = GlobalInformationSystem(
         options=options,
         fragment_retries=fragment_retries,
         result_cache_size=int(config.get("result_cache_size", 0)),
+        observability=observability,
     )
 
     sources = config.get("sources")
@@ -146,7 +162,7 @@ def _check_keys(section: str, spec: Dict[str, Any], allowed: tuple) -> None:
     unknown = sorted(set(spec) - set(allowed))
     if unknown:
         raise CatalogError(
-            f"unknown scheduler config key(s) {unknown} in {section}; "
+            f"unknown config key(s) {unknown} in {section}; "
             f"allowed: {sorted(allowed)}"
         )
 
@@ -234,6 +250,57 @@ def _apply_scheduler_config(
         except PlanError as exc:
             raise CatalogError(f"invalid scheduler config: {exc}") from exc
     return options, fragment_retries
+
+
+def _build_observability(spec: Any) -> "Observability":
+    """Construct the mediator's observability bundle from config.
+
+    Mirrors the scheduler section's strictness: every key is validated and
+    unknown keys are rejected so a typo cannot silently disable tracing.
+    """
+    from .obs import Observability
+
+    if not isinstance(spec, dict):
+        raise CatalogError(
+            f"'observability' config must be a mapping (got {type(spec).__name__})"
+        )
+    _check_keys(
+        "observability",
+        spec,
+        ("trace", "trace_out", "trace_jsonl", "metrics",
+         "slow_query_ms", "slow_query_log"),
+    )
+    for key in ("trace", "metrics"):
+        if key in spec and not isinstance(spec[key], bool):
+            raise CatalogError(
+                f"observability config: {key!r} must be a boolean "
+                f"(got {spec[key]!r})"
+            )
+    for key in ("trace_out", "trace_jsonl", "slow_query_log"):
+        if key in spec and not isinstance(spec[key], str):
+            raise CatalogError(
+                f"observability config: {key!r} must be a path string "
+                f"(got {spec[key]!r})"
+            )
+    slow_ms = spec.get("slow_query_ms")
+    if slow_ms is not None:
+        if isinstance(slow_ms, bool) or not isinstance(slow_ms, (int, float)):
+            raise CatalogError(
+                "observability config: 'slow_query_ms' must be a number "
+                f"(got {slow_ms!r})"
+            )
+        if slow_ms < 0:
+            raise CatalogError(
+                f"observability config: 'slow_query_ms' must be >= 0 (got {slow_ms})"
+            )
+    return Observability(
+        trace=spec.get("trace", False),
+        metrics=spec.get("metrics", False),
+        slow_query_ms=slow_ms or 0.0,
+        trace_path=spec.get("trace_out"),
+        trace_jsonl=spec.get("trace_jsonl"),
+        slow_query_path=spec.get("slow_query_log"),
+    )
 
 
 def _build_link(spec: Optional[Dict[str, Any]]) -> Optional[NetworkLink]:

@@ -12,8 +12,7 @@ ground in base-table statistics.
 
 from __future__ import annotations
 
-import math
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from ..catalog.catalog import Catalog
 from ..catalog.statistics import ColumnStatistics

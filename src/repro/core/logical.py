@@ -13,8 +13,8 @@ Every operator exposes ``output_columns`` (its schema), ``children()``, and
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..catalog.catalog import CatalogTable
 from ..datatypes import DataType
@@ -501,8 +501,6 @@ def explain_plan(
     ``estimates`` optionally maps ``id(node)`` to estimated output rows;
     annotated as ``~N rows`` after each node that has one.
     """
-    from ..sql.printer import print_expression  # deferred: printer is heavy
-
     pad = "  " * indent
     label = type(plan).__name__.replace("Op", "")
     details = ""

@@ -25,13 +25,14 @@ from ..catalog.mappings import TableMapping
 from ..catalog.schema import Column, TableSchema
 from ..catalog.statistics import DEFAULT_HISTOGRAM_BUCKETS, TableStatistics
 from ..errors import CatalogError, UnknownObjectError
+from ..obs import Observability
 from ..sources.base import Adapter
 from ..sources.network import NetworkLink, SimulatedNetwork
 from ..sql.parser import parse_select
 from .analyzer import Analyzer
 from .fragments import interpret_plan
-from .logical import ScanOp, explain_plan
-from .physical import ExchangeExec, ExecutionContext
+from .logical import ScanOp
+from .physical import ExchangeExec, ExecutionContext, profile_operators
 from .planner import PlannedQuery, Planner, PlannerOptions
 from .result import QueryMetrics, QueryResult
 from .scheduler import CircuitBreakerRegistry, FragmentScheduler, SchedulerConfig
@@ -46,6 +47,7 @@ class GlobalInformationSystem:
         options: Optional[PlannerOptions] = None,
         fragment_retries: int = 0,
         result_cache_size: int = 0,
+        observability: Optional[Observability] = None,
     ) -> None:
         """Create a mediator.
 
@@ -61,12 +63,18 @@ class GlobalInformationSystem:
         per-source breaker registry (``self.breakers``) so breaker state
         persists across queries. The mediator is safe to query from
         multiple threads.
+
+        ``observability`` bundles the tracer, metrics registry, and
+        slow-query log (see :class:`repro.obs.Observability`); omitted, one
+        is created with everything off, so instrumentation costs nothing
+        until armed.
         """
         self.catalog = Catalog()
         self.network = network or SimulatedNetwork()
         self.planner = Planner(self.catalog, self.network, options)
         self.fragment_retries = fragment_retries
         self.breakers = CircuitBreakerRegistry()
+        self.obs = observability or Observability()
         self._result_cache_size = result_cache_size
         self._result_cache: "OrderedDict[Tuple[str, Optional[PlannerOptions]], QueryResult]" = (
             OrderedDict()
@@ -334,18 +342,61 @@ class GlobalInformationSystem:
                     self.cache_hits += 1
             if cached is not None:
                 hit_metrics = replace(cached.metrics.network, cache_hit=True)
-                return QueryResult(
+                hit = QueryResult(
                     column_names=list(cached.column_names),
                     rows=list(cached.rows),
                     metrics=QueryMetrics(network=hit_metrics, wall_ms=0.0,
                                          planning_ms=0.0),
                     explain_text=cached.explain_text,
                 )
+                self.obs.record_query(sql, hit.metrics)
+                return hit
+        obs = self.obs
+        tracer = obs.tracer
+        opts = options or self.planner.options
+        root = tracer.root_span("query", force=opts.trace, sql=sql)
         started = time.perf_counter()
-        planned = self.planner.plan(sql, options)
-        context = self._execution_context(options)
-        rows = self._execute(planned, context)
-        context.metrics.rows_output = len(rows)
+        context = None
+        planned = None
+        try:
+            planned = self.planner.plan(sql, options, tracer=tracer, parent=root)
+            context = self._execution_context(options)
+            context.tracer = tracer
+            exec_span = tracer.child(root, "phase:execute", "phase")
+            context.trace_span = exec_span
+            if exec_span:
+                profile_operators(planned.physical, tracer=tracer,
+                                  parent=exec_span)
+            try:
+                rows = self._execute(planned, context)
+            finally:
+                exec_span.end()
+            context.metrics.rows_output = len(rows)
+        except BaseException as exc:
+            root.set_attribute("error", repr(exc))
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            if context is not None:
+                # A failed query still shipped pages, tripped breakers, and
+                # burned retries — fold its real transfer totals in.
+                obs.record_query(
+                    sql,
+                    QueryMetrics(
+                        network=context.metrics,
+                        wall_ms=wall_ms,
+                        planning_ms=planned.planning_ms if planned else 0.0,
+                    ),
+                    failed=True,
+                )
+            elif obs.registry.enabled:
+                obs.registry.counter("queries_total").inc()
+                obs.registry.counter("queries_failed_total").inc()
+            raise
+        finally:
+            root.end()
+            if obs.registry.enabled:
+                obs.publish_breakers(self.breakers)
+            obs.collect()
+            obs.maybe_export()
         wall_ms = (time.perf_counter() - started) * 1000.0
         metrics = QueryMetrics(
             network=context.metrics,
@@ -358,6 +409,7 @@ class GlobalInformationSystem:
             metrics=metrics,
             explain_text=planned.explain(),
         )
+        obs.record_query(sql, metrics)
         if self._result_cache_size > 0:
             # Store a snapshot so callers mutating their result (rows is a
             # plain list) cannot corrupt later cache hits.
@@ -380,23 +432,38 @@ class GlobalInformationSystem:
     def explain_analyze(
         self, sql: str, options: Optional[PlannerOptions] = None
     ) -> str:
-        """Execute the query and report actual rows per physical operator.
+        """Execute the query and report actuals per physical operator.
 
         The query really runs (network is charged as usual); the report
         shows the physical tree annotated with produced row and batch
-        counts plus the transfer metrics.
+        counts and inclusive wall time per node, plus the transfer
+        metrics. When the mediator's tracer is live the run also emits
+        operator spans like any traced query.
         """
-        from .physical import instrument_row_counts
-
-        planned = self.planner.plan(sql, options)
-        batch_counts: Dict[int, int] = {}
-        counts = instrument_row_counts(planned.physical, batch_counts)
+        obs = self.obs
+        tracer = obs.tracer
+        root = tracer.root_span("query", sql=sql, analyze=True)
+        planned = self.planner.plan(sql, options, tracer=tracer, parent=root)
         context = self._execution_context(options)
-        rows = self._execute(planned, context)
+        context.tracer = tracer
+        exec_span = tracer.child(root, "phase:execute", "phase")
+        context.trace_span = exec_span
+        profiles = profile_operators(planned.physical, tracer=tracer,
+                                     parent=exec_span)
+        try:
+            rows = self._execute(planned, context)
+        finally:
+            exec_span.end()
+            root.end()
+            obs.collect()
+            obs.maybe_export()
         sections = [
             "== physical plan (actual rows) ==",
-            planned.physical.explain(row_counts=counts,
-                                     batch_counts=batch_counts),
+            planned.physical.explain(
+                row_counts={op: p.rows for op, p in profiles.items()},
+                batch_counts={op: p.batches for op, p in profiles.items()},
+                timings={op: p.wall_ms for op, p in profiles.items()},
+            ),
             "",
             f"result rows: {len(rows)}",
             QueryMetrics(network=context.metrics).summary(),

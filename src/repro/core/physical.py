@@ -30,12 +30,14 @@ from __future__ import annotations
 import datetime
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..catalog.catalog import Catalog
 from ..datatypes import DataType
 from ..errors import ExecutionError, PlanError
+from ..obs.trace import NULL_SPAN, NULL_TRACER
 from ..sql import ast
 from ..sources.network import SimulatedNetwork
 from .aggregates import make_accumulator, sort_rows
@@ -49,7 +51,6 @@ from .expressions import (
 from .fragments import Fragment, equi_join_keys
 from .logical import (
     AggregateOp,
-    BindSpec,
     DistinctOp,
     FilterOp,
     JoinOp,
@@ -139,6 +140,15 @@ class ExecutionContext:
         self.batch_size = max(batch_size, 1)
         self.metrics = ExecutionMetrics()
         self._metrics_lock = threading.Lock()
+        # Tracing hooks (see repro.obs): the mediator arms these per query.
+        # Operators and the scheduler call them unconditionally — the NULL
+        # singletons make the disabled path a single falsy check.
+        self.tracer = NULL_TRACER
+        self.trace_span = NULL_SPAN
+
+    def trace_child(self, name: str, category: str = "", **attributes):
+        """A span under this query's execute span (NULL when tracing is off)."""
+        return self.tracer.child(self.trace_span, name, category, **attributes)
 
     @property
     def retry_policy(self):
@@ -367,16 +377,21 @@ class PhysicalOperator:
         indent: int = 0,
         row_counts: Optional[Dict[int, int]] = None,
         batch_counts: Optional[Dict[int, int]] = None,
+        timings: Optional[Dict[int, float]] = None,
     ) -> str:
         label = "  " * indent + self.describe()
         if row_counts is not None and id(self) in row_counts:
             label += f"  [{row_counts[id(self)]} rows"
             if batch_counts is not None and batch_counts.get(id(self)):
                 label += f" / {batch_counts[id(self)]} batches"
+            if timings is not None and id(self) in timings:
+                label += f" / {timings[id(self)]:.1f} ms"
             label += "]"
         lines = [label]
         for child in self.children():
-            lines.append(child.explain(indent + 1, row_counts, batch_counts))
+            lines.append(
+                child.explain(indent + 1, row_counts, batch_counts, timings)
+            )
         return "\n".join(lines)
 
     def walk(self) -> Iterator["PhysicalOperator"]:
@@ -432,6 +447,85 @@ def instrument_row_counts(
     for operator in root.walk():
         wrap(operator)
     return counts
+
+
+@dataclass
+class OperatorProfile:
+    """Execution actuals for one physical operator.
+
+    ``wall_ms`` is *inclusive* time: milliseconds spent inside this
+    operator's pull (which contains its children's pulls), summed over
+    every batch it produced — the number EXPLAIN ANALYZE reports per node.
+    """
+
+    rows: int = 0
+    batches: int = 0
+    wall_ms: float = 0.0
+
+
+def profile_operators(
+    root: PhysicalOperator, tracer=None, parent=None
+) -> Dict[int, "OperatorProfile"]:
+    """Wrap every operator's stream to record rows, batches, and time.
+
+    Returns ``id(op) -> OperatorProfile``, filled in during execution —
+    the EXPLAIN ANALYZE / per-operator tracing mechanism. When a live
+    ``tracer`` and ``parent`` span are given, each operator additionally
+    emits one span covering its first pull through exhaustion, annotated
+    with its actuals. Like :func:`instrument_row_counts`, exactly one
+    layer is wrapped per operator (native ``iterate_batches``, else the
+    legacy ``iterate``, whose batch counts stay 0), and wrapping mutates
+    the per-plan operator instances.
+    """
+    tracer = tracer or NULL_TRACER
+    parent = parent if parent is not None else NULL_SPAN
+    profiles: Dict[int, OperatorProfile] = {}
+    clock = time.perf_counter
+
+    def wrap(op: PhysicalOperator) -> None:
+        profile = profiles[id(op)] = OperatorProfile()
+        label = op.describe()
+        legacy = type(op).iterate_batches is PhysicalOperator.iterate_batches and (
+            type(op).iterate is not PhysicalOperator.iterate
+        )
+        original = op.iterate if legacy else op.iterate_batches
+
+        def profiled(ctx: ExecutionContext, _original=original,
+                     _profile=profile, _label=label, _legacy=legacy):
+            span = tracer.child(parent, f"op:{_label}", "operator")
+            iterator = _original(ctx)
+            elapsed = 0.0
+            try:
+                while True:
+                    started = clock()
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        elapsed += clock() - started
+                        return
+                    elapsed += clock() - started
+                    if _legacy:
+                        _profile.rows += 1
+                    else:
+                        _profile.batches += 1
+                        _profile.rows += len(item)
+                    yield item
+            finally:
+                _profile.wall_ms += elapsed * 1000.0
+                if span:
+                    span.set_attribute("rows", _profile.rows)
+                    span.set_attribute("batches", _profile.batches)
+                    span.set_attribute("busy_ms", round(_profile.wall_ms, 3))
+                    span.end()
+
+        if legacy:
+            op.iterate = profiled  # type: ignore[method-assign]
+        else:
+            op.iterate_batches = profiled  # type: ignore[method-assign]
+
+    for operator in root.walk():
+        wrap(operator)
+    return profiles
 
 
 class StaticRowsExec(PhysicalOperator):
@@ -497,46 +591,59 @@ class ExchangeExec(PhysicalOperator):
         sizer = self._sizer
         rng = random.Random(f"{source}:direct")
         attempt = 0
-        while True:
-            breaker = ctx.breaker_for(source)
-            if breaker is not None and not breaker.allow():
-                fallback = (
-                    replica_fallback(ctx.catalog, fragment, ctx.breakers)
-                    if ctx.breakers is not None
-                    else None
-                )
-                if fallback is None:
-                    raise SourceError(
-                        source,
-                        "circuit breaker open; no healthy replica registered "
-                        "(failing fast)",
+        span = ctx.trace_child(
+            f"fragment:{source}", "fragment", source=source, mode="sequential"
+        )
+        try:
+            while True:
+                breaker = ctx.breaker_for(source)
+                if breaker is not None and not breaker.allow():
+                    fallback = (
+                        replica_fallback(ctx.catalog, fragment, ctx.breakers)
+                        if ctx.breakers is not None
+                        else None
                     )
-                source, adapter, fragment = fallback
-                ctx.add_metric("breaker_fallbacks", 1)
-                continue  # re-evaluate the replica's own breaker
-            produced = False
-            try:
-                for page in adapter.execute_pages(fragment, self.page_rows):
-                    # Every page — including the final (possibly empty)
-                    # one — costs a round trip; an empty result still
-                    # charges one message.
-                    ctx.charge_transfer(source, page, 1, sizer)
-                    if page:
-                        yield page
-                        produced = True
-            except SourceError:
-                if breaker is not None and breaker.record_failure():
-                    ctx.add_metric("breaker_trips", 1)
-                # Retry is only safe before any row reached the consumer.
-                if produced or attempt >= policy.retries:
-                    raise
-                attempt += 1
-                ctx.metrics.fragment_retries += 1
-                sleep_ms(policy.delay_ms(attempt, rng))
-                continue
-            if breaker is not None:
-                breaker.record_success()
-            return
+                    if fallback is None:
+                        raise SourceError(
+                            source,
+                            "circuit breaker open; no healthy replica registered "
+                            "(failing fast)",
+                        )
+                    source, adapter, fragment = fallback
+                    ctx.add_metric("breaker_fallbacks", 1)
+                    span.event("replica-fallback", source=source)
+                    span.set_attribute("source", source)
+                    continue  # re-evaluate the replica's own breaker
+                produced = False
+                try:
+                    for page in adapter.execute_pages(fragment, self.page_rows):
+                        # Every page — including the final (possibly empty)
+                        # one — costs a round trip; an empty result still
+                        # charges one message.
+                        ctx.charge_transfer(source, page, 1, sizer)
+                        span.event("page", rows=len(page))
+                        if page:
+                            yield page
+                            produced = True
+                except SourceError as exc:
+                    if breaker is not None and breaker.record_failure():
+                        ctx.add_metric("breaker_trips", 1)
+                        span.event("breaker-trip", source=source)
+                    # Retry is only safe before any row reached the consumer.
+                    if produced or attempt >= policy.retries:
+                        span.set_attribute("error", repr(exc))
+                        raise
+                    attempt += 1
+                    ctx.metrics.fragment_retries += 1
+                    delay = policy.delay_ms(attempt, rng)
+                    span.event("retry", attempt=attempt, delay_ms=round(delay, 3))
+                    sleep_ms(delay)
+                    continue
+                if breaker is not None:
+                    breaker.record_success()
+                return
+        finally:
+            span.end()
 
     def describe(self) -> str:
         label = f"Exchange(source={self.fragment.source_name})"
@@ -979,19 +1086,29 @@ class BindJoinExec(PhysicalOperator):
                 "circuit breaker open; no healthy replica registered "
                 "(failing fast)",
             )
+        span = ctx.trace_child(
+            f"fragment:{source}", "fragment", source=source, mode="bindjoin",
+            key_batches=len(batches),
+        )
         try:
             for batch in batches:
                 ctx.metrics.semijoin_batches += 1
                 ctx.charge_request(source, key_sizer(batch))
+                span.event("key-batch", keys=len(batch))
                 fragment = self._batch_fragment(batch)
                 for page in self.adapter.execute_pages(fragment, self.page_rows):
                     ctx.charge_transfer(source, page, 1, sizer)
+                    span.event("page", rows=len(page))
                     if page:
                         yield page
-        except SourceError:
+        except SourceError as exc:
             if breaker is not None and breaker.record_failure():
                 ctx.add_metric("breaker_trips", 1)
+                span.event("breaker-trip", source=source)
+            span.set_attribute("error", repr(exc))
             raise
+        finally:
+            span.end()
         if breaker is not None:
             breaker.record_success()
 

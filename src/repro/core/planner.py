@@ -18,12 +18,12 @@ from typing import List, Optional
 from ..catalog.catalog import Catalog
 from ..errors import PlanError
 from ..sources.network import SimulatedNetwork
-from ..sql import ast
 from ..sql.parser import parse_select
 from .analyzer import Analyzer
 from .cardinality import Estimator
 from .cost import DEFAULT_CPU_ROW_MS, CostModel
 from .join_order import DEFAULT_DP_LIMIT, JOIN_STRATEGIES, JoinOrderer, OrderingStats
+from ..obs.trace import NULL_SPAN, NULL_TRACER
 from .logical import LogicalPlan, explain_plan
 from .physical import JOIN_ALGORITHMS, PhysicalOperator, PhysicalPlanner
 from .pushdown import PUSHDOWN_LEVELS, PushdownPlanner
@@ -65,6 +65,9 @@ class PlannerOptions:
             (batch-at-a-time execution); 1 degenerates to classic
             row-at-a-time pulls. Purely an executor knob — plans, results,
             and simulated network accounting are identical at every value.
+        trace: force tracing for queries planned with these options even
+            when the mediator's tracer is globally disabled (per-query
+            tracing). Purely observational — never changes the plan.
     """
 
     rewrites: bool = True
@@ -87,6 +90,7 @@ class PlannerOptions:
     breaker_failure_threshold: int = 0
     breaker_reset_ms: float = 30000.0
     batch_size: int = 1024
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.join_strategy not in JOIN_STRATEGIES:
@@ -202,55 +206,82 @@ class Planner:
         self.network = network
         self.options = options or PlannerOptions()
 
-    def plan(self, sql: str, options: Optional[PlannerOptions] = None) -> PlannedQuery:
-        """Produce a fully optimized, executable plan for ``sql``."""
+    def plan(
+        self,
+        sql: str,
+        options: Optional[PlannerOptions] = None,
+        tracer=None,
+        parent=None,
+    ) -> PlannedQuery:
+        """Produce a fully optimized, executable plan for ``sql``.
+
+        ``tracer``/``parent`` attach planning-phase spans (parse, analyze,
+        rewrite, plan) to an enclosing query trace; both default to the
+        no-op singletons so untraced callers pay nothing.
+        """
         opts = options or self.options
+        if tracer is None:
+            tracer = NULL_TRACER
+        if parent is None:
+            parent = NULL_SPAN
         started = time.perf_counter()
-        statement = parse_select(sql)
-        analyzer = Analyzer(self.catalog)
-        bound = analyzer.bind_statement(statement)
+        with tracer.child(parent, "phase:parse", "phase"):
+            statement = parse_select(sql)
+        with tracer.child(parent, "phase:analyze", "phase"):
+            analyzer = Analyzer(self.catalog)
+            bound = analyzer.bind_statement(statement)
         output_names = [column.name for column in bound.output_columns]
 
-        optimized = rewrite(bound) if opts.rewrites else bound
+        with tracer.child(parent, "phase:rewrite", "phase", enabled=opts.rewrites):
+            optimized = rewrite(bound) if opts.rewrites else bound
 
-        estimator = Estimator(self.catalog, use_histograms=opts.use_histograms)
-        cost_model = CostModel(self.network, estimator, cpu_row_ms=opts.cpu_row_ms)
-        orderer = JoinOrderer(
-            self.catalog,
-            estimator,
-            cost_model,
-            strategy=opts.join_strategy,
-            dp_limit=opts.dp_limit,
-        )
-        optimized = orderer.reorder(optimized)
-        if opts.rewrites:
-            # Reordering moves predicates around; re-prune projections.
-            optimized = rewrite(optimized)
-        if opts.partial_aggregation:
-            from .partial_agg import push_partial_aggregation
+        plan_span = tracer.child(parent, "phase:plan", "phase")
+        with plan_span:
+            estimator = Estimator(self.catalog, use_histograms=opts.use_histograms)
+            cost_model = CostModel(self.network, estimator, cpu_row_ms=opts.cpu_row_ms)
+            orderer = JoinOrderer(
+                self.catalog,
+                estimator,
+                cost_model,
+                strategy=opts.join_strategy,
+                dp_limit=opts.dp_limit,
+            )
+            with tracer.child(plan_span, "join-order", "phase",
+                              strategy=opts.join_strategy):
+                optimized = orderer.reorder(optimized)
+                if opts.rewrites:
+                    # Reordering moves predicates around; re-prune projections.
+                    optimized = rewrite(optimized)
+            if opts.partial_aggregation:
+                from .partial_agg import push_partial_aggregation
 
-            optimized = push_partial_aggregation(optimized)
-        replica_decisions: List[str] = []
-        if opts.replicas == "cost":
-            from .replicas import ReplicaSelector
+                optimized = push_partial_aggregation(optimized)
+            replica_decisions: List[str] = []
+            if opts.replicas == "cost":
+                from .replicas import ReplicaSelector
 
-            selector = ReplicaSelector(self.catalog, estimator, cost_model)
-            optimized = selector.apply(optimized)
-            replica_decisions = selector.decisions
+                selector = ReplicaSelector(self.catalog, estimator, cost_model)
+                optimized = selector.apply(optimized)
+                replica_decisions = selector.decisions
 
-        pushdown = PushdownPlanner(self.catalog, estimator, level=opts.pushdown)
-        distributed = pushdown.apply(optimized)
+            with tracer.child(plan_span, "pushdown", "phase", level=opts.pushdown):
+                pushdown = PushdownPlanner(
+                    self.catalog, estimator, level=opts.pushdown
+                )
+                distributed = pushdown.apply(optimized)
 
-        semijoin = SemijoinPlanner(
-            self.catalog, estimator, cost_model, mode=opts.semijoin
-        )
-        distributed = semijoin.apply(distributed)
+            with tracer.child(plan_span, "semijoin", "phase", mode=opts.semijoin):
+                semijoin = SemijoinPlanner(
+                    self.catalog, estimator, cost_model, mode=opts.semijoin
+                )
+                distributed = semijoin.apply(distributed)
 
-        physical = PhysicalPlanner(
-            self.catalog,
-            join_algorithm=opts.join_algorithm,
-            parallel_fragments=opts.max_parallel_fragments,
-        ).build(distributed)
+            with tracer.child(plan_span, "physical", "phase"):
+                physical = PhysicalPlanner(
+                    self.catalog,
+                    join_algorithm=opts.join_algorithm,
+                    parallel_fragments=opts.max_parallel_fragments,
+                ).build(distributed)
 
         estimates = {}
         for node in distributed.walk():

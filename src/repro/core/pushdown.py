@@ -14,7 +14,7 @@ materializes the columns the plan already references.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..catalog.catalog import Catalog
 from ..sql import ast
@@ -29,10 +29,8 @@ from .logical import (
     ProjectOp,
     RemoteQueryOp,
     ScanOp,
-    SetDifferenceOp,
     SortOp,
     UnionOp,
-    ValuesOp,
 )
 
 #: Pushdown levels: "full" uses the whole capability envelope; "scans-only"

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import SourceError
+from ..obs.trace import NULL_SPAN
 from .fragments import Fragment
 from .logical import ScanOp, transform_plan
 
@@ -211,6 +212,15 @@ class CircuitBreakerRegistry:
         with self._lock:
             return sum(b.trip_count for b in self._breakers.values())
 
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Current state and trip count of every known breaker."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {
+            source: {"state": breaker.state, "trips": breaker.trip_count}
+            for source, breaker in sorted(breakers.items())
+        }
+
     def reset(self) -> None:
         """Forget all breaker state (e.g. after repairing a federation)."""
         with self._lock:
@@ -325,7 +335,7 @@ class _FragmentTask:
 
     __slots__ = (
         "index", "adapter", "fragment", "page_rows", "sizer", "queue",
-        "cancelled", "done", "virtual_ms", "thread",
+        "cancelled", "done", "virtual_ms", "thread", "span",
     )
 
     def __init__(
@@ -346,6 +356,10 @@ class _FragmentTask:
         self.done = False
         self.virtual_ms = 0.0
         self.thread: Optional[threading.Thread] = None
+        # Trace span for this fetch; the producer thread opens it (under
+        # the parent captured from the submitting thread's context) and the
+        # consumer may close it on timeout — Span.end is race-safe.
+        self.span = NULL_SPAN
 
     def put(self, item, stop: threading.Event) -> bool:
         """Enqueue one item, giving up if the task or query is cancelled."""
@@ -467,6 +481,11 @@ class FragmentScheduler:
                 breaker = ctx.breaker_for(source)
                 if breaker is not None and breaker.record_failure():
                     ctx.add_metric("breaker_trips", 1)
+                # Close the abandoned producer's span from here — its own
+                # thread is hung and will never end it.
+                task.span.event("timeout", timeout_ms=timeout_ms)
+                task.span.set_attribute("timeout", True)
+                task.span.end()
                 raise SourceError(
                     source,
                     f"fragment made no progress for {timeout_ms:.0f} ms "
@@ -539,18 +558,43 @@ class FragmentScheduler:
             self._global_slots.release()
 
     def _run_envelope(self, task: _FragmentTask, ctx) -> None:
-        """Execute one fragment inside the robustness envelope."""
+        """Execute one fragment inside the robustness envelope.
+
+        The trace span is opened here, on the worker thread, under the
+        parent captured from the submitting query's context
+        (``ctx.trace_span``) — explicit cross-thread context propagation.
+        It is also activated thread-locally so any nested instrumentation
+        on this worker parents correctly.
+        """
         config = self._config
         adapter, fragment = task.adapter, task.fragment
         source = fragment.source_name
         rng = random.Random(f"{source}:{task.index}")
         attempt = 0
+        span = ctx.trace_child(
+            f"fragment:{source}", "fragment",
+            source=source, mode="parallel", worker=task.index,
+        )
+        task.span = span
+        with ctx.tracer.activate(span):
+            try:
+                self._envelope_loop(
+                    task, ctx, adapter, fragment, source, rng, attempt, config,
+                    span,
+                )
+            finally:
+                span.end()
+
+    def _envelope_loop(
+        self, task, ctx, adapter, fragment, source, rng, attempt, config, span
+    ) -> None:
         while not (self._stop.is_set() or task.cancelled):
             breaker = ctx.breaker_for(source)
             if breaker is not None and not breaker.allow():
                 fallback = replica_fallback(self._catalog, fragment, self._breakers)
                 if fallback is None:
                     task.done = True
+                    span.set_attribute("error", "circuit breaker open")
                     task.put(
                         ("error", SourceError(
                             source,
@@ -562,6 +606,8 @@ class FragmentScheduler:
                     return
                 source, adapter, fragment = fallback
                 ctx.add_metric("breaker_fallbacks", 1)
+                span.event("replica-fallback", source=source)
+                span.set_attribute("source", source)
                 continue  # re-evaluate the replica's own breaker
             slot = self._source_slot(source)
             if not self._acquire(slot, task):
@@ -578,6 +624,7 @@ class FragmentScheduler:
                     task.virtual_ms += ctx.charge_transfer(
                         source, page, 1, task.sizer
                     )
+                    span.event("page", rows=len(page))
                     if page:
                         if not task.put(("rows", page), self._stop):
                             return
@@ -585,16 +632,21 @@ class FragmentScheduler:
             except SourceError as exc:
                 if breaker is not None and breaker.record_failure():
                     ctx.add_metric("breaker_trips", 1)
+                    span.event("breaker-trip", source=source)
                 if produced or attempt >= config.retry.retries:
                     task.done = True
+                    span.set_attribute("error", repr(exc))
                     task.put(("error", exc), self._stop)
                     return
                 attempt += 1
                 ctx.add_metric("fragment_retries", 1)
-                sleep_ms(config.retry.delay_ms(attempt, rng))
+                delay = config.retry.delay_ms(attempt, rng)
+                span.event("retry", attempt=attempt, delay_ms=round(delay, 3))
+                sleep_ms(delay)
                 continue
             except BaseException as exc:  # surface planner/adapter bugs
                 task.done = True
+                span.set_attribute("error", repr(exc))
                 task.put(("error", exc), self._stop)
                 return
             finally:

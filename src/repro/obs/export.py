@@ -1,0 +1,202 @@
+"""Trace exporters and the slow-query log.
+
+Three output paths:
+
+* :class:`JsonLinesTraceSink` — streaming export: every finished span is
+  written as one JSON object per line, immediately, so a crash still
+  leaves a usable trace behind.
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — batch export
+  to the Chrome ``trace_event`` format (the ``{"traceEvents": [...]}``
+  JSON object), loadable in ``chrome://tracing`` and Perfetto. Spans
+  become complete (``"ph": "X"``) events on their recording thread's
+  track; span events become instants (``"ph": "i"``).
+* :class:`SlowQueryLog` — queries whose wall time crosses a configurable
+  threshold are kept in a bounded in-memory ring and optionally appended
+  to a JSON-lines file, with enough context (SQL, timings, transfer
+  totals) to reconstruct what hurt.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Any, Dict, List, Optional, Sequence
+
+from .trace import Span
+
+
+class JsonLinesTraceSink:
+    """Writes each finished span as one JSON line (thread-safe).
+
+    Accepts a path (opened for append) or any writable text stream. Used
+    as a :class:`~repro.obs.trace.Tracer` sink for live streaming export.
+    """
+
+    def __init__(self, target: Any) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "a")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._lock = threading.Lock()
+
+    def write(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event format
+# ---------------------------------------------------------------------------
+
+#: Stable thread-name → numeric tid assignment for one export batch.
+def _tid_table(spans: Sequence[Span]) -> Dict[str, int]:
+    table: Dict[str, int] = {}
+    for span in spans:
+        if span.thread_name not in table:
+            table[span.thread_name] = len(table) + 1
+    return table
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Spans as Chrome ``trace_event`` dictionaries.
+
+    Timestamps are microseconds on the tracer's monotonic origin. Each
+    distinct recording thread gets its own ``tid`` plus a metadata event
+    naming the track, so Perfetto shows scheduler workers as separate
+    lanes under one process. Parent links ride in ``args`` (the viewer
+    nests by time/track; tooling can rebuild exact trees from the ids).
+    """
+    tids = _tid_table(spans)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": thread_name},
+        }
+        for thread_name, tid in tids.items()
+    ]
+    for span in spans:
+        tid = tids[span.thread_name]
+        args = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["trace_id"] = span.trace_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": round(span.start_ms * 1000.0, 1),
+                "dur": round(span.duration_ms * 1000.0, 1),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for name, ts_ms, attributes in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": span.category or "span",
+                    "ph": "i",
+                    "ts": round(ts_ms * 1000.0, 1),
+                    "pid": 1,
+                    "tid": tid,
+                    "s": "t",
+                    "args": dict(attributes, span_id=span.span_id),
+                }
+            )
+    return events
+
+
+def write_chrome_trace(path: str, spans: Sequence[Span]) -> str:
+    """Write ``{"traceEvents": [...]}`` for chrome://tracing; returns path."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, default=str)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# slow-query log
+# ---------------------------------------------------------------------------
+
+
+class SlowQueryLog:
+    """Captures queries slower than a wall-clock threshold.
+
+    ``threshold_ms <= 0`` disables the log entirely. Entries are plain
+    dictionaries kept in a bounded ring (``max_entries``, oldest dropped)
+    and, when ``path`` is set, appended to that file as JSON lines.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float = 0.0,
+        path: Optional[str] = None,
+        max_entries: int = 1000,
+    ) -> None:
+        self.threshold_ms = float(threshold_ms)
+        self.path = path
+        self.max_entries = max(max_entries, 1)
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms > 0
+
+    def record(
+        self,
+        sql: str,
+        wall_ms: float,
+        planning_ms: float = 0.0,
+        rows: int = 0,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Log the query if it crossed the threshold; returns whether it did."""
+        if not self.enabled or wall_ms < self.threshold_ms:
+            return False
+        entry: Dict[str, Any] = {
+            "sql": sql,
+            "wall_ms": round(wall_ms, 3),
+            "planning_ms": round(planning_ms, 3),
+            "rows": rows,
+            "threshold_ms": self.threshold_ms,
+        }
+        if detail:
+            entry.update(detail)
+        with self._lock:
+            self._entries.append(entry)
+            if len(self._entries) > self.max_entries:
+                del self._entries[: len(self._entries) - self.max_entries]
+        if self.path is not None:
+            line = json.dumps(entry, default=str)
+            with self._lock:
+                with open(self.path, "a") as handle:
+                    handle.write(line + "\n")
+        return True
+
+    @property
+    def entries(self) -> List[Dict[str, Any]]:
+        """A copy of the retained entries (oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,310 @@
+"""Metrics registry: named counters, gauges, and bucketed histograms.
+
+Unlike the per-query :class:`~repro.core.physical.ExecutionMetrics` bag
+(which is born and dies with one execution), the registry aggregates
+*across* queries for the lifetime of a mediator: total rows shipped,
+query-latency distribution, circuit-breaker trips per source. The mediator
+folds every query's execution metrics in at completion, and the REPL's
+``\\metrics`` command prints a snapshot.
+
+All instruments are thread-safe (scheduler workers and concurrent client
+threads may record simultaneously) and near-zero cost when the registry is
+disabled: instrument lookups then return shared no-op singletons, so
+recording sites never branch.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (milliseconds-flavored but
+#: unit-agnostic): roughly logarithmic from sub-ms to a minute.
+DEFAULT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A point-in-time value that may move either way."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Bucketed distribution with cumulative-style bucket counts.
+
+    ``buckets`` are upper bounds (inclusive) of each bucket; observations
+    above the last bound land in the implicit +Inf bucket. The snapshot
+    reports per-bucket counts (not cumulative), plus count/sum/min/max so
+    averages and tail shares fall out directly.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_min",
+                 "_max", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            buckets: List[Tuple[float, int]] = [
+                (bound, count)
+                for bound, count in zip(self.bounds, self._counts)
+                if count
+            ]
+            if self._counts[-1]:
+                buckets.append((float("inf"), self._counts[-1]))
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 3),
+                "min": self._min,
+                "max": self._max,
+                "avg": round(self._sum / self._count, 3) if self._count else None,
+                "buckets": buckets,
+            }
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "avg": None, "buckets": []}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily, snapshotted atomically.
+
+    When disabled, instrument accessors return shared no-op singletons —
+    callers keep their unconditional ``registry.counter("x").inc()`` shape
+    at effectively zero cost. Enabling later starts from zero; instruments
+    recorded while disabled are (intentionally) lost.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self._enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = Counter(name)
+                self._counters[name] = instrument
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self._enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = Gauge(name)
+                self._gauges[name] = instrument
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self._enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = Histogram(name, buckets)
+                self._histograms[name] = instrument
+            return instrument
+
+    # -- snapshot / reset --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments' current values, as plain data."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].snapshot() for name in sorted(histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (they stay registered)."""
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for instrument in instruments:
+            instrument._reset()
+
+    def format_snapshot(self) -> str:
+        """Human-readable snapshot (the REPL's ``\\metrics`` tail)."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                rendered = f"{value:.0f}" if value == int(value) else f"{value:.2f}"
+                lines.append(f"  {name} = {rendered}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for name, value in snap["gauges"].items():
+                rendered = f"{value:.0f}" if value == int(value) else f"{value:.2f}"
+                lines.append(f"  {name} = {rendered}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name, data in snap["histograms"].items():
+                if not data["count"]:
+                    continue
+                lines.append(
+                    f"  {name}: count={data['count']} avg={data['avg']} "
+                    f"min={data['min']:.2f} max={data['max']:.2f}"
+                )
+        return "\n".join(lines) if lines else "(registry empty)"

@@ -1,0 +1,347 @@
+"""Structured tracing core: explicit spans over a monotonic clock.
+
+A :class:`Span` is one timed region of work — a mediator phase, a physical
+operator's lifetime, a fragment fetch on a scheduler worker thread — with
+parent/child links, key/value attributes, and point-in-time events
+(retries, breaker trips, response pages). A :class:`Tracer` mints spans,
+collects them as they finish, and optionally forwards each finished span to
+a live sink (see :mod:`repro.obs.export`).
+
+Design constraints, in priority order:
+
+* **near-zero cost when disabled** — every instrumentation site holds a
+  parent handle; when tracing is off that handle is the falsy
+  :data:`NULL_SPAN` singleton and :meth:`Tracer.child` returns it again
+  after a single attribute check. No allocation, no locking, no clock read.
+* **explicit context propagation** — the scheduler hands fragments to
+  worker threads, so thread-local "current span" state cannot carry the
+  parent across. Instrumentation captures the parent span explicitly at
+  submission time and passes it into the worker; a thread-local
+  :meth:`Tracer.activate` stack exists for same-thread convenience only.
+* **monotonic timing** — all timestamps are milliseconds since the
+  tracer's origin on ``time.perf_counter()``; wall-clock never appears, so
+  spans order correctly even across NTP steps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class _NullSpan:
+    """The no-op span: absorbs the full Span API, is falsy, and is shared.
+
+    Instrumented code never branches on "is tracing on?" — it calls the
+    same methods on whatever span it holds, and this singleton makes the
+    disabled path free.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        pass
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+
+#: The shared disabled span; every tracing call site tolerates it.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region of work, linked to its parent.
+
+    Spans are context managers (``with tracer.child(parent, "x") as span:``)
+    but may also be ended explicitly with :meth:`end` when the region does
+    not nest lexically (operator lifetimes, fragment fetches). ``end`` is
+    idempotent; an exception inside the ``with`` block is recorded as an
+    ``error`` attribute. Events may be appended from any thread.
+    """
+
+    __slots__ = (
+        "tracer", "name", "category", "span_id", "parent_id", "trace_id",
+        "thread_name", "start_ms", "end_ms", "attributes", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        span_id: int,
+        parent_id: Optional[int],
+        trace_id: int,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.thread_name = threading.current_thread().name
+        self.start_ms = tracer.now_ms()
+        self.end_ms: Optional[float] = None
+        self.attributes = attributes
+        self.events: List[Tuple[str, float, Dict[str, Any]]] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def duration_ms(self) -> float:
+        """Elapsed milliseconds (to now for a still-open span)."""
+        end = self.end_ms if self.end_ms is not None else self.tracer.now_ms()
+        return end - self.start_ms
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        self.attributes[name] = value
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time occurrence inside this span."""
+        self.events.append((name, self.tracer.now_ms(), attributes))
+
+    def end(self) -> None:
+        """Close the span and hand it to the tracer.
+
+        Idempotent and race-safe: a fragment span may be ended by its
+        producer thread (normal completion) and by the consumer (timeout)
+        concurrently; exactly one of them wins.
+        """
+        self.tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc is not None:
+            self.attributes.setdefault("error", repr(exc))
+        self.end()
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the JSON-lines export schema)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "thread": self.thread_name,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "attributes": dict(self.attributes),
+            "events": [
+                {"name": name, "ts_ms": round(ts, 3), "attributes": attrs}
+                for name, ts, attrs in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration_ms:.2f} ms)"
+        )
+
+
+class Tracer:
+    """Mints, activates, and collects spans for one mediator.
+
+    Finished spans accumulate in an internal ring (bounded by
+    ``max_spans``, oldest dropped first) until :meth:`drain` hands them to
+    whoever exports them; a ``sink`` additionally sees every span the
+    moment it finishes (streaming JSON-lines export).
+
+    A disabled tracer still *exists* — :meth:`root_span` returns
+    :data:`NULL_SPAN` and every child/event call collapses to a single
+    check — so call sites are unconditional.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        sink: Any = None,
+        max_spans: int = 100_000,
+    ) -> None:
+        self._enabled = enabled
+        self.sink = sink
+        self.max_spans = max(max_spans, 1)
+        self.origin = time.perf_counter()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._finished: List[Span] = []
+        self._dropped = 0
+        self._local = threading.local()
+
+    # -- switches ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- clock -------------------------------------------------------------
+
+    def now_ms(self) -> float:
+        """Milliseconds since this tracer's monotonic origin."""
+        return (time.perf_counter() - self.origin) * 1000.0
+
+    # -- span creation -----------------------------------------------------
+
+    def root_span(
+        self, name: str, category: str = "query", force: bool = False,
+        **attributes: Any,
+    ):
+        """Start a new trace (a span with no parent).
+
+        Returns :data:`NULL_SPAN` unless the tracer is enabled or ``force``
+        is set (per-query tracing via ``PlannerOptions.trace``).
+        """
+        if not (self._enabled or force):
+            return NULL_SPAN
+        with self._lock:
+            span_id = next(self._ids)
+            trace_id = next(self._trace_ids)
+        return Span(self, name, category, span_id, None, trace_id, attributes)
+
+    def child(self, parent: Any, name: str, category: str = "", **attributes: Any):
+        """Start a span under ``parent``; NULL parent begets NULL child.
+
+        Because liveness flows from the parent handle, a trace forced on
+        one query stays coherent even while the tracer itself is disabled,
+        and a worker thread extends its submitter's trace without any
+        shared mutable "current span" state.
+        """
+        if not parent:
+            return NULL_SPAN
+        with self._lock:
+            span_id = next(self._ids)
+        return Span(
+            self, name, category, span_id, parent.span_id, parent.trace_id,
+            attributes,
+        )
+
+    def start_span(self, name: str, category: str = "", **attributes: Any):
+        """Start a span under the thread's active span (see
+        :meth:`activate`), or a new root when none is active."""
+        current = self.current
+        if current is not None and current:
+            return self.child(current, name, category, **attributes)
+        return self.root_span(name, category, **attributes)
+
+    # -- thread-local activation ------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The span most recently activated on *this* thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def activate(self, span: Any) -> "_Activation":
+        """Context manager making ``span`` the thread's active span.
+
+        Used by scheduler workers to re-establish the submitting thread's
+        context: the parent is captured explicitly at submit time, then
+        activated inside the worker so nested instrumentation (adapter page
+        I/O, retries) parents correctly across the thread boundary.
+        """
+        return _Activation(self._local, span)
+
+    # -- collection --------------------------------------------------------
+
+    def _finish(self, span: Span) -> None:
+        """Stamp the end time and collect the span exactly once."""
+        with self._lock:
+            if span.end_ms is not None:
+                return  # already ended by another thread
+            span.end_ms = self.now_ms()
+            self._finished.append(span)
+            if len(self._finished) > self.max_spans:
+                overflow = len(self._finished) - self.max_spans
+                del self._finished[:overflow]
+                self._dropped += overflow
+        sink = self.sink
+        if sink is not None:
+            sink.write(span)
+
+    def drain(self) -> List[Span]:
+        """Return and clear all finished spans (oldest first)."""
+        with self._lock:
+            spans, self._finished = self._finished, []
+            return spans
+
+    @property
+    def dropped_spans(self) -> int:
+        with self._lock:
+            return self._dropped
+
+
+class _Activation:
+    """Pushes a span onto a thread-local stack for the ``with`` duration."""
+
+    __slots__ = ("_local", "_span")
+
+    def __init__(self, local: threading.local, span: Any) -> None:
+        self._local = local
+        self._span = span
+
+    def __enter__(self) -> Any:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self._local.stack.pop()
+        return False
+
+
+#: A shared always-disabled tracer for call sites with no mediator handle.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def walk_children(spans: List[Span], parent_id: Optional[int]) -> Iterator[Span]:
+    """The spans directly under ``parent_id`` (None = trace roots)."""
+    for span in spans:
+        if span.parent_id == parent_id:
+            yield span
+
+
+def format_span_tree(spans: List[Span]) -> str:
+    """Indented textual rendering of a span forest (debugging, tests)."""
+    lines: List[str] = []
+
+    def render(parent_id: Optional[int], indent: int) -> None:
+        for span in walk_children(spans, parent_id):
+            lines.append(
+                "  " * indent
+                + f"{span.name} [{span.duration_ms:.2f} ms]"
+            )
+            render(span.span_id, indent + 1)
+
+    render(None, 0)
+    return "\n".join(lines)

@@ -18,7 +18,10 @@ Backslash commands:
 \schema T show a table's columns and statistics
 \explain  (prefix to a query) show the distributed plan instead of rows
 \profile  (prefix to a query) run it and show actual rows per operator
-\metrics  transfer metrics of the last executed query
+\metrics  last query's transfer metrics, plus the mediator-wide metrics
+          registry and circuit-breaker states when metrics are enabled
+\trace on|off|FILE  record spans per query; FILE also exports a Chrome
+          trace_event file (chrome://tracing / Perfetto) after each query
 \naive    toggle the naive (no-optimizer) baseline for comparisons
 \parallel N|off  fetch fragments with N concurrent workers (off = sequential)
 \batch N|off  rows per operator batch (off = planner default, 1 = row-at-a-time)
@@ -111,10 +114,9 @@ class Repl:
         elif name == "\\schema":
             self._show_schema(argument)
         elif name == "\\metrics":
-            if self.last_result is None:
-                self._write("no query executed yet")
-            else:
-                self._write(self.last_result.metrics.summary())
+            self._show_metrics()
+        elif name == "\\trace":
+            self._trace_command(argument)
         elif name == "\\naive":
             if argument.lower() in ("on", "off"):
                 self.naive = argument.lower() == "on"
@@ -161,6 +163,42 @@ class Repl:
                 ))
         else:
             self._write(f"unknown command {name!r}; try \\help")
+
+    def _show_metrics(self) -> None:
+        if self.last_result is None:
+            self._write("no query executed yet")
+        else:
+            self._write(self.last_result.metrics.summary())
+        obs = self.gis.obs
+        if obs.registry.enabled:
+            states = obs.publish_breakers(self.gis.breakers)
+            self._write("")
+            self._write(obs.registry.format_snapshot())
+            for source, info in sorted(states.items()):
+                self._write(
+                    f"  breaker {source}: {info['state']} "
+                    f"({info['trips']} trips)"
+                )
+
+    def _trace_command(self, argument: str) -> None:
+        obs = self.gis.obs
+        lowered = argument.lower()
+        if lowered == "on":
+            obs.tracer.enable()
+            self._write("tracing ON")
+        elif lowered == "off":
+            obs.tracer.disable()
+            self._write("tracing OFF")
+        elif argument:
+            obs.trace_path = argument
+            obs.tracer.enable()
+            self._write(f"tracing ON -> {argument}")
+        else:
+            state = "ON" if obs.tracer.enabled else "OFF"
+            line = f"tracing {state} ({len(obs.spans)} spans retained"
+            if obs.trace_path:
+                line += f", exporting to {obs.trace_path}"
+            self._write(line + ")")
 
     def _show_tables(self) -> None:
         for name in sorted(self.gis.catalog.table_names(), key=str.lower):
@@ -285,6 +323,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="build the federation from a JSON config (see repro.config)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="trace every query and keep FILE updated in the Chrome "
+        "trace_event format (open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="log queries slower than MS wall-clock milliseconds",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.config:
@@ -303,6 +354,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "register sources programmatically for real use\n"
         )
         gis = GlobalInformationSystem()
+
+    if arguments.trace_out:
+        gis.obs.trace_path = arguments.trace_out
+        gis.obs.tracer.enable()
+    if arguments.slow_query_ms > 0:
+        gis.obs.slow_queries.threshold_ms = float(arguments.slow_query_ms)
 
     repl = Repl(gis)
     try:

@@ -12,6 +12,7 @@ row. Empty fields are NULL.
 from __future__ import annotations
 
 import csv
+import itertools
 import os
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
@@ -121,6 +122,21 @@ class CsvSource(Adapter):
         ]
         for row in self.scan(mapping.remote_table):
             yield tuple(row[i] for i in indices)
+
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
+        """Page-granular file serving: every pull slices one whole response
+        page out of the file stream instead of re-chunking a row-at-a-time
+        generator. Same page contract as :func:`~repro.sources.base.paginate`:
+        zero or more full pages of exactly ``page_rows`` rows, then exactly
+        one final partial (possibly empty) page.
+        """
+        page_rows = max(page_rows, 1)
+        rows = self.execute(fragment)
+        while True:
+            page = list(itertools.islice(rows, page_rows))
+            yield page
+            if len(page) < page_rows:
+                return
 
 
 def _render(value: Any) -> str:

@@ -15,10 +15,12 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..catalog.schema import TableSchema
 from ..datatypes import coerce_value
 from ..errors import CapabilityError, DuplicateObjectError, SourceError
+import itertools
+
 from ..core.fragments import Fragment
 from ..core.logical import FilterOp, ScanOp
 from ..sql import ast
-from .base import Adapter, SourceCapabilities
+from .base import Adapter, SourceCapabilities, paginate
 
 
 class KeyValueSource(Adapter):
@@ -120,6 +122,57 @@ class KeyValueSource(Adapter):
         raise CapabilityError(
             f"source {self.name!r} only executes key lookups and full scans"
         )
+
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
+        """Paged execution with a fast path for bare enumerations: the
+        store's row list is sliced directly into pages. Key-lookup
+        fragments drain page-granular chunks of the lookup stream instead
+        (hit counts are data-dependent, so slicing keys up front could
+        yield partial pages mid-stream and break the page contract). Both
+        paths follow the contract: full pages, then exactly one final
+        partial — possibly empty — page.
+        """
+        page_rows = max(page_rows, 1)
+        plan = fragment.plan
+        # Subclasses that override execute() (fault-injection doubles,
+        # instrumented sources) must keep seeing every call: take the slow
+        # path through their execute() rather than slicing stored rows.
+        overridden = type(self).execute is not KeyValueSource.execute
+        if not overridden and isinstance(plan, ScanOp):
+            mapping = plan.effective_mapping
+            if mapping is not None and plan.table.schema is not None:
+                store = self._stores.get(mapping.remote_table)
+                if store is None:
+                    self._native_schema(mapping.remote_table)  # raises uniformly
+                    store = {}
+                rows = list(store.values())
+                indices = self._reorder_indices(plan)
+                native_schema = self._native_schema(mapping.remote_table)
+                identity = indices == list(range(len(native_schema.columns)))
+                full = len(rows) // page_rows
+                for index in range(full):
+                    chunk = rows[index * page_rows : (index + 1) * page_rows]
+                    yield (
+                        list(chunk)
+                        if identity
+                        else [tuple(row[i] for i in indices) for row in chunk]
+                    )
+                tail = rows[full * page_rows :]
+                yield (
+                    list(tail)
+                    if identity
+                    else [tuple(row[i] for i in indices) for row in tail]
+                )
+                return
+        if overridden:
+            yield from paginate(self.execute(fragment), page_rows)
+            return
+        stream = self.execute(fragment)
+        while True:
+            page = list(itertools.islice(stream, page_rows))
+            yield page
+            if len(page) < page_rows:
+                return
 
     # -- internals ---------------------------------------------------------
 

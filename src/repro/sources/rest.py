@@ -13,7 +13,8 @@ logical API call for tests and for demonstrating wrapper behavior.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..catalog.schema import TableSchema
@@ -156,6 +157,23 @@ class RestSource(Adapter):
             request.rows += 1
             yield reordered
         request.pages = max(1, -(-request.rows // self._page_rows))
+
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
+        """The service's own pagination: every pull drains one whole API
+        response page (zero or more full pages of exactly ``page_rows``
+        rows, then exactly one final partial — possibly empty — page).
+        ``request_log`` bookkeeping is unchanged: ``rows`` accrue as the
+        underlying request is driven and ``pages`` still counts *logical*
+        API pages (``ceil(rows / page_rows)``, minimum one), which can
+        differ from wire messages by the final empty page.
+        """
+        page_rows = max(page_rows, 1)
+        rows = self.execute(fragment)
+        while True:
+            page = list(itertools.islice(rows, page_rows))
+            yield page
+            if len(page) < page_rows:
+                return
 
     def _check_predicate(self, predicate: ast.Expr) -> None:
         """Reject predicate shapes outside the advertised API surface."""

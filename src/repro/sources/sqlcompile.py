@@ -14,7 +14,7 @@ unconditional correctness.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import PlanError
 from ..sql import ast

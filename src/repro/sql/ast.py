@@ -18,7 +18,6 @@ free of per-node boilerplate.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 

@@ -10,7 +10,6 @@ paper over per component system.
 
 from __future__ import annotations
 
-import datetime
 from typing import Any, List, Optional
 
 from ..datatypes import DataType

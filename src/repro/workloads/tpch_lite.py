@@ -24,7 +24,6 @@ SQLite sources behind a UNION ALL view).
 from __future__ import annotations
 
 import datetime
-import os
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple

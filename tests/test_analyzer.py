@@ -12,7 +12,6 @@ from repro.core.logical import (
     JoinOp,
     LimitOp,
     ProjectOp,
-    ScanOp,
     SetDifferenceOp,
     SortOp,
     UnionOp,

@@ -251,11 +251,13 @@ def test_explain_analyze_row_counts_invariant_under_batch_size():
            "JOIN orders o ON c.id = o.cust_id GROUP BY c.region")
     batch = GIS.explain_analyze(sql)
     row = GIS.explain_analyze(sql, PlannerOptions(batch_size=1))
-    strip = lambda text: re.sub(r" / \d+ batches", "", text)
+    strip = lambda text: re.sub(
+        r" / [\d.]+ ms", "", re.sub(r" / \d+ batches", "", text)
+    )
     batch_plan = strip(batch).split("\n\n")[0]
     row_plan = strip(row).split("\n\n")[0]
     assert batch_plan == row_plan
-    assert re.search(r"\[\d+ rows / \d+ batches\]", batch)
+    assert re.search(r"\[\d+ rows / \d+ batches / [\d.]+ ms\]", batch)
 
 
 # ---------------------------------------------------------------------------

@@ -7,10 +7,8 @@ from repro.catalog.schema import schema_from_pairs
 from repro.catalog.statistics import TableStatistics
 from repro.core.analyzer import Analyzer
 from repro.core.cardinality import (
-    DEFAULT_TABLE_ROWS,
     Estimator,
 )
-from repro.core.logical import FilterOp, JoinOp
 from repro.core.rewriter import rewrite
 from repro.sql.parser import parse_select
 

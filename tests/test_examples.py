@@ -4,8 +4,6 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 
@@ -57,6 +55,6 @@ def test_wan_tuning():
     output = run_example("wan_tuning.py")
     assert "semijoin" in output and "full join" in output
     # The crossover must actually appear in the sweep.
-    lines = [l for l in output.splitlines() if "KB/s" in l]
-    choices = ["semijoin" if "semijoin" in l else "full" for l in lines]
+    lines = [ln for ln in output.splitlines() if "KB/s" in ln]
+    choices = ["semijoin" if "semijoin" in ln else "full" for ln in lines]
     assert "semijoin" in choices and "full" in choices

@@ -1,7 +1,6 @@
 """Parser robustness: arbitrary input must parse or raise ParseError — never
 crash with anything else, and never hang."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

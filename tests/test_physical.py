@@ -1,7 +1,5 @@
 """Physical operators: join kinds, NULL-aware anti joins, exchanges, metrics."""
 
-import pytest
-
 from repro import Catalog, SimulatedNetwork
 from repro.core.logical import RelColumn
 from repro.core.physical import (
@@ -248,7 +246,7 @@ class TestExchangeMetrics:
         assert result.metrics.messages >= 1
 
     def test_page_size_drives_message_count(self):
-        from repro import GlobalInformationSystem, MemorySource, SourceCapabilities
+        from repro import GlobalInformationSystem, MemorySource
         from repro.catalog.schema import schema_from_pairs
 
         gis = GlobalInformationSystem()

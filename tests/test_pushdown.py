@@ -1,13 +1,10 @@
 """Capability-driven pushdown: fragment boundaries per source class."""
 
-import pytest
-
 from repro.core.logical import (
     AggregateOp,
     FilterOp,
     JoinOp,
     LimitOp,
-    ProjectOp,
     RemoteQueryOp,
     ScanOp,
     SortOp,

@@ -196,7 +196,9 @@ def test_fuzzed_explain_analyze_row_counts_match_across_modes(sql):
 
     batch_text = GIS.explain_analyze(sql)
     row_text = GIS.explain_analyze(sql, PlannerOptions(batch_size=1))
-    strip = lambda text: re.sub(r" / \d+ batches", "", text)
+    strip = lambda text: re.sub(
+        r" / [\d.]+ ms", "", re.sub(r" / \d+ batches", "", text)
+    )
     batch_plan = strip(batch_text).split("== physical plan")[1].split("\n\n")[0]
     row_plan = strip(row_text).split("== physical plan")[1].split("\n\n")[0]
     assert batch_plan == row_plan

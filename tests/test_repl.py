@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.repl import Repl
 
 from .conftest import make_small_gis

@@ -14,19 +14,15 @@ from repro.core.logical import (
     LimitOp,
     ProjectOp,
     ScanOp,
-    SortOp,
     UnionOp,
     ValuesOp,
 )
 from repro.core.rewriter import (
     fold_constants,
     fold_expression,
-    merge_adjacent,
-    prune_columns,
     push_down_limits,
     push_down_predicates,
     rewrite,
-    simplify_filters,
 )
 from repro.datatypes import DataType
 from repro.sql import ast

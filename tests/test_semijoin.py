@@ -10,7 +10,7 @@ from repro import (
     SQLiteSource,
 )
 from repro.catalog.schema import schema_from_pairs
-from repro.core.logical import JoinOp, RemoteQueryOp
+from repro.core.logical import RemoteQueryOp
 
 from .conftest import assert_same_rows
 

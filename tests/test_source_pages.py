@@ -1,0 +1,218 @@
+"""Native ``execute_pages`` for the CSV, REST, and key-value adapters.
+
+Each adapter now pages its own results instead of inheriting the
+``paginate()`` shim. These tests pin the equivalence: page shapes follow
+the adapter page contract (zero or more full pages, then exactly one
+final partial — possibly empty — page), and whole-query network
+accounting (messages, bytes, rows shipped) is bit-identical to running
+the same query through the generic shim.
+"""
+
+from repro import GlobalInformationSystem
+from repro.catalog.schema import Column, TableSchema, schema_from_pairs
+from repro.core.physical import ExchangeExec
+from repro.sources.base import Adapter, paginate
+from repro.sources.csvfile import CsvSource
+from repro.sources.keyvalue import KeyValueSource
+from repro.sources.rest import RestSource
+
+
+def scan_exchange(gis, sql):
+    planned = gis.plan(sql)
+    exchanges = [
+        op for op in planned.physical.walk() if isinstance(op, ExchangeExec)
+    ]
+    assert len(exchanges) == 1
+    return exchanges[0]
+
+
+def shim_pages(adapter, fragment, page_rows):
+    return list(paginate(adapter.execute(fragment), page_rows))
+
+
+def native_pages(adapter, fragment, page_rows):
+    return list(adapter.execute_pages(fragment, page_rows))
+
+
+def network_totals(result):
+    net = result.metrics.network
+    return (net.messages, net.bytes_shipped, net.rows_shipped)
+
+
+# ---------------------------------------------------------------------------
+# federation builders
+# ---------------------------------------------------------------------------
+
+
+def make_csv_gis(directory, n_rows):
+    schema = schema_from_pairs("logs", [("id", "INT"), ("msg", "TEXT")])
+    rows = [(i, f"m{i}") for i in range(n_rows)]
+    CsvSource.write_table(str(directory), "logs", schema, rows)
+    source = CsvSource("archive", str(directory), {"logs": schema},
+                       page_rows=4)
+    gis = GlobalInformationSystem()
+    gis.register_source("archive", source)
+    gis.register_table("logs", source="archive")
+    return gis, source
+
+
+def make_rest_gis(n_rows, page_rows=3):
+    schema = schema_from_pairs("events", [("eid", "INT"), ("kind", "TEXT")])
+    rows = [(i, "a" if i % 2 else "b") for i in range(n_rows)]
+    source = RestSource("feed", page_rows=page_rows)
+    source.add_table("events", schema, rows)
+    gis = GlobalInformationSystem()
+    gis.register_source("feed", source)
+    gis.register_table("events", source="feed")
+    return gis, source
+
+
+def make_kv_gis(n_rows, page_rows=4, reorder=False):
+    schema = schema_from_pairs("profiles", [("user_id", "INT"),
+                                            ("name", "TEXT")])
+    rows = [(i, f"u{i}") for i in range(n_rows)]
+    source = KeyValueSource("kv", page_rows=page_rows)
+    source.add_table("profiles", schema, "user_id", rows)
+    gis = GlobalInformationSystem()
+    gis.register_source("kv", source)
+    if reorder:
+        # Global schema reverses the native column order, forcing the
+        # paged fast path through its row-reordering branch.
+        gis.register_table(
+            "profiles",
+            source="kv",
+            schema=TableSchema(
+                "profiles", [Column.of("name", "TEXT"),
+                             Column.of("user_id", "INT")]
+            ),
+        )
+    else:
+        gis.register_table("profiles", source="kv")
+    return gis, source
+
+
+# ---------------------------------------------------------------------------
+# page-shape equivalence against the paginate shim
+# ---------------------------------------------------------------------------
+
+
+class TestCsvPages:
+    def test_matches_shim_with_partial_tail(self, tmp_path):
+        gis, source = make_csv_gis(tmp_path, 10)
+        exchange = scan_exchange(gis, "SELECT id, msg FROM logs")
+        pages = native_pages(source, exchange.fragment, 4)
+        assert [len(p) for p in pages] == [4, 4, 2]
+        assert pages == shim_pages(source, exchange.fragment, 4)
+
+    def test_exact_multiple_keeps_trailing_empty_page(self, tmp_path):
+        gis, source = make_csv_gis(tmp_path, 8)
+        exchange = scan_exchange(gis, "SELECT id, msg FROM logs")
+        pages = native_pages(source, exchange.fragment, 4)
+        assert [len(p) for p in pages] == [4, 4, 0]
+        assert pages == shim_pages(source, exchange.fragment, 4)
+
+    def test_empty_result_is_one_empty_page(self, tmp_path):
+        gis, source = make_csv_gis(tmp_path, 0)
+        exchange = scan_exchange(gis, "SELECT id, msg FROM logs")
+        assert native_pages(source, exchange.fragment, 4) == [[]]
+
+    def test_query_accounting_matches_shim(self, tmp_path, monkeypatch):
+        gis, _ = make_csv_gis(tmp_path / "native", 10)
+        native = network_totals(gis.query("SELECT id, msg FROM logs"))
+        monkeypatch.setattr(CsvSource, "execute_pages",
+                            Adapter.execute_pages)
+        gis2, _ = make_csv_gis(tmp_path / "shim", 10)
+        shim = network_totals(gis2.query("SELECT id, msg FROM logs"))
+        assert native == shim
+
+
+class TestRestPages:
+    def test_matches_shim_through_pushed_filter(self):
+        gis, source = make_rest_gis(13)
+        sql = "SELECT eid, kind FROM events WHERE eid >= 2"
+        exchange = scan_exchange(gis, sql)
+        pages = native_pages(source, exchange.fragment, 3)
+        assert [len(p) for p in pages] == [3, 3, 3, 2]
+        assert pages == shim_pages(source, exchange.fragment, 3)
+
+    def test_request_log_bookkeeping_identical(self):
+        gis, source = make_rest_gis(9)  # 9 rows, page_rows=3
+        exchange = scan_exchange(gis, "SELECT eid, kind FROM events")
+        native_pages(source, exchange.fragment, 3)
+        shim_pages(source, exchange.fragment, 3)
+        native_request, shim_request = source.request_log[-2:]
+        assert native_request.rows == shim_request.rows == 9
+        # Logical API pages (ceil(rows/page_rows)) — one less than wire
+        # messages here because 9 rows also ship a final empty page.
+        assert native_request.pages == shim_request.pages == 3
+
+    def test_query_accounting_matches_shim(self, monkeypatch):
+        gis, _ = make_rest_gis(13)
+        sql = "SELECT eid, kind FROM events WHERE eid >= 2"
+        native = network_totals(gis.query(sql))
+        monkeypatch.setattr(RestSource, "execute_pages",
+                            Adapter.execute_pages)
+        gis2, _ = make_rest_gis(13)
+        shim = network_totals(gis2.query(sql))
+        assert native == shim
+
+
+class TestKeyValuePages:
+    def test_scan_fast_path_matches_shim(self):
+        gis, source = make_kv_gis(11)
+        exchange = scan_exchange(gis, "SELECT user_id, name FROM profiles")
+        pages = native_pages(source, exchange.fragment, 4)
+        assert [len(p) for p in pages] == [4, 4, 3]
+        assert pages == shim_pages(source, exchange.fragment, 4)
+
+    def test_scan_fast_path_reorders_columns(self):
+        gis, source = make_kv_gis(11, reorder=True)
+        exchange = scan_exchange(gis, "SELECT name, user_id FROM profiles")
+        pages = native_pages(source, exchange.fragment, 4)
+        assert pages == shim_pages(source, exchange.fragment, 4)
+        assert pages[0][0] == ("u0", 0)
+
+    def test_exact_multiple_keeps_trailing_empty_page(self):
+        gis, source = make_kv_gis(8)
+        exchange = scan_exchange(gis, "SELECT user_id, name FROM profiles")
+        pages = native_pages(source, exchange.fragment, 4)
+        assert [len(p) for p in pages] == [4, 4, 0]
+        assert pages == shim_pages(source, exchange.fragment, 4)
+
+    def test_key_lookup_pages_match_shim(self):
+        gis, source = make_kv_gis(20, page_rows=2)
+        sql = ("SELECT user_id, name FROM profiles "
+               "WHERE user_id IN (1, 3, 5, 99)")
+        exchange = scan_exchange(gis, sql)
+        pages = native_pages(source, exchange.fragment, 2)
+        # 3 hits (99 misses): one full page then the final partial.
+        assert [len(p) for p in pages] == [2, 1]
+        assert pages == shim_pages(source, exchange.fragment, 2)
+
+    def test_subclass_override_still_honored(self):
+        calls = []
+
+        class Instrumented(KeyValueSource):
+            def execute(self, fragment):
+                calls.append(fragment)
+                yield from super().execute(fragment)
+
+        schema = schema_from_pairs("t", [("k", "INT"), ("v", "TEXT")])
+        source = Instrumented("kv")
+        source.add_table("t", schema, "k", [(1, "x"), (2, "y")])
+        gis = GlobalInformationSystem()
+        gis.register_source("kv", source)
+        gis.register_table("t", source="kv")
+        exchange = scan_exchange(gis, "SELECT k, v FROM t")
+        pages = native_pages(source, exchange.fragment, 4)
+        assert calls, "override must keep seeing execute() calls"
+        assert pages == [[(1, "x"), (2, "y")]]
+
+    def test_query_accounting_matches_shim(self, monkeypatch):
+        gis, _ = make_kv_gis(11)
+        native = network_totals(gis.query("SELECT user_id, name FROM profiles"))
+        monkeypatch.setattr(KeyValueSource, "execute_pages",
+                            Adapter.execute_pages)
+        gis2, _ = make_kv_gis(11)
+        shim = network_totals(gis2.query("SELECT user_id, name FROM profiles"))
+        assert native == shim

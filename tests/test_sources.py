@@ -8,7 +8,6 @@ import pytest
 from repro import (
     Catalog,
     CsvSource,
-    DataType,
     KeyValueSource,
     MemorySource,
     RestSource,
@@ -25,7 +24,6 @@ from repro.errors import (
     DuplicateObjectError,
     SourceError,
 )
-from repro.sql import ast
 from repro.sql.parser import parse_select
 
 SCHEMA = schema_from_pairs(
