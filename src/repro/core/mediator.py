@@ -32,6 +32,7 @@ from ..sql.parser import parse_select
 from .analyzer import Analyzer
 from .fragments import interpret_plan
 from .logical import ScanOp
+from .pages import Page
 from .physical import ExchangeExec, ExecutionContext, profile_operators
 from .planner import PlannedQuery, Planner, PlannerOptions
 from .result import QueryMetrics, QueryResult
@@ -317,14 +318,16 @@ class GlobalInformationSystem:
 
     @staticmethod
     def _drain_batches(root, context: ExecutionContext) -> List[Tuple[Any, ...]]:
-        """Materialize the root operator's batch stream, recording how
-        the dataflow was batched (non-empty batches only)."""
+        """Materialize the root operator's page stream into result rows,
+        recording how the dataflow was batched (non-empty pages only)."""
         rows: List[Tuple[Any, ...]] = []
         batches = 0
         for batch in root.iterate_batches(context):
             if batch:
                 batches += 1
-                rows.extend(batch)
+                rows.extend(
+                    batch.to_rows() if isinstance(batch, Page) else batch
+                )
         context.metrics.batches_output = batches
         context.metrics.batch_rows_avg = len(rows) / batches if batches else 0.0
         return rows

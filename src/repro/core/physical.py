@@ -9,13 +9,18 @@ The physical planner maps each logical node onto an operator implementation:
   :class:`NestedLoopJoinExec`;
 * aggregation → :class:`HashAggregateExec`; sorts are full in-memory sorts.
 
-Operators pull **batches** (lists of row tuples, up to
+Operators pull **columnar pages** (:class:`~repro.core.pages.Page`: one
+Python list per column plus a row count, up to
 ``ExecutionContext.batch_size`` rows each) through Python generators:
 ``iterate_batches`` is the native protocol every built-in operator
 implements, and the classic row-at-a-time ``iterate`` survives as a thin
-compatibility shim that flattens batches (so direct callers and third-party
-operators keep working — a subclass overriding only ``iterate`` is chunked
-transparently). ``batch_size=1`` degenerates to the old row-pull engine.
+compatibility shim that flattens pages into row tuples (so direct callers
+and third-party operators keep working — a subclass overriding only
+``iterate`` is chunked transparently back into pages). Filters and
+projections run vectorized kernels straight over the column vectors;
+joins and aggregation vectorize their key/argument expressions and touch
+rows only where the algorithm is inherently row-wise. ``batch_size=1``
+degenerates to the old row-pull engine.
 
 Network accounting is independent of the batch size: exchanges charge the
 simulated network once per **adapter page** (``capabilities().page_rows``)
@@ -49,6 +54,13 @@ from .expressions import (
     compile_predicate,
 )
 from .fragments import Fragment, equi_join_keys
+from .pages import (
+    Page,
+    as_page,
+    chunk_rows,
+    pages_from_rows,
+    split_batches,
+)
 from .logical import (
     AggregateOp,
     DistinctOp,
@@ -69,8 +81,8 @@ from .logical import (
 
 Row = Tuple[Any, ...]
 
-#: The unit of dataflow between operators: a list of row tuples.
-Batch = List[Row]
+#: The unit of dataflow between operators: a columnar page.
+Batch = Page
 
 #: Default rows per dataflow batch (mirrors sources.base.DEFAULT_PAGE_ROWS).
 DEFAULT_BATCH_ROWS = 1024
@@ -180,20 +192,28 @@ class ExecutionContext:
             setattr(self.metrics, name, value)
 
     def charge_transfer(
-        self, source_name: str, rows: List[Row], messages: int, sizer=None
+        self, source_name: str, rows: Any, messages: int, sizer=None
     ) -> float:
         """Account one page (or request) moving between mediator and source.
 
-        ``sizer`` is an optional memoized batch sizer (see
-        :func:`make_batch_sizer`) that computes the page's wire size in one
-        call from per-column dtype closures; without one the page is sized
-        value by value. Both produce identical totals.
+        ``rows`` is the shipped page — a :class:`Page` or a plain row-tuple
+        list from a legacy adapter. ``sizer`` is an optional memoized batch
+        sizer (see :func:`make_batch_sizer`) that computes the page's wire
+        size in one call from per-column dtype closures over the column
+        vectors; without one the page is sized value by value. Both produce
+        identical totals.
 
         Returns the simulated elapsed milliseconds of this transfer so the
         scheduler can attribute it to the fragment's virtual-clock lane.
         """
         if sizer is not None:
             payload = sizer(rows)
+        elif isinstance(rows, Page):
+            payload = sum(
+                _value_bytes(value)
+                for column in rows.columns
+                for value in column
+            )
         else:
             payload = sum(_row_bytes(row) for row in rows)
         elapsed = self.network.record_transfer(
@@ -244,95 +264,79 @@ def _value_bytes(value: Any) -> float:
     return 8.0  # pragma: no cover - no other global types exist
 
 
-def _column_sizer(dtype):
-    """A per-column sizer ``fn(values) -> bytes`` specialized on the dtype.
+def _text_sizer(values: List[Any]) -> float:
+    """Wire size of a TEXT column vector.
 
-    Each closure reproduces :func:`_value_bytes` exactly for the values a
-    column of that dtype can hold (including NULLs and, defensively,
-    booleans inside numeric columns), so memoized totals are identical to
-    the value-by-value sum — just without an isinstance chain per cell.
+    ``sum(map(len, ...))`` runs entirely in C; NULLs take the filtered
+    variant (``filter(None, ...)`` also drops empty strings, which weigh
+    nothing anyway). A defensive non-string value falls back to the
+    per-value path via the TypeError from ``len``.
     """
-    if dtype in (DataType.BOOLEAN, DataType.NULL):
-        # bools and NULLs are both 1 byte: a constant per value.
-        return lambda values: float(sum(1 for _ in values))
-    if dtype in (DataType.INTEGER, DataType.FLOAT):
-        return lambda values: sum(
-            1.0 if (v is None or v is True or v is False) else 8.0
-            for v in values
-        )
-    if dtype is DataType.DATE:
-        return lambda values: sum(1.0 if v is None else 4.0 for v in values)
-    if dtype is DataType.TEXT:
-        return lambda values: sum(
+    nulls = values.count(None)
+    try:
+        if not nulls:
+            return float(sum(map(len, values)))
+        return float(sum(map(len, filter(None, values)))) + nulls
+    except TypeError:
+        return sum(
             float(len(v)) if isinstance(v, str) else _value_bytes(v)
             for v in values
         )
+
+
+def _column_sizer(dtype):
+    """A per-column sizer ``fn(values) -> bytes`` specialized on the dtype.
+
+    ``values`` is always a materialized list (a page column vector or a
+    gathered legacy column). Each closure reproduces :func:`_value_bytes`
+    exactly for the values a column of that dtype can hold (including
+    NULLs and, defensively, booleans inside numeric columns), so memoized
+    totals are identical to the value-by-value sum — just without an
+    isinstance chain per cell.
+    """
+    if dtype in (DataType.BOOLEAN, DataType.NULL):
+        # bools and NULLs are both 1 byte: a constant per value.
+        return lambda values: float(len(values))
+    if dtype in (DataType.INTEGER, DataType.FLOAT):
+        # 8 bytes per number; count the 1-byte exceptions instead of
+        # summing a float per cell.
+        return lambda values: 8.0 * len(values) - 7.0 * sum(
+            1 for v in values if v is None or v is True or v is False
+        )
+    if dtype is DataType.DATE:
+        return lambda values: 4.0 * len(values) - 3.0 * values.count(None)
+    if dtype is DataType.TEXT:
+        return _text_sizer
     return lambda values: sum(_value_bytes(v) for v in values)
 
 
 def make_batch_sizer(columns: Sequence[RelColumn]):
     """Memoized wire sizing for one fragment's output schema.
 
-    Returns ``fn(rows) -> bytes``: per-column dtype closures are resolved
-    once per fragment (at plan time) instead of re-dispatching on every
-    value of every row in :func:`_row_bytes`. Totals are identical.
+    Returns ``fn(page) -> bytes``: per-column dtype closures are resolved
+    once per fragment (at plan time) and applied straight to the page's
+    column vectors — no per-row iteration, no per-value isinstance chain.
+    A legacy row-tuple page is sized through a per-column gather instead.
+    Totals are identical to :func:`_row_bytes` summed over the rows.
     """
     sizers = [(index, _column_sizer(column.dtype)) for index, column in enumerate(columns)]
 
-    def batch_bytes(rows: Sequence[Row]) -> float:
+    def batch_bytes(batch: Any) -> float:
         total = 0.0
+        if isinstance(batch, Page):
+            columns = batch.columns
+            for index, sizer in sizers:
+                total += sizer(columns[index])
+            return total
         for index, sizer in sizers:
-            total += sizer(row[index] for row in rows)
+            total += sizer([row[index] for row in batch])
         return total
 
     return batch_bytes
 
 
-# ---------------------------------------------------------------------------
-# batching helpers
-# ---------------------------------------------------------------------------
-
-
-def chunk_rows(rows, size: int) -> Iterator[Batch]:
-    """Group a row stream into batches of at most ``size`` rows.
-
-    Never yields an empty batch; an empty stream yields nothing.
-    """
-    batch: Batch = []
-    for row in rows:
-        batch.append(row)
-        if len(batch) >= size:
-            yield batch
-            batch = []
-    if batch:
-        yield batch
-
-
-def split_batches(batches, size: int) -> Iterator[Batch]:
-    """Re-chunk batches down to at most ``size`` rows each.
-
-    Splits only — batches are never coalesced across their boundaries.
-    This matters at exchanges: each incoming batch is one *charged* network
-    page, and merging across pages would make a limit-terminated consumer
-    wait for (and charge) pages it would not otherwise have fetched.
-    Empty batches are dropped.
-    """
-    for batch in batches:
-        if len(batch) <= size:
-            if batch:
-                yield batch
-        else:
-            for start in range(0, len(batch), size):
-                yield batch[start : start + size]
-
-
-def _emit_chunked(rows: Batch, size: int) -> Iterator[Batch]:
-    """Yield one materialized batch, split if it outgrew ``size``."""
-    if len(rows) <= size:
-        yield rows
-    else:
-        for start in range(0, len(rows), size):
-            yield rows[start : start + size]
+# The batching helpers (chunk_rows, split_batches, pages_from_rows) live in
+# repro.core.pages and are re-exported here for compatibility.
 
 
 # ---------------------------------------------------------------------------
@@ -341,13 +345,14 @@ def _emit_chunked(rows: Batch, size: int) -> Iterator[Batch]:
 
 
 class PhysicalOperator:
-    """Base class: an output schema plus a pull-based batch stream.
+    """Base class: an output schema plus a pull-based page stream.
 
     ``iterate_batches`` is the native protocol (all built-in operators
-    override it); ``iterate`` is the row-at-a-time compatibility shim that
-    flattens batches. A third-party subclass may still override *only*
-    ``iterate`` — the base ``iterate_batches`` detects that and chunks the
-    legacy row stream into batches of ``ctx.batch_size``.
+    override it and exchange :class:`Page` objects); ``iterate`` is the
+    row-at-a-time compatibility shim that flattens pages into row tuples.
+    A third-party subclass may still override *only* ``iterate`` — the
+    base ``iterate_batches`` detects that and chunks the legacy row
+    stream into pages of ``ctx.batch_size``.
     """
 
     def __init__(self, columns: Sequence[RelColumn]) -> None:
@@ -536,9 +541,8 @@ class StaticRowsExec(PhysicalOperator):
         self._rows = rows
 
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        rows, size = self._rows, ctx.batch_size
-        for start in range(0, len(rows), size):
-            yield list(rows[start : start + size])
+        width = len(self.columns)
+        yield from pages_from_rows(self._rows, ctx.batch_size, width)
 
     def describe(self) -> str:
         return f"StaticRows({len(self._rows)})"
@@ -573,9 +577,13 @@ class ExchangeExec(PhysicalOperator):
             pages = ctx.scheduler.stream_exchange_pages(self, ctx)
         else:
             pages = self._direct_pages(ctx)
-        # Charged pages are split down to the dataflow batch size, never
-        # merged across page boundaries (see split_batches).
-        yield from split_batches(pages, ctx.batch_size)
+        # Normalize to columnar pages (a no-op for native adapters; legacy
+        # adapters yielding row lists are transposed here), then split
+        # charged pages down to the dataflow batch size — never merged
+        # across page boundaries (see split_batches).
+        width = len(self.columns)
+        normalized = (as_page(page, width) for page in pages)
+        yield from split_batches(normalized, ctx.batch_size)
 
     def _direct_pages(self, ctx: ExecutionContext) -> Iterator[Batch]:
         """The sequential path, wrapped in the robustness envelope
@@ -653,11 +661,18 @@ class ExchangeExec(PhysicalOperator):
 
 
 class FilterExec(PhysicalOperator):
-    def __init__(self, child: PhysicalOperator, predicate: ast.Expr) -> None:
+    """Vectorized selection: mask the page, gather survivors by index."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        predicate: ast.Expr,
+        vectorized: bool = True,
+    ) -> None:
         super().__init__(child.columns)
         self.child = child
         self._kernel = compile_batch_predicate(
-            predicate, build_layout(child.columns)
+            predicate, build_layout(child.columns), vectorized
         )
 
     def children(self) -> List[PhysicalOperator]:
@@ -672,16 +687,26 @@ class FilterExec(PhysicalOperator):
 
 
 class ProjectExec(PhysicalOperator):
+    """Vectorized projection: one kernel per output column, no row building.
+
+    Column-reference kernels return the child page's column vector as-is,
+    so pass-through columns are zero copy; vectors are never mutated
+    downstream, which makes the sharing safe.
+    """
+
     def __init__(
         self,
         child: PhysicalOperator,
         expressions: Sequence[ast.Expr],
         columns: Sequence[RelColumn],
+        vectorized: bool = True,
     ) -> None:
         super().__init__(columns)
         self.child = child
         layout = build_layout(child.columns)
-        self._kernels = [compile_batch_expression(e, layout) for e in expressions]
+        self._kernels = [
+            compile_batch_expression(e, layout, vectorized) for e in expressions
+        ]
 
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
@@ -689,11 +714,8 @@ class ProjectExec(PhysicalOperator):
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         kernels = self._kernels
         for batch in self.child.iterate_batches(ctx):
-            if not kernels:  # zero-column projection keeps its row count
-                yield [()] * len(batch)
-                continue
-            columns = [kernel(batch) for kernel in kernels]
-            yield list(zip(*columns))
+            # A zero-column projection still carries its row count.
+            yield Page([kernel(batch) for kernel in kernels], len(batch))
 
 
 class HashJoinExec(PhysicalOperator):
@@ -713,6 +735,7 @@ class HashJoinExec(PhysicalOperator):
         residual: Optional[ast.Expr],
         columns: Sequence[RelColumn],
         null_aware: bool = False,
+        vectorized: bool = True,
     ) -> None:
         super().__init__(columns)
         self.left = left
@@ -721,8 +744,14 @@ class HashJoinExec(PhysicalOperator):
         self.null_aware = null_aware
         left_layout = build_layout(left.columns)
         right_layout = build_layout(right.columns)
-        self._left_key_fns = [compile_expression(k, left_layout) for k in left_keys]
-        self._right_key_fns = [compile_expression(k, right_layout) for k in right_keys]
+        # Join keys are computed as whole columns per page; the build and
+        # probe loops then index into the key vectors row by row.
+        self._left_key_kernels = [
+            compile_batch_expression(k, left_layout, vectorized) for k in left_keys
+        ]
+        self._right_key_kernels = [
+            compile_batch_expression(k, right_layout, vectorized) for k in right_keys
+        ]
         combined = build_layout(list(left.columns) + list(right.columns))
         self._residual = (
             compile_predicate(residual, combined) if residual is not None else None
@@ -738,11 +767,12 @@ class HashJoinExec(PhysicalOperator):
         table: Dict[Tuple[Any, ...], List[Row]] = {}
         right_has_null_key = False
         right_count = 0
-        right_key_fns = self._right_key_fns
+        right_key_kernels = self._right_key_kernels
         for batch in self.right.iterate_batches(ctx):
             right_count += len(batch)
-            for row in batch:
-                key = tuple(fn(row) for fn in right_key_fns)
+            key_columns = [kernel(batch) for kernel in right_key_kernels]
+            for index, row in enumerate(batch):
+                key = tuple(column[index] for column in key_columns)
                 if any(part is None for part in key):
                     right_has_null_key = True
                     continue
@@ -750,14 +780,16 @@ class HashJoinExec(PhysicalOperator):
         if self.kind == "ANTI" and self.null_aware and right_has_null_key:
             return  # NOT IN with a NULL on the right: empty result
         null_right = (None,) * len(self.right.columns)
-        left_key_fns = self._left_key_fns
+        left_key_kernels = self._left_key_kernels
         residual = self._residual
         kind = self.kind
         size = ctx.batch_size
+        width = len(self.columns)
         for batch in self.left.iterate_batches(ctx):
-            out: Batch = []
-            for left_row in batch:
-                key = tuple(fn(left_row) for fn in left_key_fns)
+            key_columns = [kernel(batch) for kernel in left_key_kernels]
+            out: List[Row] = []
+            for index, left_row in enumerate(batch):
+                key = tuple(column[index] for column in key_columns)
                 has_null_key = any(part is None for part in key)
                 matches: List[Row] = [] if has_null_key else table.get(key, [])
                 if residual is not None and matches:
@@ -789,7 +821,7 @@ class HashJoinExec(PhysicalOperator):
                         f"hash join cannot handle kind {self.kind!r}"
                     )
             if out:
-                yield from _emit_chunked(out, size)
+                yield from pages_from_rows(out, size, width)
 
 
 class MergeJoinExec(PhysicalOperator):
@@ -909,8 +941,9 @@ class NestedLoopJoinExec(PhysicalOperator):
         null_right = (None,) * len(self.right.columns)
         kind = self.kind
         size = ctx.batch_size
+        width = len(self.columns)
         for batch in self.left.iterate_batches(ctx):
-            out: Batch = []
+            out: List[Row] = []
             for left_row in batch:
                 if kind in ("SEMI", "ANTI"):
                     if condition is None:
@@ -932,7 +965,7 @@ class NestedLoopJoinExec(PhysicalOperator):
                 if kind == "LEFT" and not matched:
                     out.append(left_row + null_right)
             if out:
-                yield from _emit_chunked(out, size)
+                yield from pages_from_rows(out, size, width)
 
 
 class BindJoinExec(PhysicalOperator):
@@ -953,6 +986,7 @@ class BindJoinExec(PhysicalOperator):
         condition: Optional[ast.Expr],
         columns: Sequence[RelColumn],
         null_aware: bool = False,
+        vectorized: bool = True,
     ) -> None:
         super().__init__(columns)
         self.probe = probe
@@ -963,11 +997,12 @@ class BindJoinExec(PhysicalOperator):
         self.kind = kind
         self.condition = condition
         self.null_aware = null_aware
+        self._vectorized = vectorized
         bind = remote.bind
         assert bind is not None
         self._bind = bind
         self._probe_key_kernel = compile_batch_expression(
-            bind.probe_key, build_layout(probe.columns)
+            bind.probe_key, build_layout(probe.columns), vectorized
         )
         self._remote_sizer = make_batch_sizer(remote.columns)
         self._key_sizer = _column_sizer(bind.fragment_key.dtype)
@@ -1015,6 +1050,7 @@ class BindJoinExec(PhysicalOperator):
                 ast.conjoin(residual),
                 self.columns,
                 self.null_aware,
+                vectorized=self._vectorized,
             )
         else:
             join = NestedLoopJoinExec(
@@ -1114,16 +1150,29 @@ class BindJoinExec(PhysicalOperator):
 
 
 class HashAggregateExec(PhysicalOperator):
-    def __init__(self, plan: AggregateOp, child: PhysicalOperator) -> None:
+    """Hash aggregation with vectorized group/argument evaluation.
+
+    Group keys and aggregate arguments are computed as whole columns per
+    input page; the accumulation loop then walks the key/argument vectors
+    without ever materializing input rows.
+    """
+
+    def __init__(
+        self,
+        plan: AggregateOp,
+        child: PhysicalOperator,
+        vectorized: bool = True,
+    ) -> None:
         super().__init__(plan.output_columns)
         self.child = child
         self.plan = plan
         layout = build_layout(child.columns)
-        self._group_fns = [
-            compile_expression(e, layout) for e in plan.group_expressions
+        self._group_kernels = [
+            compile_batch_expression(e, layout, vectorized)
+            for e in plan.group_expressions
         ]
-        self._argument_fns = [
-            compile_expression(call.argument, layout)
+        self._argument_kernels = [
+            compile_batch_expression(call.argument, layout, vectorized)
             if call.argument is not None
             else None
             for call in plan.aggregates
@@ -1135,36 +1184,43 @@ class HashAggregateExec(PhysicalOperator):
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         groups: Dict[Tuple[Any, ...], List[Any]] = {}
         order: List[Tuple[Any, ...]] = []
-        group_fns = self._group_fns
-        argument_fns = self._argument_fns
+        group_kernels = self._group_kernels
+        argument_kernels = self._argument_kernels
         aggregates = self.plan.aggregates
         for batch in self.child.iterate_batches(ctx):
-            for row in batch:
-                key = tuple(fn(row) for fn in group_fns)
+            key_columns = [kernel(batch) for kernel in group_kernels]
+            argument_columns = [
+                kernel(batch) if kernel is not None else None
+                for kernel in argument_kernels
+            ]
+            for index in range(len(batch)):
+                key = tuple(column[index] for column in key_columns)
                 state = groups.get(key)
                 if state is None:
                     state = [make_accumulator(call) for call in aggregates]
                     groups[key] = state
                     order.append(key)
-                for accumulator, argument_fn in zip(state, argument_fns):
+                for accumulator, column in zip(state, argument_columns):
                     accumulator.add(
-                        argument_fn(row) if argument_fn is not None else 1
+                        column[index] if column is not None else 1
                     )
+        width = len(self.columns)
         if not groups and not self.plan.group_expressions:
             state = [make_accumulator(call) for call in aggregates]
-            yield [tuple(accumulator.result() for accumulator in state)]
+            row = tuple(accumulator.result() for accumulator in state)
+            yield Page.from_rows([row], width)
             return
         size = ctx.batch_size
-        out: Batch = []
+        out: List[Row] = []
         for key in order:
             out.append(
                 key + tuple(accumulator.result() for accumulator in groups[key])
             )
             if len(out) >= size:
-                yield out
+                yield Page.from_rows(out, width)
                 out = []
         if out:
-            yield out
+            yield Page.from_rows(out, width)
 
 
 class WindowExec(PhysicalOperator):
@@ -1267,13 +1323,18 @@ class DistinctExec(PhysicalOperator):
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         seen: Set[Row] = set()
         for batch in self.child.iterate_batches(ctx):
-            out: Batch = []
-            for row in batch:
+            page = as_page(batch)
+            keep: List[int] = []
+            for index, row in enumerate(page):
                 if row not in seen:
                     seen.add(row)
-                    out.append(row)
-            if out:
-                yield out
+                    keep.append(index)
+            if not keep:
+                continue
+            if len(keep) == page.num_rows:
+                yield page
+            else:
+                yield page.take(keep)
 
 
 class UnionExec(PhysicalOperator):
@@ -1323,16 +1384,17 @@ class SetDifferenceExec(PhysicalOperator):
                 for row in batch
             )
             for batch in self.left.iterate_batches(ctx):
-                out: Batch = []
-                for row in batch:
+                page = as_page(batch)
+                keep: List[int] = []
+                for index, row in enumerate(page):
                     if remaining[row] > 0:
                         remaining[row] -= 1
                         if self.operation == "INTERSECT":
-                            out.append(row)
+                            keep.append(index)
                     elif self.operation == "EXCEPT":
-                        out.append(row)
-                if out:
-                    yield out
+                        keep.append(index)
+                if keep:
+                    yield page.take(keep)
             return
         right_rows = {
             row
@@ -1341,16 +1403,17 @@ class SetDifferenceExec(PhysicalOperator):
         }
         emitted: Set[Row] = set()
         for batch in self.left.iterate_batches(ctx):
-            out = []
-            for row in batch:
+            page = as_page(batch)
+            keep = []
+            for index, row in enumerate(page):
                 if row in emitted:
                     continue
                 member = row in right_rows
                 if (self.operation == "EXCEPT") != member:
                     emitted.add(row)
-                    out.append(row)
-            if out:
-                yield out
+                    keep.append(index)
+            if keep:
+                yield page.take(keep)
 
 
 # ---------------------------------------------------------------------------
@@ -1368,6 +1431,11 @@ class PhysicalPlanner:
     ``hash`` use hash joins; ``merge`` forces sort-merge for INNER
     equi-joins (other kinds keep hash — merge variants of semi/outer joins
     offer nothing here and hash handles their NULL subtleties already).
+
+    ``vectorized`` selects the expression engine inside page-native
+    operators: column-at-a-time kernels (the default) or the PR 2-era
+    row-at-a-time closures looped per page (kept as a benchmark baseline
+    and equivalence oracle — results and metrics are identical).
     """
 
     def __init__(
@@ -1375,12 +1443,14 @@ class PhysicalPlanner:
         catalog: Catalog,
         join_algorithm: str = "auto",
         parallel_fragments: int = 1,
+        vectorized: bool = True,
     ) -> None:
         if join_algorithm not in JOIN_ALGORITHMS:
             raise PlanError(f"unknown join algorithm {join_algorithm!r}")
         self._catalog = catalog
         self._join_algorithm = join_algorithm
         self._parallel_fragments = max(parallel_fragments, 1)
+        self._vectorized = vectorized
 
     def build(self, plan: LogicalPlan) -> PhysicalOperator:
         if isinstance(plan, RemoteQueryOp):
@@ -1397,15 +1467,22 @@ class PhysicalPlanner:
                 "this is a planner bug"
             )
         if isinstance(plan, FilterOp):
-            return FilterExec(self.build(plan.child), plan.predicate)
+            return FilterExec(
+                self.build(plan.child), plan.predicate, self._vectorized
+            )
         if isinstance(plan, ProjectOp):
             return ProjectExec(
-                self.build(plan.child), plan.expressions, plan.columns
+                self.build(plan.child),
+                plan.expressions,
+                plan.columns,
+                self._vectorized,
             )
         if isinstance(plan, JoinOp):
             return self._join(plan)
         if isinstance(plan, AggregateOp):
-            return HashAggregateExec(plan, self.build(plan.child))
+            return HashAggregateExec(
+                plan, self.build(plan.child), self._vectorized
+            )
         if isinstance(plan, WindowOp):
             return WindowExec(plan, self.build(plan.child))
         if isinstance(plan, SortOp):
@@ -1462,6 +1539,7 @@ class PhysicalPlanner:
                 condition=plan.condition,
                 columns=plan.output_columns,
                 null_aware=plan.null_aware,
+                vectorized=self._vectorized,
             )
         left = self.build(plan.left)
         right = self.build(plan.right)
@@ -1493,4 +1571,5 @@ class PhysicalPlanner:
             ast.conjoin(residual),
             plan.output_columns,
             plan.null_aware,
+            vectorized=self._vectorized,
         )

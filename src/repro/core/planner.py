@@ -61,10 +61,16 @@ class PlannerOptions:
             per-source circuit breaker; 0 disables breakers.
         breaker_reset_ms: how long a tripped breaker stays open before
             admitting a half-open probe.
-        batch_size: rows per batch handed between physical operators
-            (batch-at-a-time execution); 1 degenerates to classic
-            row-at-a-time pulls. Purely an executor knob — plans, results,
-            and simulated network accounting are identical at every value.
+        batch_size: rows per columnar page handed between physical
+            operators (batch-at-a-time execution); 1 degenerates to
+            classic row-at-a-time pulls. Purely an executor knob — plans,
+            results, and simulated network accounting are identical at
+            every value.
+        vectorize: evaluate expressions with column-at-a-time kernels
+            (default) or with the row-at-a-time closures looped per page
+            (the PR 2 engine, kept as a benchmark baseline and
+            equivalence oracle). Purely an executor knob — results and
+            metrics are identical either way.
         trace: force tracing for queries planned with these options even
             when the mediator's tracer is globally disabled (per-query
             tracing). Purely observational — never changes the plan.
@@ -90,6 +96,7 @@ class PlannerOptions:
     breaker_failure_threshold: int = 0
     breaker_reset_ms: float = 30000.0
     batch_size: int = 1024
+    vectorize: bool = True
     trace: bool = False
 
     def __post_init__(self) -> None:
@@ -281,6 +288,7 @@ class Planner:
                     self.catalog,
                     join_algorithm=opts.join_algorithm,
                     parallel_fragments=opts.max_parallel_fragments,
+                    vectorized=opts.vectorize,
                 ).build(distributed)
 
         estimates = {}

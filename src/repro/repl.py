@@ -336,7 +336,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="MS",
         help="log queries slower than MS wall-clock milliseconds",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per columnar page between operators "
+        "(default: planner default; 1 = row-at-a-time)",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.batch_size is not None:
+        from .errors import PlanError
+
+        try:
+            # Validate through the same gate every other entry point uses.
+            PlannerOptions(batch_size=arguments.batch_size)
+        except PlanError as error:
+            parser.error(str(error))
 
     if arguments.config:
         from .config import load_config
@@ -362,6 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         gis.obs.slow_queries.threshold_ms = float(arguments.slow_query_ms)
 
     repl = Repl(gis)
+    if arguments.batch_size is not None:
+        repl.batch = arguments.batch_size
     try:
         repl.run(sys.stdin, interactive=sys.stdin.isatty())
     except KeyboardInterrupt:

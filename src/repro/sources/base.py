@@ -27,25 +27,6 @@ ALL_PREDICATE_OPS = frozenset(
 DEFAULT_PAGE_ROWS = 1024
 
 
-def paginate(rows, page_rows: int):
-    """Chunk a row stream into response pages.
-
-    Yields zero or more *full* pages of exactly ``page_rows`` rows followed
-    by exactly one final partial page — possibly empty. The trailing page
-    models the response message that tells the mediator the result is
-    complete (an empty result still costs one round trip), so it is always
-    emitted, even when the row count divides evenly into pages.
-    """
-    page_rows = max(page_rows, 1)
-    page = []
-    for row in rows:
-        page.append(row)
-        if len(page) >= page_rows:
-            yield page
-            page = []
-    yield page
-
-
 @dataclass(frozen=True)
 class SourceCapabilities:
     """What one component system can execute natively.
@@ -147,17 +128,25 @@ class Adapter(abc.ABC):
 
     def execute_pages(
         self, fragment: "Fragment", page_rows: int
-    ) -> Iterator[list]:
-        """Execute a fragment and stream its rows in response pages.
+    ) -> Iterator["Page"]:
+        """Execute a fragment and stream its result as columnar pages.
 
         The page contract (what the exchange charges the simulated network
         for, one message per page): zero or more full pages of exactly
         ``page_rows`` rows, then exactly one final partial page — possibly
-        empty. The default implementation chunks :meth:`execute`; adapters
-        whose native protocol is already paged (cursors, paginated APIs)
-        should override this to align their fetches with the page size.
+        empty. The default implementation chunks :meth:`execute` through
+        :func:`repro.core.pages.paginate_rows`; adapters whose native
+        protocol is already paged (cursors, paginated APIs) or already
+        columnar should override this to align fetches with the page size
+        and build :class:`~repro.core.pages.Page` objects directly.
+        Adapters may also yield plain row-tuple lists — the exchange
+        transposes them — but native pages skip that bridge.
         """
-        return paginate(self.execute(fragment), page_rows)
+        return paginate_rows(
+            self.execute(fragment),
+            max(page_rows, 1),
+            len(fragment.output_columns),
+        )
 
     @abc.abstractmethod
     def scan(self, native_table: str) -> Iterator[Tuple[Any, ...]]:
@@ -187,12 +176,14 @@ class Adapter(abc.ABC):
 # Imported at the bottom to avoid a cycle: fragments reference logical plans,
 # which live in core; core imports sources only for typing.
 from ..core.fragments import Fragment  # noqa: E402  (re-export for adapters)
+from ..core.pages import Page, paginate_rows  # noqa: E402  (re-export)
 
 __all__ = [
     "Adapter",
     "SourceCapabilities",
     "Fragment",
+    "Page",
     "ALL_PREDICATE_OPS",
     "DEFAULT_PAGE_ROWS",
-    "paginate",
+    "paginate_rows",
 ]

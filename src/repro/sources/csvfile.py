@@ -12,7 +12,6 @@ row. Empty fields are NULL.
 from __future__ import annotations
 
 import csv
-import itertools
 import os
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
@@ -21,6 +20,7 @@ from ..datatypes import coerce_value
 from ..errors import CapabilityError, SourceError
 from ..core.fragments import Fragment
 from ..core.logical import ScanOp
+from ..core.pages import Page, paginate_rows
 from .base import Adapter, SourceCapabilities
 
 
@@ -123,20 +123,19 @@ class CsvSource(Adapter):
         for row in self.scan(mapping.remote_table):
             yield tuple(row[i] for i in indices)
 
-    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[Page]:
         """Page-granular file serving: every pull slices one whole response
-        page out of the file stream instead of re-chunking a row-at-a-time
-        generator. Same page contract as :func:`~repro.sources.base.paginate`:
-        zero or more full pages of exactly ``page_rows`` rows, then exactly
-        one final partial (possibly empty) page.
+        page out of the file stream and transposes it into a
+        :class:`Page`. Same page contract as
+        :func:`~repro.core.pages.paginate_rows`: zero or more full pages
+        of exactly ``page_rows`` rows, then exactly one final partial
+        (possibly empty) page.
         """
-        page_rows = max(page_rows, 1)
-        rows = self.execute(fragment)
-        while True:
-            page = list(itertools.islice(rows, page_rows))
-            yield page
-            if len(page) < page_rows:
-                return
+        return paginate_rows(
+            self.execute(fragment),
+            max(page_rows, 1),
+            len(fragment.output_columns),
+        )
 
 
 def _render(value: Any) -> str:

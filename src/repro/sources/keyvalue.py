@@ -19,8 +19,9 @@ import itertools
 
 from ..core.fragments import Fragment
 from ..core.logical import FilterOp, ScanOp
+from ..core.pages import Page, paginate_rows
 from ..sql import ast
-from .base import Adapter, SourceCapabilities, paginate
+from .base import Adapter, SourceCapabilities
 
 
 class KeyValueSource(Adapter):
@@ -123,14 +124,16 @@ class KeyValueSource(Adapter):
             f"source {self.name!r} only executes key lookups and full scans"
         )
 
-    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
-        """Paged execution with a fast path for bare enumerations: the
-        store's row list is sliced directly into pages. Key-lookup
-        fragments drain page-granular chunks of the lookup stream instead
-        (hit counts are data-dependent, so slicing keys up front could
-        yield partial pages mid-stream and break the page contract). Both
-        paths follow the contract: full pages, then exactly one final
-        partial — possibly empty — page.
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[Page]:
+        """Paged execution returning native columnar pages.
+
+        Fast path for bare enumerations: the store's row list is sliced
+        and transposed straight into :class:`Page` column vectors.
+        Key-lookup fragments drain page-granular chunks of the lookup
+        stream instead (hit counts are data-dependent, so slicing keys up
+        front could yield partial pages mid-stream and break the page
+        contract). Both paths follow the contract: full pages, then
+        exactly one final partial — possibly empty — page.
         """
         page_rows = max(page_rows, 1)
         plan = fragment.plan
@@ -150,28 +153,27 @@ class KeyValueSource(Adapter):
                 native_schema = self._native_schema(mapping.remote_table)
                 identity = indices == list(range(len(native_schema.columns)))
                 full = len(rows) // page_rows
-                for index in range(full):
+                for index in range(full + 1):
                     chunk = rows[index * page_rows : (index + 1) * page_rows]
-                    yield (
-                        list(chunk)
-                        if identity
-                        else [tuple(row[i] for i in indices) for row in chunk]
-                    )
-                tail = rows[full * page_rows :]
-                yield (
-                    list(tail)
-                    if identity
-                    else [tuple(row[i] for i in indices) for row in tail]
-                )
+                    if not chunk:  # final empty page keeps its width
+                        yield Page([[] for _ in indices], 0)
+                    elif identity:
+                        yield Page([list(col) for col in zip(*chunk)], len(chunk))
+                    else:
+                        yield Page(
+                            [[row[i] for row in chunk] for i in indices],
+                            len(chunk),
+                        )
                 return
+        width = len(fragment.output_columns)
         if overridden:
-            yield from paginate(self.execute(fragment), page_rows)
+            yield from paginate_rows(self.execute(fragment), page_rows, width)
             return
         stream = self.execute(fragment)
         while True:
-            page = list(itertools.islice(stream, page_rows))
-            yield page
-            if len(page) < page_rows:
+            chunk = list(itertools.islice(stream, page_rows))
+            yield Page.from_rows(chunk, width)
+            if len(chunk) < page_rows:
                 return
 
     # -- internals ---------------------------------------------------------

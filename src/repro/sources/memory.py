@@ -17,7 +17,8 @@ from ..datatypes import coerce_value
 from ..errors import CapabilityError, DuplicateObjectError, SourceError
 from ..core.fragments import Fragment, interpret_plan
 from ..core.logical import JoinOp, ScanOp
-from .base import Adapter, SourceCapabilities, paginate
+from ..core.pages import Page, paginate_rows
+from .base import Adapter, SourceCapabilities
 
 
 class MemorySource(Adapter):
@@ -38,6 +39,10 @@ class MemorySource(Adapter):
         super().__init__(name)
         self._tables: Dict[str, TableSchema] = {}
         self._rows: Dict[str, List[Tuple[Any, ...]]] = {}
+        # Lazily-built columnar mirror of ``_rows`` (one list per column),
+        # so paged scans serve column slices instead of re-transposing the
+        # row store on every request. Invalidated on data changes.
+        self._columns: Dict[str, List[List[Any]]] = {}
         self._capabilities = capabilities or SourceCapabilities(
             filters=True,
             predicate_ops=frozenset(
@@ -88,11 +93,14 @@ class MemorySource(Adapter):
             )
         self._tables[native_name] = schema
         self._rows[native_name] = coerced
+        self._columns.pop(native_name, None)
 
     def extend_table(self, native_name: str, rows: Sequence[Sequence[Any]]) -> None:
         """Append rows to an existing table (coerced like :meth:`add_table`)."""
         schema = self._native_schema(native_name)
-        store = self._rows[self._resolve_name(native_name)]
+        resolved = self._resolve_name(native_name)
+        store = self._rows[resolved]
+        self._columns.pop(resolved, None)
         for row in rows:
             store.append(
                 tuple(
@@ -100,6 +108,18 @@ class MemorySource(Adapter):
                     for value, column in zip(row, schema.columns)
                 )
             )
+
+    def _table_columns(self, resolved: str) -> List[List[Any]]:
+        """The columnar mirror of a table, built on first paged scan."""
+        columns = self._columns.get(resolved)
+        if columns is None:
+            rows = self._rows[resolved]
+            if rows:
+                columns = [list(column) for column in zip(*rows)]
+            else:
+                columns = [[] for _ in self._tables[resolved].columns]
+            self._columns[resolved] = columns
+        return columns
 
     def _resolve_name(self, native_table: str) -> str:
         if native_table in self._rows:
@@ -146,16 +166,19 @@ class MemorySource(Adapter):
 
         return interpret_plan(fragment.plan, provide)
 
-    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
-        """Paged fragment execution with a fast path for bare table scans:
-        the stored row list is sliced directly into pages instead of being
-        re-chunked row by row. Follows the page contract (full pages, then
-        one final partial — possibly empty — page)."""
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[Page]:
+        """Paged fragment execution returning native columnar pages.
+
+        Fast path for bare table scans: pages are cut as per-column slices
+        of the table's columnar mirror (:meth:`_table_columns`) — no
+        per-row transpose at all, and projection reorder is just picking
+        which column vectors to slice. Follows the page contract (full
+        pages, then one final partial — possibly empty — page)."""
         page_rows = max(page_rows, 1)
         plan = fragment.plan
         # Subclasses that override execute() (fault-injection doubles,
         # instrumented sources) must keep seeing every call: take the slow
-        # path through their execute() rather than slicing stored rows.
+        # path through their execute() rather than slicing stored columns.
         overridden = type(self).execute is not MemorySource.execute
         if not overridden and isinstance(plan, ScanOp):
             mapping = plan.effective_mapping
@@ -165,21 +188,19 @@ class MemorySource(Adapter):
                     native_schema.index_of(mapping.remote_column(column.name))
                     for column in plan.table.schema.columns
                 ]
-                rows = self._rows[self._resolve_name(mapping.remote_table)]
-                identity = indices == list(range(len(native_schema.columns)))
-                full = len(rows) // page_rows
-                for index in range(full):
-                    chunk = rows[index * page_rows : (index + 1) * page_rows]
-                    yield (
-                        list(chunk)
-                        if identity
-                        else [tuple(row[i] for i in indices) for row in chunk]
+                resolved = self._resolve_name(mapping.remote_table)
+                columns = self._table_columns(resolved)
+                source = [columns[i] for i in indices]
+                total = len(self._rows[resolved])
+                full = total // page_rows
+                for index in range(full + 1):
+                    start = index * page_rows
+                    stop = min(start + page_rows, total)
+                    yield Page(
+                        [column[start:stop] for column in source],
+                        stop - start,
                     )
-                tail = rows[full * page_rows :]
-                yield (
-                    list(tail)
-                    if identity
-                    else [tuple(row[i] for i in indices) for row in tail]
-                )
                 return
-        yield from paginate(self.execute(fragment), page_rows)
+        yield from paginate_rows(
+            self.execute(fragment), page_rows, len(fragment.output_columns)
+        )

@@ -19,6 +19,7 @@ from ..datatypes import DataType, coerce_value
 from ..errors import CapabilityError, DuplicateObjectError, SourceError
 from ..core.fragments import Fragment
 from ..core.logical import RelColumn, ScanOp
+from ..core.pages import Page
 from ..sql.printer import SQLitePrinterDialect, print_statement
 from .base import Adapter, SourceCapabilities
 from .sqlcompile import fragment_to_statement
@@ -212,11 +213,13 @@ class SQLiteSource(Adapter):
                 for value, column in zip(row, output)
             )
 
-    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[list]:
-        """Page-aligned fragment execution: ``fetchmany(page_rows)`` per
-        response page, so one cursor fetch produces exactly one charged
-        page instead of re-chunking a row stream. Follows the page
-        contract: full pages, then one final partial (possibly empty) page.
+    def execute_pages(self, fragment: Fragment, page_rows: int) -> Iterator[Page]:
+        """Page-aligned columnar fragment execution: ``fetchmany(page_rows)``
+        per response page, transposed once into :class:`Page` column
+        vectors with per-column SQLite→global value normalization. One
+        cursor fetch produces exactly one charged page instead of
+        re-chunking a row stream. Follows the page contract: full pages,
+        then one final partial (possibly empty) page.
         """
         page_rows = max(page_rows, 1)
         sql = self.compile_fragment(fragment)
@@ -228,14 +231,17 @@ class SQLiteSource(Adapter):
         except sqlite3.Error as exc:
             raise SourceError(self.name, f"{exc} (sql: {sql})") from exc
         while True:
-            page = [
-                tuple(
-                    _from_sqlite(value, column.dtype)
-                    for value, column in zip(row, output)
+            if chunk:
+                page = Page(
+                    [
+                        [_from_sqlite(value, column.dtype) for value in raw]
+                        for raw, column in zip(zip(*chunk), output)
+                    ],
+                    len(chunk),
                 )
-                for row in chunk
-            ]
-            if len(page) < page_rows:
+            else:  # final empty page keeps its width
+                page = Page([[] for _ in output], 0)
+            if len(chunk) < page_rows:
                 yield page  # final partial (possibly empty) page
                 return
             yield page

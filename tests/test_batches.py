@@ -30,9 +30,9 @@ from repro.core.physical import (
     make_batch_sizer,
     split_batches,
 )
+from repro.core.pages import Page, paginate_rows
 from repro.datatypes import DataType
 from repro.errors import PlanError
-from repro.sources.base import paginate
 from repro.sql import ast
 
 from .conftest import make_small_gis
@@ -57,10 +57,17 @@ def columns(*specs):
 # ---------------------------------------------------------------------------
 
 
+def rows_of(*values):
+    return [(value,) for value in values]
+
+
 class TestChunkingHelpers:
     def test_chunk_rows_sizes_and_tail(self):
-        batches = list(chunk_rows(iter(range(10)), 4))
-        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        batches = list(chunk_rows(iter(rows_of(*range(10))), 4))
+        assert all(isinstance(batch, Page) for batch in batches)
+        assert batches == [
+            rows_of(0, 1, 2, 3), rows_of(4, 5, 6, 7), rows_of(8, 9),
+        ]
 
     def test_chunk_rows_empty_stream_yields_nothing(self):
         assert list(chunk_rows(iter(()), 4)) == []
@@ -68,23 +75,32 @@ class TestChunkingHelpers:
     def test_split_batches_never_coalesces(self):
         # Two incoming pages of 3 rows with batch size 4: a coalescing
         # implementation would emit [4, 2]; splitting keeps [3, 3].
-        pages = [[1, 2, 3], [4, 5, 6]]
-        assert list(split_batches(pages, 4)) == [[1, 2, 3], [4, 5, 6]]
+        pages = [
+            Page.from_rows(rows_of(1, 2, 3)),
+            Page.from_rows(rows_of(4, 5, 6)),
+        ]
+        assert list(split_batches(pages, 4)) == \
+            [rows_of(1, 2, 3), rows_of(4, 5, 6)]
 
     def test_split_batches_splits_oversized_pages(self):
-        assert list(split_batches([[1, 2, 3, 4, 5]], 2)) == \
-            [[1, 2], [3, 4], [5]]
+        pages = [Page.from_rows(rows_of(1, 2, 3, 4, 5))]
+        assert list(split_batches(pages, 2)) == \
+            [rows_of(1, 2), rows_of(3, 4), rows_of(5)]
 
     def test_split_batches_drops_empty_pages(self):
-        assert list(split_batches([[], [1], []], 4)) == [[1]]
+        pages = [Page.empty(1), Page.from_rows(rows_of(1)), Page.empty(1)]
+        assert list(split_batches(pages, 4)) == [rows_of(1)]
 
-    def test_paginate_contract_full_then_final_partial(self):
-        pages = list(paginate(iter(range(8)), 4))
-        assert pages == [[0, 1, 2, 3], [4, 5, 6, 7], []]
+    def test_paginate_rows_contract_full_then_final_partial(self):
+        pages = list(paginate_rows(iter(rows_of(*range(8))), 4, width=1))
+        assert pages == [rows_of(0, 1, 2, 3), rows_of(4, 5, 6, 7), []]
+        assert pages[-1].width == 1  # empty final page keeps its shape
 
-    def test_paginate_empty_result_still_one_page(self):
+    def test_paginate_rows_empty_result_still_one_page(self):
         # The empty final page models the "result complete" round trip.
-        assert list(paginate(iter(()), 4)) == [[]]
+        pages = list(paginate_rows(iter(()), 4, width=2))
+        assert pages == [[]]
+        assert pages[0].width == 2
 
 
 # ---------------------------------------------------------------------------
@@ -153,6 +169,9 @@ class TestBatchSizer:
         sizer = make_batch_sizer(cols)
         assert sizer(rows) == sum(_row_bytes(row) for row in rows)
         assert sizer([]) == 0.0
+        # The columnar fast path agrees with the legacy row-batch path.
+        assert sizer(Page.from_rows(rows)) == sizer(rows)
+        assert sizer(Page.empty(len(cols))) == 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -308,6 +327,14 @@ class TestSurface:
         result = GIS.query("SELECT oid FROM orders ORDER BY oid")
         text = result.format_table(max_rows=5)
         assert "... (+2 more rows)" in text
+
+    def test_cli_batch_size_flag_validates_through_planner_options(self):
+        from repro.repl import main
+
+        # argparse exits with code 2 after PlannerOptions rejects the value
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--batch-size", "0"])
+        assert excinfo.value.code == 2
 
     def test_repl_batch_command(self):
         import io

@@ -1,17 +1,19 @@
 """Native ``execute_pages`` for the CSV, REST, and key-value adapters.
 
-Each adapter now pages its own results instead of inheriting the
-``paginate()`` shim. These tests pin the equivalence: page shapes follow
-the adapter page contract (zero or more full pages, then exactly one
-final partial — possibly empty — page), and whole-query network
-accounting (messages, bytes, rows shipped) is bit-identical to running
-the same query through the generic shim.
+Each adapter pages its own results into columnar :class:`Page` batches
+instead of inheriting the generic row shim. These tests pin the
+equivalence: page shapes follow the adapter page contract (zero or more
+full pages, then exactly one final partial — possibly empty — page),
+and whole-query network accounting (messages, bytes, rows shipped) is
+bit-identical to running the same query through the generic
+``paginate_rows`` shim.
 """
 
 from repro import GlobalInformationSystem
 from repro.catalog.schema import Column, TableSchema, schema_from_pairs
+from repro.core.pages import paginate_rows
 from repro.core.physical import ExchangeExec
-from repro.sources.base import Adapter, paginate
+from repro.sources.base import Adapter
 from repro.sources.csvfile import CsvSource
 from repro.sources.keyvalue import KeyValueSource
 from repro.sources.rest import RestSource
@@ -27,7 +29,13 @@ def scan_exchange(gis, sql):
 
 
 def shim_pages(adapter, fragment, page_rows):
-    return list(paginate(adapter.execute(fragment), page_rows))
+    return list(
+        paginate_rows(
+            adapter.execute(fragment),
+            page_rows,
+            len(fragment.output_columns),
+        )
+    )
 
 
 def native_pages(adapter, fragment, page_rows):
