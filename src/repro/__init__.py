@@ -41,6 +41,7 @@ from .errors import (
     GISError,
     ParseError,
     PlanError,
+    QueryTimeoutError,
     SourceError,
     TypeCheckError,
     UnknownObjectError,
@@ -48,6 +49,9 @@ from .errors import (
 from .sources import (
     Adapter,
     CsvSource,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
     KeyValueSource,
     MemorySource,
     NetworkLink,
@@ -75,6 +79,9 @@ __all__ = [
     "DuplicateObjectError",
     "EquiDepthHistogram",
     "ExecutionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "GISError",
     "GlobalInformationSystem",
     "KeyValueSource",
@@ -90,6 +97,7 @@ __all__ = [
     "PlannerOptions",
     "QueryMetrics",
     "QueryResult",
+    "QueryTimeoutError",
     "RestSource",
     "SimulatedNetwork",
     "SourceCapabilities",

@@ -52,6 +52,22 @@ A top-level ``observability`` section arms the tracing/metrics subsystem
         "slow_query_ms": 250,                # slow-query log threshold
         "slow_query_log": "slow.jsonl"       # optional slow-query file
     }
+
+A top-level ``resilience`` section sets the query deadline and the
+partial-result policy, and a ``faults`` section scripts deterministic
+per-source failures (see ``docs/resilience.md``)::
+
+    "resilience": {
+        "deadline_ms": 5000,                 # per-query budget; 0 = off
+        "on_source_failure": "partial"       # or "fail" (the default)
+    },
+    "faults": {
+        "seed": 7,
+        "sources": {
+            "erp": {"fail_connect": 2, "latency_ms": 50.0},
+            "crm": {"fail_every": 3, "recover_after": 5}
+        }
+    }
 """
 
 from __future__ import annotations
@@ -65,6 +81,7 @@ from .core.planner import PlannerOptions
 from .errors import CatalogError, PlanError
 from .sources import (
     CsvSource,
+    FaultPlan,
     KeyValueSource,
     MemorySource,
     NetworkLink,
@@ -89,14 +106,20 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         options, fragment_retries = _apply_scheduler_config(
             config["scheduler"], options, fragment_retries
         )
+    if "resilience" in config:
+        options = _apply_resilience_config(config["resilience"], options)
     observability = None
     if "observability" in config:
         observability = _build_observability(config["observability"])
+    faults = None
+    if "faults" in config:
+        faults = FaultPlan.from_config(config["faults"])
     gis = GlobalInformationSystem(
         options=options,
         fragment_retries=fragment_retries,
         result_cache_size=int(config.get("result_cache_size", 0)),
         observability=observability,
+        faults=faults,
     )
 
     sources = config.get("sources")
@@ -140,8 +163,7 @@ def _int_option(section: str, spec: Dict[str, Any], key: str) -> Optional[int]:
     value = spec[key]
     if isinstance(value, bool) or not isinstance(value, int):
         raise CatalogError(
-            f"scheduler config: {section}{key!r} must be an integer "
-            f"(got {value!r})"
+            f"config: {section}{key!r} must be an integer (got {value!r})"
         )
     return value
 
@@ -152,8 +174,7 @@ def _float_option(section: str, spec: Dict[str, Any], key: str) -> Optional[floa
     value = spec[key]
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise CatalogError(
-            f"scheduler config: {section}{key!r} must be a number "
-            f"(got {value!r})"
+            f"config: {section}{key!r} must be a number (got {value!r})"
         )
     return float(value)
 
@@ -250,6 +271,37 @@ def _apply_scheduler_config(
         except PlanError as exc:
             raise CatalogError(f"invalid scheduler config: {exc}") from exc
     return options, fragment_retries
+
+
+def _apply_resilience_config(
+    spec: Any, options: Optional[PlannerOptions]
+) -> PlannerOptions:
+    """Fold the declarative ``resilience`` section into planner options.
+
+    Mirrors the scheduler section's strictness: every key is validated and
+    unknown keys are rejected.
+    """
+    if not isinstance(spec, dict):
+        raise CatalogError(
+            f"'resilience' config must be a mapping (got {type(spec).__name__})"
+        )
+    _check_keys("resilience", spec, ("deadline_ms", "on_source_failure"))
+    changes: Dict[str, Any] = {}
+    deadline = _float_option("resilience.", spec, "deadline_ms")
+    if deadline is not None:
+        changes["deadline_ms"] = deadline
+    if "on_source_failure" in spec:
+        mode = spec["on_source_failure"]
+        if not isinstance(mode, str):
+            raise CatalogError(
+                "resilience config: 'on_source_failure' must be a string "
+                f"(got {mode!r})"
+            )
+        changes["on_source_failure"] = mode
+    try:
+        return (options or PlannerOptions()).but(**changes)
+    except PlanError as exc:
+        raise CatalogError(f"invalid resilience config: {exc}") from exc
 
 
 def _build_observability(spec: Any) -> "Observability":

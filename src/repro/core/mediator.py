@@ -27,6 +27,7 @@ from ..catalog.statistics import DEFAULT_HISTOGRAM_BUCKETS, TableStatistics
 from ..errors import CatalogError, UnknownObjectError
 from ..obs import Observability
 from ..sources.base import Adapter
+from ..sources.faults import FaultInjector, FaultPlan
 from ..sources.network import NetworkLink, SimulatedNetwork
 from ..sql.parser import parse_select
 from .analyzer import Analyzer
@@ -36,7 +37,12 @@ from .pages import Page
 from .physical import ExchangeExec, ExecutionContext, profile_operators
 from .planner import PlannedQuery, Planner, PlannerOptions
 from .result import QueryMetrics, QueryResult
-from .scheduler import CircuitBreakerRegistry, FragmentScheduler, SchedulerConfig
+from .scheduler import (
+    CircuitBreakerRegistry,
+    Deadline,
+    FragmentScheduler,
+    SchedulerConfig,
+)
 
 
 class GlobalInformationSystem:
@@ -49,6 +55,7 @@ class GlobalInformationSystem:
         fragment_retries: int = 0,
         result_cache_size: int = 0,
         observability: Optional[Observability] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         """Create a mediator.
 
@@ -69,6 +76,12 @@ class GlobalInformationSystem:
         slow-query log (see :class:`repro.obs.Observability`); omitted, one
         is created with everything off, so instrumentation costs nothing
         until armed.
+
+        ``faults`` arms a mediator-level
+        :class:`~repro.sources.faults.FaultInjector` whose per-source state
+        persists across queries (so recovery-after-K scripts span a
+        session); a per-query plan on ``PlannerOptions.faults`` overrides
+        it with a fresh injector per execution.
         """
         self.catalog = Catalog()
         self.network = network or SimulatedNetwork()
@@ -76,6 +89,7 @@ class GlobalInformationSystem:
         self.fragment_retries = fragment_retries
         self.breakers = CircuitBreakerRegistry()
         self.obs = observability or Observability()
+        self.fault_injector = FaultInjector(faults) if faults is not None else None
         self._result_cache_size = result_cache_size
         self._result_cache: "OrderedDict[Tuple[str, Optional[PlannerOptions]], QueryResult]" = (
             OrderedDict()
@@ -276,6 +290,12 @@ class GlobalInformationSystem:
         scheduler and circuit breakers when the options call for them."""
         opts = options or self.planner.options
         config = SchedulerConfig.from_options(opts, self.fragment_retries)
+        # Per-query fault plans get a fresh injector (deterministic
+        # replays); otherwise the mediator's persistent injector applies.
+        if opts.faults is not None:
+            injector = FaultInjector(opts.faults)
+        else:
+            injector = self.fault_injector
         context = ExecutionContext(
             self.catalog,
             self.network,
@@ -283,6 +303,11 @@ class GlobalInformationSystem:
             scheduler_config=config,
             breakers=self.breakers,
             batch_size=opts.batch_size,
+            deadline=(
+                Deadline(opts.deadline_ms) if opts.deadline_ms > 0 else None
+            ),
+            fault_injector=injector,
+            on_source_failure=opts.on_source_failure,
         )
         if config.scheduled:
             context.scheduler = FragmentScheduler(
@@ -406,16 +431,21 @@ class GlobalInformationSystem:
             wall_ms=wall_ms,
             planning_ms=planned.planning_ms,
         )
+        excluded = dict(context.excluded_sources)
         result = QueryResult(
             column_names=planned.output_names,
             rows=rows,
             metrics=metrics,
             explain_text=planned.explain(),
+            complete=not excluded,
+            excluded_sources=excluded,
         )
-        obs.record_query(sql, metrics)
-        if self._result_cache_size > 0:
+        obs.record_query(sql, metrics, excluded_sources=excluded)
+        if self._result_cache_size > 0 and result.complete:
             # Store a snapshot so callers mutating their result (rows is a
-            # plain list) cannot corrupt later cache hits.
+            # plain list) cannot corrupt later cache hits. Partial results
+            # are never cached: the excluded source may be back by the next
+            # call, and serving its absence from cache would be silent.
             with self._cache_lock:
                 self._result_cache[cache_key] = QueryResult(
                     column_names=list(result.column_names),
@@ -471,6 +501,11 @@ class GlobalInformationSystem:
             f"result rows: {len(rows)}",
             QueryMetrics(network=context.metrics).summary(),
         ]
+        if context.excluded_sources:
+            sections.append("")
+            sections.append("== PARTIAL RESULT: excluded sources ==")
+            for source, reason in sorted(context.excluded_sources.items()):
+                sections.append(f"[{source}] {reason}")
         return "\n".join(sections)
 
     def explain(self, sql: str, options: Optional[PlannerOptions] = None) -> str:

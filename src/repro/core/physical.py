@@ -41,7 +41,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..catalog.catalog import Catalog
 from ..datatypes import DataType
-from ..errors import ExecutionError, PlanError
+from ..errors import ExecutionError, PlanError, QueryTimeoutError, SourceError
 from ..obs.trace import NULL_SPAN, NULL_TRACER
 from ..sql import ast
 from ..sources.network import SimulatedNetwork
@@ -132,6 +132,16 @@ class ExecutionContext:
     hand each other per ``iterate_batches`` step. It never affects network
     accounting (exchanges charge per adapter page regardless); ``1``
     degenerates to row-at-a-time execution.
+
+    Resilience knobs (all default-off, keeping the fault-free engine
+    byte-identical): ``deadline`` is the query's wall-clock budget
+    (:class:`~repro.core.scheduler.Deadline`), checked cooperatively via
+    :meth:`check_deadline`; ``fault_injector`` scripts per-source failures
+    into every adapter page fetch (:meth:`execute_pages`);
+    ``on_source_failure`` selects whether a source that fails past its
+    retry/breaker/replica envelope aborts the query (``"fail"``) or is
+    excluded with the query continuing (``"partial"`` — recorded in
+    ``excluded_sources``).
     """
 
     def __init__(
@@ -142,6 +152,9 @@ class ExecutionContext:
         scheduler_config=None,
         breakers=None,
         batch_size: int = DEFAULT_BATCH_ROWS,
+        deadline=None,
+        fault_injector=None,
+        on_source_failure: str = "fail",
     ) -> None:
         self.catalog = catalog
         self.network = network
@@ -150,6 +163,11 @@ class ExecutionContext:
         self.breakers = breakers
         self.scheduler = None  # set by the mediator when config.scheduled
         self.batch_size = max(batch_size, 1)
+        self.deadline = deadline
+        self.fault_injector = fault_injector
+        self.on_source_failure = on_source_failure
+        #: ``source -> reason`` for sources excluded under "partial".
+        self.excluded_sources: Dict[str, str] = {}
         self.metrics = ExecutionMetrics()
         self._metrics_lock = threading.Lock()
         # Tracing hooks (see repro.obs): the mediator arms these per query.
@@ -181,6 +199,52 @@ class ExecutionContext:
         return self.breakers.breaker_for(
             source_name, threshold, self.scheduler_config.breaker_reset_ms
         )
+
+    def execute_pages(self, adapter, fragment, page_rows: int):
+        """The adapter page path every fetch routes through.
+
+        With a fault injector armed, pages stream through its scripted
+        per-source failure logic; otherwise this is exactly
+        ``adapter.execute_pages`` — one attribute check of overhead.
+        """
+        if self.fault_injector is not None:
+            return self.fault_injector.execute_pages(adapter, fragment, page_rows)
+        return adapter.execute_pages(fragment, page_rows)
+
+    def deadline_error(self, source_name: Optional[str] = None) -> QueryTimeoutError:
+        """Build (without raising) the attributed timeout for this query."""
+        deadline = self.deadline
+        assert deadline is not None
+        with self._metrics_lock:
+            per_source = dict(self.metrics.per_source_rows)
+        return QueryTimeoutError(
+            deadline.budget_ms, deadline.elapsed_ms(), source_name, per_source
+        )
+
+    def check_deadline(self, source_name: Optional[str] = None) -> None:
+        """Cooperative cancellation point (page boundaries, retry gates).
+
+        No-op without a deadline; raises :class:`QueryTimeoutError` with
+        per-source attribution once the budget is exhausted.
+        """
+        deadline = self.deadline
+        if deadline is not None and deadline.expired():
+            self.trace_span.event(
+                "deadline", budget_ms=deadline.budget_ms, source=source_name
+            )
+            raise self.deadline_error(source_name)
+
+    def record_exclusion(self, source_name: str, reason) -> None:
+        """Mark one source's rows as missing from this query's result.
+
+        Called when ``on_source_failure="partial"`` degrades a dead
+        source's scan to empty; first reason per source wins (the
+        original failure, not any follow-on noise).
+        """
+        key = source_name.lower()
+        with self._metrics_lock:
+            self.excluded_sources.setdefault(key, str(reason))
+        self.trace_span.event("source-excluded", source=key)
 
     def add_metric(self, name: str, amount) -> None:
         """Thread-safe increment of a numeric metric field."""
@@ -217,7 +281,8 @@ class ExecutionContext:
         else:
             payload = sum(_row_bytes(row) for row in rows)
         elapsed = self.network.record_transfer(
-            source_name, payload, len(rows), messages
+            source_name, payload, len(rows), messages,
+            extra_latency_ms=self._fault_latency(source_name),
         )
         with self._metrics_lock:
             metrics = self.metrics
@@ -233,12 +298,21 @@ class ExecutionContext:
 
     def charge_request(self, source_name: str, payload_bytes: float) -> float:
         """Account an upload-only message (semijoin key batches)."""
-        elapsed = self.network.record_transfer(source_name, payload_bytes, 0, 1)
+        elapsed = self.network.record_transfer(
+            source_name, payload_bytes, 0, 1,
+            extra_latency_ms=self._fault_latency(source_name),
+        )
         with self._metrics_lock:
             self.metrics.messages += 1
             self.metrics.bytes_shipped += payload_bytes
             self.metrics.network_ms += elapsed
         return elapsed
+
+    def _fault_latency(self, source_name: str) -> float:
+        """The armed plan's scripted latency spike for a source (ms/message)."""
+        if self.fault_injector is None:
+            return 0.0
+        return self.fault_injector.latency_penalty_ms(source_name)
 
 
 def _row_bytes(row: Row) -> float:
@@ -337,6 +411,16 @@ def make_batch_sizer(columns: Sequence[RelColumn]):
 
 # The batching helpers (chunk_rows, split_batches, pages_from_rows) live in
 # repro.core.pages and are re-exported here for compatibility.
+
+
+def _materialize_rows(child: "PhysicalOperator", ctx: "ExecutionContext") -> List[Row]:
+    """Drain a child operator to a row list, one deadline check per batch
+    (the cancellation point for blocking materializations)."""
+    rows: List[Row] = []
+    for batch in child.iterate_batches(ctx):
+        ctx.check_deadline()
+        rows.extend(batch)
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -573,6 +657,19 @@ class ExchangeExec(PhysicalOperator):
         self._sizer = make_batch_sizer(columns)
 
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        try:
+            yield from self._batches(ctx)
+        except SourceError as exc:
+            # Graceful degradation: past the whole retry/breaker/replica
+            # envelope, a dead source's scan becomes empty and the query
+            # carries on — flagged, never silent (the mediator stamps
+            # complete=False from ctx.excluded_sources). Deadline expiry
+            # (QueryTimeoutError) is never downgraded to a partial result.
+            if ctx.on_source_failure != "partial":
+                raise
+            ctx.record_exclusion(exc.source_name, exc)
+
+    def _batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         if ctx.scheduler is not None:
             pages = ctx.scheduler.stream_exchange_pages(self, ctx)
         else:
@@ -583,13 +680,15 @@ class ExchangeExec(PhysicalOperator):
         # across page boundaries (see split_batches).
         width = len(self.columns)
         normalized = (as_page(page, width) for page in pages)
-        yield from split_batches(normalized, ctx.batch_size)
+        source = self.fragment.source_name
+        for batch in split_batches(normalized, ctx.batch_size):
+            ctx.check_deadline(source)
+            yield batch
 
     def _direct_pages(self, ctx: ExecutionContext) -> Iterator[Batch]:
         """The sequential path, wrapped in the robustness envelope
         (breaker gate + backoff) when those knobs are armed. Yields the
         fragment's charged pages in order."""
-        from ..errors import SourceError
         from .scheduler import replica_fallback, sleep_ms
 
         ctx.metrics.fragments_executed += 1
@@ -604,6 +703,7 @@ class ExchangeExec(PhysicalOperator):
         )
         try:
             while True:
+                ctx.check_deadline(source)
                 breaker = ctx.breaker_for(source)
                 if breaker is not None and not breaker.allow():
                     fallback = (
@@ -624,7 +724,7 @@ class ExchangeExec(PhysicalOperator):
                     continue  # re-evaluate the replica's own breaker
                 produced = False
                 try:
-                    for page in adapter.execute_pages(fragment, self.page_rows):
+                    for page in ctx.execute_pages(adapter, fragment, self.page_rows):
                         # Every page — including the final (possibly empty)
                         # one — costs a round trip; an empty result still
                         # charges one message.
@@ -637,13 +737,27 @@ class ExchangeExec(PhysicalOperator):
                     if breaker is not None and breaker.record_failure():
                         ctx.add_metric("breaker_trips", 1)
                         span.event("breaker-trip", source=source)
-                    # Retry is only safe before any row reached the consumer.
-                    if produced or attempt >= policy.retries:
+                    # Retry is only safe before any row reached the consumer,
+                    # only for transient failures, and only when the backoff
+                    # delay still fits inside the query's deadline budget.
+                    retryable = getattr(exc, "retryable", True)
+                    if produced or not retryable or attempt >= policy.retries:
                         span.set_attribute("error", repr(exc))
+                        if not retryable:
+                            span.set_attribute("permanent", True)
                         raise
                     attempt += 1
-                    ctx.metrics.fragment_retries += 1
                     delay = policy.delay_ms(attempt, rng)
+                    deadline = ctx.deadline
+                    if deadline is not None and deadline.remaining_ms() <= delay:
+                        span.event(
+                            "retry-abandoned", attempt=attempt,
+                            delay_ms=round(delay, 3),
+                            remaining_ms=round(deadline.remaining_ms(), 3),
+                        )
+                        span.set_attribute("error", repr(exc))
+                        raise
+                    ctx.metrics.fragment_retries += 1
                     span.event("retry", attempt=attempt, delay_ms=round(delay, 3))
                     sleep_ms(delay)
                     continue
@@ -769,6 +883,7 @@ class HashJoinExec(PhysicalOperator):
         right_count = 0
         right_key_kernels = self._right_key_kernels
         for batch in self.right.iterate_batches(ctx):
+            ctx.check_deadline()
             right_count += len(batch)
             key_columns = [kernel(batch) for kernel in right_key_kernels]
             for index, row in enumerate(batch):
@@ -786,6 +901,7 @@ class HashJoinExec(PhysicalOperator):
         size = ctx.batch_size
         width = len(self.columns)
         for batch in self.left.iterate_batches(ctx):
+            ctx.check_deadline()
             key_columns = [kernel(batch) for kernel in left_key_kernels]
             out: List[Row] = []
             for index, left_row in enumerate(batch):
@@ -896,6 +1012,7 @@ class MergeJoinExec(PhysicalOperator):
     def _keyed_sorted(child, key_fns, ctx):
         keyed = []
         for batch in child.iterate_batches(ctx):
+            ctx.check_deadline()
             for row in batch:
                 key = tuple(fn(row) for fn in key_fns)
                 if any(part is None for part in key):
@@ -932,11 +1049,7 @@ class NestedLoopJoinExec(PhysicalOperator):
         return f"NestedLoopJoin({self.kind})"
 
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        right_rows = [
-            row
-            for batch in self.right.iterate_batches(ctx)
-            for row in batch
-        ]
+        right_rows = _materialize_rows(self.right, ctx)
         condition = self._condition
         null_right = (None,) * len(self.right.columns)
         kind = self.kind
@@ -1021,13 +1134,24 @@ class BindJoinExec(PhysicalOperator):
         keys: Set[Any] = set()
         key_kernel = self._probe_key_kernel
         for batch in self.probe.iterate_batches(ctx):
+            ctx.check_deadline()
             probe_rows.extend(batch)
             for value in key_kernel(batch):
                 if value is not None:
                     keys.add(value)
         remote_rows: List[Row] = []
-        for page in self._fetch_reduced_pages(ctx, keys):
-            remote_rows.extend(page)
+        try:
+            for page in self._fetch_reduced_pages(ctx, keys):
+                ctx.check_deadline(self.remote.source_name)
+                remote_rows.extend(page)
+        except SourceError as exc:
+            # Graceful degradation mirrors ExchangeExec: the dead remote
+            # side contributes no rows and the join proceeds (INNER drops
+            # unmatched probe rows; LEFT pads them with NULLs).
+            if ctx.on_source_failure != "partial":
+                raise
+            ctx.record_exclusion(exc.source_name, exc)
+            remote_rows = []
 
         # Assemble the join with the original operand orientation.
         remote_stub = StaticRowsExec(remote_rows, self.remote.columns)
@@ -1077,8 +1201,6 @@ class BindJoinExec(PhysicalOperator):
     def _fetch_reduced_pages(
         self, ctx: ExecutionContext, keys: Set[Any]
     ) -> Iterator[Batch]:
-        from ..errors import SourceError
-
         bind = self._bind
         ordered = sorted(keys, key=repr)
         ctx.add_metric("fragments_executed", 1)
@@ -1132,7 +1254,7 @@ class BindJoinExec(PhysicalOperator):
                 ctx.charge_request(source, key_sizer(batch))
                 span.event("key-batch", keys=len(batch))
                 fragment = self._batch_fragment(batch)
-                for page in self.adapter.execute_pages(fragment, self.page_rows):
+                for page in ctx.execute_pages(self.adapter, fragment, self.page_rows):
                     ctx.charge_transfer(source, page, 1, sizer)
                     span.event("page", rows=len(page))
                     if page:
@@ -1188,6 +1310,7 @@ class HashAggregateExec(PhysicalOperator):
         argument_kernels = self._argument_kernels
         aggregates = self.plan.aggregates
         for batch in self.child.iterate_batches(ctx):
+            ctx.check_deadline()
             key_columns = [kernel(batch) for kernel in group_kernels]
             argument_columns = [
                 kernel(batch) if kernel is not None else None
@@ -1241,11 +1364,7 @@ class WindowExec(PhysicalOperator):
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         from .fragments import apply_window
 
-        rows = [
-            row
-            for batch in self.child.iterate_batches(ctx)
-            for row in batch
-        ]
+        rows = _materialize_rows(self.child, ctx)
         yield from chunk_rows(
             apply_window(rows, self.plan.child.output_columns, self.plan.specs),
             ctx.batch_size,
@@ -1266,11 +1385,7 @@ class SortExec(PhysicalOperator):
         return [self.child]
 
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        rows = [
-            row
-            for batch in self.child.iterate_batches(ctx)
-            for row in batch
-        ]
+        rows = _materialize_rows(self.child, ctx)
         yield from chunk_rows(
             sort_rows(rows, self._key_fns, self._directions), ctx.batch_size
         )

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..catalog.catalog import Catalog
 from ..errors import PlanError
+from ..sources.faults import FaultPlan
 from ..sources.network import SimulatedNetwork
 from ..sql.parser import parse_select
 from .analyzer import Analyzer
@@ -29,6 +30,10 @@ from .physical import JOIN_ALGORITHMS, PhysicalOperator, PhysicalPlanner
 from .pushdown import PUSHDOWN_LEVELS, PushdownPlanner
 from .rewriter import rewrite
 from .semijoin import SEMIJOIN_MODES, SemijoinDecision, SemijoinPlanner
+
+
+#: Accepted query behaviors when a source fails past its whole envelope.
+ON_SOURCE_FAILURE_MODES = ("fail", "partial")
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,18 @@ class PlannerOptions:
         trace: force tracing for queries planned with these options even
             when the mediator's tracer is globally disabled (per-query
             tracing). Purely observational — never changes the plan.
+        deadline_ms: wall-clock budget for the whole query; past it the
+            engine cancels cooperatively (page boundaries, retry gates)
+            with an attributed QueryTimeoutError. 0 disables deadlines.
+        on_source_failure: ``fail`` (a source failing past its
+            retry/breaker/replica envelope aborts the query — classic
+            behavior) or ``partial`` (the dead source's scans degrade to
+            empty and the result is flagged ``complete=False`` with the
+            excluded sources and reasons attached).
+        faults: a seeded :class:`~repro.sources.faults.FaultPlan` applied
+            to this query's source calls with a fresh injector per
+            execution — deterministic fault scripts for tests and chaos
+            runs. None (default) injects nothing.
     """
 
     rewrites: bool = True
@@ -98,6 +115,9 @@ class PlannerOptions:
     batch_size: int = 1024
     vectorize: bool = True
     trace: bool = False
+    deadline_ms: float = 0.0
+    on_source_failure: str = "fail"
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.join_strategy not in JOIN_STRATEGIES:
@@ -153,6 +173,19 @@ class PlannerOptions:
         if self.breaker_reset_ms < 0:
             raise PlanError(
                 f"breaker_reset_ms must be >= 0 (got {self.breaker_reset_ms!r})"
+            )
+        if self.deadline_ms < 0:
+            raise PlanError(
+                f"deadline_ms must be >= 0 (got {self.deadline_ms!r})"
+            )
+        if self.on_source_failure not in ON_SOURCE_FAILURE_MODES:
+            raise PlanError(
+                f"unknown on_source_failure mode {self.on_source_failure!r} "
+                f"(expected one of {ON_SOURCE_FAILURE_MODES})"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise PlanError(
+                f"faults must be a FaultPlan or None (got {self.faults!r})"
             )
 
     def but(self, **changes) -> "PlannerOptions":

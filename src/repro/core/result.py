@@ -68,7 +68,16 @@ class QueryMetrics:
 
 
 class QueryResult:
-    """Materialized result rows plus column names, metrics, and plan text."""
+    """Materialized result rows plus column names, metrics, and plan text.
+
+    ``complete`` is first-class completeness metadata: False means one or
+    more sources failed past their retry/breaker/replica envelope under
+    ``on_source_failure="partial"`` and their rows are missing;
+    ``excluded_sources`` maps each such source to the reason it was
+    dropped. A partial answer is never silently mistaken for a full one —
+    callers, the REPL banner, EXPLAIN ANALYZE, and the obs sink all
+    surface this flag.
+    """
 
     def __init__(
         self,
@@ -76,11 +85,15 @@ class QueryResult:
         rows: List[Tuple[Any, ...]],
         metrics: QueryMetrics,
         explain_text: str = "",
+        complete: bool = True,
+        excluded_sources: Optional[Dict[str, str]] = None,
     ) -> None:
         self.column_names = column_names
         self.rows = rows
         self.metrics = metrics
         self.explain_text = explain_text
+        self.complete = complete
+        self.excluded_sources = dict(excluded_sources or {})
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
         return iter(self.rows)
@@ -127,9 +140,10 @@ class QueryResult:
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        partial = "" if self.complete else ", partial"
         return (
             f"QueryResult({len(self.rows)} rows, "
-            f"columns={self.column_names})"
+            f"columns={self.column_names}{partial})"
         )
 
 

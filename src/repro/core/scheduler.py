@@ -64,6 +64,43 @@ def sleep_ms(ms: float) -> None:
 
 
 # ---------------------------------------------------------------------------
+# query deadline
+# ---------------------------------------------------------------------------
+
+
+class Deadline:
+    """A per-query wall-clock budget for cooperative cancellation.
+
+    Created by the mediator when ``PlannerOptions.deadline_ms > 0`` and
+    carried on the execution context through both the sequential path and
+    the parallel scheduler. Nothing preempts: operators *check* the
+    deadline at page boundaries, retry decisions refuse delays that cannot
+    finish in budget, and queue waits are sliced so a consumer blocked on
+    a slow producer still notices expiry promptly.
+
+    The clock is injectable for tests; the budget is real milliseconds
+    (the simulated network's virtual clock measures *cost*, not elapsed
+    wall time, so deadlines bound the latter).
+    """
+
+    __slots__ = ("budget_ms", "_clock", "_start")
+
+    def __init__(self, budget_ms: float, clock=time.monotonic) -> None:
+        self.budget_ms = float(budget_ms)
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._start) * 1000.0
+
+    def remaining_ms(self) -> float:
+        return self.budget_ms - self.elapsed_ms()
+
+    def expired(self) -> bool:
+        return self.remaining_ms() <= 0.0
+
+
+# ---------------------------------------------------------------------------
 # retry policy
 # ---------------------------------------------------------------------------
 
@@ -183,6 +220,12 @@ class CircuitBreaker:
                 self.trip_count += 1
             return tripping
 
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (diagnostics/`\\health`)."""
+        with self._lock:
+            return self._consecutive_failures
+
 
 class CircuitBreakerRegistry:
     """Per-source breakers, created lazily, shared by all of a mediator's
@@ -213,11 +256,16 @@ class CircuitBreakerRegistry:
             return sum(b.trip_count for b in self._breakers.values())
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Current state and trip count of every known breaker."""
+        """Current state, trip count, and recent failure count of every
+        known breaker."""
         with self._lock:
             breakers = dict(self._breakers)
         return {
-            source: {"state": breaker.state, "trips": breaker.trip_count}
+            source: {
+                "state": breaker.state,
+                "trips": breaker.trip_count,
+                "failures": breaker.consecutive_failures,
+            }
             for source, breaker in sorted(breakers.items())
         }
 
@@ -467,14 +515,16 @@ class FragmentScheduler:
         enforcing the no-progress timeout while waiting. Pages are handed
         through exactly as the producer queued them (never re-chunked), so
         the consumer sees the same page boundaries the network was charged
-        for."""
+        for. When the query carries a deadline the wait is sliced so
+        expiry is noticed promptly even with no fragment timeout set."""
         timeout_ms = self._config.fragment_timeout_ms
         timeout_s = timeout_ms / 1000.0 if timeout_ms > 0 else None
+        deadline: Optional[Deadline] = getattr(ctx, "deadline", None)
         while True:
             if task.queue.empty() and not task.done:
                 ctx.add_metric("scheduler_stalls", 1)
             try:
-                kind, payload = task.queue.get(timeout=timeout_s)
+                kind, payload = self._next_item(task, ctx, timeout_s, deadline)
             except queue.Empty:
                 task.cancelled = True
                 source = task.fragment.source_name
@@ -497,6 +547,44 @@ class FragmentScheduler:
                 return
             else:  # "error"
                 raise payload
+
+    def _next_item(
+        self,
+        task: _FragmentTask,
+        ctx,
+        timeout_s: Optional[float],
+        deadline: "Optional[Deadline]",
+    ):
+        """One blocking queue wait, honoring both the fragment's
+        no-progress timeout (raises ``queue.Empty`` to the caller) and
+        the query deadline (cancels the task and raises
+        :class:`QueryTimeoutError`). Without a deadline this is a single
+        ``Queue.get`` — the exact pre-deadline behavior."""
+        if deadline is None:
+            return task.queue.get(timeout=timeout_s)
+        wait_started = self._clock()
+        while True:
+            remaining_deadline_s = deadline.remaining_ms() / 1000.0
+            if remaining_deadline_s <= 0:
+                task.cancelled = True
+                source = task.fragment.source_name
+                task.span.event("deadline", budget_ms=deadline.budget_ms)
+                raise ctx.deadline_error(source)
+            slice_s = remaining_deadline_s
+            if timeout_s is not None:
+                waited_s = self._clock() - wait_started
+                remaining_timeout_s = timeout_s - waited_s
+                if remaining_timeout_s <= 0:
+                    raise queue.Empty
+                slice_s = min(slice_s, remaining_timeout_s)
+            try:
+                return task.queue.get(timeout=slice_s)
+            except queue.Empty:
+                if timeout_s is not None and (
+                    self._clock() - wait_started
+                ) >= timeout_s:
+                    raise
+                continue
 
     def stream(self, task: _FragmentTask, ctx) -> Iterator[Row]:
         """Row-granular compatibility wrapper over :meth:`stream_pages`."""
@@ -588,7 +676,14 @@ class FragmentScheduler:
     def _envelope_loop(
         self, task, ctx, adapter, fragment, source, rng, attempt, config, span
     ) -> None:
+        deadline: Optional[Deadline] = getattr(ctx, "deadline", None)
         while not (self._stop.is_set() or task.cancelled):
+            if deadline is not None and deadline.expired():
+                # Unblock the consumer promptly rather than going silent.
+                task.done = True
+                span.event("deadline", budget_ms=deadline.budget_ms)
+                task.put(("error", ctx.deadline_error(source)), self._stop)
+                return
             breaker = ctx.breaker_for(source)
             if breaker is not None and not breaker.allow():
                 fallback = replica_fallback(self._catalog, fragment, self._breakers)
@@ -618,7 +713,7 @@ class FragmentScheduler:
                 # exactly one final partial (possibly empty) page. Every page
                 # — including the trailing empty one that says "result
                 # complete" — costs one response message on the wire.
-                for page in adapter.execute_pages(fragment, task.page_rows):
+                for page in ctx.execute_pages(adapter, fragment, task.page_rows):
                     if self._stop.is_set() or task.cancelled:
                         return
                     task.virtual_ms += ctx.charge_transfer(
@@ -633,14 +728,29 @@ class FragmentScheduler:
                 if breaker is not None and breaker.record_failure():
                     ctx.add_metric("breaker_trips", 1)
                     span.event("breaker-trip", source=source)
-                if produced or attempt >= config.retry.retries:
+                retryable = getattr(exc, "retryable", True)
+                if produced or not retryable or attempt >= config.retry.retries:
                     task.done = True
                     span.set_attribute("error", repr(exc))
+                    if not retryable:
+                        span.set_attribute("permanent", True)
                     task.put(("error", exc), self._stop)
                     return
                 attempt += 1
-                ctx.add_metric("fragment_retries", 1)
                 delay = config.retry.delay_ms(attempt, rng)
+                if deadline is not None and deadline.remaining_ms() <= delay:
+                    # A retry that cannot finish inside the budget is not
+                    # issued; the source failure stands as-is.
+                    task.done = True
+                    span.event(
+                        "retry-abandoned", attempt=attempt,
+                        delay_ms=round(delay, 3),
+                        remaining_ms=round(deadline.remaining_ms(), 3),
+                    )
+                    span.set_attribute("error", repr(exc))
+                    task.put(("error", exc), self._stop)
+                    return
+                ctx.add_metric("fragment_retries", 1)
                 span.event("retry", attempt=attempt, delay_ms=round(delay, 3))
                 sleep_ms(delay)
                 continue

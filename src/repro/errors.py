@@ -72,8 +72,53 @@ class SourceError(ExecutionError):
 
     Wraps the underlying adapter exception; the originating source name is
     kept so federated failures can be attributed to a site.
+
+    ``retryable`` classifies the failure: transient faults (connection
+    drops, timeouts, flapping sources) default to True and may be
+    re-issued by the retry machinery; permanent faults (authentication
+    rejections, schema drift, decommissioned sites) should be raised with
+    ``retryable=False`` so the mediator stops burning retry budget on a
+    source that will never answer.
     """
 
-    def __init__(self, source_name: str, message: str) -> None:
+    def __init__(
+        self, source_name: str, message: str, retryable: bool = True
+    ) -> None:
         self.source_name = source_name
+        self.retryable = retryable
         super().__init__(f"source {source_name!r}: {message}")
+
+
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its deadline budget and was cancelled cleanly.
+
+    Raised cooperatively at page boundaries and retry decisions; carries
+    enough attribution to say *where* the budget went: the source being
+    waited on when the deadline fired (if any) and the rows each source
+    had shipped so far.
+    """
+
+    def __init__(
+        self,
+        budget_ms: float,
+        elapsed_ms: float,
+        source_name: "str | None" = None,
+        per_source_rows: "dict | None" = None,
+    ) -> None:
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+        self.source_name = source_name
+        self.per_source_rows = dict(per_source_rows or {})
+        message = (
+            f"query exceeded its deadline of {budget_ms:.0f} ms "
+            f"(elapsed {elapsed_ms:.0f} ms)"
+        )
+        if source_name:
+            message += f" while waiting on source {source_name!r}"
+        if self.per_source_rows:
+            shipped = ", ".join(
+                f"{source}={rows}"
+                for source, rows in sorted(self.per_source_rows.items())
+            )
+            message += f"; rows shipped so far: {shipped}"
+        super().__init__(message)

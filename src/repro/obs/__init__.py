@@ -110,20 +110,35 @@ class Observability:
 
     # -- query accounting --------------------------------------------------
 
-    def record_query(self, sql: str, metrics: Any, failed: bool = False) -> None:
+    def record_query(
+        self,
+        sql: str,
+        metrics: Any,
+        failed: bool = False,
+        excluded_sources: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Fold one finished query into the registry and slow-query log.
 
         ``metrics`` is a :class:`~repro.core.result.QueryMetrics` (duck
         typed — this package stays import-free of the engine). Failed
         queries still count: their transfer totals and breaker trips are
-        real even though no result materialized.
+        real even though no result materialized. A non-empty
+        ``excluded_sources`` marks a *partial* result (graceful
+        degradation dropped those sources); partial queries count in
+        ``queries_partial_total`` and carry their exclusions into the
+        JSON-lines slow-query record so a degraded answer is visible in
+        every sink.
         """
+        excluded = excluded_sources or {}
         registry = self.registry
         if registry.enabled:
             net = metrics.network
             registry.counter("queries_total").inc()
             if failed:
                 registry.counter("queries_failed_total").inc()
+            if excluded:
+                registry.counter("queries_partial_total").inc()
+                registry.counter("sources_excluded_total").inc(len(excluded))
             if net.cache_hit:
                 registry.counter("result_cache_hits_total").inc()
             registry.counter("rows_shipped_total").inc(net.rows_shipped)
@@ -138,16 +153,20 @@ class Observability:
             registry.histogram("query_planning_ms").observe(metrics.planning_ms)
             registry.histogram("query_network_ms").observe(net.network_ms)
         if not failed:
+            detail = {
+                "rows_shipped": metrics.network.rows_shipped,
+                "messages": metrics.network.messages,
+                "network_ms": round(metrics.network.network_ms, 3),
+                "complete": not excluded,
+            }
+            if excluded:
+                detail["excluded_sources"] = dict(sorted(excluded.items()))
             self.slow_queries.record(
                 sql,
                 wall_ms=metrics.wall_ms,
                 planning_ms=metrics.planning_ms,
                 rows=metrics.network.rows_output,
-                detail={
-                    "rows_shipped": metrics.network.rows_shipped,
-                    "messages": metrics.network.messages,
-                    "network_ms": round(metrics.network.network_ms, 3),
-                },
+                detail=detail,
             )
 
     def publish_breakers(self, breakers: Any) -> Dict[str, Dict[str, Any]]:
@@ -155,9 +174,11 @@ class Observability:
 
         ``breakers`` is a
         :class:`~repro.core.scheduler.CircuitBreakerRegistry`; its
-        :meth:`snapshot` yields ``{source: {"state": ..., "trips": ...}}``.
+        :meth:`snapshot` yields
+        ``{source: {"state": ..., "trips": ..., "failures": ...}}``.
         Each source gets a ``breaker.<source>.state`` gauge (0 closed,
-        1 half-open, 2 open) and a ``breaker.<source>.trips`` gauge.
+        1 half-open, 2 open), a ``breaker.<source>.trips`` gauge, and a
+        ``breaker.<source>.failures`` gauge (consecutive recent failures).
         """
         states = breakers.snapshot()
         registry = self.registry
@@ -167,6 +188,9 @@ class Observability:
                     BREAKER_STATE_CODES.get(info["state"], -1.0)
                 )
                 registry.gauge(f"breaker.{source}.trips").set(info["trips"])
+                registry.gauge(f"breaker.{source}.failures").set(
+                    info.get("failures", 0)
+                )
         return states
 
 

@@ -22,9 +22,14 @@ Backslash commands:
           registry and circuit-breaker states when metrics are enabled
 \trace on|off|FILE  record spans per query; FILE also exports a Chrome
           trace_event file (chrome://tracing / Perfetto) after each query
+\health   per-source health: breaker state, failure counts, link speed,
+          shipped totals, and injected-fault counters when faults are armed
 \naive    toggle the naive (no-optimizer) baseline for comparisons
 \parallel N|off  fetch fragments with N concurrent workers (off = sequential)
 \batch N|off  rows per operator batch (off = planner default, 1 = row-at-a-time)
+\deadline MS|off  abort queries that exceed MS wall-clock milliseconds
+\partial on|off  degrade to partial results when a source stays down
+          (instead of failing the whole query)
 \analyze  gather statistics on all tables
 \quit     exit
 ========  ===========================================================
@@ -59,6 +64,8 @@ class Repl:
         self.naive = False
         self.parallel = 1
         self.batch: Optional[int] = None
+        self.deadline_ms = 0.0
+        self.partial = False
         self.last_result: Optional[QueryResult] = None
         self._buffer: List[str] = []
         self._done = False
@@ -144,6 +151,29 @@ class Repl:
                 self._write(f"batch size: {self.batch} rows")
             else:
                 self._write("usage: \\batch <N>|off")
+        elif name == "\\health":
+            self._show_health()
+        elif name == "\\deadline":
+            if argument.lower() in ("off", "0", ""):
+                self.deadline_ms = 0.0
+                self._write("query deadline OFF")
+            else:
+                try:
+                    value = float(argument)
+                except ValueError:
+                    value = -1.0
+                if value > 0:
+                    self.deadline_ms = value
+                    self._write(f"query deadline {value:g} ms")
+                else:
+                    self._write("usage: \\deadline <MS>|off")
+        elif name == "\\partial":
+            if argument.lower() in ("on", "off"):
+                self.partial = argument.lower() == "on"
+            else:
+                self.partial = not self.partial
+            mode = "partial" if self.partial else "fail"
+            self._write(f"on-source-failure mode: {mode}")
         elif name == "\\analyze":
             collected = self.gis.analyze()
             self._write(f"analyzed {len(collected)} tables")
@@ -179,6 +209,41 @@ class Repl:
                     f"  breaker {source}: {info['state']} "
                     f"({info['trips']} trips)"
                 )
+
+    def _show_health(self) -> None:
+        sources = list(self.gis.catalog.source_names())
+        if not sources:
+            self._write("no sources registered")
+            return
+        breakers = self.gis.breakers.snapshot()
+        ledger = self.gis.network.per_source()
+        injector = self.gis.fault_injector
+        faults = injector.snapshot() if injector is not None else {}
+        for name in sources:
+            key = name.lower()
+            link = self.gis.network.link_for(name)
+            info = breakers.get(key)
+            state = str(info["state"]) if info else "closed"
+            trips = info["trips"] if info else 0
+            failures = info["failures"] if info else 0
+            line = (
+                f"  {name}: breaker {state} "
+                f"({trips} trips, {failures} recent failures); "
+                f"link {link.latency_ms:.0f}ms/"
+                f"{link.bandwidth_bytes_per_s / 1000:.0f}KBps"
+            )
+            transfers = ledger.get(key)
+            if transfers is not None:
+                line += (
+                    f"; shipped {transfers.rows} rows in "
+                    f"{transfers.messages} messages"
+                )
+            snapshot = faults.get(key)
+            if snapshot is not None:
+                line += (
+                    f"; faults {snapshot.failures}/{snapshot.calls} calls"
+                )
+            self._write(line)
 
     def _trace_command(self, argument: str) -> None:
         obs = self.gis.obs
@@ -274,16 +339,25 @@ class Repl:
             )
         if self.batch is not None:
             base = (base or PlannerOptions()).but(batch_size=self.batch)
+        if self.deadline_ms > 0:
+            base = (base or PlannerOptions()).but(deadline_ms=self.deadline_ms)
+        if self.partial:
+            base = (base or PlannerOptions()).but(on_source_failure="partial")
         return base
 
     def _execute(self, sql: str) -> None:
         def run_query() -> None:
             result = self.gis.query(sql, self._options())
             self.last_result = result
+            if not result.complete:
+                self._write("!! PARTIAL RESULT — excluded sources:")
+                for source, reason in sorted(result.excluded_sources.items()):
+                    self._write(f"!!   {source}: {reason}")
             self._write(result.format_table())
+            tail = "" if result.complete else "; PARTIAL"
             self._write(
                 f"({len(result)} rows; {result.metrics.simulated_ms:.1f} ms "
-                "simulated network)"
+                f"simulated network{tail})"
             )
 
         self._guard(run_query)
@@ -344,6 +418,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rows per columnar page between operators "
         "(default: planner default; 1 = row-at-a-time)",
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="abort queries that exceed MS wall-clock milliseconds",
+    )
+    parser.add_argument(
+        "--partial-results",
+        action="store_true",
+        help="degrade to partial results (with the missing sources "
+        "reported) when a source stays down, instead of failing",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.batch_size is not None:
@@ -381,6 +468,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     repl = Repl(gis)
     if arguments.batch_size is not None:
         repl.batch = arguments.batch_size
+    if arguments.deadline_ms > 0:
+        repl.deadline_ms = float(arguments.deadline_ms)
+    if arguments.partial_results:
+        repl.partial = True
     try:
         repl.run(sys.stdin, interactive=sys.stdin.isatty())
     except KeyboardInterrupt:

@@ -21,6 +21,7 @@ Shipped adapters, ordered by capability:
 
 from .base import Adapter, SourceCapabilities
 from .csvfile import CsvSource
+from .faults import FaultInjector, FaultPlan, FaultSnapshot, FaultSpec
 from .keyvalue import KeyValueSource
 from .memory import MemorySource
 from .network import NetworkLink, SimulatedNetwork, TransferMetrics
@@ -30,6 +31,10 @@ from .sqlite import SQLiteSource
 __all__ = [
     "Adapter",
     "CsvSource",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSnapshot",
+    "FaultSpec",
     "KeyValueSource",
     "MemorySource",
     "NetworkLink",

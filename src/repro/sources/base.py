@@ -141,6 +141,12 @@ class Adapter(abc.ABC):
         and build :class:`~repro.core.pages.Page` objects directly.
         Adapters may also yield plain row-tuple lists — the exchange
         transposes them — but native pages skip that bridge.
+
+        Fault injection (:mod:`repro.sources.faults`) wraps this method
+        from the mediator side — every fetch routes through
+        ``ExecutionContext.execute_pages`` — so adapters need no fault
+        awareness of their own; scripted connect failures, mid-stream
+        outages, and latency spikes apply uniformly to every source kind.
         """
         return paginate_rows(
             self.execute(fragment),

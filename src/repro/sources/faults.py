@@ -1,0 +1,375 @@
+"""Deterministic fault injection for component systems.
+
+A 1989 Global Information System federates *autonomous* sources over a
+WAN: sites that are slow, flapping, or simply gone are the normal case.
+This module makes every such failure mode a reproducible test fixture
+instead of a race: a :class:`FaultPlan` scripts per-source failures
+(fail-on-connect, fail-after-N-pages mid-stream outages, deterministic
+flapping, seeded probabilistic faults, latency spikes, recovery-after-K),
+and a :class:`FaultInjector` enforces the script at the adapter page
+boundary — the exact point where the exchange pulls response pages over
+the simulated network.
+
+Injection wraps :meth:`~repro.sources.base.Adapter.execute_pages` from the
+*outside* (the mediator side of the wire), so adapters need no changes and
+every source kind is injectable. Latency spikes are wired through
+:class:`~repro.sources.network.SimulatedNetwork` as extra per-message
+virtual latency, so they show up in the deterministic transfer ledgers
+like any real slow link.
+
+With no plan armed the injector is never consulted and the engine is
+byte-for-byte identical to the fault-free build.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..errors import CatalogError, SourceError
+
+#: Failure modes an injected call can take.
+_CONNECT = "connect"
+_MIDSTREAM = "midstream"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The scripted failure behavior of one source.
+
+    Attributes:
+        fail_connect: the first N calls fail before producing any page
+            (connection refused / source down at query time).
+        fail_after_pages: failing calls die *mid-stream*, after yielding
+            this many pages (a source that answers, then drops the link).
+            Set alone, every call fails this way until recovery.
+        fail_every: deterministic flapping — every k-th call (after the
+            ``fail_connect`` prefix) fails; other calls succeed.
+        failure_rate: probability in [0, 1] that a call fails, drawn from
+            a per-source RNG seeded by the plan (chaos testing).
+        recover_after: total injected failures after which the source
+            heals and all calls succeed (None = never recovers). This is
+            the "flapping with recovery-after-K" knob.
+        latency_ms: extra virtual latency added to every message of this
+            source (a latency spike, charged through the simulated
+            network's ledgers).
+        permanent: injected errors are marked non-retryable
+            (``SourceError.retryable = False``), so retry budgets are not
+            burned on a source that will never answer.
+    """
+
+    fail_connect: int = 0
+    fail_after_pages: Optional[int] = None
+    fail_every: int = 0
+    failure_rate: float = 0.0
+    recover_after: Optional[int] = None
+    latency_ms: float = 0.0
+    permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fail_connect < 0:
+            raise CatalogError(
+                f"fault spec: fail_connect must be >= 0 (got {self.fail_connect!r})"
+            )
+        if self.fail_after_pages is not None and self.fail_after_pages < 0:
+            raise CatalogError(
+                "fault spec: fail_after_pages must be >= 0 "
+                f"(got {self.fail_after_pages!r})"
+            )
+        if self.fail_every < 0:
+            raise CatalogError(
+                f"fault spec: fail_every must be >= 0 (got {self.fail_every!r})"
+            )
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise CatalogError(
+                f"fault spec: failure_rate must be in [0, 1] (got {self.failure_rate!r})"
+            )
+        if self.recover_after is not None and self.recover_after < 0:
+            raise CatalogError(
+                "fault spec: recover_after must be >= 0 "
+                f"(got {self.recover_after!r})"
+            )
+        if self.latency_ms < 0:
+            raise CatalogError(
+                f"fault spec: latency_ms must be >= 0 (got {self.latency_ms!r})"
+            )
+
+    @property
+    def injects_failures(self) -> bool:
+        """Does this spec ever fail a call (as opposed to only slowing it)?"""
+        return bool(
+            self.fail_connect
+            or self.fail_every
+            or self.failure_rate > 0.0
+            or self.fail_after_pages is not None
+        )
+
+
+#: Keys accepted in a declarative per-source fault spec (config "faults").
+FAULT_SPEC_KEYS = (
+    "fail_connect",
+    "fail_after_pages",
+    "fail_every",
+    "failure_rate",
+    "recover_after",
+    "latency_ms",
+    "permanent",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded script of per-source faults for a whole federation.
+
+    Frozen and hashable so it can ride on
+    :class:`~repro.core.planner.PlannerOptions` (which is used as a result
+    cache key). ``specs`` is a sorted tuple of ``(source, FaultSpec)``
+    pairs; use :meth:`of` to build one from keyword arguments.
+    """
+
+    specs: Tuple[Tuple[str, FaultSpec], ...] = ()
+    seed: int = 0
+
+    @staticmethod
+    def of(seed: int = 0, **sources: FaultSpec) -> "FaultPlan":
+        """Build a plan from ``source_name=FaultSpec(...)`` keywords."""
+        return FaultPlan(
+            specs=tuple(sorted((name.lower(), spec) for name, spec in sources.items())),
+            seed=seed,
+        )
+
+    @staticmethod
+    def from_config(config: Dict[str, Any]) -> "FaultPlan":
+        """Parse the declarative ``faults`` config section.
+
+        Shape::
+
+            {"seed": 7,
+             "sources": {"erp": {"fail_connect": 2, "latency_ms": 50.0}}}
+
+        Every key is validated; unknown keys are rejected so a typo cannot
+        silently disable a scripted fault.
+        """
+        if not isinstance(config, dict):
+            raise CatalogError(
+                f"'faults' config must be a mapping (got {type(config).__name__})"
+            )
+        unknown = sorted(set(config) - {"seed", "sources"})
+        if unknown:
+            raise CatalogError(
+                f"unknown config key(s) {unknown} in faults; "
+                "allowed: ['seed', 'sources']"
+            )
+        seed = config.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise CatalogError(
+                f"faults config: 'seed' must be an integer (got {seed!r})"
+            )
+        sources = config.get("sources", {})
+        if not isinstance(sources, dict):
+            raise CatalogError(
+                "faults config: 'sources' must be a mapping "
+                f"(got {type(sources).__name__})"
+            )
+        specs = {}
+        for name, spec in sources.items():
+            if not isinstance(spec, dict):
+                raise CatalogError(
+                    f"faults config: source {name!r} spec must be a mapping "
+                    f"(got {type(spec).__name__})"
+                )
+            bad = sorted(set(spec) - set(FAULT_SPEC_KEYS))
+            if bad:
+                raise CatalogError(
+                    f"unknown config key(s) {bad} in faults source {name!r}; "
+                    f"allowed: {sorted(FAULT_SPEC_KEYS)}"
+                )
+            specs[name] = FaultSpec(**spec)
+        return FaultPlan.of(seed=seed, **specs)
+
+    def spec_for(self, source_name: str) -> Optional[FaultSpec]:
+        key = source_name.lower()
+        for name, spec in self.specs:
+            if name == key:
+                return spec
+        return None
+
+    @property
+    def faulted_sources(self) -> Tuple[str, ...]:
+        """Sources whose spec can fail calls (latency-only specs excluded)."""
+        return tuple(
+            name for name, spec in self.specs if spec.injects_failures
+        )
+
+
+class _SourceFaultState:
+    """Mutable per-source fault bookkeeping (calls seen, failures injected).
+
+    The decision for each call depends only on this source's own call
+    counter and its seeded RNG, so a plan replays identically regardless of
+    how calls to *other* sources interleave — the property that keeps
+    parallel-scheduler chaos runs reproducible.
+    """
+
+    __slots__ = ("spec", "calls", "failures", "_rng", "_lock")
+
+    def __init__(self, spec: FaultSpec, seed: int, source: str) -> None:
+        self.spec = spec
+        self.calls = 0
+        self.failures = 0
+        self._rng = random.Random(f"{seed}:{source.lower()}")
+        self._lock = threading.Lock()
+
+    def next_call(self) -> Optional[Tuple[str, int]]:
+        """Decide this call's fate: None (succeed) or (mode, pages).
+
+        ``mode`` is ``"connect"`` (fail before any page) or ``"midstream"``
+        (fail after ``pages`` pages).
+        """
+        spec = self.spec
+        with self._lock:
+            self.calls += 1
+            if (
+                spec.recover_after is not None
+                and self.failures >= spec.recover_after
+            ):
+                # Healed: still counted (snapshots show post-recovery
+                # traffic) but never failed again.
+                return None
+            mode: Optional[Tuple[str, int]] = None
+            if self.calls <= spec.fail_connect:
+                mode = (_CONNECT, 0)
+            elif spec.fail_every > 0:
+                if (self.calls - spec.fail_connect) % spec.fail_every == 0:
+                    mode = self._failure_mode()
+            elif spec.failure_rate > 0.0:
+                if self._rng.random() < spec.failure_rate:
+                    mode = self._failure_mode()
+            elif spec.fail_after_pages is not None:
+                mode = (_MIDSTREAM, spec.fail_after_pages)
+            if mode is not None:
+                self.failures += 1
+            return mode
+
+    def _failure_mode(self) -> Tuple[str, int]:
+        if self.spec.fail_after_pages is not None:
+            return (_MIDSTREAM, self.spec.fail_after_pages)
+        return (_CONNECT, 0)
+
+
+@dataclass
+class FaultSnapshot:
+    """Observed injection counts for one source (REPL/diagnostics)."""
+
+    calls: int = 0
+    failures: int = 0
+    spec: FaultSpec = field(default_factory=FaultSpec)
+
+
+class FaultInjector:
+    """Runtime enforcement of one :class:`FaultPlan`.
+
+    One injector holds the mutable per-source state (call counters, seeded
+    RNGs); a mediator-level injector persists across queries (so
+    recovery-after-K spans queries), while a per-query plan on
+    ``PlannerOptions`` gets a fresh injector per execution (so tests
+    replay exactly). Thread-safe: scheduler workers consult it
+    concurrently.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._states: Dict[str, _SourceFaultState] = {}
+        self._lock = threading.Lock()
+
+    def _state_for(self, source_name: str) -> Optional[_SourceFaultState]:
+        key = source_name.lower()
+        state = self._states.get(key)
+        if state is None:
+            spec = self.plan.spec_for(key)
+            if spec is None:
+                return None
+            with self._lock:
+                state = self._states.setdefault(
+                    key, _SourceFaultState(spec, self.plan.seed, key)
+                )
+        return state
+
+    def latency_penalty_ms(self, source_name: str) -> float:
+        """Extra virtual latency per message for this source (0 = none)."""
+        spec = self.plan.spec_for(source_name)
+        return spec.latency_ms if spec is not None else 0.0
+
+    def execute_pages(
+        self, adapter: Any, fragment: Any, page_rows: int
+    ) -> Iterator[Any]:
+        """The injected adapter page path.
+
+        Yields the adapter's pages, applying the source's scripted fate
+        for this call: raise before the first page (connect failure) or
+        after N pages (mid-stream outage). Sources without a spec pass
+        straight through.
+        """
+        source = fragment.source_name
+        state = self._state_for(source)
+        if state is None:
+            yield from adapter.execute_pages(fragment, page_rows)
+            return
+        fate = state.next_call()
+        if fate is not None and fate[0] == _CONNECT:
+            raise SourceError(
+                source,
+                f"injected fault: connect failure "
+                f"(call {state.calls}, failure {state.failures})",
+                retryable=not state.spec.permanent,
+            )
+        produced = 0
+        for page in adapter.execute_pages(fragment, page_rows):
+            if fate is not None and produced >= fate[1]:
+                raise SourceError(
+                    source,
+                    f"injected fault: mid-stream outage after "
+                    f"{produced} page(s) (call {state.calls})",
+                    retryable=not state.spec.permanent,
+                )
+            yield page
+            produced += 1
+        if fate is not None:
+            # The result was shorter than the scripted cut: the outage
+            # still happens (the final page's acknowledgement is lost).
+            raise SourceError(
+                source,
+                f"injected fault: mid-stream outage after "
+                f"{produced} page(s) (call {state.calls})",
+                retryable=not state.spec.permanent,
+            )
+
+    def snapshot(self) -> Dict[str, FaultSnapshot]:
+        """Per-source injection counts so far (sources with specs only)."""
+        with self._lock:
+            states = dict(self._states)
+        out = {}
+        for name, spec in self.plan.specs:
+            state = states.get(name)
+            out[name] = FaultSnapshot(
+                calls=state.calls if state else 0,
+                failures=state.failures if state else 0,
+                spec=spec,
+            )
+        return out
+
+    def reset(self) -> None:
+        """Forget all per-source state (counters and RNG positions)."""
+        with self._lock:
+            self._states.clear()
+
+
+__all__ = [
+    "FAULT_SPEC_KEYS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSnapshot",
+    "FaultSpec",
+]

@@ -95,10 +95,20 @@ class SimulatedNetwork:
         payload_bytes: float,
         rows: int,
         messages: int = 1,
+        extra_latency_ms: float = 0.0,
     ) -> float:
-        """Charge one transfer; returns its virtual duration in ms."""
+        """Charge one transfer; returns its virtual duration in ms.
+
+        ``extra_latency_ms`` adds that many virtual milliseconds *per
+        message* on top of the link's own latency — the hook fault
+        injection uses for scripted latency spikes, charged through the
+        same deterministic ledgers as ordinary traffic. The default of
+        0.0 keeps fault-free accounting bit-identical.
+        """
         link = self.link_for(source_name)
         elapsed = link.transfer_time_ms(payload_bytes, messages)
+        if extra_latency_ms > 0:
+            elapsed += extra_latency_ms * messages
         metrics = TransferMetrics(
             rows=rows, bytes=payload_bytes, messages=messages, simulated_ms=elapsed
         )

@@ -1,0 +1,216 @@
+"""Chaos fuzzing: scripted faults may degrade or fail a query — never lie.
+
+Every scenario drives the same three-source federation through a seeded
+:class:`FaultPlan` and asserts the resilience invariant. The outcome must
+be one of exactly three things:
+
+(a) a complete answer bit-identical to the fault-free rows,
+(b) an honestly-flagged partial result whose ``excluded_sources`` name
+    only fault-injected sources and whose surviving sources are complete,
+(c) a clean typed error attributed to a faulted source.
+
+Wrong rows and hangs are never acceptable. Scenarios sweep sequential and
+parallel execution, retry budgets, and both ``on_source_failure`` modes;
+the seeded sweep covers 216 deterministic scenarios and hypothesis adds a
+structured search on top.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FaultPlan,
+    FaultSpec,
+    GISError,
+    GlobalInformationSystem,
+    MemorySource,
+    PlannerOptions,
+    SourceError,
+)
+from repro.catalog.schema import schema_from_pairs
+
+SOURCES = ("alpha", "beta", "gamma")
+ROWS_EACH = 30
+PAGE_ROWS = 8  # several pages per scan, so mid-stream faults bite
+SCHEMA = schema_from_pairs("t", [("a", "INT"), ("src", "TEXT")])
+SQL = (
+    "SELECT a, src FROM t_alpha UNION ALL "
+    "SELECT a, src FROM t_beta UNION ALL "
+    "SELECT a, src FROM t_gamma"
+)
+
+EXPECTED = {name: [(i, name) for i in range(ROWS_EACH)] for name in SOURCES}
+ALL_ROWS = Counter(row for rows in EXPECTED.values() for row in rows)
+
+
+def build_federation(retries=0):
+    gis = GlobalInformationSystem(fragment_retries=retries)
+    for name in SOURCES:
+        source = MemorySource(name, page_rows=PAGE_ROWS)
+        source.add_table(f"t_{name}", SCHEMA, EXPECTED[name])
+        gis.register_source(name, source)
+        gis.register_table(f"t_{name}", source=name)
+    return gis
+
+
+def random_plan(rng, seed):
+    """A FaultPlan drawn from ``rng`` (independent of the plan's own seed)."""
+    specs = {}
+    for name in SOURCES:
+        if rng.random() < 0.35:
+            continue  # healthy source
+        kind = rng.choice(("connect", "midstream", "flap", "rate", "latency"))
+        if kind == "connect":
+            spec = FaultSpec(
+                fail_connect=rng.randint(1, 4),
+                recover_after=rng.choice((None, 1, 2)),
+                permanent=rng.random() < 0.25,
+            )
+        elif kind == "midstream":
+            spec = FaultSpec(
+                fail_after_pages=rng.randint(0, 3),
+                recover_after=rng.choice((None, 1, 2)),
+            )
+        elif kind == "flap":
+            spec = FaultSpec(
+                fail_every=rng.randint(1, 3),
+                fail_after_pages=rng.choice((None, 1)),
+                recover_after=rng.choice((None, 1, 2, 3)),
+            )
+        elif kind == "rate":
+            spec = FaultSpec(
+                failure_rate=rng.choice((0.2, 0.5, 0.9)),
+                recover_after=rng.choice((None, 2)),
+                permanent=rng.random() < 0.2,
+            )
+        else:
+            spec = FaultSpec(latency_ms=rng.choice((10.0, 100.0)))
+        specs[name] = spec
+    return FaultPlan.of(seed=seed, **specs)
+
+
+def check_invariant(plan, mode, retries, parallel):
+    """Run one scenario and enforce the tri-outcome invariant."""
+    gis = build_federation(retries=retries)
+    options = PlannerOptions(
+        faults=plan, on_source_failure=mode, max_parallel_fragments=parallel
+    )
+    faulted = set(plan.faulted_sources)
+    try:
+        result = gis.query(SQL, options)
+    except GISError as exc:
+        # (c) clean, typed, attributed failure — only a faulted source may
+        # sink the query, and only outside graceful degradation.
+        assert isinstance(exc, SourceError), exc
+        assert exc.source_name in faulted
+        assert str(exc)
+        return "error"
+    if result.complete:
+        # (a) the exact fault-free answer.
+        assert result.excluded_sources == {}
+        assert Counter(result.rows) == ALL_ROWS
+        return "ok"
+    # (b) honest partial: only faulted sources excluded, each with a
+    # reason, survivors complete, nothing fabricated.
+    excluded = result.excluded_sources
+    assert mode == "partial"
+    assert excluded and set(excluded) <= faulted
+    assert all(reason for reason in excluded.values())
+    got = Counter(result.rows)
+    assert not got - ALL_ROWS, "fabricated rows"
+    for name in SOURCES:
+        per_source = Counter(row for row in result.rows if row[1] == name)
+        if name not in excluded:
+            assert per_source == Counter(EXPECTED[name])
+    return "partial"
+
+
+def run_scenario(plan, mode, retries, parallel):
+    """One chaos run reduced to a comparable outcome tuple."""
+    gis = build_federation(retries=retries)
+    options = PlannerOptions(
+        faults=plan, on_source_failure=mode, max_parallel_fragments=parallel
+    )
+    try:
+        result = gis.query(SQL, options)
+    except GISError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    kind = "ok" if result.complete else "partial"
+    return (kind, sorted(result.rows), sorted(result.excluded_sources.items()))
+
+
+def scenario_knobs(rng):
+    mode = rng.choice(("fail", "partial"))
+    retries = rng.choice((0, 1, 2))
+    parallel = rng.choice((1, 4))
+    return mode, retries, parallel
+
+
+SEEDS_PER_CHUNK = 27
+N_CHUNKS = 8  # 216 seeded scenarios — above the 200-scenario bar
+
+
+class TestSeededChaosSweep:
+    @pytest.mark.parametrize("chunk", range(N_CHUNKS))
+    def test_invariant_holds_across_seeds(self, chunk):
+        start = chunk * SEEDS_PER_CHUNK
+        for seed in range(start, start + SEEDS_PER_CHUNK):
+            rng = random.Random(seed)
+            plan = random_plan(rng, seed)
+            mode, retries, parallel = scenario_knobs(rng)
+            check_invariant(plan, mode, retries, parallel)
+
+    def test_sweep_exercises_every_outcome(self):
+        kinds = set()
+        for seed in range(40):
+            rng = random.Random(seed)
+            plan = random_plan(rng, seed)
+            retries = rng.choice((0, 1))
+            kinds.add(check_invariant(plan, "partial", retries, 1))
+            kinds.add(check_invariant(plan, "fail", 0, 1))
+        assert {"ok", "partial", "error"} <= kinds
+
+    @pytest.mark.parametrize("seed", [3, 11, 29, 47, 101])
+    def test_scenarios_replay_deterministically(self, seed):
+        rng = random.Random(seed)
+        plan = random_plan(rng, seed)
+        mode, retries, parallel = scenario_knobs(rng)
+        first = run_scenario(plan, mode, retries, parallel)
+        second = run_scenario(plan, mode, retries, parallel)
+        assert first == second
+
+
+FAULT_SPECS = st.builds(
+    FaultSpec,
+    fail_connect=st.integers(0, 3),
+    fail_after_pages=st.none() | st.integers(0, 3),
+    fail_every=st.integers(0, 2),
+    failure_rate=st.sampled_from([0.0, 0.3, 0.9]),
+    recover_after=st.none() | st.integers(1, 3),
+    latency_ms=st.sampled_from([0.0, 25.0]),
+    permanent=st.booleans(),
+)
+
+
+class TestHypothesisChaos:
+    @given(
+        specs=st.dictionaries(
+            st.sampled_from(SOURCES), FAULT_SPECS, max_size=3
+        ),
+        seed=st.integers(0, 10_000),
+        mode=st.sampled_from(["fail", "partial"]),
+        retries=st.integers(0, 2),
+        parallel=st.sampled_from([1, 4]),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_invariant_holds(self, specs, seed, mode, retries, parallel):
+        plan = FaultPlan.of(seed=seed, **specs)
+        check_invariant(plan, mode, retries, parallel)

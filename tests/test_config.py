@@ -308,3 +308,78 @@ class TestJsonFile:
         path.write_text(json.dumps(base_config()))
         gis = load_config(str(path))
         assert gis.query("SELECT COUNT(*) FROM orders").scalar() == 3
+
+
+class TestResilienceConfig:
+    def test_deadline_and_mode_applied(self):
+        config = base_config()
+        config["resilience"] = {
+            "deadline_ms": 60000.0, "on_source_failure": "partial"
+        }
+        gis = build_from_config(config)
+        assert gis.planner.options.deadline_ms == 60000.0
+        assert gis.planner.options.on_source_failure == "partial"
+
+    def test_unknown_resilience_key_rejected(self):
+        config = base_config()
+        config["resilience"] = {"deadlines_ms": 10}
+        with pytest.raises(CatalogError, match="resilience"):
+            build_from_config(config)
+
+    def test_invalid_mode_rejected(self):
+        config = base_config()
+        config["resilience"] = {"on_source_failure": "shrug"}
+        with pytest.raises(CatalogError, match="on_source_failure"):
+            build_from_config(config)
+
+    def test_non_numeric_deadline_rejected(self):
+        config = base_config()
+        config["resilience"] = {"deadline_ms": "fast"}
+        with pytest.raises(CatalogError, match="deadline_ms"):
+            build_from_config(config)
+
+
+class TestFaultsConfig:
+    def test_faults_section_arms_injector(self):
+        config = base_config()
+        config["faults"] = {
+            "seed": 7,
+            "sources": {"erp": {"fail_connect": 99}},
+        }
+        gis = build_from_config(config)
+        assert gis.fault_injector is not None
+        assert gis.fault_injector.plan.seed == 7
+        from repro.errors import SourceError
+
+        with pytest.raises(SourceError, match="injected fault"):
+            gis.query("SELECT COUNT(*) FROM orders")
+        # The unfaulted source still answers.
+        assert gis.query("SELECT COUNT(*) FROM customers").scalar() == 2
+
+    def test_latency_fault_from_config(self):
+        plain = build_from_config(base_config())
+        baseline = plain.query("SELECT oid FROM orders")
+        config = base_config()
+        config["faults"] = {"sources": {"erp": {"latency_ms": 500.0}}}
+        gis = build_from_config(config)
+        slow = gis.query("SELECT oid FROM orders")
+        assert slow.rows == baseline.rows
+        assert slow.metrics.simulated_ms > baseline.metrics.simulated_ms
+
+    def test_unknown_fault_key_rejected(self):
+        config = base_config()
+        config["faults"] = {"sources": {"erp": {"fail_conect": 1}}}
+        with pytest.raises(CatalogError, match="fail_conect"):
+            build_from_config(config)
+
+    def test_unknown_faults_section_key_rejected(self):
+        config = base_config()
+        config["faults"] = {"seeds": 3}
+        with pytest.raises(CatalogError, match="faults"):
+            build_from_config(config)
+
+    def test_invalid_spec_value_rejected(self):
+        config = base_config()
+        config["faults"] = {"sources": {"erp": {"fail_connect": -1}}}
+        with pytest.raises(CatalogError, match="fail_connect"):
+            build_from_config(config)

@@ -403,7 +403,7 @@ class TestBreakerMetrics:
         with pytest.raises(SourceError):
             gis.query("SELECT COUNT(*) FROM t", options)
         assert gis.breakers.snapshot() == \
-            {"down": {"state": "open", "trips": 1}}
+            {"down": {"state": "open", "trips": 1, "failures": 2}}
 
 
 # ---------------------------------------------------------------------------

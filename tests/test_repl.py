@@ -164,3 +164,85 @@ class TestConfigEntry:
         )
         assert process.returncode == 0
         assert "2" in process.stdout
+
+
+class TestResilienceCommands:
+    def test_health_lists_sources(self):
+        output, _ = drive("\\health")
+        assert "crm" in output and "erp" in output
+        assert "breaker closed" in output
+        assert "link" in output
+
+    def test_health_shows_transfer_totals_after_query(self):
+        output, _ = drive("SELECT COUNT(*) FROM customers;", "\\health")
+        assert "shipped" in output and "messages" in output
+
+    def test_health_shows_fault_counters(self):
+        import io
+
+        from repro import (
+            FaultPlan,
+            FaultSpec,
+            GlobalInformationSystem,
+            MemorySource,
+        )
+        from repro.catalog.schema import schema_from_pairs
+        from repro.repl import Repl
+
+        plan = FaultPlan.of(m=FaultSpec(fail_connect=99))
+        gis = GlobalInformationSystem(faults=plan)
+        source = MemorySource("m")
+        source.add_table(
+            "t", schema_from_pairs("t", [("a", "INT")]), [(1,), (2,)]
+        )
+        gis.register_source("m", source)
+        gis.register_table("t", source="m")
+        out = io.StringIO()
+        Repl(gis, out=out).run(["SELECT a FROM t;", "\\health"])
+        output = out.getvalue()
+        assert "error:" in output  # the injected fault sank the query
+        assert "faults 1/1 calls" in output
+
+    def test_health_without_sources(self):
+        import io
+
+        from repro import GlobalInformationSystem
+        from repro.repl import Repl
+
+        out = io.StringIO()
+        Repl(GlobalInformationSystem(), out=out).run(["\\health"])
+        assert "no sources registered" in out.getvalue()
+
+    def test_deadline_command(self):
+        output, repl = drive("\\deadline 250")
+        assert "250 ms" in output and repl.deadline_ms == 250.0
+        output, repl = drive("\\deadline 250", "\\deadline off")
+        assert "OFF" in output and repl.deadline_ms == 0.0
+        output, _ = drive("\\deadline soon")
+        assert "usage" in output
+
+    def test_partial_command_toggles(self):
+        output, repl = drive("\\partial on")
+        assert "partial" in output and repl.partial
+        output, repl = drive("\\partial on", "\\partial off")
+        assert repl.partial is False
+        _, repl = drive("\\partial")
+        assert repl.partial  # bare command toggles from the default
+
+    def test_partial_banner_on_degraded_result(self):
+        import io
+
+        from repro import FaultInjector, FaultPlan, FaultSpec
+        from repro.repl import Repl
+
+        gis = make_small_gis()
+        plan = FaultPlan.of(erp=FaultSpec(fail_connect=99))
+        gis.fault_injector = FaultInjector(plan)
+        out = io.StringIO()
+        repl = Repl(gis, out=out)
+        repl.partial = True
+        repl.run(["SELECT COUNT(*) FROM orders;"])
+        output = out.getvalue()
+        assert "PARTIAL RESULT" in output
+        assert "erp" in output and "injected fault" in output
+        assert "PARTIAL)" in output  # row-count footer carries the flag
