@@ -1,0 +1,183 @@
+"""S1 — multi-tenant serving: QPS, tail latency, and plan-cache effect.
+
+Four tenants hammer one query server concurrently, each cycling through
+the eight-query federated workload with varying literals (same shapes,
+different values — the plan cache's target case). Reported:
+
+* sustained QPS and client-observed p50/p95/p99 latency,
+* plan-cache hit rate across the run (acceptance: > 90 %),
+* cold vs warm planning time per query shape.
+
+Results go to ``benchmarks/results/s1_serving.txt`` (human) and
+``benchmarks/results/BENCH_S1.json`` (machine-readable). Run directly::
+
+    python benchmarks/bench_s1_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import QueryServer, ServeClient, ServerConfig  # noqa: E402
+from repro.workloads import WORKLOAD_QUERIES, build_federation  # noqa: E402
+
+from common import emit, format_row  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_S1.json")
+
+TENANTS = 4
+ROUNDS = 5
+WIDTHS = (26, 9, 9, 9)
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+def main() -> int:
+    federation = build_federation(scale=0.5, seed=11)
+    gis = federation.gis
+    gis.plan_cache.capacity = 128
+
+    # Cold planning cost per shape, measured before any cache warmup.
+    cold_planning: Dict[str, float] = {}
+    for name, sql in WORKLOAD_QUERIES:
+        cold_planning[name] = gis.query(sql).metrics.planning_ms
+    gis.plan_cache.invalidate()
+    baseline = gis.plan_cache.stats()
+
+    server = QueryServer(gis, ServerConfig(max_workers=TENANTS))
+    host, port = server.start_background()
+
+    latencies_ms: List[float] = []
+    warm_planning: Dict[str, List[float]] = {name: [] for name, _ in WORKLOAD_QUERIES}
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def tenant_worker(tenant: str) -> None:
+        try:
+            with ServeClient(host, port, tenant=tenant) as client:
+                for _round in range(ROUNDS):
+                    for name, sql in WORKLOAD_QUERIES:
+                        started = time.perf_counter()
+                        result = client.query(sql)
+                        elapsed = (time.perf_counter() - started) * 1000.0
+                        with lock:
+                            latencies_ms.append(elapsed)
+                            warm_planning[name].append(
+                                result.metrics["planning_ms"]
+                            )
+        except Exception as exc:  # pragma: no cover - hard gate below
+            with lock:
+                errors.append(f"{tenant}: {exc!r}")
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=tenant_worker, args=(f"tenant{i}",))
+        for i in range(TENANTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    server.stop_background()
+
+    assert not errors, errors[:3]
+    total = len(latencies_ms)
+    assert total == TENANTS * ROUNDS * len(WORKLOAD_QUERIES)
+
+    stats = gis.plan_cache.stats()
+    lookups = (
+        stats["hits"] + stats["misses"] + stats["fallbacks"]
+        - (baseline["hits"] + baseline["misses"] + baseline["fallbacks"])
+    )
+    hits = stats["hits"] - baseline["hits"]
+    hit_rate = hits / lookups if lookups else 0.0
+
+    latencies_ms.sort()
+    qps = total / wall_s
+    p50 = percentile(latencies_ms, 0.50)
+    p95 = percentile(latencies_ms, 0.95)
+    p99 = percentile(latencies_ms, 0.99)
+
+    per_query = []
+    lines = [
+        f"tenants={TENANTS} rounds={ROUNDS} queries={total} "
+        f"wall={wall_s:.2f}s",
+        f"QPS {qps:.1f} | p50 {p50:.1f} ms | p95 {p95:.1f} ms | "
+        f"p99 {p99:.1f} ms",
+        f"plan cache: {hits}/{lookups} hits ({hit_rate:.1%}), "
+        f"{stats['entries']} entries, {stats['fallbacks']} fallbacks",
+        "",
+        format_row(("query", "cold ms", "warm ms", "speedup"), WIDTHS),
+    ]
+    for name, _sql in WORKLOAD_QUERIES:
+        samples = warm_planning[name]
+        warm = sum(samples) / len(samples) if samples else 0.0
+        cold = cold_planning[name]
+        speedup = cold / warm if warm else 0.0
+        per_query.append(
+            {
+                "query": name,
+                "cold_planning_ms": round(cold, 3),
+                "warm_planning_ms": round(warm, 3),
+                "planning_speedup": round(speedup, 1),
+            }
+        )
+        lines.append(
+            format_row((name, cold, warm, f"{speedup:.1f}x"), WIDTHS)
+        )
+
+    # Hard gates: the acceptance criteria for the serving tier.
+    assert hit_rate > 0.90, f"plan-cache hit rate {hit_rate:.1%} <= 90%"
+    mean_warm = sum(sum(v) for v in warm_planning.values()) / total
+    mean_cold = sum(cold_planning.values()) / len(cold_planning)
+    assert mean_warm < mean_cold, "warm planning not cheaper than cold"
+    lines.append("")
+    lines.append("gates: hit-rate>90% OK, warm<cold planning OK")
+
+    payload: Dict[str, Any] = {
+        "benchmark": "S1 multi-tenant serving",
+        "tenants": TENANTS,
+        "rounds": ROUNDS,
+        "queries_total": total,
+        "wall_s": round(wall_s, 3),
+        "qps": round(qps, 1),
+        "latency_ms": {
+            "p50": round(p50, 2),
+            "p95": round(p95, 2),
+            "p99": round(p99, 2),
+        },
+        "plan_cache": {
+            "hits": hits,
+            "lookups": lookups,
+            "hit_rate": round(hit_rate, 4),
+            "entries": stats["entries"],
+            "fallbacks": stats["fallbacks"],
+        },
+        "per_query": per_query,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    emit("s1_serving", "S1: multi-tenant serving (4 tenants, plan cache)", lines)
+    print(f"wrote {JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

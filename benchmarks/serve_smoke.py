@@ -1,0 +1,182 @@
+"""CI serve smoke: the query service under concurrent mixed clients.
+
+Five scripted scenarios, each a hard gate:
+
+* **fidelity** — concurrent tenants' results over the wire must be
+  bit-identical to direct ``Mediator.query()`` calls for the same SQL;
+* **overload** — a tenant flooding past its admission queue must get
+  typed, retryable ``ServerOverloadedError`` backpressure, with the
+  queue never exceeding its bound;
+* **fault passthrough** — an injected source fault with partial-results
+  mode on must come back ``complete=False`` naming the failed source,
+  and the partial answer must not poison any cache;
+* **async protocol** — SUBMIT/STATUS/FETCH must page a result down
+  correctly, dates intact;
+* **clean shutdown** — stopping the server must leak no threads.
+
+The scenario table is written to ``benchmarks/results/serve_smoke.txt``.
+Run directly::
+
+    python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import MemorySource, NetworkLink  # noqa: E402
+from repro.catalog.schema import schema_from_pairs  # noqa: E402
+from repro.errors import ServerOverloadedError  # noqa: E402
+from repro.serve import (  # noqa: E402
+    QueryServer,
+    ServeClient,
+    ServerConfig,
+    TenantConfig,
+)
+from repro.workloads import build_federation  # noqa: E402
+
+from common import emit  # noqa: E402
+
+
+class SlowSource(MemorySource):
+    """Real wall-clock latency per fragment (a congested WAN peer)."""
+
+    def __init__(self, name, delay_s):
+        super().__init__(name)
+        self.delay_s = delay_s
+
+    def execute(self, fragment):
+        time.sleep(self.delay_s)
+        yield from super().execute(fragment)
+
+    def execute_pages(self, fragment, page_rows):
+        time.sleep(self.delay_s)
+        yield from super().execute_pages(fragment, page_rows)
+
+SQL_MIX = [
+    "SELECT COUNT(*) FROM orders",
+    "SELECT c_segment, COUNT(*) FROM customers GROUP BY c_segment",
+    "SELECT o_id, o_total FROM orders WHERE o_total > 1000 LIMIT 20",
+]
+
+
+def main() -> int:
+    threads_before = set(threading.enumerate())
+    lines = []
+
+    federation = build_federation(scale=0.25, seed=3)
+    gis = federation.gis
+    gis.plan_cache.capacity = 64
+    sql_mix = list(SQL_MIX)
+
+    slow = SlowSource("slowsrc", delay_s=0.05)
+    slow.add_table(
+        "events",
+        schema_from_pairs("events", [("eid", "INT"), ("val", "FLOAT")]),
+        [(i, i * 1.5) for i in range(40)],
+    )
+    gis.register_source("slowsrc", slow, link=NetworkLink(5.0, 1_000_000.0))
+    gis.register_table("events", source="slowsrc")
+
+    config = ServerConfig(
+        max_workers=4,
+        tenants={
+            "flood": TenantConfig(name="flood", max_concurrent=1, max_queued=2),
+        },
+    )
+    server = QueryServer(gis, config)
+    host, port = server.start_background()
+
+    # -- fidelity under concurrency ----------------------------------------
+    expected = {sql: [tuple(r) for r in gis.query(sql).rows] for sql in sql_mix}
+    mismatches: list = []
+
+    def worker(tenant: str) -> None:
+        with ServeClient(host, port, tenant=tenant) as client:
+            for _ in range(4):
+                for sql in sql_mix:
+                    remote = client.query(sql)
+                    if sorted(remote.rows) != sorted(expected[sql]):
+                        mismatches.append((tenant, sql))
+
+    workers = [
+        threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert not mismatches, mismatches[:3]
+    lines.append("fidelity      3 tenants x 12 queries  bit-identical  OK")
+
+    # -- overload backpressure ---------------------------------------------
+    rejections = 0
+    accepted = []
+    with ServeClient(host, port, tenant="flood") as flood:
+        for _ in range(10):
+            try:
+                accepted.append(flood.submit("SELECT eid, val FROM events"))
+            except ServerOverloadedError as exc:
+                rejections += 1
+                assert exc.retryable and exc.tenant == "flood"
+                assert exc.limit == 2
+        stats = flood.stats()["tenants"]["flood"]
+        assert stats["queued"] <= 2, stats
+        for query_id in accepted:
+            flood.fetch_all(query_id, timeout=120)
+    assert rejections > 0, "flood never saw backpressure"
+    lines.append(
+        f"overload      10 submits, quota 1/2     "
+        f"{rejections} typed rejections  OK"
+    )
+
+    # -- injected fault + partial results ----------------------------------
+    victim = gis.catalog.table("customers").mapping.source
+    with ServeClient(host, port, tenant="t0") as client:
+        partial = client.query(
+            sql_mix[1],
+            partial=True,
+            faults={"sources": {victim: {"fail_connect": 10, "permanent": True}}},
+        )
+        assert not partial.complete
+        assert victim in partial.excluded_sources
+        healthy = client.query(sql_mix[1])
+        assert healthy.complete and healthy.rows, "fault leaked past request"
+    lines.append(
+        f"fault         {victim} down, partial=on   "
+        f"complete=False, isolated  OK"
+    )
+
+    # -- async submit/status/fetch -----------------------------------------
+    with ServeClient(host, port, tenant="t1") as client:
+        query_id = client.submit("SELECT o_id, o_date FROM orders LIMIT 30")
+        result = client.fetch_all(query_id, page_size=7)
+        assert len(result.rows) == 30
+        assert isinstance(result.rows[0][1], datetime.date)
+        status = client.status(query_id)
+        assert status["state"] == "done" and status["row_count"] == 30
+    lines.append("async         submit/fetch 30 rows    paged, dates OK  OK")
+
+    # -- clean shutdown -----------------------------------------------------
+    server.stop_background()
+    time.sleep(0.2)
+    leaked = [
+        thread
+        for thread in set(threading.enumerate()) - threads_before
+        if thread.is_alive()
+    ]
+    assert not leaked, [thread.name for thread in leaked]
+    lines.append("shutdown      stop_background()       no leaked threads  OK")
+
+    emit("serve_smoke", "serve smoke: multi-tenant query service", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,26 @@ per-source failures (see ``docs/resilience.md``)::
             "crm": {"fail_every": 3, "recover_after": 5}
         }
     }
+
+A top-level ``plan_cache_size`` enables the plan-shape cache (queries
+differing only in literals share one optimized plan), and a ``serve``
+section configures the multi-tenant query service (``--serve``; see
+``docs/serving.md``)::
+
+    "plan_cache_size": 256,
+    "serve": {
+        "host": "127.0.0.1",
+        "port": 7432,
+        "max_workers": 8,
+        "default_max_concurrent": 2,
+        "default_max_queued": 16,
+        "require_known_tenant": false,
+        "max_retained_results": 32,
+        "tenants": {
+            "analytics": {"token": "s3cret", "max_concurrent": 4,
+                          "max_queued": 32}
+        }
+    }
 """
 
 from __future__ import annotations
@@ -120,6 +140,7 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         result_cache_size=int(config.get("result_cache_size", 0)),
         observability=observability,
         faults=faults,
+        plan_cache_size=int(config.get("plan_cache_size", 0)),
     )
 
     sources = config.get("sources")
@@ -447,3 +468,95 @@ def _build_source(name: str, spec: Dict[str, Any]):
         f"source {name!r} has unknown type {source_type!r} "
         "(expected sqlite|memory|csv|keyvalue|rest)"
     )
+
+
+def build_server_config(spec: Any) -> "ServerConfig":
+    """Parse the declarative ``serve`` section into a ServerConfig.
+
+    Mirrors the other sections' strictness: unknown keys are rejected so
+    a typo cannot silently run the server with default quotas.
+    """
+    from .serve.session import ServerConfig, TenantConfig
+
+    if not isinstance(spec, dict):
+        raise CatalogError(
+            f"'serve' config must be a mapping (got {type(spec).__name__})"
+        )
+    _check_keys(
+        "serve",
+        spec,
+        (
+            "host",
+            "port",
+            "max_workers",
+            "default_max_concurrent",
+            "default_max_queued",
+            "require_known_tenant",
+            "max_retained_results",
+            "tenants",
+        ),
+    )
+    if "host" in spec and not isinstance(spec["host"], str):
+        raise CatalogError(
+            f"serve config: 'host' must be a string (got {spec['host']!r})"
+        )
+    if "require_known_tenant" in spec and not isinstance(
+        spec["require_known_tenant"], bool
+    ):
+        raise CatalogError(
+            "serve config: 'require_known_tenant' must be a boolean "
+            f"(got {spec['require_known_tenant']!r})"
+        )
+    kwargs: Dict[str, Any] = {}
+    for key in (
+        "port", "max_workers", "default_max_concurrent",
+        "default_max_queued", "max_retained_results",
+    ):
+        value = _int_option("serve.", spec, key)
+        if value is not None:
+            kwargs[key] = value
+    if "host" in spec:
+        kwargs["host"] = spec["host"]
+    if "require_known_tenant" in spec:
+        kwargs["require_known_tenant"] = spec["require_known_tenant"]
+
+    tenants: Dict[str, TenantConfig] = {}
+    tenant_specs = spec.get("tenants", {})
+    if not isinstance(tenant_specs, dict):
+        raise CatalogError(
+            f"serve config: 'tenants' must be a mapping "
+            f"(got {type(tenant_specs).__name__})"
+        )
+    for name, tenant_spec in tenant_specs.items():
+        if not isinstance(tenant_spec, dict):
+            raise CatalogError(
+                f"serve config: tenant {name!r} must be a mapping "
+                f"(got {type(tenant_spec).__name__})"
+            )
+        _check_keys(
+            f"serve.tenants.{name}", tenant_spec,
+            ("token", "max_concurrent", "max_queued"),
+        )
+        token = tenant_spec.get("token")
+        if token is not None and not isinstance(token, str):
+            raise CatalogError(
+                f"serve config: tenant {name!r} 'token' must be a string "
+                f"(got {token!r})"
+            )
+        tenant_kwargs: Dict[str, Any] = {"name": name, "token": token}
+        for key in ("max_concurrent", "max_queued"):
+            value = _int_option(f"serve.tenants.{name}.", tenant_spec, key)
+            if value is not None:
+                tenant_kwargs[key] = value
+        try:
+            tenants[name] = TenantConfig(**tenant_kwargs)
+        except ValueError as exc:
+            raise CatalogError(
+                f"serve config: tenant {name!r}: {exc}"
+            ) from exc
+    if tenants:
+        kwargs["tenants"] = tenants
+    try:
+        return ServerConfig(**kwargs)
+    except ValueError as exc:
+        raise CatalogError(f"invalid serve config: {exc}") from exc

@@ -18,13 +18,15 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
+from datetime import date
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..catalog.catalog import Catalog
 from ..catalog.mappings import TableMapping
 from ..catalog.schema import Column, TableSchema
 from ..catalog.statistics import DEFAULT_HISTOGRAM_BUCKETS, TableStatistics
-from ..errors import CatalogError, UnknownObjectError
+from ..datatypes import DataType
+from ..errors import CatalogError, PlanError, UnknownObjectError
 from ..obs import Observability
 from ..sources.base import Adapter
 from ..sources.faults import FaultInjector, FaultPlan
@@ -36,6 +38,13 @@ from .logical import ScanOp
 from .pages import Page
 from .physical import ExchangeExec, ExecutionContext, profile_operators
 from .planner import PlannedQuery, Planner, PlannerOptions
+from .prepared import (
+    ParameterizedStatement,
+    PlanCache,
+    PreparedPlan,
+    bind_statement_values,
+    parameterize,
+)
 from .result import QueryMetrics, QueryResult
 from .scheduler import (
     CircuitBreakerRegistry,
@@ -56,6 +65,7 @@ class GlobalInformationSystem:
         result_cache_size: int = 0,
         observability: Optional[Observability] = None,
         faults: Optional[FaultPlan] = None,
+        plan_cache_size: int = 0,
     ) -> None:
         """Create a mediator.
 
@@ -65,6 +75,12 @@ class GlobalInformationSystem:
         results keyed by (sql, options); sources are autonomous, so the
         cache is invalidated only by catalog changes, ``analyze()``, or
         :meth:`clear_result_cache` — stale reads are the user's trade-off.
+
+        ``plan_cache_size`` > 0 enables the plan-shape cache: queries that
+        differ only in literal values share one optimized plan (see
+        :mod:`repro.core.prepared`), skipping parse-to-plan after the first
+        execution of a shape. Catalog changes invalidate it via the same
+        epoch hook as the result cache.
 
         Scheduling knobs (parallel fragments, timeouts, backoff, circuit
         breakers) live on :class:`PlannerOptions`; the mediator owns the
@@ -96,6 +112,7 @@ class GlobalInformationSystem:
         )
         self._cache_lock = threading.Lock()
         self.cache_hits = 0
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # -- federation configuration ------------------------------------------------
 
@@ -283,6 +300,82 @@ class GlobalInformationSystem:
         """Plan without executing (inspection, tests, benchmarks)."""
         return self.planner.plan(sql, options)
 
+    @staticmethod
+    def _plan_key_options(opts: PlannerOptions) -> PlannerOptions:
+        """Normalize options into the plan-cache key.
+
+        Knobs that only affect *execution* (deadlines, fault plans, trace,
+        failure policy) are masked out so requests that differ only in
+        runtime behavior share one plan.
+        """
+        return opts.but(
+            faults=None, trace=False, deadline_ms=0.0, on_source_failure="fail"
+        )
+
+    def _plan_for_query(
+        self, sql: str, options: Optional[PlannerOptions], tracer, parent
+    ) -> Tuple[PlannedQuery, bool]:
+        """Plan ``sql``, through the plan-shape cache when enabled.
+
+        Returns ``(planned, plan_cache_hit)``. On a hit the cached
+        distributed plan is rebound to this query's literals and only the
+        physical tree is rebuilt; misses (and value-sensitive fallbacks,
+        where a literal the optimizer folded away changed) run the full
+        pipeline and refresh the cache.
+        """
+        cache = self.plan_cache
+        if not cache.enabled:
+            return self.planner.plan(sql, options, tracer=tracer, parent=parent), False
+        opts = options or self.planner.options
+        with tracer.child(parent, "phase:parse", "phase"):
+            statement = parse_select(sql)
+        param = parameterize(statement)
+        key_opts = self._plan_key_options(opts)
+        epoch = cache.epoch
+        entry = cache.lookup(param.shape_key, key_opts)
+        if entry is not None:
+            bound = entry.bind(sql, param.values, self.catalog, opts)
+            if bound is not None:
+                cache.record_hit()
+                return bound, True
+            cache.record_fallback()
+        else:
+            cache.record_miss()
+        planned = self.planner.plan_statement(
+            param.statement, sql, opts, tracer=tracer, parent=parent
+        )
+        cache.store(
+            PreparedPlan(
+                param.shape_key, key_opts, planned,
+                param.values, param.dtypes, epoch,
+                statement=param.statement,
+            )
+        )
+        return planned, False
+
+    def prepare(
+        self, sql: str, options: Optional[PlannerOptions] = None
+    ) -> "PreparedStatement":
+        """Explicitly prepare a statement for repeated execution.
+
+        The statement's literals become positional parameters (in query
+        text order); each :meth:`PreparedStatement.execute` call may
+        supply new values. Unlike the implicit plan cache this pins the
+        prepared plan on the handle, so it survives cache eviction (but
+        still replans after catalog invalidation)."""
+        opts = options or self.planner.options
+        param = parameterize(parse_select(sql))
+        key_opts = self._plan_key_options(opts)
+        epoch = self.plan_cache.epoch
+        planned = self.planner.plan_statement(param.statement, sql, opts)
+        entry = PreparedPlan(
+            param.shape_key, key_opts, planned,
+            param.values, param.dtypes, epoch,
+            statement=param.statement,
+        )
+        self.plan_cache.store(entry)
+        return PreparedStatement(self, sql, opts, param, entry)
+
     def _execution_context(
         self, options: Optional[PlannerOptions]
     ) -> ExecutionContext:
@@ -379,6 +472,34 @@ class GlobalInformationSystem:
                 )
                 self.obs.record_query(sql, hit.metrics)
                 return hit
+        result = self._execute_query(
+            sql,
+            options,
+            lambda tracer, root: self._plan_for_query(sql, options, tracer, root),
+        )
+        if self._result_cache_size > 0 and result.complete:
+            # Store a snapshot so callers mutating their result (rows is a
+            # plain list) cannot corrupt later cache hits. Partial results
+            # are never cached: the excluded source may be back by the next
+            # call, and serving its absence from cache would be silent.
+            with self._cache_lock:
+                self._result_cache[cache_key] = QueryResult(
+                    column_names=list(result.column_names),
+                    rows=list(result.rows),
+                    metrics=result.metrics,
+                    explain_text=result.explain_text,
+                )
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
+        return result
+
+    def _execute_query(
+        self, sql: str, options: Optional[PlannerOptions], plan_fn
+    ) -> QueryResult:
+        """Plan (via ``plan_fn``) and execute one query with full tracing,
+        metrics, and failure accounting. Shared by :meth:`query` and
+        prepared-statement execution; the result cache is the caller's
+        concern."""
         obs = self.obs
         tracer = obs.tracer
         opts = options or self.planner.options
@@ -387,8 +508,9 @@ class GlobalInformationSystem:
         context = None
         planned = None
         try:
-            planned = self.planner.plan(sql, options, tracer=tracer, parent=root)
+            planned, plan_hit = plan_fn(tracer, root)
             context = self._execution_context(options)
+            context.metrics.plan_cache_hit = plan_hit
             context.tracer = tracer
             exec_span = tracer.child(root, "phase:execute", "phase")
             context.trace_span = exec_span
@@ -441,26 +563,17 @@ class GlobalInformationSystem:
             excluded_sources=excluded,
         )
         obs.record_query(sql, metrics, excluded_sources=excluded)
-        if self._result_cache_size > 0 and result.complete:
-            # Store a snapshot so callers mutating their result (rows is a
-            # plain list) cannot corrupt later cache hits. Partial results
-            # are never cached: the excluded source may be back by the next
-            # call, and serving its absence from cache would be silent.
-            with self._cache_lock:
-                self._result_cache[cache_key] = QueryResult(
-                    column_names=list(result.column_names),
-                    rows=list(result.rows),
-                    metrics=result.metrics,
-                    explain_text=result.explain_text,
-                )
-                while len(self._result_cache) > self._result_cache_size:
-                    self._result_cache.popitem(last=False)
         return result
 
     def clear_result_cache(self) -> None:
-        """Drop every cached result (e.g. after sources changed underneath)."""
+        """Drop every cached result (e.g. after sources changed underneath).
+
+        Also bumps the plan-cache epoch: a catalog change invalidates
+        cached plans (schemas, mappings, statistics baked into them), and
+        every caller of this method is exactly such a change."""
         with self._cache_lock:
             self._result_cache.clear()
+        self.plan_cache.invalidate()
 
     def explain_analyze(
         self, sql: str, options: Optional[PlannerOptions] = None
@@ -573,3 +686,94 @@ class GlobalInformationSystem:
     def _find_native_schema(adapter: Adapter, native_name: str) -> Optional[TableSchema]:
         resolved = GlobalInformationSystem._find_native_table(adapter, native_name)
         return resolved[1] if resolved is not None else None
+
+
+class PreparedStatement:
+    """A parameterized statement pinned to its prepared plan.
+
+    Obtained from :meth:`GlobalInformationSystem.prepare`. Parameters are
+    positional in query-text order — the N-th literal of the original SQL
+    is parameter N. ``execute()`` with no arguments re-runs with the
+    original literals; with a value list it rebinds the plan (or replans
+    when a value the optimizer folded into the plan changed, or the
+    catalog epoch moved). Results never come from the result cache, so
+    every execute reflects the sources."""
+
+    def __init__(
+        self,
+        gis: GlobalInformationSystem,
+        sql: str,
+        options: PlannerOptions,
+        param: ParameterizedStatement,
+        entry: PreparedPlan,
+    ) -> None:
+        self._gis = gis
+        self.sql = sql
+        self.options = options
+        self._param = param
+        self._entry = entry
+
+    @property
+    def parameter_count(self) -> int:
+        return self._param.parameter_count
+
+    @property
+    def parameter_types(self) -> List[Any]:
+        return list(self._param.dtypes)
+
+    def execute(
+        self,
+        params: Optional[Sequence[Any]] = None,
+        options: Optional[PlannerOptions] = None,
+    ) -> QueryResult:
+        """Execute with ``params`` bound in place of the original literals."""
+        opts = options or self.options
+        values = (
+            list(params) if params is not None else list(self._param.values)
+        )
+        if len(values) != self._param.parameter_count:
+            raise PlanError(
+                f"prepared statement takes {self._param.parameter_count} "
+                f"parameter(s), got {len(values)}"
+            )
+        for slot, (value, dtype) in enumerate(zip(values, self._param.dtypes)):
+            if value is None:
+                continue
+            expected = _PARAM_PYTHON_TYPES.get(dtype)
+            if expected is not None and not isinstance(value, expected):
+                raise PlanError(
+                    f"parameter {slot} expects {dtype.name}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+
+        def plan_fn(tracer, root):
+            cache = self._gis.plan_cache
+            entry = self._entry
+            if entry.epoch == cache.epoch:
+                bound = entry.bind(self.sql, values, self._gis.catalog, opts)
+                if bound is not None:
+                    cache.record_hit()
+                    return bound, True
+            statement = bind_statement_values(self._param.statement, values)
+            planned = self._gis.planner.plan_statement(
+                statement, self.sql, opts, tracer=tracer, parent=root
+            )
+            self._entry = PreparedPlan(
+                entry.shape_key, entry.options, planned,
+                values, self._param.dtypes, cache.epoch,
+                statement=statement,
+            )
+            cache.store(self._entry)
+            return planned, False
+
+        return self._gis._execute_query(self.sql, opts, plan_fn)
+
+
+#: Accepted Python types per global parameter type (NULL always allowed).
+_PARAM_PYTHON_TYPES = {
+    DataType.INTEGER: (int,),
+    DataType.FLOAT: (int, float),
+    DataType.TEXT: (str,),
+    DataType.BOOLEAN: (bool,),
+    DataType.DATE: (date,),
+}

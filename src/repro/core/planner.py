@@ -259,14 +259,33 @@ class Planner:
         rewrite, plan) to an enclosing query trace; both default to the
         no-op singletons so untraced callers pay nothing.
         """
+        if tracer is None:
+            tracer = NULL_TRACER
+        if parent is None:
+            parent = NULL_SPAN
+        with tracer.child(parent, "phase:parse", "phase"):
+            statement = parse_select(sql)
+        return self.plan_statement(statement, sql, options, tracer, parent)
+
+    def plan_statement(
+        self,
+        statement,
+        sql: str,
+        options: Optional[PlannerOptions] = None,
+        tracer=None,
+        parent=None,
+    ) -> PlannedQuery:
+        """Plan an already-parsed statement (prepared-statement entry point).
+
+        The prepared machinery parses and normalizes statements itself, so
+        this skips the parse phase but runs the full optimizer pipeline.
+        """
         opts = options or self.options
         if tracer is None:
             tracer = NULL_TRACER
         if parent is None:
             parent = NULL_SPAN
         started = time.perf_counter()
-        with tracer.child(parent, "phase:parse", "phase"):
-            statement = parse_select(sql)
         with tracer.child(parent, "phase:analyze", "phase"):
             analyzer = Analyzer(self.catalog)
             bound = analyzer.bind_statement(statement)

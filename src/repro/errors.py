@@ -122,3 +122,40 @@ class QueryTimeoutError(ExecutionError):
             )
             message += f"; rows shipped so far: {shipped}"
         super().__init__(message)
+
+
+class ServerError(GISError):
+    """Base class for query-service (serving layer) failures."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control rejected a request — backpressure, not failure.
+
+    Raised when a tenant's bounded admission queue is full (or the tenant
+    exceeded its configured pending limit). Always retryable: the client
+    should back off and resubmit; the server never queues unboundedly on
+    its behalf.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        queued: int,
+        limit: int,
+        message: "str | None" = None,
+    ) -> None:
+        self.tenant = tenant
+        self.queued = queued
+        self.limit = limit
+        self.retryable = True
+        super().__init__(
+            message
+            or (
+                f"tenant {tenant!r} overloaded: {queued} request(s) queued "
+                f"(limit {limit}); retry with backoff"
+            )
+        )
+
+
+class ProtocolError(ServerError):
+    """A malformed or out-of-order request on the serving protocol."""

@@ -141,6 +141,8 @@ class Observability:
                 registry.counter("sources_excluded_total").inc(len(excluded))
             if net.cache_hit:
                 registry.counter("result_cache_hits_total").inc()
+            if getattr(net, "plan_cache_hit", False):
+                registry.counter("plan_cache_hits_total").inc()
             registry.counter("rows_shipped_total").inc(net.rows_shipped)
             registry.counter("bytes_shipped_total").inc(net.bytes_shipped)
             registry.counter("messages_total").inc(net.messages)

@@ -431,7 +431,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="degrade to partial results (with the missing sources "
         "reported) when a source stays down, instead of failing",
     )
+    parser.add_argument(
+        "--serve",
+        nargs="?",
+        const="127.0.0.1:7432",
+        metavar="HOST:PORT",
+        help="run the multi-tenant query service instead of the REPL "
+        "(default 127.0.0.1:7432; a 'serve' config section supplies "
+        "tenants/quotas — see docs/serving.md)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executor threads for --serve (overrides config)",
+    )
+    parser.add_argument(
+        "--client",
+        metavar="HOST:PORT",
+        help="connect to a running query service as a client REPL "
+        "instead of embedding a mediator",
+    )
+    parser.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="tenant id for --client (default: 'default')",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="tenant token for --client, when the server requires one",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.client:
+        return _client_main(arguments, parser)
 
     if arguments.batch_size is not None:
         from .errors import PlanError
@@ -465,6 +502,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.slow_query_ms > 0:
         gis.obs.slow_queries.threshold_ms = float(arguments.slow_query_ms)
 
+    if arguments.serve is not None:
+        return _serve_main(gis, arguments, parser)
+
     repl = Repl(gis)
     if arguments.batch_size is not None:
         repl.batch = arguments.batch_size
@@ -477,3 +517,138 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _parse_address(text: str, parser) -> "tuple[str, int]":
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"expected HOST:PORT, got {text!r}")
+    return host, int(port_text)
+
+
+def _serve_main(gis: GlobalInformationSystem, arguments, parser) -> int:
+    """Run the query service until interrupted (``--serve``)."""
+    import json
+    import time as time_module
+
+    from .serve import QueryServer
+    from .serve.session import ServerConfig
+
+    config = ServerConfig()
+    if arguments.config:
+        from .config import build_server_config
+
+        with open(arguments.config) as handle:
+            raw = json.load(handle)
+        if "serve" in raw:
+            config = build_server_config(raw["serve"])
+    host, port = _parse_address(arguments.serve, parser)
+    config.host, config.port = host, port
+    if arguments.serve_workers is not None:
+        if arguments.serve_workers < 1:
+            parser.error("--serve-workers must be >= 1")
+        config.max_workers = arguments.serve_workers
+    if gis.plan_cache.capacity == 0:
+        # Serving means repeat traffic; an unset plan cache would waste it.
+        gis.plan_cache.capacity = 256
+
+    server = QueryServer(gis, config)
+    bound_host, bound_port = server.start_background()
+    sys.stderr.write(
+        f"query service listening on {bound_host}:{bound_port} "
+        f"({config.max_workers} workers); Ctrl-C to stop\n"
+    )
+    try:
+        while True:
+            time_module.sleep(3600)
+    except KeyboardInterrupt:
+        sys.stderr.write("shutting down...\n")
+    finally:
+        server.stop_background()
+    return 0
+
+
+def _client_main(arguments, parser) -> int:
+    """Line-oriented client REPL against a remote query service."""
+    from .serve import ServeClient
+
+    host, port = _parse_address(arguments.client, parser)
+    try:
+        client = ServeClient(
+            host, port, tenant=arguments.tenant, token=arguments.token
+        )
+    except (OSError, GISError) as error:
+        sys.stderr.write(f"cannot connect to {host}:{port}: {error}\n")
+        return 1
+    defaults = {}
+    if arguments.deadline_ms > 0:
+        defaults["deadline_ms"] = float(arguments.deadline_ms)
+    if arguments.partial_results:
+        defaults["partial"] = True
+    if defaults:
+        client.set_defaults(**defaults)
+    interactive = sys.stdin.isatty()
+    out = sys.stdout
+    if interactive:
+        out.write(f"connected to {host}:{port} as tenant "
+                  f"{arguments.tenant!r}\ngis> ")
+        out.flush()
+    buffer: List[str] = []
+    try:
+        for line in sys.stdin:
+            stripped = line.strip()
+            if stripped in ("\\quit", "\\q", "\\exit"):
+                break
+            if stripped:
+                buffer.append(stripped)
+                if stripped.endswith(";"):
+                    sql = " ".join(buffer).rstrip(";").strip()
+                    buffer = []
+                    if sql:
+                        _run_remote(client, sql, out)
+            if interactive:
+                out.write("...> " if buffer else "gis> ")
+                out.flush()
+        if buffer:
+            _run_remote(client, " ".join(buffer), out)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    return 0
+
+
+def _run_remote(client, sql: str, out: IO[str]) -> None:
+    """Execute one remote statement and print a small result table."""
+    try:
+        result = client.query(sql)
+    except GISError as error:
+        out.write(f"error: {error}\n")
+        return
+    if not result.complete:
+        out.write("!! PARTIAL RESULT — excluded sources:\n")
+        for source, reason in sorted(result.excluded_sources.items()):
+            out.write(f"!!   {source}: {reason}\n")
+    widths = [len(name) for name in result.column_names]
+    rendered = [
+        ["NULL" if cell is None else str(cell) for cell in row]
+        for row in result.rows
+    ]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = " | ".join(
+        name.ljust(widths[i]) for i, name in enumerate(result.column_names)
+    )
+    out.write(header + "\n")
+    out.write("-+-".join("-" * width for width in widths) + "\n")
+    for row in rendered:
+        out.write(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            + "\n"
+        )
+    metrics = result.metrics
+    out.write(
+        f"({len(result.rows)} rows; wall {metrics.get('wall_ms', 0.0):.1f} ms; "
+        f"plan cache {'hit' if metrics.get('plan_cache_hit') else 'miss'})\n"
+    )

@@ -1,0 +1,38 @@
+"""The serving tier: a multi-tenant async query service over the mediator.
+
+The 1989 GIS vision is a *service*: one global schema answering many
+autonomous users concurrently. This package adds that tier on top of the
+blocking :class:`~repro.core.mediator.GlobalInformationSystem`:
+
+* :mod:`repro.serve.protocol` — the JSON-lines wire protocol (one JSON
+  object per line over TCP), with lossless value encoding and error
+  payloads that preserve typed failure attribution.
+* :mod:`repro.serve.admission` — admission control: bounded per-tenant
+  queues, concurrency quotas, and round-robin draining so a flooding
+  tenant gets backpressure instead of starving everyone else.
+* :mod:`repro.serve.session` — per-connection state: tenant identity
+  (handshake authentication-lite) and session execution defaults.
+* :mod:`repro.serve.server` — the asyncio server: sync QUERY plus the
+  SkyQuery-style async SUBMIT / STATUS / FETCH protocol.
+* :mod:`repro.serve.client` — a small blocking client used by the REPL's
+  client mode, tests, and benchmarks.
+"""
+
+from .admission import AdmissionStats, FairScheduler, TenantQuota
+from .client import ServeClient
+from .protocol import decode_message, decode_value, encode_message, encode_value
+from .server import QueryServer, ServerConfig, TenantConfig
+
+__all__ = [
+    "AdmissionStats",
+    "FairScheduler",
+    "QueryServer",
+    "ServeClient",
+    "ServerConfig",
+    "TenantConfig",
+    "TenantQuota",
+    "decode_message",
+    "decode_value",
+    "encode_message",
+    "encode_value",
+]

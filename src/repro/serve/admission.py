@@ -1,0 +1,265 @@
+"""Admission control and fair scheduling for the query service.
+
+Two invariants, enforced here and nowhere else:
+
+1. **Bounded queues.** Every tenant has a fixed admission-queue limit; a
+   request arriving past it is rejected *synchronously* with
+   :class:`~repro.errors.ServerOverloadedError` (retryable backpressure).
+   The server never buffers unboundedly on a client's behalf.
+2. **Fair draining.** Dispatch rotates round-robin across tenants with
+   pending work, each capped at its own concurrency quota — a tenant
+   flooding its queue can saturate *its* quota, but the next tenant in
+   the rotation still dispatches on every pump.
+
+The scheduler is confined to the asyncio event-loop thread: every public
+method must be called from the loop, so no internal locking is needed.
+The actual query work runs on a bounded ``ThreadPoolExecutor`` (the
+mediator call is blocking); results come back to the loop as futures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from collections import deque
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..errors import ServerError, ServerOverloadedError
+
+DEFAULT_MAX_CONCURRENT = 2
+DEFAULT_MAX_QUEUED = 16
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_concurrent`` — executor slots the tenant may hold at once;
+    ``max_queued`` — admitted-but-undispatched requests beyond which new
+    arrivals bounce with backpressure.
+    """
+
+    max_concurrent: int = DEFAULT_MAX_CONCURRENT
+    max_queued: int = DEFAULT_MAX_QUEUED
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+
+
+@dataclass
+class AdmissionStats:
+    """One tenant's admission counters (snapshot; plain data)."""
+
+    tenant: str
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    queued: int = 0
+    running: int = 0
+    queue_wait_ms_total: float = 0.0
+    queue_wait_ms_max: float = 0.0
+
+    @property
+    def queue_wait_ms_avg(self) -> float:
+        dispatched = self.completed + self.failed + self.running
+        return self.queue_wait_ms_total / dispatched if dispatched else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queued": self.queued,
+            "running": self.running,
+            "queue_wait_ms_avg": round(self.queue_wait_ms_avg, 3),
+            "queue_wait_ms_max": round(self.queue_wait_ms_max, 3),
+        }
+
+
+class _TenantState:
+    __slots__ = ("quota", "queue", "running", "stats")
+
+    def __init__(self, tenant: str, quota: TenantQuota) -> None:
+        self.quota = quota
+        self.queue: Deque[Tuple[asyncio.Future, Callable[[], Any], float]] = deque()
+        self.running = 0
+        self.stats = AdmissionStats(tenant)
+
+
+class FairScheduler:
+    """Round-robin admission scheduler over a bounded executor.
+
+    Loop-confined: construct and call only from the event-loop thread.
+    ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) gets the
+    serving metrics — queue-wait histogram, admission rejections, and
+    per-tenant dispatch counters; it no-ops when disabled.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        default_quota: TenantQuota = TenantQuota(),
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        registry: Any = None,
+    ) -> None:
+        self._executor = executor
+        self._default_quota = default_quota
+        self._quotas = dict(quotas or {})
+        self._states: Dict[str, _TenantState] = {}
+        self._rotation: Deque[str] = deque()
+        self._registry = registry
+        self._closed = False
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, tenant: str, fn: Callable[[], Any]) -> asyncio.Future:
+        """Admit one request; returns a future for its eventual result.
+
+        Raises :class:`ServerOverloadedError` immediately when the
+        tenant's queue is full — callers translate that into a wire-level
+        backpressure response, so overload costs the server one bounded
+        check, not a buffered request.
+        """
+        if self._closed:
+            raise ServerError("server is shutting down")
+        state = self._state(tenant)
+        if len(state.queue) >= state.quota.max_queued:
+            state.stats.rejected += 1
+            if self._registry is not None:
+                self._registry.counter("server_admission_rejections_total").inc()
+                self._registry.counter(
+                    f"tenant.{tenant}.rejections_total"
+                ).inc()
+            raise ServerOverloadedError(
+                tenant, len(state.queue), state.quota.max_queued
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        state.queue.append((future, fn, time.perf_counter()))
+        state.stats.admitted += 1
+        if tenant not in self._rotation:
+            self._rotation.append(tenant)
+        self._pump(loop)
+        return future
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _pump(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Dispatch as much admitted work as quotas allow, round-robin."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for _ in range(len(self._rotation)):
+                tenant = self._rotation[0]
+                self._rotation.rotate(-1)
+                state = self._states[tenant]
+                if not state.queue or state.running >= state.quota.max_concurrent:
+                    continue
+                future, fn, enqueued = state.queue.popleft()
+                if future.cancelled():
+                    progressed = True
+                    continue
+                wait_ms = (time.perf_counter() - enqueued) * 1000.0
+                state.stats.queue_wait_ms_total += wait_ms
+                state.stats.queue_wait_ms_max = max(
+                    state.stats.queue_wait_ms_max, wait_ms
+                )
+                if self._registry is not None:
+                    self._registry.histogram("server_queue_wait_ms").observe(
+                        wait_ms
+                    )
+                    self._registry.counter(
+                        f"tenant.{tenant}.dispatched_total"
+                    ).inc()
+                state.running += 1
+                work = loop.run_in_executor(self._executor, fn)
+                work.add_done_callback(
+                    functools.partial(self._finish, loop, tenant, future)
+                )
+                progressed = True
+
+    def _finish(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        tenant: str,
+        future: asyncio.Future,
+        work: asyncio.Future,
+    ) -> None:
+        """Executor completion → settle the admission future, free the slot."""
+        state = self._states[tenant]
+        state.running -= 1
+        exc = None if work.cancelled() else work.exception()
+        if exc is not None:
+            state.stats.failed += 1
+            if not future.cancelled():
+                future.set_exception(exc)
+        elif work.cancelled():
+            state.stats.failed += 1
+            if not future.cancelled():
+                future.cancel()
+        else:
+            state.stats.completed += 1
+            if not future.cancelled():
+                future.set_result(work.result())
+        if not self._closed:
+            self._pump(loop)
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; fail everything still queued (running work is
+        the executor's to finish — the server drains it on shutdown)."""
+        self._closed = True
+        for state in self._states.values():
+            while state.queue:
+                future, _fn, _enq = state.queue.popleft()
+                state.stats.failed += 1
+                if not future.done():
+                    future.set_exception(ServerError("server is shutting down"))
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            quota = self._quotas.get(tenant, self._default_quota)
+            state = _TenantState(tenant, quota)
+            self._states[tenant] = state
+        return state
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        self._quotas[tenant] = quota
+        if tenant in self._states:
+            self._states[tenant].quota = quota
+
+    def stats(self) -> Dict[str, AdmissionStats]:
+        """Per-tenant stats snapshot (live queue/running gauges filled in)."""
+        out: Dict[str, AdmissionStats] = {}
+        for tenant, state in self._states.items():
+            snap = AdmissionStats(
+                tenant=tenant,
+                admitted=state.stats.admitted,
+                rejected=state.stats.rejected,
+                completed=state.stats.completed,
+                failed=state.stats.failed,
+                queued=len(state.queue),
+                running=state.running,
+                queue_wait_ms_total=state.stats.queue_wait_ms_total,
+                queue_wait_ms_max=state.stats.queue_wait_ms_max,
+            )
+            out[tenant] = snap
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unfinished requests (queued + running)."""
+        return sum(
+            len(state.queue) + state.running for state in self._states.values()
+        )

@@ -1,0 +1,205 @@
+"""A small blocking client for the query service.
+
+Used by the REPL's client mode, the serving tests, and the benchmarks.
+One :class:`ServeClient` is one TCP connection and therefore one session;
+it is not thread-safe — give each worker thread its own client (that is
+the tenancy model anyway). Wire errors come back as the same typed
+exceptions a local mediator caller would see (see
+:func:`repro.serve.protocol.decode_error`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_error,
+    decode_message,
+    decode_row,
+    encode_message,
+)
+
+
+class RemoteResult:
+    """A query result decoded from the wire.
+
+    Rows are tuples (as from ``Mediator.query()``); ``complete`` /
+    ``excluded_sources`` carry the partial-result contract across, and
+    ``metrics`` is the server's metric summary dict.
+    """
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.column_names: List[str] = list(payload.get("columns", []))
+        self.rows: List[Tuple[Any, ...]] = [
+            decode_row(row) for row in payload.get("rows", [])
+        ]
+        self.row_count: int = int(payload.get("row_count", len(self.rows)))
+        self.complete: bool = bool(payload.get("complete", True))
+        self.excluded_sources: Dict[str, str] = dict(
+            payload.get("excluded_sources", {})
+        )
+        self.metrics: Dict[str, Any] = dict(payload.get("metrics", {}))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ServeClient:
+    """Blocking JSON-lines client: connect, handshake, request/response."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        token: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self.session_id: Optional[int] = None
+        hello: Dict[str, Any] = {
+            "op": "hello",
+            "tenant": tenant,
+            "version": PROTOCOL_VERSION,
+        }
+        if token is not None:
+            hello["token"] = token
+        response = self._call(hello)
+        self.session_id = response.get("session")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and read its response; raise typed errors."""
+        request = {"id": next(self._ids), **request}
+        self._sock.sendall(encode_message(request))
+        line = self._file.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ProtocolError("server closed the connection")
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("response line too long")
+        response = decode_message(line)
+        if response.get("id") != request["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request['id']!r}"
+            )
+        if not response.get("ok", False):
+            error = response.get("error")
+            if isinstance(error, dict):
+                raise decode_error(error)
+            raise ProtocolError(f"server error without payload: {response!r}")
+        return response
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def query(self, sql: str, **knobs: Any) -> RemoteResult:
+        """Synchronous execution (admission + run + full result)."""
+        return RemoteResult(self._call({"op": "query", "sql": sql, **knobs}))
+
+    def submit(self, sql: str, **knobs: Any) -> str:
+        """Asynchronous submission; returns the query id to poll."""
+        response = self._call({"op": "submit", "sql": sql, **knobs})
+        return response["query_id"]
+
+    def status(self, query_id: str) -> Dict[str, Any]:
+        return self._call({"op": "status", "query_id": query_id})
+
+    def fetch(
+        self, query_id: str, offset: int = 0, limit: int = 1024
+    ) -> Dict[str, Any]:
+        """One page of a finished query (``ready`` False while running)."""
+        response = self._call(
+            {"op": "fetch", "query_id": query_id, "offset": offset,
+             "limit": limit}
+        )
+        if response.get("ready"):
+            response["page"] = [decode_row(row) for row in response["rows"]]
+        return response
+
+    def fetch_all(
+        self, query_id: str, page_size: int = 1024,
+        poll_interval: float = 0.01, timeout: float = 60.0,
+    ) -> RemoteResult:
+        """Poll until done, then page the whole result down."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            response = self._call(
+                {"op": "fetch", "query_id": query_id, "offset": 0,
+                 "limit": page_size}
+            )
+            if response.get("ready"):
+                break
+            if time.monotonic() > deadline:
+                raise ProtocolError(
+                    f"query {query_id} did not finish within {timeout}s"
+                )
+            time.sleep(poll_interval)
+        result = RemoteResult(response)
+        offset = len(result.rows)
+        while offset < result.row_count:
+            page = self._call(
+                {"op": "fetch", "query_id": query_id, "offset": offset,
+                 "limit": page_size}
+            )
+            rows = [decode_row(row) for row in page["rows"]]
+            if not rows:
+                break
+            result.rows.extend(rows)
+            offset += len(rows)
+        return result
+
+    def iter_pages(
+        self, query_id: str, page_size: int = 1024
+    ) -> Iterator[List[Tuple[Any, ...]]]:
+        """Page a *finished* query's rows (raises if still running)."""
+        offset = 0
+        while True:
+            response = self._call(
+                {"op": "fetch", "query_id": query_id, "offset": offset,
+                 "limit": page_size}
+            )
+            if not response.get("ready"):
+                raise ProtocolError(f"query {query_id} is not finished")
+            rows = [decode_row(row) for row in response["rows"]]
+            if rows:
+                yield rows
+            if response.get("eof") or not rows:
+                return
+            offset += len(rows)
+
+    def set_defaults(self, **knobs: Any) -> Dict[str, Any]:
+        """Set session-scoped execution defaults (deadline/partial/trace)."""
+        return self._call({"op": "set", "defaults": knobs}).get("defaults", {})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"op": "stats"})
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(encode_message({"op": "close"}))
+        except OSError:
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

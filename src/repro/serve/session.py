@@ -1,0 +1,141 @@
+"""Per-connection session state and server/tenant configuration.
+
+Authentication-lite: the first message on a connection must be a
+``hello`` carrying the tenant id (and, when the server configures one,
+that tenant's shared token). Everything after inherits the session's
+tenant for admission accounting and its execution defaults — PR 5's
+resilience knobs (``deadline_ms``, ``partial``) and tracing — which a
+client can set once per session and still override per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.planner import PlannerOptions
+from ..errors import ProtocolError
+from ..sources.faults import FaultPlan
+from .admission import (
+    DEFAULT_MAX_CONCURRENT,
+    DEFAULT_MAX_QUEUED,
+    TenantQuota,
+)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's registration: identity plus admission quota.
+
+    ``token`` is the optional shared secret the tenant must present in
+    its handshake (authentication-lite — identity scoping, not crypto).
+    """
+
+    name: str
+    token: Optional[str] = None
+    max_concurrent: int = DEFAULT_MAX_CONCURRENT
+    max_queued: int = DEFAULT_MAX_QUEUED
+
+    def __post_init__(self) -> None:
+        self.quota()  # TenantQuota validates the bounds
+
+    def quota(self) -> TenantQuota:
+        return TenantQuota(self.max_concurrent, self.max_queued)
+
+
+@dataclass
+class ServerConfig:
+    """Query-service settings.
+
+    ``port`` 0 binds an ephemeral port (tests); ``max_workers`` bounds the
+    executor threads *all* sessions share — the connection count never
+    changes how many mediator calls run at once. Unregistered tenants are
+    admitted under the default quota unless ``require_known_tenant``.
+    ``max_retained_results`` bounds each session's async-result registry
+    (oldest unfetched results are dropped first).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_workers: int = 4
+    default_max_concurrent: int = DEFAULT_MAX_CONCURRENT
+    default_max_queued: int = DEFAULT_MAX_QUEUED
+    tenants: Dict[str, TenantConfig] = field(default_factory=dict)
+    require_known_tenant: bool = False
+    max_retained_results: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.max_retained_results < 1:
+            raise ValueError("max_retained_results must be >= 1")
+        self.default_quota()  # TenantQuota validates the bounds
+
+    def default_quota(self) -> TenantQuota:
+        return TenantQuota(self.default_max_concurrent, self.default_max_queued)
+
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """One authenticated connection: tenant identity + execution defaults.
+
+    ``defaults`` holds the session-scoped request knobs (``deadline_ms``,
+    ``partial``, ``trace``); :meth:`options_for` folds them, then any
+    per-request overrides, into the mediator's base planner options.
+    """
+
+    KNOB_KEYS = ("deadline_ms", "partial", "trace")
+
+    def __init__(self, tenant: str) -> None:
+        self.id = next(_session_ids)
+        self.tenant = tenant
+        self.defaults: Dict[str, Any] = {}
+        #: async query registry: query id → _AsyncQuery (server-managed)
+        self.queries: Dict[str, Any] = {}
+        self._query_ids = itertools.count(1)
+
+    def next_query_id(self) -> str:
+        return f"q{self.id}-{next(self._query_ids)}"
+
+    def set_defaults(self, knobs: Dict[str, Any]) -> Dict[str, Any]:
+        """Merge session-default knobs; unknown keys are protocol errors."""
+        for key in knobs:
+            if key not in self.KNOB_KEYS:
+                raise ProtocolError(
+                    f"unknown session default {key!r} "
+                    f"(expected one of {', '.join(self.KNOB_KEYS)})"
+                )
+        self.defaults.update(knobs)
+        return dict(self.defaults)
+
+    def options_for(
+        self, base: PlannerOptions, request: Dict[str, Any]
+    ) -> PlannerOptions:
+        """Resolve the effective planner options for one request.
+
+        Precedence: request knobs > session defaults > server base
+        options. ``partial`` maps to ``on_source_failure``; a request
+        ``faults`` section (declarative, same shape as the config file's)
+        arms a per-query fault plan — the chaos-testing hook.
+        """
+        knobs = dict(self.defaults)
+        for key in self.KNOB_KEYS:
+            if key in request:
+                knobs[key] = request[key]
+        changes: Dict[str, Any] = {}
+        if "deadline_ms" in knobs:
+            changes["deadline_ms"] = float(knobs["deadline_ms"])
+        if "partial" in knobs:
+            changes["on_source_failure"] = (
+                "partial" if knobs["partial"] else "fail"
+            )
+        if "trace" in knobs:
+            changes["trace"] = bool(knobs["trace"])
+        if "faults" in request and request["faults"] is not None:
+            if not isinstance(request["faults"], dict):
+                raise ProtocolError("request 'faults' must be an object")
+            changes["faults"] = FaultPlan.from_config(request["faults"])
+        return base.but(**changes) if changes else base

@@ -36,10 +36,20 @@ class Expr:
 
 @dataclass(frozen=True)
 class Literal(Expr):
-    """A constant value with its global type (NULL literal has type NULL)."""
+    """A constant value with its global type (NULL literal has type NULL).
+
+    ``param_slot`` tags a literal as the i-th parameter of a normalized
+    query shape (see :mod:`repro.core.prepared`); it never participates in
+    equality, so rewrites that compare or deduplicate literals by value are
+    unaffected. Planner passes that *create* new literals (constant
+    folding, NULL simplification) naturally drop the tag — the prepared
+    machinery treats those slots as plan-sensitive and replans when their
+    value changes.
+    """
 
     value: Any
     dtype: DataType
+    param_slot: Optional[int] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

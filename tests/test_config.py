@@ -383,3 +383,55 @@ class TestFaultsConfig:
         config["faults"] = {"sources": {"erp": {"fail_connect": -1}}}
         with pytest.raises(CatalogError, match="fail_connect"):
             build_from_config(config)
+
+
+class TestServeConfig:
+    def test_plan_cache_size_from_config(self):
+        config = base_config()
+        config["plan_cache_size"] = 32
+        gis = build_from_config(config)
+        assert gis.plan_cache.capacity == 32
+        gis.query("SELECT COUNT(*) FROM orders")
+        assert gis.query("SELECT COUNT(*) FROM orders").metrics.network.plan_cache_hit
+
+    def test_build_server_config(self):
+        from repro.config import build_server_config
+
+        server_config = build_server_config(
+            {
+                "host": "0.0.0.0",
+                "port": 7432,
+                "max_workers": 8,
+                "default_max_concurrent": 3,
+                "require_known_tenant": True,
+                "tenants": {
+                    "analytics": {"token": "s3cret", "max_concurrent": 4},
+                    "batch": {"max_queued": 64},
+                },
+            }
+        )
+        assert server_config.host == "0.0.0.0" and server_config.port == 7432
+        assert server_config.max_workers == 8
+        assert server_config.require_known_tenant
+        assert server_config.tenants["analytics"].token == "s3cret"
+        assert server_config.tenants["analytics"].quota().max_concurrent == 4
+        assert server_config.tenants["batch"].quota().max_queued == 64
+        assert server_config.default_quota().max_concurrent == 3
+
+    def test_unknown_serve_key_rejected(self):
+        from repro.config import build_server_config
+
+        with pytest.raises(CatalogError, match="max_workerz"):
+            build_server_config({"max_workerz": 2})
+
+    def test_unknown_tenant_key_rejected(self):
+        from repro.config import build_server_config
+
+        with pytest.raises(CatalogError, match="tokn"):
+            build_server_config({"tenants": {"a": {"tokn": "x"}}})
+
+    def test_invalid_quota_rejected(self):
+        from repro.config import build_server_config
+
+        with pytest.raises(CatalogError):
+            build_server_config({"tenants": {"a": {"max_concurrent": 0}}})

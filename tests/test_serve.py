@@ -1,0 +1,500 @@
+"""The multi-tenant query service: protocol, admission, fidelity, fairness."""
+
+import threading
+import time
+from typing import Iterator
+
+import pytest
+
+from repro import MemorySource, NetworkLink
+from repro.catalog.schema import schema_from_pairs
+from repro.core.fragments import Fragment
+from repro.errors import (
+    BindError,
+    ProtocolError,
+    QueryTimeoutError,
+    ServerOverloadedError,
+)
+from repro.serve import QueryServer, ServeClient, ServerConfig, TenantConfig
+from repro.serve.protocol import decode_row, encode_row
+
+from .conftest import make_small_gis
+
+SLOW_DELAY_S = 0.05
+
+
+class SlowSource(MemorySource):
+    """A source whose every fragment takes real wall-clock time."""
+
+    def __init__(self, name: str, delay_s: float = SLOW_DELAY_S) -> None:
+        super().__init__(name)
+        self.delay_s = delay_s
+
+    def execute(self, fragment: Fragment) -> Iterator[tuple]:
+        time.sleep(self.delay_s)
+        yield from super().execute(fragment)
+
+    def execute_pages(self, fragment: Fragment, page_rows: int):
+        time.sleep(self.delay_s)
+        yield from super().execute_pages(fragment, page_rows)
+
+
+def make_serve_gis(plan_cache_size=64, result_cache_size=0):
+    """The conftest federation plus a genuinely slow source."""
+    gis = make_small_gis()
+    gis.plan_cache.capacity = plan_cache_size
+    gis._result_cache_size = result_cache_size
+    slow = SlowSource("slowsrc")
+    slow.add_table(
+        "events",
+        schema_from_pairs("events", [("eid", "INT"), ("val", "FLOAT")]),
+        [(i, i * 1.5) for i in range(40)],
+    )
+    gis.register_source("slowsrc", slow, link=NetworkLink(5.0, 1_000_000.0))
+    gis.register_table("events", source="slowsrc")
+    return gis
+
+
+@pytest.fixture
+def served():
+    """A started server over a fresh federation; always shut down."""
+    gis = make_serve_gis()
+    server = QueryServer(gis, ServerConfig(max_workers=4))
+    host, port = server.start_background()
+    try:
+        yield gis, server, host, port
+    finally:
+        server.stop_background()
+
+
+def connect(served_fixture, tenant="t1", **kwargs):
+    _gis, _server, host, port = served_fixture
+    return ServeClient(host, port, tenant=tenant, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# protocol basics
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_handshake_and_ping(self, served):
+        with connect(served) as client:
+            assert client.ping()
+            assert client.session_id is not None
+
+    def test_query_before_hello_rejected(self, served):
+        _gis, _server, host, port = served
+        import socket
+
+        from repro.serve.protocol import decode_message, encode_message
+
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(encode_message({"op": "query", "sql": "SELECT 1"}))
+            response = decode_message(sock.makefile("rb").readline())
+        assert not response["ok"]
+        assert response["error"]["code"] == "ProtocolError"
+        assert "handshake" in response["error"]["message"]
+
+    def test_tenant_token_enforced(self):
+        gis = make_serve_gis()
+        config = ServerConfig(
+            max_workers=2,
+            tenants={"secure": TenantConfig(name="secure", token="hunter2")},
+        )
+        server = QueryServer(gis, config)
+        host, port = server.start_background()
+        try:
+            with pytest.raises(ProtocolError, match="bad token"):
+                ServeClient(host, port, tenant="secure", token="wrong")
+            with ServeClient(host, port, tenant="secure", token="hunter2") as ok:
+                assert ok.ping()
+        finally:
+            server.stop_background()
+
+    def test_unknown_tenant_rejected_when_required(self):
+        gis = make_serve_gis()
+        config = ServerConfig(
+            max_workers=2,
+            require_known_tenant=True,
+            tenants={"known": TenantConfig(name="known")},
+        )
+        server = QueryServer(gis, config)
+        host, port = server.start_background()
+        try:
+            with pytest.raises(ProtocolError, match="unknown tenant"):
+                ServeClient(host, port, tenant="stranger")
+        finally:
+            server.stop_background()
+
+    def test_typed_errors_cross_the_wire(self, served):
+        with connect(served) as client:
+            with pytest.raises(BindError):
+                client.query("SELECT no_such_column FROM customers")
+
+    def test_malformed_sql_is_not_fatal(self, served):
+        with connect(served) as client:
+            with pytest.raises(Exception):
+                client.query("SELEKT nothing")
+            # The connection survives a failed request.
+            assert client.ping()
+
+
+# ---------------------------------------------------------------------------
+# result fidelity (satellite: partial/timeout metadata over the wire)
+# ---------------------------------------------------------------------------
+
+
+class TestWireFidelity:
+    def test_rows_bit_identical_to_direct_mediator(self, served):
+        gis, _server, _host, _port = served
+        sql = (
+            "SELECT c.name, o.total, o.odate FROM customers c "
+            "JOIN orders o ON c.id = o.cust_id ORDER BY o.total DESC"
+        )
+        direct = gis.query(sql)
+        with connect(served) as client:
+            remote = client.query(sql)
+        assert remote.column_names == direct.column_names
+        assert remote.rows == [tuple(row) for row in direct.rows]
+
+    def test_dates_round_trip(self, served):
+        with connect(served) as client:
+            remote = client.query("SELECT oid, odate FROM orders ORDER BY oid")
+        import datetime
+
+        assert all(
+            isinstance(row[1], datetime.date) for row in remote.rows
+        )
+
+    def test_row_value_codec_is_lossless(self):
+        import datetime
+
+        row = (1, 2.5, "text", True, None, datetime.date(1989, 4, 1))
+        assert decode_row(encode_row(row)) == row
+
+    def test_partial_result_metadata_survives(self, served):
+        with connect(served) as client:
+            result = client.query(
+                "SELECT c.name, o.total FROM customers c "
+                "JOIN orders o ON c.id = o.cust_id",
+                partial=True,
+                faults={
+                    "sources": {
+                        "crm": {"fail_connect": 10, "permanent": True}
+                    }
+                },
+            )
+        assert not result.complete
+        assert "crm" in result.excluded_sources
+
+    def test_partial_results_never_enter_result_cache(self):
+        gis = make_serve_gis(result_cache_size=8)
+        server = QueryServer(gis, ServerConfig(max_workers=2))
+        host, port = server.start_background()
+        try:
+            with ServeClient(host, port, tenant="t1") as client:
+                partial = client.query(
+                    "SELECT name FROM customers",
+                    partial=True,
+                    faults={
+                        "sources": {
+                            "crm": {"fail_connect": 10, "permanent": True}
+                        }
+                    },
+                )
+                assert not partial.complete
+                assert len(gis._result_cache) == 0
+                healthy = client.query("SELECT name FROM customers")
+                assert healthy.complete and len(healthy.rows) == 5
+        finally:
+            server.stop_background()
+
+    def test_timeout_attribution_survives(self, served):
+        with connect(served) as client:
+            with pytest.raises(QueryTimeoutError) as info:
+                client.query("SELECT eid, val FROM events", deadline_ms=5)
+        assert info.value.budget_ms == 5
+        assert info.value.elapsed_ms >= 5
+
+    def test_session_defaults_apply_and_override(self, served):
+        with connect(served) as client:
+            client.set_defaults(deadline_ms=5)
+            with pytest.raises(QueryTimeoutError):
+                client.query("SELECT eid FROM events")
+            # Per-request override relaxes the session default.
+            result = client.query("SELECT eid FROM events", deadline_ms=60_000)
+            assert len(result.rows) == 40
+
+
+# ---------------------------------------------------------------------------
+# async submit / status / fetch
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncProtocol:
+    def test_submit_fetch_roundtrip(self, served):
+        gis, *_ = served
+        sql = "SELECT oid, total FROM orders ORDER BY oid"
+        direct = gis.query(sql)
+        with connect(served) as client:
+            query_id = client.submit(sql)
+            result = client.fetch_all(query_id)
+        assert result.rows == [tuple(row) for row in direct.rows]
+
+    def test_fetch_pages_incrementally(self, served):
+        with connect(served) as client:
+            query_id = client.submit("SELECT oid FROM orders ORDER BY oid")
+            client.fetch_all(query_id, page_size=3)  # wait until done
+            pages = list(client.iter_pages(query_id, page_size=3))
+        assert [len(page) for page in pages] == [3, 3, 1]
+        assert [row[0] for page in pages for row in page] == [
+            100, 101, 102, 103, 104, 105, 106,
+        ]
+
+    def test_status_transitions_to_done(self, served):
+        with connect(served) as client:
+            query_id = client.submit("SELECT eid FROM events")
+            status = client.status(query_id)
+            assert status["state"] in ("queued", "running", "done")
+            client.fetch_all(query_id)
+            final = client.status(query_id)
+        assert final["state"] == "done"
+        assert final["row_count"] == 40
+        assert final["complete"] is True
+
+    def test_error_state_reported(self, served):
+        with connect(served) as client:
+            query_id = client.submit("SELECT nope FROM customers")
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status = client.status(query_id)
+                if status["state"] == "error":
+                    break
+                time.sleep(0.01)
+        assert status["state"] == "error"
+        assert status["error"]["code"] == "BindError"
+
+    def test_unknown_query_id(self, served):
+        with connect(served) as client:
+            with pytest.raises(ProtocolError, match="unknown query_id"):
+                client.status("q0-999")
+
+
+# ---------------------------------------------------------------------------
+# admission control and fairness
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_queue_bound_gives_backpressure(self):
+        gis = make_serve_gis()
+        config = ServerConfig(
+            max_workers=2,
+            tenants={
+                "flood": TenantConfig(
+                    name="flood", max_concurrent=1, max_queued=2
+                )
+            },
+        )
+        server = QueryServer(gis, config)
+        host, port = server.start_background()
+        try:
+            with ServeClient(host, port, tenant="flood") as client:
+                rejections = []
+                accepted = []
+                for _ in range(12):
+                    try:
+                        accepted.append(
+                            client.submit("SELECT eid, val FROM events")
+                        )
+                    except ServerOverloadedError as exc:
+                        rejections.append(exc)
+                assert rejections, "expected backpressure from a full queue"
+                error = rejections[0]
+                assert error.tenant == "flood"
+                assert error.limit == 2
+                assert error.retryable
+                stats = client.stats()["tenants"]["flood"]
+                # Never more buffered than the bound — that is the contract.
+                assert stats["queued"] <= 2
+                assert stats["rejected"] == len(rejections)
+                for query_id in accepted:  # drain before shutdown
+                    client.fetch_all(query_id, timeout=120)
+        finally:
+            server.stop_background()
+
+    def test_flooding_tenant_cannot_starve_quiet_one(self):
+        gis = make_serve_gis()
+        config = ServerConfig(
+            max_workers=4,
+            tenants={
+                "flood": TenantConfig(
+                    name="flood", max_concurrent=2, max_queued=6
+                ),
+                "quiet": TenantConfig(
+                    name="quiet", max_concurrent=2, max_queued=6
+                ),
+            },
+        )
+        server = QueryServer(gis, config)
+        host, port = server.start_background()
+        flood_rejections = [0]
+        stop_flood = threading.Event()
+
+        def flood() -> None:
+            with ServeClient(host, port, tenant="flood") as client:
+                pending = []
+                while not stop_flood.is_set():
+                    try:
+                        pending.append(
+                            client.submit("SELECT eid, val FROM events")
+                        )
+                    except ServerOverloadedError:
+                        flood_rejections[0] += 1
+                        time.sleep(0.005)
+                for query_id in pending:
+                    try:
+                        client.fetch_all(query_id, timeout=120)
+                    except Exception:
+                        pass
+
+        flooder = threading.Thread(target=flood)
+        flooder.start()
+        try:
+            time.sleep(0.1)  # let the flood saturate its quota
+            latencies = []
+            with ServeClient(host, port, tenant="quiet") as client:
+                for _ in range(20):
+                    started = time.perf_counter()
+                    result = client.query("SELECT name FROM customers")
+                    latencies.append((time.perf_counter() - started) * 1000.0)
+                    assert len(result.rows) == 5
+                stats = client.stats()["tenants"]
+        finally:
+            stop_flood.set()
+            flooder.join(timeout=120)
+            server.stop_background()
+        latencies.sort()
+        p95 = latencies[int(len(latencies) * 0.95) - 1]
+        # Quiet tenant latency stays bounded (its own quota + free workers);
+        # the bound is generous for CI but far below flood queue drain time.
+        assert p95 < 2_000.0, f"quiet tenant p95 {p95:.0f} ms"
+        assert flood_rejections[0] > 0, "flood should see backpressure"
+        assert stats["quiet"]["rejected"] == 0
+        assert stats["flood"]["queued"] <= 6
+
+
+# ---------------------------------------------------------------------------
+# plan cache over the wire (acceptance: 4 tenants, >90% hit rate)
+# ---------------------------------------------------------------------------
+
+
+class TestServingPlanCache:
+    def test_four_tenant_mixed_workload_hit_rate(self, served):
+        gis, _server, host, port = served
+        templates = [
+            "SELECT name FROM customers WHERE balance > {}",
+            "SELECT oid, total FROM orders WHERE total > {}",
+            "SELECT c.name, o.total FROM customers c "
+            "JOIN orders o ON c.id = o.cust_id WHERE o.total > {}",
+            "SELECT status, COUNT(*) FROM orders GROUP BY status",
+        ]
+        shapes = [template.format(value) if "{}" in template else template
+                  for template in templates for value in (0,)]
+        # Warm every shape once so concurrent tenants race on hits, not on
+        # the initial plan.
+        expected = {}
+        for shape in shapes:
+            expected[shape] = gis.query(shape).rows
+        base = gis.plan_cache.stats()
+        cold_planning = [
+            gis.query(template.format(v) if "{}" in template else template
+                      ).metrics.planning_ms
+            for template, v in zip(templates, (1, 1, 1, 1))
+        ]
+
+        mismatches = []
+        warm_planning = []
+        lock = threading.Lock()
+
+        def tenant_worker(tenant: str) -> None:
+            with ServeClient(host, port, tenant=tenant) as client:
+                for repeat in range(6):
+                    for template in templates:
+                        sql = (
+                            template.format((repeat * 7) % 3)
+                            if "{}" in template
+                            else template
+                        )
+                        remote = client.query(sql)
+                        direct_rows = [tuple(r) for r in gis.query(sql).rows]
+                        with lock:
+                            warm_planning.append(
+                                remote.metrics["planning_ms"]
+                            )
+                            if sorted(remote.rows) != sorted(direct_rows):
+                                mismatches.append(sql)
+
+        threads = [
+            threading.Thread(target=tenant_worker, args=(f"tenant{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not mismatches, mismatches[:3]
+
+        stats = gis.plan_cache.stats()
+        lookups = (
+            stats["hits"] + stats["misses"] + stats["fallbacks"]
+            - (base["hits"] + base["misses"] + base["fallbacks"])
+        )
+        hits = stats["hits"] - base["hits"]
+        assert lookups > 0
+        hit_rate = hits / lookups
+        assert hit_rate > 0.90, f"plan-cache hit rate {hit_rate:.2%}"
+        # Warm planning must be measurably cheaper than full pipeline runs.
+        mean_cold = sum(cold_planning) / len(cold_planning)
+        mean_warm = sum(warm_planning) / len(warm_planning)
+        assert mean_warm < mean_cold
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_clean_shutdown_leaks_nothing(self):
+        before = set(threading.enumerate())
+        gis = make_serve_gis()
+        server = QueryServer(gis, ServerConfig(max_workers=3))
+        host, port = server.start_background()
+        with ServeClient(host, port, tenant="t1") as client:
+            client.query("SELECT COUNT(*) FROM orders")
+            client.submit("SELECT eid FROM events")
+        server.stop_background()
+        time.sleep(0.1)
+        leaked = [
+            thread
+            for thread in set(threading.enumerate()) - before
+            if thread.is_alive()
+        ]
+        assert not leaked, [thread.name for thread in leaked]
+
+    def test_stop_background_is_idempotent(self):
+        gis = make_serve_gis()
+        server = QueryServer(gis, ServerConfig(max_workers=2))
+        server.start_background()
+        server.stop_background()
+        server.stop_background()  # second call is a no-op
+
+    def test_stats_expose_plan_cache(self, served):
+        with connect(served) as client:
+            client.query("SELECT COUNT(*) FROM orders")
+            stats = client.stats()
+        assert "plan_cache" in stats
+        assert stats["plan_cache"]["capacity"] == 64
+        assert stats["workers"] == 4
