@@ -36,7 +36,7 @@ from repro import (
 from repro.catalog.schema import schema_from_pairs
 from repro.sources.base import SourceCapabilities
 
-from .common import emit, format_row
+from .common import emit, emit_json, format_row
 
 ITEM_ROWS = 60_000
 DIM_ROWS = 64
@@ -85,8 +85,19 @@ def build() -> GlobalInformationSystem:
 
 
 def measure(gis, sql, batch_size, vectorize):
-    """Best-of-N wall ms and the result rows (for cross-engine checks)."""
-    options = PlannerOptions(batch_size=batch_size, vectorize=vectorize)
+    """Best-of-N wall ms and the result rows (for cross-engine checks).
+
+    Typed columns and fusion are pinned OFF on both sides: F5 isolates
+    the expression-kernel comparison (row closures vs columnar loops)
+    exactly as it did before those knobs existed. The full new stack is
+    measured by F6 (``bench_f6_typed_fusion.py``).
+    """
+    options = PlannerOptions(
+        batch_size=batch_size,
+        vectorize=vectorize,
+        typed_columns=False,
+        fuse=False,
+    )
     best_ms, rows = float("inf"), None
     for _ in range(REPEATS):
         started = time.perf_counter()
@@ -133,6 +144,24 @@ def test_f5_columnar_speedup(benchmark):
     lines.append("")
     p3 = sweep(gis, "P3: wide aggregate (8 accumulators)", P3, lines)
     emit("f5_columnar", "F5: columnar kernels vs row-kernel engine", lines)
+    emit_json(
+        "BENCH_F5",
+        {
+            "benchmark": "F5 columnar kernels vs row-kernel engine",
+            "item_rows": ITEM_ROWS,
+            "batch_sizes": BATCH_SIZES,
+            "pipelines": [
+                {
+                    "pipeline": name,
+                    "speedup_by_batch": {
+                        str(batch): round(ratio, 2)
+                        for batch, ratio in speedups.items()
+                    },
+                }
+                for name, speedups in [("P1", p1), ("P2", p2), ("P3", p3)]
+            ],
+        },
+    )
 
     # Acceptance bar: vectorization must beat the row-kernel engine by
     # >= 1.5x on the pure kernel path at the default batch size.

@@ -1,0 +1,154 @@
+"""F6 — typed columns + operator fusion + morsels vs the row engine.
+
+The full new execution stack measured on the F5 workload (same
+scan-only federation, same three pipelines — every filter, join, and
+aggregate runs mediator-side):
+
+* ``row engine`` — ``vectorize=False`` with typed columns and fusion
+  off, executing row-at-a-time (``batch_size=1``): the tuple-at-a-time
+  engine every vectorized-execution paper baselines against, and the
+  bit-identical equivalence oracle;
+* ``row kernels @1024`` — the same row-compiled closures looped over
+  1024-row pages (PR 4's batch dataflow without columnar kernels);
+* ``columnar`` — vectorized kernels on object vectors (the PR 5
+  engine: ``typed_columns=False, fuse=False``);
+* ``typed`` — plus ``array``-backed int64/double column vectors;
+* ``typed+fused`` — plus Filter/Project chains fused into a single
+  pipeline operator (the full stack at defaults);
+* ``typed+fused+morsel4`` — plus a 4-worker morsel pool (reported for
+  the trajectory; under CPython's GIL thread morsels are a correctness
+  architecture, not a speedup — see ``core/morsels.py``).
+
+Acceptance: the full stack must beat the row engine by ≥ 5x on every
+pipeline, with bit-identical rows across all modes. The ratio against
+row kernels at the same batch size is reported alongside so the
+kernel-level gain stays visible (F5 tracks it in isolation).
+
+Emits ``results/f6_typed_fusion.txt`` and machine-readable
+``results/BENCH_F6.json``.
+"""
+
+import time
+
+from repro import PlannerOptions
+
+from .bench_f5_columnar import P1, P2, P3, build
+from .common import emit, emit_json, format_row
+
+REPEATS = 3
+WIDTHS = (22, 10, 9)
+
+#: (mode name, options). The first entry is the oracle/baseline.
+MODES = [
+    ("row engine (batch=1)", dict(
+        vectorize=False, typed_columns=False, fuse=False, batch_size=1)),
+    ("row kernels @1024", dict(
+        vectorize=False, typed_columns=False, fuse=False)),
+    ("columnar", dict(typed_columns=False, fuse=False)),
+    ("typed", dict(typed_columns=True, fuse=False)),
+    ("typed+fused", dict(typed_columns=True, fuse=True)),
+    ("typed+fused+morsel4", dict(
+        typed_columns=True, fuse=True, morsel_workers=4)),
+]
+
+FULL_STACK = "typed+fused"
+PIPELINES = [
+    ("P1 scan-filter-project", P1),
+    ("P2 filter-join-aggregate", P2),
+    ("P3 wide aggregate", P3),
+]
+
+
+def measure(gis, sql, mode_options, repeats=REPEATS):
+    """Best-of-N wall ms and result rows for one (query, mode)."""
+    options = PlannerOptions(**mode_options)
+    best_ms, rows = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = gis.query(sql, options)
+        best_ms = min(best_ms, (time.perf_counter() - started) * 1000.0)
+        rows = result.rows
+    return best_ms, rows
+
+
+def run():
+    gis = build()
+    lines = []
+    report = []
+    speedups = {}
+    for title, sql in PIPELINES:
+        lines.append(f"-- {title} --")
+        lines.append(format_row(("mode", "wall ms", "vs row"), WIDTHS))
+        lines.append("-" * 46)
+        oracle_ms = None
+        oracle_rows = None
+        modes_json = []
+        for mode, mode_options in MODES:
+            # The row-at-a-time baseline drives 60k single-row pages;
+            # one repeat is representative and keeps the bench quick.
+            repeats = 1 if mode_options.get("batch_size") == 1 else REPEATS
+            wall_ms, rows = measure(gis, sql, mode_options, repeats)
+            if oracle_ms is None:
+                oracle_ms, oracle_rows = wall_ms, rows
+            assert rows == oracle_rows, (
+                f"{title} [{mode}]: rows diverged from the row-engine oracle"
+            )
+            ratio = oracle_ms / wall_ms
+            if mode == FULL_STACK:
+                speedups[title] = ratio
+            lines.append(
+                format_row((mode, f"{wall_ms:.1f}", f"{ratio:.1f}x"), WIDTHS)
+            )
+            modes_json.append(
+                {
+                    "mode": mode,
+                    "wall_ms": round(wall_ms, 1),
+                    "speedup_vs_row_engine": round(ratio, 2),
+                }
+            )
+        lines.append("")
+        report.append({"pipeline": title, "modes": modes_json})
+    lines.append(
+        "full stack = typed columns + fusion at the default batch size;"
+    )
+    lines.append(
+        "row engine = vectorize=False at batch_size=1 (tuple-at-a-time)."
+    )
+    emit("f6_typed_fusion", "F6: typed pages + fusion vs the row engine",
+         lines)
+    emit_json(
+        "BENCH_F6",
+        {
+            "benchmark": "F6 typed columns + fusion + morsels",
+            "baseline": "row engine (vectorize=False, batch_size=1)",
+            "full_stack": FULL_STACK,
+            "acceptance_min_speedup": 5.0,
+            "full_stack_speedups": {
+                title: round(ratio, 2) for title, ratio in speedups.items()
+            },
+            "pipelines": report,
+        },
+    )
+    return speedups
+
+
+def test_f6_full_stack_speedup(benchmark):
+    speedups = run()
+    for title, ratio in speedups.items():
+        assert ratio >= 5.0, (
+            f"full stack must be >= 5x the row engine on {title} "
+            f"(got {ratio:.1f}x)"
+        )
+    gis = build()
+    benchmark(lambda: gis.query(P2))
+
+
+if __name__ == "__main__":  # PYTHONPATH=src python -m benchmarks.bench_f6_typed_fusion
+    import sys
+
+    speedups = run()
+    failed = {t: r for t, r in speedups.items() if r < 5.0}
+    if failed:
+        print(f"FAIL: full stack below 5x on {failed}", file=sys.stderr)
+        sys.exit(1)
+    print("OK")

@@ -1,0 +1,130 @@
+"""CI benchmark smoke: fused/morsel engine must match the row oracle.
+
+Runs the T5 end-to-end workload twice over the TPC-H-lite federation —
+once on the full new execution stack (typed column vectors + fused
+scan pipelines + a 4-worker morsel pool) and once on the row-kernel
+oracle (``vectorize=False`` with every new knob off) — and fails the
+build when:
+
+* any query's rows differ between the engines (bit-identical
+  requirement: typed vectors, fusion, and morsels are execution
+  strategies, never semantics), or
+* any query's simulated-network accounting differs (messages, rows or
+  bytes shipped — pages are sized by logical row width, so typed
+  storage must not change a single charged byte), or
+* the fused stack is pathologically slower than the oracle (< 0.5x).
+
+The perf floor is deliberately loose: T5 pushes most work down to the
+sources, so mediator-side kernels barely run and the engines land
+within noise of each other (the per-query morsel-pool spin-up alone is
+a few percent here). The ≥ 5x kernel-path bar lives in F6
+(``bench_f6_typed_fusion.py``), where the work is mediator-side; this
+smoke exists to catch semantic drift, not to measure speed.
+
+The workload-level speedup ratio is written to
+``benchmarks/results/fusion_smoke.txt``. Run directly::
+
+    python benchmarks/fusion_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import PlannerOptions  # noqa: E402
+from repro.workloads import WORKLOAD_QUERIES, build_federation  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "fusion_smoke.txt"
+)
+SCALE = 2.0
+REPEATS = 2
+
+#: Full stack: typed columns + fusion are the defaults; add morsels.
+FUSED = PlannerOptions(morsel_workers=4)
+#: Row-kernel oracle: every vectorization-era knob off.
+ORACLE = PlannerOptions(
+    vectorize=False, typed_columns=False, fuse=False, morsel_workers=1
+)
+
+
+def run_workload(gis, options):
+    """Total best-of-N wall ms plus per-query (rows, network) snapshots."""
+    total_ms = 0.0
+    snapshots = []
+    for name, sql in WORKLOAD_QUERIES:
+        best_ms, snapshot = float("inf"), None
+        for _ in range(REPEATS):
+            gis.network.reset()
+            started = time.perf_counter()
+            result = gis.query(sql, options)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            best_ms = min(best_ms, elapsed)
+            net = result.metrics.network
+            snapshot = (
+                result.rows,
+                net.rows_shipped,
+                net.messages,
+                net.bytes_shipped,
+            )
+        total_ms += best_ms
+        snapshots.append((name, snapshot))
+    return total_ms, snapshots
+
+
+def main() -> int:
+    print(f"building TPC-H-lite federation (scale {SCALE})...")
+    gis = build_federation(scale=SCALE, seed=42).gis
+
+    fused_ms, fused_runs = run_workload(gis, FUSED)
+    oracle_ms, oracle_runs = run_workload(gis, ORACLE)
+
+    failures = []
+    for (name, fused_snap), (_, oracle_snap) in zip(fused_runs, oracle_runs):
+        fused_rows, f_shipped, f_messages, f_bytes = fused_snap
+        oracle_rows, o_shipped, o_messages, o_bytes = oracle_snap
+        if fused_rows != oracle_rows:
+            failures.append(f"{name}: result rows differ from the row oracle")
+        if (f_shipped, f_messages, f_bytes) != (o_shipped, o_messages, o_bytes):
+            failures.append(
+                f"{name}: network accounting differs "
+                f"(fused {f_shipped}r/{f_messages}m/{f_bytes:.0f}B vs "
+                f"oracle {o_shipped}r/{o_messages}m/{o_bytes:.0f}B)"
+            )
+
+    ratio = oracle_ms / fused_ms if fused_ms > 0 else float("inf")
+    lines = [
+        "== fusion smoke: T5 workload, typed+fused+morsel4 vs row oracle ==",
+        f"fused stack (typed+fused, 4 morsel workers): {fused_ms:.1f} ms",
+        f"row-kernel oracle (all knobs off):           {oracle_ms:.1f} ms",
+        f"speedup ratio:     {ratio:.2f}x",
+        f"queries checked:   {len(fused_runs)} (rows + network identical)",
+        "",
+    ]
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        handle.write("\n".join(lines))
+    print("\n".join(lines))
+
+    if failures:
+        print("FAIL: fused/oracle mismatches:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if ratio < 0.5:
+        print(
+            f"FAIL: fused stack pathologically slower than the row oracle "
+            f"({ratio:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import operator
 import re
+from array import array
+from itertools import compress, repeat
 from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 from ..datatypes import (
@@ -261,9 +263,11 @@ def compile_batch_predicate(
 
     WHERE semantics: rows whose predicate evaluates to NULL are dropped,
     exactly like :func:`compile_predicate` row by row. The vectorized form
-    computes a boolean mask column, then gathers survivors with an index
-    vector (:meth:`Page.take`) — no intermediate row materialization. A
-    fully-passing page is returned as-is (zero copy).
+    computes a boolean mask column, normalizes it to strict ``is True``
+    selectors in one C pass, then slices every column with
+    ``itertools.compress`` — no index vector, no per-row gather calls,
+    and typed vectors stay typed. A fully-passing page is returned as-is
+    (zero copy).
     """
     width = len(layout)
     if not vectorized:
@@ -276,14 +280,23 @@ def compile_batch_predicate(
 
         return row_select
     vector = _compile_vector(expr, layout)
+    is_ = operator.is_
 
     def select(batch: BatchInput) -> Page:
         page = as_page(batch, width)
         mask = vector(page)
-        indices = [index for index, flag in enumerate(mask) if flag is True]
-        if len(indices) == page.num_rows:
+        # `is True` (not truthiness) drops NULLs, per WHERE semantics.
+        selectors = list(map(is_, mask, repeat(True)))
+        selected = selectors.count(True)
+        if selected == page.num_rows:
             return page
-        return page.take(indices)
+        columns: List[Any] = [
+            array(column.typecode, compress(column, selectors))
+            if type(column) is array
+            else list(compress(column, selectors))
+            for column in page.columns
+        ]
+        return Page(columns, selected)
 
     return select
 
@@ -676,9 +689,14 @@ def _compile_vector(expr: ast.Expr, layout: Dict[int, int]) -> VectorFunction:
             return lambda page: [
                 None if value is None else (not value) for value in operand(page)
             ]
-        return lambda page: [
-            None if value is None else -value for value in operand(page)
-        ]
+
+        def negate(page: Page) -> List[Any]:
+            column = operand(page)
+            if type(column) is array:  # null-free typed vector: pure C loop
+                return list(map(operator.neg, column))
+            return [None if value is None else -value for value in column]
+
+        return negate
     if isinstance(expr, ast.FunctionCall):
         return _vector_function(expr, layout)
     if isinstance(expr, ast.Case):
@@ -736,31 +754,68 @@ def _vector_binary(expr: ast.BinaryOp, layout: Dict[int, int]) -> VectorFunction
     if kernel is None:
         raise ExecutionError(f"unknown binary operator {op!r}")
     # Constant folding: a literal operand broadcasts as a bound scalar
-    # instead of materializing a constant column.
+    # instead of materializing a constant column. When the operand vector
+    # is a typed ``array`` (null-free by construction) the None screen is
+    # skipped entirely and map() runs the whole loop in C — with the
+    # C-implemented ``operator`` kernels this is the object-dispatch-free
+    # hot path the typed pages exist for.
     if isinstance(expr.right, ast.Literal):
         constant = expr.right.value
         left = _compile_vector(expr.left, layout)
         if constant is None:
             return lambda page: [None] * page.num_rows
-        return lambda page: [
-            None if value is None else kernel(value, constant)
-            for value in left(page)
-        ]
+
+        def const_right(page: Page) -> List[Any]:
+            column = left(page)
+            if type(column) is array:
+                return list(map(kernel, column, repeat(constant)))
+            return [
+                None if value is None else kernel(value, constant)
+                for value in column
+            ]
+
+        return const_right
     if isinstance(expr.left, ast.Literal):
         constant = expr.left.value
         right = _compile_vector(expr.right, layout)
         if constant is None:
             return lambda page: [None] * page.num_rows
-        return lambda page: [
-            None if value is None else kernel(constant, value)
-            for value in right(page)
-        ]
+
+        def const_left(page: Page) -> List[Any]:
+            column = right(page)
+            if type(column) is array:
+                return list(map(kernel, repeat(constant), column))
+            return [
+                None if value is None else kernel(constant, value)
+                for value in column
+            ]
+
+        return const_left
     left = _compile_vector(expr.left, layout)
     right = _compile_vector(expr.right, layout)
-    return lambda page: [
-        None if (lhs is None or rhs is None) else kernel(lhs, rhs)
-        for lhs, rhs in zip(left(page), right(page))
-    ]
+
+    def binary(page: Page) -> List[Any]:
+        lhs_col, rhs_col = left(page), right(page)
+        lhs_typed = type(lhs_col) is array
+        rhs_typed = type(rhs_col) is array
+        if lhs_typed and rhs_typed:
+            return list(map(kernel, lhs_col, rhs_col))
+        if lhs_typed:  # only the untyped side can hold NULLs
+            return [
+                None if rhs is None else kernel(lhs, rhs)
+                for lhs, rhs in zip(lhs_col, rhs_col)
+            ]
+        if rhs_typed:
+            return [
+                None if lhs is None else kernel(lhs, rhs)
+                for lhs, rhs in zip(lhs_col, rhs_col)
+            ]
+        return [
+            None if (lhs is None or rhs is None) else kernel(lhs, rhs)
+            for lhs, rhs in zip(lhs_col, rhs_col)
+        ]
+
+    return binary
 
 
 def _vector_like(expr: ast.BinaryOp, layout: Dict[int, int]) -> VectorFunction:
@@ -799,10 +854,17 @@ def _vector_function(expr: ast.FunctionCall, layout: Dict[int, int]) -> VectorFu
     if function.null_propagating:
         if len(arg_vectors) == 1:
             arg0 = arg_vectors[0]
-            return lambda page: [
-                None if value is None else implementation(value)
-                for value in arg0(page)
-            ]
+
+            def call_unary(page: Page) -> List[Any]:
+                column = arg0(page)
+                if type(column) is array:  # null-free: skip the None screen
+                    return list(map(implementation, column))
+                return [
+                    None if value is None else implementation(value)
+                    for value in column
+                ]
+
+            return call_unary
 
         def call(page: Page) -> List[Any]:
             columns = [vector(page) for vector in arg_vectors]

@@ -35,6 +35,7 @@ from ..sql.parser import parse_select
 from .analyzer import Analyzer
 from .fragments import interpret_plan
 from .logical import ScanOp
+from .morsels import MorselPool
 from .pages import Page
 from .physical import ExchangeExec, ExecutionContext, profile_operators
 from .planner import PlannedQuery, Planner, PlannerOptions
@@ -305,11 +306,18 @@ class GlobalInformationSystem:
         """Normalize options into the plan-cache key.
 
         Knobs that only affect *execution* (deadlines, fault plans, trace,
-        failure policy) are masked out so requests that differ only in
-        runtime behavior share one plan.
+        failure policy, typed column vectors, morsel workers) are masked
+        out so requests that differ only in runtime behavior share one
+        plan. ``fuse`` stays in the key — it changes the physical plan
+        shape.
         """
         return opts.but(
-            faults=None, trace=False, deadline_ms=0.0, on_source_failure="fail"
+            faults=None,
+            trace=False,
+            deadline_ms=0.0,
+            on_source_failure="fail",
+            typed_columns=True,
+            morsel_workers=1,
         )
 
     def _plan_for_query(
@@ -401,6 +409,12 @@ class GlobalInformationSystem:
             ),
             fault_injector=injector,
             on_source_failure=opts.on_source_failure,
+            typed_columns=opts.typed_columns,
+            morsel_pool=(
+                MorselPool(opts.morsel_workers)
+                if opts.morsel_workers > 1
+                else None
+            ),
         )
         if config.scheduled:
             context.scheduler = FragmentScheduler(
@@ -416,23 +430,28 @@ class GlobalInformationSystem:
     def _execute(self, planned: PlannedQuery, context: ExecutionContext) -> List[Tuple[Any, ...]]:
         """Drain the physical plan batch-at-a-time, prestarting independent
         exchanges so their sources transfer concurrently; always tears the
-        scheduler down (abandoning workers of failed/hung fragments)."""
+        scheduler down (abandoning workers of failed/hung fragments) and
+        stops the morsel pool."""
         scheduler = context.scheduler
-        if scheduler is None:
-            return self._drain_batches(planned.physical, context)
         try:
-            if context.scheduler_config.parallel:
-                scheduler.prestart(
-                    (
-                        op
-                        for op in planned.physical.walk()
-                        if isinstance(op, ExchangeExec)
-                    ),
-                    context,
-                )
-            return self._drain_batches(planned.physical, context)
+            if scheduler is None:
+                return self._drain_batches(planned.physical, context)
+            try:
+                if context.scheduler_config.parallel:
+                    scheduler.prestart(
+                        (
+                            op
+                            for op in planned.physical.walk()
+                            if isinstance(op, ExchangeExec)
+                        ),
+                        context,
+                    )
+                return self._drain_batches(planned.physical, context)
+            finally:
+                scheduler.close(context)
         finally:
-            scheduler.close(context)
+            if context.morsel_pool is not None:
+                context.morsel_pool.close()
 
     @staticmethod
     def _drain_batches(root, context: ExecutionContext) -> List[Tuple[Any, ...]]:

@@ -36,6 +36,7 @@ import datetime
 import random
 import threading
 import time
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -156,6 +157,8 @@ class ExecutionContext:
         deadline=None,
         fault_injector=None,
         on_source_failure: str = "fail",
+        typed_columns: bool = True,
+        morsel_pool=None,
     ) -> None:
         self.catalog = catalog
         self.network = network
@@ -167,6 +170,14 @@ class ExecutionContext:
         self.deadline = deadline
         self.fault_injector = fault_injector
         self.on_source_failure = on_source_failure
+        #: Serve typed (array-backed) column vectors from exchanges; off
+        #: downgrades every page to plain object vectors at the exchange
+        #: boundary (an honest A/B — results and accounting identical).
+        self.typed_columns = typed_columns
+        #: Shared intra-operator worker pool (repro.core.morsels), or None.
+        #: Armed by the mediator when PlannerOptions.morsel_workers > 1;
+        #: joins and aggregations split work into page morsels through it.
+        self.morsel_pool = morsel_pool
         #: ``source -> reason`` for sources excluded under "partial".
         self.excluded_sources: Dict[str, str] = {}
         self.metrics = ExecutionMetrics()
@@ -374,10 +385,17 @@ def _column_sizer(dtype):
         return lambda values: float(len(values))
     if dtype in (DataType.INTEGER, DataType.FLOAT):
         # 8 bytes per number; count the 1-byte exceptions instead of
-        # summing a float per cell.
-        return lambda values: 8.0 * len(values) - 7.0 * sum(
-            1 for v in values if v is None or v is True or v is False
-        )
+        # summing a float per cell. A typed vector is null-free and
+        # bool-free by construction, so its size is exactly 8 bytes/cell
+        # — the same total the scan would produce.
+        def numeric_bytes(values: Any) -> float:
+            if type(values) is array:
+                return 8.0 * len(values)
+            return 8.0 * len(values) - 7.0 * sum(
+                1 for v in values if v is None or v is True or v is False
+            )
+
+        return numeric_bytes
     if dtype is DataType.DATE:
         return lambda values: 4.0 * len(values) - 3.0 * values.count(None)
     if dtype is DataType.TEXT:
@@ -656,6 +674,7 @@ class ExchangeExec(PhysicalOperator):
         self.page_rows = max(page_rows, 1)
         self.mode = mode
         self._sizer = make_batch_sizer(columns)
+        self._dtypes = [column.dtype for column in columns]
 
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         try:
@@ -678,9 +697,17 @@ class ExchangeExec(PhysicalOperator):
         # Normalize to columnar pages (a no-op for native adapters; legacy
         # adapters yielding row lists are transposed here), then split
         # charged pages down to the dataflow batch size — never merged
-        # across page boundaries (see split_batches).
+        # across page boundaries (see split_batches). The exchange is also
+        # the typed-column boundary: with typed_columns on, eligible
+        # columns are upgraded to array vectors (a no-op for adapters
+        # that already serve typed pages); off, every page is downgraded
+        # to plain object vectors so the knob is an honest A/B.
         width = len(self.columns)
-        normalized = (as_page(page, width) for page in pages)
+        if ctx.typed_columns:
+            dtypes = self._dtypes
+            normalized = (as_page(page, width).retyped(dtypes) for page in pages)
+        else:
+            normalized = (as_page(page, width).plain() for page in pages)
         source = self.fragment.source_name
         for batch in split_batches(normalized, ctx.batch_size):
             ctx.check_deadline(source)
@@ -833,11 +860,127 @@ class ProjectExec(PhysicalOperator):
             yield Page([kernel(batch) for kernel in kernels], len(batch))
 
 
+class FusedPipelineExec(PhysicalOperator):
+    """A fused scan pipeline: adjacent Filter/Project steps in one operator.
+
+    The physical planner (``fuse=True``) collapses every maximal chain of
+    ``FilterOp``/``ProjectOp`` nodes into one of these. Per input page the
+    fused loop runs mask → gather → project without crossing an operator
+    boundary: no intermediate generator frames, no per-step page
+    re-dispatch, and a page emptied by a filter short-circuits the rest of
+    the chain. Consecutive filters are conjoined into a single predicate
+    kernel before compilation (the predicates are pure, so evaluating
+    them as one ``AND`` is Kleene-equivalent to evaluating them in
+    sequence).
+
+    Rows, metrics, and page boundaries are identical to the unfused
+    operator chain; only EXPLAIN output differs (one ``Fused(...)`` node
+    replaces the chain).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        steps: Sequence[LogicalPlan],
+        vectorized: bool = True,
+    ) -> None:
+        stages: List[Tuple[str, Any]] = []
+        labels: List[str] = []
+        current_columns = list(child.columns)
+        pending_predicates: List[ast.Expr] = []
+
+        def flush_filters() -> None:
+            if not pending_predicates:
+                return
+            predicate = ast.conjoin(list(pending_predicates))
+            assert predicate is not None
+            stages.append(
+                (
+                    "filter",
+                    compile_batch_predicate(
+                        predicate, build_layout(current_columns), vectorized
+                    ),
+                )
+            )
+            labels.append("Filter")
+            pending_predicates.clear()
+
+        for step in steps:  # innermost-first
+            if isinstance(step, FilterOp):
+                pending_predicates.append(step.predicate)
+                continue
+            if not isinstance(step, ProjectOp):  # pragma: no cover
+                raise PlanError(
+                    f"cannot fuse {type(step).__name__} into a pipeline"
+                )
+            flush_filters()
+            layout = build_layout(current_columns)
+            stages.append(
+                (
+                    "project",
+                    [
+                        compile_batch_expression(e, layout, vectorized)
+                        for e in step.expressions
+                    ],
+                )
+            )
+            labels.append("Project")
+            current_columns = list(step.columns)
+        flush_filters()
+        super().__init__(current_columns)
+        self.child = child
+        self._stages = stages
+        self._label = "→".join(labels)
+
+    def children(self) -> List[PhysicalOperator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Fused({self._label})"
+
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        stages = self._stages
+        for batch in self.child.iterate_batches(ctx):
+            page: Optional[Batch] = batch
+            for kind, payload in stages:
+                if kind == "filter":
+                    page = payload(page)
+                    if not page:
+                        page = None
+                        break
+                else:
+                    page = Page(
+                        [kernel(page) for kernel in payload], len(page)
+                    )
+            if page is not None and page.num_rows:
+                yield page
+
+
 class HashJoinExec(PhysicalOperator):
     """Equi-join: builds a hash table on the right input, probes with the left.
 
     Supports INNER, LEFT, SEMI, ANTI (with NOT IN null-awareness), plus a
     residual predicate evaluated on candidate pairs.
+
+    Both sides extract join keys **column-wise, once per page**: a
+    single-key join uses the kernel's output vector directly as the key
+    column (scalar dict keys — no per-row tuple allocation at all), a
+    multi-key join transposes the key vectors with one C-speed
+    ``zip(*columns)``. The probe's table lookups run through
+    ``map(table.get, keys)`` — a pure C loop per page (NULL and absent
+    keys both map to ``None``; NULL keys are never inserted at build, so
+    the two are indistinguishable exactly as equi-join semantics demand).
+    INNER/SEMI/ANTI probes without a residual assemble output pages
+    columnar-ly (index gather on the left, one transpose for matched
+    right rows); LEFT joins and residual predicates keep a per-row
+    emission loop over the matched candidates.
+
+    With a morsel pool armed (``ExecutionContext.morsel_pool``), the
+    build side is materialized and split into per-page morsels whose
+    partial tables merge in page order (per-key row lists concatenate in
+    exactly the sequential build order), and probe pages map to output
+    pages on the pool with ordered emission — results are bit-identical
+    to the single-threaded path.
     """
 
     def __init__(
@@ -878,38 +1021,180 @@ class HashJoinExec(PhysicalOperator):
     def describe(self) -> str:
         return f"HashJoin({self.kind})"
 
-    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        table: Dict[Tuple[Any, ...], List[Row]] = {}
-        right_has_null_key = False
-        right_count = 0
-        right_key_kernels = self._right_key_kernels
+    def _extract_keys(self, kernels, batch: Batch):
+        """The page's join-key sequence: the raw key vector for a single
+        key, transposed tuples for compound keys."""
+        if len(kernels) == 1:
+            return kernels[0](batch)
+        return list(zip(*[kernel(batch) for kernel in kernels]))
+
+    def _build_partial(
+        self, batch: Batch, table: Optional[Dict[Any, List[Row]]] = None
+    ) -> Tuple[Dict[Any, List[Row]], bool, int]:
+        """Fold one right-side page into a (possibly shared) hash table."""
+        if table is None:
+            table = {}
+        has_null = False
+        setdefault = table.setdefault
+        if len(self._right_key_kernels) == 1:
+            for key, row in zip(
+                self._right_key_kernels[0](batch), batch
+            ):
+                if key is None:
+                    has_null = True
+                else:
+                    setdefault(key, []).append(row)
+        else:
+            key_columns = [kernel(batch) for kernel in self._right_key_kernels]
+            for key, row in zip(zip(*key_columns), batch):
+                # Key parts are scalar column values, so `in` (which
+                # compares with ==) finds exactly the None parts.
+                if None in key:
+                    has_null = True
+                else:
+                    setdefault(key, []).append(row)
+        return table, has_null, len(batch)
+
+    def _build_table(
+        self, ctx: ExecutionContext
+    ) -> Tuple[Dict[Any, List[Row]], bool, int]:
+        pool = ctx.morsel_pool
+        if pool is not None:
+            pages: List[Batch] = []
+            for batch in self.right.iterate_batches(ctx):
+                ctx.check_deadline()
+                pages.append(batch)
+            if len(pages) > 1:
+                partials = pool.map_all(self._build_partial, pages)
+                table: Dict[Any, List[Row]] = {}
+                has_null = False
+                count = 0
+                for partial, partial_null, partial_count in partials:
+                    has_null = has_null or partial_null
+                    count += partial_count
+                    if not table:
+                        table = partial
+                        continue
+                    get = table.get
+                    for key, rows in partial.items():
+                        existing = get(key)
+                        if existing is None:
+                            table[key] = rows
+                        else:
+                            existing.extend(rows)
+                return table, has_null, count
+            table, has_null, count = {}, False, 0
+            for batch in pages:
+                _, page_null, page_count = self._build_partial(batch, table)
+                has_null = has_null or page_null
+                count += page_count
+            return table, has_null, count
+        table, has_null, count = {}, False, 0
         for batch in self.right.iterate_batches(ctx):
             ctx.check_deadline()
-            right_count += len(batch)
-            key_columns = [kernel(batch) for kernel in right_key_kernels]
-            for index, row in enumerate(batch):
-                key = tuple(column[index] for column in key_columns)
-                if any(part is None for part in key):
-                    right_has_null_key = True
-                    continue
-                table.setdefault(key, []).append(row)
-        if self.kind == "ANTI" and self.null_aware and right_has_null_key:
-            return  # NOT IN with a NULL on the right: empty result
-        null_right = (None,) * len(self.right.columns)
-        left_key_kernels = self._left_key_kernels
+            _, page_null, page_count = self._build_partial(batch, table)
+            has_null = has_null or page_null
+            count += page_count
+        return table, has_null, count
+
+    def _make_prober(self, table: Dict[Any, List[Row]], right_count: int):
+        """Compile ``probe(page) -> Page | row list | None`` for this join.
+
+        The returned callable is pure (reads only the finished hash
+        table), so the morsel pool may run it on any worker.
+        """
+        kernels = self._left_key_kernels
+        single = len(kernels) == 1
+        extract = self._extract_keys
         residual = self._residual
         kind = self.kind
-        size = ctx.batch_size
-        width = len(self.columns)
-        for batch in self.left.iterate_batches(ctx):
-            ctx.check_deadline()
-            key_columns = [kernel(batch) for kernel in left_key_kernels]
+        null_aware = self.null_aware
+        null_right = (None,) * len(self.right.columns)
+        get = table.get
+
+        if residual is None and kind == "INNER":
+
+            def probe_inner(batch: Batch):
+                keys = extract(kernels, batch)
+                left_indices: List[int] = []
+                matched_rows: List[Row] = []
+                add_index = left_indices.append
+                add_row = matched_rows.append
+                for index, matches in enumerate(map(get, keys)):
+                    if matches is not None:
+                        for right_row in matches:
+                            add_index(index)
+                            add_row(right_row)
+                if not left_indices:
+                    return None
+                left_page = batch.take(left_indices)
+                right_columns: List[Any] = [
+                    list(column) for column in zip(*matched_rows)
+                ]
+                return Page(
+                    left_page.columns + right_columns, len(left_indices)
+                )
+
+            return probe_inner
+
+        if residual is None and kind == "SEMI":
+
+            def probe_semi(batch: Batch):
+                keys = extract(kernels, batch)
+                keep = [
+                    index
+                    for index, matches in enumerate(map(get, keys))
+                    if matches is not None
+                ]
+                if not keep:
+                    return None
+                if len(keep) == batch.num_rows:
+                    return batch
+                return batch.take(keep)
+
+            return probe_semi
+
+        if residual is None and kind == "ANTI":
+
+            def probe_anti(batch: Batch):
+                keys = extract(kernels, batch)
+                if null_aware and right_count > 0:
+                    # NULL NOT IN (non-empty set) is never TRUE: null-key
+                    # rows are dropped along with the matched ones.
+                    if single:
+                        keep = [
+                            index
+                            for index, key in enumerate(keys)
+                            if key is not None and get(key) is None
+                        ]
+                    else:
+                        keep = [
+                            index
+                            for index, key in enumerate(keys)
+                            if None not in key and get(key) is None
+                        ]
+                else:
+                    keep = [
+                        index
+                        for index, matches in enumerate(map(get, keys))
+                        if matches is None
+                    ]
+                if not keep:
+                    return None
+                if len(keep) == batch.num_rows:
+                    return batch
+                return batch.take(keep)
+
+            return probe_anti
+
+        def probe_general(batch: Batch):
+            keys = extract(kernels, batch)
             out: List[Row] = []
-            for index, left_row in enumerate(batch):
-                key = tuple(column[index] for column in key_columns)
-                has_null_key = any(part is None for part in key)
-                matches: List[Row] = [] if has_null_key else table.get(key, [])
-                if residual is not None and matches:
+            append = out.append
+            for left_row, key, matches in zip(batch, keys, map(get, keys)):
+                if matches is None:
+                    matches = ()
+                elif residual is not None:
                     matches = [
                         right_row
                         for right_row in matches
@@ -917,27 +1202,59 @@ class HashJoinExec(PhysicalOperator):
                     ]
                 if kind == "INNER":
                     for right_row in matches:
-                        out.append(left_row + right_row)
+                        append(left_row + right_row)
                 elif kind == "LEFT":
                     if matches:
                         for right_row in matches:
-                            out.append(left_row + right_row)
+                            append(left_row + right_row)
                     else:
-                        out.append(left_row + null_right)
+                        append(left_row + null_right)
                 elif kind == "SEMI":
                     if matches:
-                        out.append(left_row)
+                        append(left_row)
                 elif kind == "ANTI":
                     if matches:
                         continue
-                    if self.null_aware and has_null_key and right_count > 0:
-                        continue  # NULL NOT IN (non-empty set) is never TRUE
-                    out.append(left_row)
+                    if null_aware and right_count > 0:
+                        if single:
+                            if key is None:
+                                continue
+                        elif None in key:
+                            continue  # NULL NOT IN (non-empty) never TRUE
+                    append(left_row)
                 else:  # pragma: no cover - planner guards
                     raise ExecutionError(
-                        f"hash join cannot handle kind {self.kind!r}"
+                        f"hash join cannot handle kind {kind!r}"
                     )
-            if out:
+            return out
+
+        return probe_general
+
+    def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        table, right_has_null_key, right_count = self._build_table(ctx)
+        if self.kind == "ANTI" and self.null_aware and right_has_null_key:
+            return  # NOT IN with a NULL on the right: empty result
+        probe = self._make_prober(table, right_count)
+        size = ctx.batch_size
+        width = len(self.columns)
+
+        def checked_batches() -> Iterator[Batch]:
+            for batch in self.left.iterate_batches(ctx):
+                ctx.check_deadline()
+                yield batch
+
+        pool = ctx.morsel_pool
+        if pool is not None:
+            results: Iterator[Any] = pool.ordered_map(probe, checked_batches())
+        else:
+            results = map(probe, checked_batches())
+        for out in results:
+            if out is None:
+                continue
+            if isinstance(out, Page):
+                if out.num_rows:
+                    yield from split_batches([out], size)
+            elif out:
                 yield from pages_from_rows(out, size, width)
 
 
@@ -1273,11 +1590,22 @@ class BindJoinExec(PhysicalOperator):
 
 
 class HashAggregateExec(PhysicalOperator):
-    """Hash aggregation with vectorized group/argument evaluation.
+    """Hash aggregation with vectorized evaluation and bucketed accumulation.
 
     Group keys and aggregate arguments are computed as whole columns per
-    input page; the accumulation loop then walks the key/argument vectors
-    without ever materializing input rows.
+    input page. Accumulation is *bucketed*: each page's rows are grouped
+    by key once, then every accumulator ingests its group's values via a
+    single bulk ``add_many``/``add_repeat`` call (a gathered slice, or
+    the whole argument column when the page is single-group) instead of
+    one ``add`` per row. Within every group the value order is exactly
+    the global row order, so float SUM/AVG stay bit-identical to the
+    row-at-a-time loop.
+
+    With a morsel pool armed (``ctx.morsel_pool``) the kernel evaluation
+    — the expensive, C-loop-heavy stage — runs on the workers page by
+    page while the coordinator consumes results in input order and keeps
+    all accumulation single-threaded; merging per-worker float partials
+    would re-associate additions, so no partial states are ever formed.
     """
 
     def __init__(
@@ -1304,32 +1632,75 @@ class HashAggregateExec(PhysicalOperator):
     def children(self) -> List[PhysicalOperator]:
         return [self.child]
 
+    def _evaluate(self, batch: Batch) -> Tuple[Any, ...]:
+        """Kernel evaluation for one page (safe to run on pool workers)."""
+        key_columns = [kernel(batch) for kernel in self._group_kernels]
+        argument_columns = [
+            kernel(batch) if kernel is not None else None
+            for kernel in self._argument_kernels
+        ]
+        return len(batch), key_columns, argument_columns
+
     def iterate_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        groups: Dict[Tuple[Any, ...], List[Any]] = {}
-        order: List[Tuple[Any, ...]] = []
-        group_kernels = self._group_kernels
-        argument_kernels = self._argument_kernels
+        groups: Dict[Any, List[Any]] = {}
+        order: List[Any] = []
         aggregates = self.plan.aggregates
-        for batch in self.child.iterate_batches(ctx):
-            ctx.check_deadline()
-            key_columns = [kernel(batch) for kernel in group_kernels]
-            argument_columns = [
-                kernel(batch) if kernel is not None else None
-                for kernel in argument_kernels
-            ]
-            for index in range(len(batch)):
-                key = tuple(column[index] for column in key_columns)
+        single_key = len(self._group_kernels) == 1
+        global_agg = not self._group_kernels
+
+        def checked_batches() -> Iterator[Batch]:
+            for batch in self.child.iterate_batches(ctx):
+                ctx.check_deadline()
+                yield batch
+
+        pool = ctx.morsel_pool
+        if pool is not None:
+            evaluated: Iterator[Any] = pool.ordered_map(
+                self._evaluate, checked_batches()
+            )
+        else:
+            evaluated = map(self._evaluate, checked_batches())
+        for num_rows, key_columns, argument_columns in evaluated:
+            if global_agg:
+                buckets: Dict[Any, Any] = {(): range(num_rows)}
+                local_order: List[Any] = [()]
+            else:
+                # Scalar dict keys for the common single-key group-by;
+                # transposed tuples otherwise (same ==/hash semantics as
+                # the row engine's per-row key tuples).
+                keys = (
+                    key_columns[0] if single_key else list(zip(*key_columns))
+                )
+                buckets = {}
+                local_order = []
+                get_bucket = buckets.get
+                for index, key in enumerate(keys):
+                    bucket = get_bucket(key)
+                    if bucket is None:
+                        buckets[key] = [index]
+                        local_order.append(key)
+                    else:
+                        bucket.append(index)
+            for key in local_order:
+                indices = buckets[key]
                 state = groups.get(key)
                 if state is None:
                     state = [make_accumulator(call) for call in aggregates]
                     groups[key] = state
                     order.append(key)
+                count = len(indices)
+                whole_page = count == num_rows
                 for accumulator, column in zip(state, argument_columns):
-                    accumulator.add(
-                        column[index] if column is not None else 1
-                    )
+                    if column is None:
+                        accumulator.add_repeat(count)
+                    elif whole_page:
+                        accumulator.add_many(column)
+                    else:
+                        accumulator.add_many(
+                            list(map(column.__getitem__, indices))
+                        )
         width = len(self.columns)
-        if not groups and not self.plan.group_expressions:
+        if not groups and global_agg:
             state = [make_accumulator(call) for call in aggregates]
             row = tuple(accumulator.result() for accumulator in state)
             yield Page.from_rows([row], width)
@@ -1337,8 +1708,10 @@ class HashAggregateExec(PhysicalOperator):
         size = ctx.batch_size
         out: List[Row] = []
         for key in order:
+            prefix = (key,) if single_key else key
             out.append(
-                key + tuple(accumulator.result() for accumulator in groups[key])
+                prefix
+                + tuple(accumulator.result() for accumulator in groups[key])
             )
             if len(out) >= size:
                 yield Page.from_rows(out, width)
@@ -1552,6 +1925,10 @@ class PhysicalPlanner:
     operators: column-at-a-time kernels (the default) or the PR 2-era
     row-at-a-time closures looped per page (kept as a benchmark baseline
     and equivalence oracle — results and metrics are identical).
+
+    ``fuse`` collapses maximal Filter/Project chains into a single
+    :class:`FusedPipelineExec` (mask + gather + project in one pass per
+    page). Single Filter/Project nodes keep their dedicated operators.
     """
 
     def __init__(
@@ -1560,6 +1937,7 @@ class PhysicalPlanner:
         join_algorithm: str = "auto",
         parallel_fragments: int = 1,
         vectorized: bool = True,
+        fuse: bool = False,
     ) -> None:
         if join_algorithm not in JOIN_ALGORITHMS:
             raise PlanError(f"unknown join algorithm {join_algorithm!r}")
@@ -1567,8 +1945,21 @@ class PhysicalPlanner:
         self._join_algorithm = join_algorithm
         self._parallel_fragments = max(parallel_fragments, 1)
         self._vectorized = vectorized
+        self._fuse = fuse
 
     def build(self, plan: LogicalPlan) -> PhysicalOperator:
+        if self._fuse and isinstance(plan, (FilterOp, ProjectOp)):
+            steps: List[LogicalPlan] = []
+            node: LogicalPlan = plan
+            while isinstance(node, (FilterOp, ProjectOp)):
+                steps.append(node)
+                node = node.child
+            if len(steps) >= 2:
+                return FusedPipelineExec(
+                    self.build(node),
+                    list(reversed(steps)),
+                    self._vectorized,
+                )
         if isinstance(plan, RemoteQueryOp):
             if plan.bind is not None:
                 raise PlanError(

@@ -131,10 +131,12 @@ class CsvSource(Adapter):
         of exactly ``page_rows`` rows, then exactly one final partial
         (possibly empty) page.
         """
+        columns = fragment.output_columns
         return paginate_rows(
             self.execute(fragment),
             max(page_rows, 1),
-            len(fragment.output_columns),
+            len(columns),
+            dtypes=[column.dtype for column in columns],
         )
 
 

@@ -170,11 +170,13 @@ class RestSource(Adapter):
         the final empty page.
         """
         page_rows = max(page_rows, 1)
-        width = len(fragment.output_columns)
+        output = fragment.output_columns
+        width = len(output)
+        dtypes = [column.dtype for column in output]
         rows = self.execute(fragment)
         while True:
             chunk = list(itertools.islice(rows, page_rows))
-            yield Page.from_rows(chunk, width)
+            yield Page.from_rows(chunk, width, dtypes)
             if len(chunk) < page_rows:
                 return
 
