@@ -1,0 +1,239 @@
+"""F7 — semantic fragment cache: cold vs warm vs subsumed-warm.
+
+A single-source federation (8 000 orders rows, NULL-bearing ``amount``)
+runs a small analytical workload — each query issued ``REPEATS`` times,
+the dashboard-style access pattern a semantic cache exists for — under
+two configurations:
+
+* **cache off** — every query ships its fragment over the simulated
+  network (``fragment_cache_bytes=0``, the default);
+* **cache on** — the first (superset) query fills the fragment cache;
+  the exact repeat replays it and every narrower probe is answered by
+  predicate subsumption plus a mediator-side residual filter, so the
+  warm half of the workload ships **zero** fragment bytes.
+
+Every warm answer is checked bit-identical (rows and Python types)
+against the cache-off oracle, so the bytes saved are never bought with
+wrong answers.
+
+Acceptance: total bytes shipped with the cache on must be ≥ 5x lower
+than with it off.
+
+Emits ``results/f7_semantic_cache.txt`` and machine-readable
+``results/BENCH_F7.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import GlobalInformationSystem, MemorySource
+from repro.catalog.schema import schema_from_pairs
+
+from .common import emit, emit_json, format_row
+
+ROWS = 8_000
+REPEATS = 3
+WIDTHS = (34, 10, 12, 9, 6)
+CACHE_BYTES = 32_000_000
+
+#: The cache-filling query: one pushed fragment covering every probe.
+SUPERSET = (
+    "SELECT id, region, amount FROM orders WHERE amount >= 100"
+)
+
+#: (label, sql) — each probe's pushed predicate is implied by the
+#: superset's, so a warm cache answers all of them without the source.
+PROBES = [
+    ("exact repeat", SUPERSET),
+    ("narrower range",
+     "SELECT id, region, amount FROM orders WHERE amount >= 250"),
+    ("closed range",
+     "SELECT id, region, amount FROM orders "
+     "WHERE amount >= 100 AND amount < 400"),
+    ("range + equality",
+     "SELECT id, region, amount FROM orders "
+     "WHERE amount >= 100 AND region = 'east'"),
+    ("BETWEEN",
+     "SELECT id, region, amount FROM orders "
+     "WHERE amount BETWEEN 150 AND 300"),
+    ("IN-list",
+     "SELECT id, region, amount FROM orders "
+     "WHERE amount >= 100 AND region IN ('north', 'south')"),
+]
+
+REGIONS = ("east", "west", "north", "south")
+
+
+def build(fragment_cache_bytes=0):
+    gis = GlobalInformationSystem(fragment_cache_bytes=fragment_cache_bytes)
+    source = MemorySource("warehouse", page_rows=256)
+    schema = schema_from_pairs(
+        "orders",
+        [("id", "INT"), ("region", "TEXT"), ("amount", "FLOAT")],
+    )
+    rows = [
+        (
+            i,
+            REGIONS[i % len(REGIONS)],
+            # Every 7th amount is NULL so subsumption is exercised on a
+            # NULL-bearing column, same as the correctness suite.
+            None if i % 7 == 0 else float(i % 500),
+        )
+        for i in range(ROWS)
+    ]
+    source.add_table("orders", schema, rows)
+    gis.register_source("warehouse", source)
+    gis.register_table("orders", source="warehouse")
+    return gis
+
+
+def measure(gis, sql, repeats=REPEATS):
+    """Best-of-N wall ms, total bytes over all runs, and the last result.
+
+    Bytes are summed across every repeat — the workload model is a
+    dashboard re-issuing each query ``REPEATS`` times, which is the
+    access pattern a semantic cache exists for.
+    """
+    best_ms, result, total_bytes = float("inf"), None, 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = gis.query(sql)
+        best_ms = min(best_ms, (time.perf_counter() - started) * 1000.0)
+        total_bytes += result.metrics.network.bytes_shipped
+    return best_ms, total_bytes, result
+
+
+def run():
+    cold_gis = build(fragment_cache_bytes=0)
+    warm_gis = build(fragment_cache_bytes=CACHE_BYTES)
+
+    # Fill: the superset query runs on both mediators; with the cache
+    # on only the first run ships, the repeats replay.
+    cold_fill_ms, cold_fill_bytes, cold_fill = measure(cold_gis, SUPERSET)
+    warm_fill_ms, warm_fill_bytes, warm_fill = measure(warm_gis, SUPERSET)
+    assert warm_fill.rows == cold_fill.rows, "fill rows diverged"
+    fill_bytes = cold_fill.metrics.network.bytes_shipped
+
+    lines = [
+        format_row(
+            ("query", "wall ms", "bytes", "vs cold", "mode"), WIDTHS
+        ),
+        "-" * 80,
+        format_row(
+            ("fill: " + SUPERSET[:27], cold_fill_ms,
+             f"{fill_bytes:.0f}", "1.0x", "cold"),
+            WIDTHS,
+        ),
+    ]
+
+    probes_json = []
+    bytes_off = cold_fill_bytes
+    bytes_on = warm_fill_bytes
+    for label, sql in PROBES:
+        cold_ms, cold_bytes, cold = measure(cold_gis, sql)
+        warm_ms, warm_bytes, warm = measure(warm_gis, sql)
+        net = warm.metrics.network
+        assert warm.rows == cold.rows, f"{label}: rows diverged from oracle"
+        assert all(
+            type(a) is type(b)
+            for wr, cr in zip(warm.rows, cold.rows)
+            for a, b in zip(wr, cr)
+        ), f"{label}: value types diverged from oracle"
+        assert warm_bytes == 0, (
+            f"{label}: warm probe shipped {warm_bytes} bytes"
+        )
+        assert net.fragment_cache_hits == 1, (
+            f"{label}: expected a fragment cache hit"
+        )
+        bytes_off += cold_bytes
+        bytes_on += warm_bytes
+        mode = "exact" if sql == SUPERSET else "subsumed"
+        speedup = cold_ms / warm_ms if warm_ms > 0 else float("inf")
+        lines.append(
+            format_row(
+                (label, warm_ms,
+                 f"{cold.metrics.network.bytes_shipped:.0f} -> 0",
+                 f"{speedup:.1f}x", mode),
+                WIDTHS,
+            )
+        )
+        probes_json.append(
+            {
+                "probe": label,
+                "mode": mode,
+                "rows": len(warm.rows),
+                "cold_bytes": round(cold.metrics.network.bytes_shipped, 1),
+                "warm_bytes": round(net.bytes_shipped, 1),
+                "cold_wall_ms": round(cold_ms, 2),
+                "warm_wall_ms": round(warm_ms, 2),
+                "bytes_saved": round(net.fragment_cache_bytes_saved, 1),
+            }
+        )
+
+    reduction = bytes_off / bytes_on if bytes_on else float("inf")
+    reduction_label = (
+        f"{reduction:.1f}x" if bytes_on else "inf (zero warm bytes)"
+    )
+    lines.append("")
+    lines.append(
+        f"workload bytes shipped: cache off {bytes_off:.0f}, "
+        f"cache on {bytes_on:.0f} ({reduction_label} reduction)"
+    )
+    stats = warm_gis.fragment_cache.stats()
+    lines.append(
+        f"cache: {stats['entries']} entr(ies), {stats['bytes']:.0f} bytes, "
+        f"{stats['hits']} hit(s) ({stats['subsumed_hits']} subsumed), "
+        f"{stats['misses']} miss(es)"
+    )
+    emit("f7_semantic_cache",
+         "F7: semantic fragment cache, cold vs warm vs subsumed", lines)
+    emit_json(
+        "BENCH_F7",
+        {
+            "benchmark": "F7 semantic fragment cache",
+            "rows": ROWS,
+            "repeats_per_query": REPEATS,
+            "acceptance_min_bytes_reduction": 5.0,
+            "workload_bytes_cache_off": round(bytes_off, 1),
+            "workload_bytes_cache_on": round(bytes_on, 1),
+            "bytes_reduction": (
+                round(reduction, 2) if bytes_on else None
+            ),
+            "fill_bytes": round(fill_bytes, 1),
+            "fill_wall_ms": round(cold_fill_ms, 2),
+            "cache_stats": {
+                "entries": stats["entries"],
+                "bytes": round(stats["bytes"], 1),
+                "hits": stats["hits"],
+                "subsumed_hits": stats["subsumed_hits"],
+                "misses": stats["misses"],
+            },
+            "probes": probes_json,
+        },
+    )
+    return bytes_off, bytes_on
+
+
+def test_f7_bytes_reduction():
+    bytes_off, bytes_on = run()
+    # Warm probes ship nothing, so only the fill contributes; the
+    # workload-level reduction must still clear the 5x acceptance bar.
+    assert bytes_off >= 5.0 * max(bytes_on, 1.0), (
+        f"semantic cache must cut workload bytes >= 5x "
+        f"(off {bytes_off:.0f}, on {bytes_on:.0f})"
+    )
+
+
+if __name__ == "__main__":  # PYTHONPATH=src python -m benchmarks.bench_f7_semantic_cache
+    import sys
+
+    bytes_off, bytes_on = run()
+    if bytes_off < 5.0 * max(bytes_on, 1.0):
+        print(
+            f"FAIL: bytes reduction below 5x "
+            f"(off {bytes_off:.0f}, on {bytes_on:.0f})",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("OK")

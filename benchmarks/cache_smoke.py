@@ -1,0 +1,153 @@
+"""CI cache smoke: semantic-cache answers must be free and identical.
+
+Three scripted scenarios, each a hard gate:
+
+* **warm == cold** — the same query served from the fragment cache must
+  return exactly the cold rows (values and Python types) while shipping
+  zero fragment bytes over the simulated network;
+* **subsumed == cold** — a narrower predicate answered from a cached
+  superset (with the mediator-side residual filter) must match its own
+  cold execution bit-identically, again with zero bytes shipped;
+* **invalidation** — after ``notify_source_changed`` the next query must
+  go back to the source (bytes shipped again) instead of serving the
+  stale entry.
+
+The scenario table is written to ``benchmarks/results/cache_smoke.txt``.
+Run directly::
+
+    python benchmarks/cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import GlobalInformationSystem, MemorySource  # noqa: E402
+from repro.catalog.schema import schema_from_pairs  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "cache_smoke.txt"
+)
+
+ROWS = 2_000
+SUPERSET = "SELECT id, region, amount FROM orders WHERE amount >= 50"
+SUBSUMED = (
+    "SELECT id, region, amount FROM orders "
+    "WHERE amount >= 50 AND amount < 200 AND region = 'east'"
+)
+REGIONS = ("east", "west", "north", "south")
+
+
+def build(fragment_cache_bytes=0):
+    gis = GlobalInformationSystem(fragment_cache_bytes=fragment_cache_bytes)
+    source = MemorySource("warehouse", page_rows=128)
+    schema = schema_from_pairs(
+        "orders",
+        [("id", "INT"), ("region", "TEXT"), ("amount", "FLOAT")],
+    )
+    rows = [
+        (
+            i,
+            REGIONS[i % len(REGIONS)],
+            None if i % 7 == 0 else float(i % 400),
+        )
+        for i in range(ROWS)
+    ]
+    source.add_table("orders", schema, rows)
+    gis.register_source("warehouse", source)
+    gis.register_table("orders", source="warehouse")
+    return gis
+
+
+def bit_identical(warm_rows, cold_rows):
+    if warm_rows != cold_rows:
+        return False
+    return all(
+        type(a) is type(b)
+        for wr, cr in zip(warm_rows, cold_rows)
+        for a, b in zip(wr, cr)
+    )
+
+
+def scenario_warm_equals_cold(gis, oracle, lines, failures):
+    cold = oracle.query(SUPERSET)
+    fill = gis.query(SUPERSET)
+    warm = gis.query(SUPERSET)
+    net = warm.metrics.network
+    ok = (
+        bit_identical(warm.rows, cold.rows)
+        and fill.metrics.network.bytes_shipped > 0
+        and net.bytes_shipped == 0
+        and net.fragment_cache_hits == 1
+    )
+    lines.append(
+        f"warm == cold:    {len(warm.rows)} rows, "
+        f"{fill.metrics.network.bytes_shipped:.0f} bytes cold -> "
+        f"{net.bytes_shipped:.0f} warm, "
+        f"{net.fragment_cache_hits} cache hit(s)"
+    )
+    if not ok:
+        failures.append("warm repeat was not a free, bit-identical replay")
+
+
+def scenario_subsumed_equals_cold(gis, oracle, lines, failures):
+    cold = oracle.query(SUBSUMED)
+    warm = gis.query(SUBSUMED)
+    net = warm.metrics.network
+    ok = (
+        bit_identical(warm.rows, cold.rows)
+        and net.bytes_shipped == 0
+        and net.fragment_cache_hits == 1
+    )
+    lines.append(
+        f"subsumed == cold: {len(warm.rows)} rows from the cached "
+        f"superset, {net.bytes_shipped:.0f} bytes shipped, "
+        f"{net.fragment_cache_hits} cache hit(s)"
+    )
+    if not ok:
+        failures.append(
+            "subsumed probe was not answered free and bit-identically"
+        )
+
+
+def scenario_invalidation(gis, lines, failures):
+    gis.notify_source_changed("warehouse")
+    refetched = gis.query(SUPERSET)
+    net = refetched.metrics.network
+    lines.append(
+        f"invalidation:    epoch bump -> {net.bytes_shipped:.0f} bytes "
+        f"re-shipped, {net.fragment_cache_misses} miss(es)"
+    )
+    if net.bytes_shipped == 0:
+        failures.append("stale entry served after notify_source_changed")
+
+
+def main() -> int:
+    lines = ["== cache smoke: semantic fragment cache invariants =="]
+    failures = []
+    gis = build(fragment_cache_bytes=8_000_000)
+    oracle = build(fragment_cache_bytes=0)
+    scenario_warm_equals_cold(gis, oracle, lines, failures)
+    scenario_subsumed_equals_cold(gis, oracle, lines, failures)
+    scenario_invalidation(gis, lines, failures)
+    lines.append("")
+
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        handle.write("\n".join(lines))
+    print("\n".join(lines))
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

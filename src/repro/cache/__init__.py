@@ -1,0 +1,35 @@
+"""Semantic caching for the federated mediator.
+
+Three cooperating pieces (see docs/caching.md for the full layering):
+
+* :class:`~repro.cache.epochs.SourceEpochs` — the per-source
+  invalidation clock everything else keys freshness off.
+* :class:`~repro.cache.fragments.FragmentCache` — complete pushed
+  fragment results, served back on exact canonical-plan match or
+  predicate subsumption with a mediator-side residual filter.
+* :class:`~repro.cache.views.MaterializedViewRegistry` — declarative
+  materialized GAV views (``CREATE MATERIALIZED VIEW ... WITH STALENESS
+  <ms>``) substituted at bind time while fresh.
+"""
+
+from .epochs import SourceEpochs
+from .fragments import FragmentCache, FragmentCacheEntry
+from .keys import (
+    FragmentShape,
+    canonical_fragment_key,
+    fragment_shape,
+    shape_contains,
+)
+from .views import MaterializedView, MaterializedViewRegistry
+
+__all__ = [
+    "FragmentCache",
+    "FragmentCacheEntry",
+    "FragmentShape",
+    "MaterializedView",
+    "MaterializedViewRegistry",
+    "SourceEpochs",
+    "canonical_fragment_key",
+    "fragment_shape",
+    "shape_contains",
+]

@@ -1,0 +1,100 @@
+"""Per-source epochs: the invalidation clock for everything cached.
+
+The mediator cannot see writes happening inside autonomous component
+systems, so cache invalidation is driven by the events it *can* see:
+table/replica/view registration, ``ANALYZE``, and explicit
+``notify_source_changed`` calls from adapters or operators. Each such
+event bumps a monotonically increasing per-source epoch.
+
+Invalidation is lazy, the same pattern :class:`~repro.core.prepared.PlanCache`
+uses for its global epoch: nothing walks cache entries on a bump. A
+fragment-cache entry remembers the epoch it was filled under and dies the
+next time it is looked up with a newer epoch; a materialized view
+remembers a whole epoch *snapshot* and compares it on substitution.
+
+For bounded-stale reads (``WITH STALENESS <ms>``) the tracker also
+records *when* each bump happened, so a view can answer "how long ago did
+this source first move past my snapshot?" — the staleness window anchors
+at the first invalidating bump, not the most recent one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+#: Bump timestamps remembered per source; older bumps age out (a view
+#: whose snapshot predates the window is simply treated as unbounded-old).
+HISTORY_LIMIT = 64
+
+
+class SourceEpochs:
+    """Thread-safe per-source epoch counters with bump-time history.
+
+    A source that has never been bumped is at epoch 0, so snapshots taken
+    before a source is first touched still compare correctly.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._epochs: Dict[str, int] = {}
+        self._history: Dict[str, Deque[Tuple[int, float]]] = {}
+        self.bumps = 0
+
+    def current(self, source: str) -> int:
+        """The source's current epoch (0 if never bumped)."""
+        with self._lock:
+            return self._epochs.get(source.lower(), 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of every known source's epoch.
+
+        Sources absent from the snapshot are implicitly at epoch 0 —
+        compare with ``snapshot.get(source, 0)``.
+        """
+        with self._lock:
+            return dict(self._epochs)
+
+    def bump(self, source: str) -> int:
+        """Advance one source's epoch; returns the new value."""
+        key = source.lower()
+        with self._lock:
+            epoch = self._epochs.get(key, 0) + 1
+            self._epochs[key] = epoch
+            history = self._history.setdefault(key, deque(maxlen=HISTORY_LIMIT))
+            history.append((epoch, self._clock()))
+            self.bumps += 1
+            return epoch
+
+    def bump_all(self) -> None:
+        """Advance every known source (conservative catalog-wide change)."""
+        with self._lock:
+            now = self._clock()
+            for key in list(self._epochs):
+                epoch = self._epochs[key] + 1
+                self._epochs[key] = epoch
+                history = self._history.setdefault(
+                    key, deque(maxlen=HISTORY_LIMIT)
+                )
+                history.append((epoch, now))
+                self.bumps += 1
+
+    def first_bump_after(self, source: str, snapshot_epoch: int) -> Optional[float]:
+        """Clock time of the first bump past ``snapshot_epoch``, or None.
+
+        None means the source has not moved past the snapshot — the
+        snapshot is still exactly current. A bump that aged out of the
+        bounded history returns 0.0 (infinitely long ago), which errs on
+        the side of treating the snapshot as too stale to serve.
+        """
+        key = source.lower()
+        with self._lock:
+            if self._epochs.get(key, 0) <= snapshot_epoch:
+                return None
+            for epoch, at in self._history.get(key, ()):
+                if epoch > snapshot_epoch:
+                    return at
+            return 0.0

@@ -1,0 +1,223 @@
+"""Materialized GAV views with epoch-based staleness.
+
+A materialized view is an ordinary integration view (its SQL lives in the
+catalog and binds/expands normally) *plus* a mediator-held row snapshot.
+When the snapshot is **fresh**, the analyzer substitutes it for the view
+expansion — the query plan contains a
+:class:`~repro.core.logical.MaterializedRowsOp` leaf and touches no
+source at all for that view.
+
+Freshness is defined against the per-source epoch clock
+(:class:`~repro.cache.epochs.SourceEpochs`): the snapshot records the
+epoch of every source it read from. A view is fresh while every such
+source is still at its snapshot epoch; past that, a ``WITH STALENESS
+<ms>`` bound lets it keep serving until the *first* invalidating bump is
+more than ``staleness_ms`` old — bounded-stale reads, anchored at the
+moment the data first moved, not at the last time anyone asked.
+
+The registry stores state only; executing the defining SELECT (for
+``CREATE`` and ``REFRESH``) is the mediator's job, which hands the rows
+in via :meth:`store_snapshot`. Substitution can be *suspended*
+per-thread so snapshot builds always read base sources (a materialized
+view must never be snapshotted from another view's possibly-stale
+snapshot).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CatalogError
+from .epochs import SourceEpochs
+
+__all__ = ["MaterializedView", "MaterializedViewRegistry"]
+
+
+class MaterializedView:
+    """One materialized view's snapshot and freshness metadata."""
+
+    __slots__ = (
+        "name", "select_sql", "staleness_ms", "column_names", "dtypes",
+        "rows", "sources", "epoch_snapshot", "refreshed_at",
+        "refresh_count", "hits",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        select_sql: str,
+        staleness_ms: float,
+        column_names: List[str],
+        dtypes: List[Any],
+    ) -> None:
+        self.name = name
+        self.select_sql = select_sql
+        self.staleness_ms = staleness_ms
+        self.column_names = list(column_names)
+        self.dtypes = list(dtypes)
+        self.rows: List[Tuple[Any, ...]] = []
+        self.sources: List[str] = []
+        self.epoch_snapshot: Dict[str, int] = {}
+        self.refreshed_at = 0.0
+        self.refresh_count = 0
+        self.hits = 0
+
+
+class MaterializedViewRegistry:
+    """Thread-safe registry of materialized views, attached to the catalog
+    as ``catalog.materialized`` so the analyzer can consult it at bind
+    time without an import cycle."""
+
+    def __init__(self, epochs: SourceEpochs, clock=time.monotonic) -> None:
+        self.epochs = epochs
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._views: Dict[str, MaterializedView] = {}
+        self._local = threading.local()
+        self.hits = 0
+        self.stale_substitutions = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        select_sql: str,
+        staleness_ms: float,
+        column_names: List[str],
+        dtypes: List[Any],
+    ) -> MaterializedView:
+        key = name.lower()
+        with self._lock:
+            if key in self._views:
+                raise CatalogError(
+                    f"materialized view {name!r} is already registered"
+                )
+            view = MaterializedView(
+                name, select_sql, staleness_ms, column_names, dtypes
+            )
+            self._views[key] = view
+            return view
+
+    def store_snapshot(
+        self,
+        name: str,
+        rows: List[Tuple[Any, ...]],
+        sources: List[str],
+        epoch_snapshot: Dict[str, int],
+    ) -> None:
+        """Install a freshly executed snapshot (CREATE or REFRESH)."""
+        view = self.get(name)
+        with self._lock:
+            view.rows = list(rows)
+            view.sources = [source.lower() for source in sources]
+            view.epoch_snapshot = {
+                source.lower(): epoch_snapshot.get(source.lower(), 0)
+                for source in view.sources
+            }
+            view.refreshed_at = self._clock()
+            view.refresh_count += 1
+
+    def get(self, name: str) -> MaterializedView:
+        view = self._views.get(name.lower())
+        if view is None:
+            raise CatalogError(f"unknown materialized view: {name!r}")
+        return view
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            if self._views.pop(name.lower(), None) is None:
+                raise CatalogError(f"unknown materialized view: {name!r}")
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return [view.name for view in self._views.values()]
+
+    # -- substitution --------------------------------------------------------
+
+    @contextmanager
+    def suspended(self):
+        """Disable substitution on this thread (snapshot builds)."""
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth = depth
+
+    @property
+    def is_suspended(self) -> bool:
+        return getattr(self._local, "depth", 0) > 0
+
+    def substitute(
+        self, name: str
+    ) -> Optional[Tuple[List[Tuple[Any, ...]], List[str], List[Any]]]:
+        """The snapshot to splice in for a view reference, or ``None``.
+
+        None means: not a materialized view, substitution suspended on
+        this thread, or the snapshot is too stale to serve — the caller
+        falls back to normal view expansion.
+        """
+        if self.is_suspended:
+            return None
+        view = self._views.get(name.lower())
+        if view is None:
+            return None
+        with self._lock:
+            if not self._fresh(view):
+                self.stale_substitutions += 1
+                return None
+            view.hits += 1
+            self.hits += 1
+            return view.rows, view.column_names, view.dtypes
+
+    def fresh(self, name: str) -> bool:
+        view = self.get(name)
+        with self._lock:
+            return self._fresh(view)
+
+    def _fresh(self, view: MaterializedView) -> bool:
+        """Fresh = every source at its snapshot epoch, or within the
+        staleness window of its first invalidating bump."""
+        if view.refresh_count == 0:
+            return False
+        for source in view.sources:
+            snapshot = view.epoch_snapshot.get(source, 0)
+            if self.epochs.current(source) == snapshot:
+                continue
+            if view.staleness_ms <= 0:
+                return False
+            first_bump = self.epochs.first_bump_after(source, snapshot)
+            if first_bump is None:
+                continue
+            age_ms = (self._clock() - first_bump) * 1000.0
+            if age_ms > view.staleness_ms:
+                return False
+        return True
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "views": len(self._views),
+                "hits": self.hits,
+                "stale_substitutions": self.stale_substitutions,
+                "entries": [
+                    {
+                        "name": view.name,
+                        "rows": len(view.rows),
+                        "staleness_ms": view.staleness_ms,
+                        "refreshes": view.refresh_count,
+                        "hits": view.hits,
+                        "sources": list(view.sources),
+                    }
+                    for view in self._views.values()
+                ],
+            }

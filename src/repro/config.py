@@ -70,11 +70,24 @@ per-source failures (see ``docs/resilience.md``)::
     }
 
 A top-level ``plan_cache_size`` enables the plan-shape cache (queries
-differing only in literals share one optimized plan), and a ``serve``
-section configures the multi-tenant query service (``--serve``; see
-``docs/serving.md``)::
+differing only in literals share one optimized plan), and a ``cache``
+section arms the semantic fragment cache and declares materialized views
+(see ``docs/caching.md``)::
 
     "plan_cache_size": 256,
+    "cache": {
+        "fragment_bytes": 1048576,           # LRU budget; 0 = off
+        "materialized_views": {
+            "top_accounts": {
+                "sql": "SELECT id, total FROM accounts WHERE total > 1000",
+                "staleness_ms": 60000
+            }
+        }
+    }
+
+A ``serve`` section configures the multi-tenant query service
+(``--serve``; see ``docs/serving.md``)::
+
     "serve": {
         "host": "127.0.0.1",
         "port": 7432,
@@ -134,6 +147,12 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
     faults = None
     if "faults" in config:
         faults = FaultPlan.from_config(config["faults"])
+    fragment_cache_bytes = 0
+    materialized_specs: Dict[str, Dict[str, Any]] = {}
+    if "cache" in config:
+        fragment_cache_bytes, materialized_specs = _parse_cache_config(
+            config["cache"]
+        )
     gis = GlobalInformationSystem(
         options=options,
         fragment_retries=fragment_retries,
@@ -141,6 +160,7 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         observability=observability,
         faults=faults,
         plan_cache_size=int(config.get("plan_cache_size", 0)),
+        fragment_cache_bytes=fragment_cache_bytes,
     )
 
     sources = config.get("sources")
@@ -170,6 +190,14 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
 
     if config.get("analyze", False):
         gis.analyze()
+    # Materialized views last: their initial snapshots execute real queries
+    # and want statistics/views in place.
+    for name, view_spec in materialized_specs.items():
+        gis.create_materialized_view(
+            name,
+            view_spec["sql"],
+            staleness_ms=view_spec.get("staleness_ms", 0.0),
+        )
     return gis
 
 
@@ -198,6 +226,44 @@ def _float_option(section: str, spec: Dict[str, Any], key: str) -> Optional[floa
             f"config: {section}{key!r} must be a number (got {value!r})"
         )
     return float(value)
+
+
+def _parse_cache_config(spec: Any):
+    """Parse the declarative ``cache`` section.
+
+    Mirrors the other sections' strictness: unknown keys are rejected so a
+    typo cannot silently disable the cache.
+    """
+    if not isinstance(spec, dict):
+        raise CatalogError("config: 'cache' must be an object")
+    _check_keys("cache", spec, ("fragment_bytes", "materialized_views"))
+    budget = _int_option("cache.", spec, "fragment_bytes") or 0
+    if budget < 0:
+        raise CatalogError(
+            f"config: cache.fragment_bytes must be >= 0 (got {budget})"
+        )
+    materialized = spec.get("materialized_views", {})
+    if not isinstance(materialized, dict):
+        raise CatalogError("config: cache.materialized_views must be an object")
+    for name, view_spec in materialized.items():
+        if not isinstance(view_spec, dict):
+            raise CatalogError(
+                f"config: cache.materialized_views[{name!r}] must be an object"
+            )
+        _check_keys(
+            f"cache.materialized_views[{name!r}]",
+            view_spec,
+            ("sql", "staleness_ms"),
+        )
+        if not isinstance(view_spec.get("sql"), str):
+            raise CatalogError(
+                f"config: cache.materialized_views[{name!r}] requires "
+                f"a 'sql' string"
+            )
+        _float_option(
+            f"cache.materialized_views[{name!r}].", view_spec, "staleness_ms"
+        )
+    return budget, materialized
 
 
 def _check_keys(section: str, spec: Dict[str, Any], allowed: tuple) -> None:

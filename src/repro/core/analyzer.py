@@ -46,6 +46,7 @@ from .logical import (
     JoinOp,
     LimitOp,
     LogicalPlan,
+    MaterializedRowsOp,
     ProjectOp,
     RelColumn,
     ScanOp,
@@ -183,6 +184,21 @@ class Analyzer:
             raise BindError(str(exc)) from exc
         binding_name = ref.alias or ref.name
         if entry.is_view:
+            materialized = getattr(self._catalog, "materialized", None)
+            if materialized is not None:
+                snapshot = materialized.substitute(entry.name)
+                if snapshot is not None:
+                    rows, names, dtypes = snapshot
+                    columns = [
+                        RelColumn(name, dtype)
+                        for name, dtype in zip(names, dtypes)
+                    ]
+                    plan = MaterializedRowsOp(
+                        rows, columns, view_name=entry.name
+                    )
+                    scope = Scope()
+                    scope.add(Binding(binding_name, columns))
+                    return plan, scope
             plan = self._expand_view(entry)
             # A view reference re-exposes the view plan's columns under the
             # (aliased) view name.

@@ -419,6 +419,20 @@ class ValuesOp(LogicalPlan):
         return self
 
 
+@dataclass
+class MaterializedRowsOp(ValuesOp):
+    """A materialized view snapshot spliced into a plan at bind time.
+
+    Behaves exactly like :class:`ValuesOp` everywhere (physical planning,
+    interpretation, cardinality) — the subclass exists so EXPLAIN shows
+    the substitution, the mediator can count materialized-view hits, and
+    plan/result caches can refuse to store plans whose rows would go
+    stale on a clock the caches cannot observe.
+    """
+
+    view_name: str = ""
+
+
 @dataclass(frozen=True)
 class BindSpec:
     """Semijoin (bind-join) reduction attached to a remote fragment.

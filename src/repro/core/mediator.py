@@ -21,23 +21,29 @@ from dataclasses import replace
 from datetime import date
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..cache import FragmentCache, MaterializedViewRegistry, SourceEpochs
 from ..catalog.catalog import Catalog
 from ..catalog.mappings import TableMapping
 from ..catalog.schema import Column, TableSchema
 from ..catalog.statistics import DEFAULT_HISTOGRAM_BUCKETS, TableStatistics
 from ..datatypes import DataType
-from ..errors import CatalogError, PlanError, UnknownObjectError
+from ..errors import CatalogError, ExecutionError, PlanError, UnknownObjectError
 from ..obs import Observability
 from ..sources.base import Adapter
 from ..sources.faults import FaultInjector, FaultPlan
 from ..sources.network import NetworkLink, SimulatedNetwork
-from ..sql.parser import parse_select
+from ..sql.parser import UtilityStatement, parse_select, parse_utility
 from .analyzer import Analyzer
 from .fragments import interpret_plan
-from .logical import ScanOp
+from .logical import MaterializedRowsOp, ScanOp
 from .morsels import MorselPool
 from .pages import Page
-from .physical import ExchangeExec, ExecutionContext, profile_operators
+from .physical import (
+    ExchangeExec,
+    ExecutionContext,
+    ExecutionMetrics,
+    profile_operators,
+)
 from .planner import PlannedQuery, Planner, PlannerOptions
 from .prepared import (
     ParameterizedStatement,
@@ -67,6 +73,7 @@ class GlobalInformationSystem:
         observability: Optional[Observability] = None,
         faults: Optional[FaultPlan] = None,
         plan_cache_size: int = 0,
+        fragment_cache_bytes: int = 0,
     ) -> None:
         """Create a mediator.
 
@@ -99,6 +106,14 @@ class GlobalInformationSystem:
         persists across queries (so recovery-after-K scripts span a
         session); a per-query plan on ``PlannerOptions.faults`` overrides
         it with a fresh injector per execution.
+
+        ``fragment_cache_bytes`` > 0 arms the semantic fragment cache (see
+        :mod:`repro.cache`): complete pushed fragment results are kept
+        under a byte-budgeted LRU and replayed — on exact canonical-plan
+        match or predicate subsumption — instead of re-fetching, shipping
+        zero bytes. Invalidation is per-source-epoch: catalog changes and
+        :meth:`notify_source_changed` bump the clock and entries die
+        lazily.
         """
         self.catalog = Catalog()
         self.network = network or SimulatedNetwork()
@@ -113,7 +128,14 @@ class GlobalInformationSystem:
         )
         self._cache_lock = threading.Lock()
         self.cache_hits = 0
+        self.cache_misses = 0
         self.plan_cache = PlanCache(plan_cache_size)
+        self.source_epochs = SourceEpochs()
+        self.fragment_cache = FragmentCache(fragment_cache_bytes, self.source_epochs)
+        self.materialized = MaterializedViewRegistry(self.source_epochs)
+        # The analyzer consults catalog.materialized at bind time (duck
+        # attribute: avoids a core -> cache import cycle in the catalog).
+        self.catalog.materialized = self.materialized
 
     # -- federation configuration ------------------------------------------------
 
@@ -173,6 +195,7 @@ class GlobalInformationSystem:
                         f"column {native!r} on {source}.{native_schema.name}"
                     )
         self.catalog.register_table(name, schema, mapping)
+        self.source_epochs.bump(source)
         self.clear_result_cache()
 
     def register_replica(
@@ -211,6 +234,7 @@ class GlobalInformationSystem:
                     f"{native!r} (for global {column.name!r})"
                 )
         self.catalog.add_replica(name, mapping)
+        self.source_epochs.bump(source)
         self.clear_result_cache()
 
     def register_all_tables(self, source: str) -> List[str]:
@@ -230,6 +254,96 @@ class GlobalInformationSystem:
         except Exception:
             self.catalog.drop(name)
             raise
+        self.clear_result_cache()
+
+    # -- materialized views -------------------------------------------------------
+
+    def create_materialized_view(
+        self, name: str, sql: str, staleness_ms: float = 0.0
+    ) -> None:
+        """Define a materialized GAV view and build its first snapshot.
+
+        The view is also registered as an ordinary integration view, so a
+        reference that finds the snapshot too stale falls back to normal
+        view expansion against the base sources. ``staleness_ms`` bounds
+        how long the snapshot may keep serving after a source epoch bump
+        invalidates it (0 = serve only while every source epoch is
+        unchanged). Usually reached through SQL::
+
+            CREATE MATERIALIZED VIEW name [WITH STALENESS ms] AS SELECT ...
+        """
+        self.create_view(name, sql)
+        registered = False
+        try:
+            with self.materialized.suspended():
+                bound = Analyzer(self.catalog).bind_statement(parse_select(sql))
+            self.materialized.register(
+                name,
+                sql,
+                staleness_ms,
+                [column.name for column in bound.output_columns],
+                [column.dtype for column in bound.output_columns],
+            )
+            registered = True
+            self._refresh_snapshot(name)
+        except Exception:
+            if registered:
+                self.materialized.drop(name)
+            self.catalog.drop(name)
+            self.clear_result_cache()
+            raise
+
+    def refresh_materialized_view(self, name: str) -> None:
+        """Re-execute the view's SELECT against base sources and install
+        the rows as the current snapshot (``REFRESH MATERIALIZED VIEW``)."""
+        if not self.materialized.has(name):
+            raise CatalogError(f"unknown materialized view: {name!r}")
+        self._refresh_snapshot(name)
+
+    def drop_materialized_view(self, name: str) -> None:
+        """Drop the snapshot and the underlying integration view."""
+        self.materialized.drop(name)
+        self.catalog.drop(name)
+        self.clear_result_cache()
+
+    def _refresh_snapshot(self, name: str) -> None:
+        """Execute the defining SELECT with substitution suspended (a
+        snapshot must never be built from another view's snapshot) and
+        store rows + the epoch snapshot taken *before* execution, so a
+        concurrent bump makes the fresh snapshot immediately stale rather
+        than silently current."""
+        view = self.materialized.get(name)
+        epoch_snapshot = self.source_epochs.snapshot()
+        with self.materialized.suspended():
+            bound = Analyzer(self.catalog).bind_statement(
+                parse_select(view.select_sql)
+            )
+            sources = sorted(
+                {
+                    mapping.source.lower()
+                    for op in bound.walk()
+                    if isinstance(op, ScanOp) and op.table.mapping is not None
+                    for mapping in op.table.all_mappings()
+                }
+            )
+            result = self._execute_query(
+                view.select_sql,
+                None,
+                lambda tracer, root: (
+                    self.planner.plan(
+                        view.select_sql, None, tracer=tracer, parent=root
+                    ),
+                    False,
+                ),
+            )
+        if not result.complete:
+            raise ExecutionError(
+                f"refusing to materialize {name!r} from a partial result "
+                f"(excluded sources: {sorted(result.excluded_sources)})"
+            )
+        self.materialized.store_snapshot(
+            name, result.rows, sources, epoch_snapshot
+        )
         self.clear_result_cache()
 
     # -- statistics ---------------------------------------------------------------
@@ -274,6 +388,10 @@ class GlobalInformationSystem:
                     statistics.row_count = float(total)
             self.catalog.set_statistics(name, statistics)
             collected[name] = statistics
+        for name in collected:
+            mapping = self.catalog.table(name).mapping
+            if mapping is not None:
+                self.source_epochs.bump(mapping.source)
         self.clear_result_cache()
         return collected
 
@@ -352,14 +470,27 @@ class GlobalInformationSystem:
         planned = self.planner.plan_statement(
             param.statement, sql, opts, tracer=tracer, parent=parent
         )
-        cache.store(
-            PreparedPlan(
-                param.shape_key, key_opts, planned,
-                param.values, param.dtypes, epoch,
-                statement=param.statement,
+        if self._materialized_hits(planned) == 0:
+            # Plans with a spliced-in snapshot are never cached: their rows
+            # go stale on the staleness clock, which the epoch-based plan
+            # cache cannot observe.
+            cache.store(
+                PreparedPlan(
+                    param.shape_key, key_opts, planned,
+                    param.values, param.dtypes, epoch,
+                    statement=param.statement,
+                )
             )
-        )
         return planned, False
+
+    @staticmethod
+    def _materialized_hits(planned: PlannedQuery) -> int:
+        """How many view references the analyzer answered from snapshots."""
+        return sum(
+            1
+            for op in planned.distributed.walk()
+            if isinstance(op, MaterializedRowsOp)
+        )
 
     def prepare(
         self, sql: str, options: Optional[PlannerOptions] = None
@@ -375,7 +506,10 @@ class GlobalInformationSystem:
         param = parameterize(parse_select(sql))
         key_opts = self._plan_key_options(opts)
         epoch = self.plan_cache.epoch
-        planned = self.planner.plan_statement(param.statement, sql, opts)
+        # Prepared plans are pinned for repeated execution, so never bake a
+        # materialized snapshot's rows into one.
+        with self.materialized.suspended():
+            planned = self.planner.plan_statement(param.statement, sql, opts)
         entry = PreparedPlan(
             param.shape_key, key_opts, planned,
             param.values, param.dtypes, epoch,
@@ -415,6 +549,9 @@ class GlobalInformationSystem:
                 if opts.morsel_workers > 1
                 else None
             ),
+            fragment_cache=(
+                self.fragment_cache if self.fragment_cache.enabled else None
+            ),
         )
         if config.scheduled:
             context.scheduler = FragmentScheduler(
@@ -438,11 +575,17 @@ class GlobalInformationSystem:
                 return self._drain_batches(planned.physical, context)
             try:
                 if context.scheduler_config.parallel:
+                    # Don't prestart a fetch the fragment cache is about to
+                    # answer — the worker would charge the network for pages
+                    # nobody consumes. (A prestarted exchange may still
+                    # *fill* the cache; it just never replays from it.)
+                    cache = context.fragment_cache
                     scheduler.prestart(
                         (
                             op
                             for op in planned.physical.walk()
                             if isinstance(op, ExchangeExec)
+                            and (cache is None or not cache.would_serve(op.fragment))
                         ),
                         context,
                     )
@@ -472,16 +615,41 @@ class GlobalInformationSystem:
     def query(
         self, sql: str, options: Optional[PlannerOptions] = None
     ) -> QueryResult:
-        """Plan and execute a query, returning rows plus metrics."""
-        cache_key = (sql, options)
+        """Plan and execute a query, returning rows plus metrics.
+
+        Also accepts the materialized-view DDL statements (``CREATE
+        MATERIALIZED VIEW``, ``REFRESH MATERIALIZED VIEW``, ``DROP
+        MATERIALIZED VIEW``); those return a one-row status result."""
+        utility = parse_utility(sql)
+        if utility is not None:
+            return self._execute_utility(utility)
+        # Key the result cache on the *plan-shaping* options only —
+        # execution-only knobs (typed_columns, morsel_workers, deadlines,
+        # fault plans...) change neither rows nor column names, and keying
+        # on them caused spurious misses.
+        cache_key = (
+            sql,
+            None if options is None else self._plan_key_options(options),
+        )
         if self._result_cache_size > 0:
             with self._cache_lock:
                 cached = self._result_cache.get(cache_key)
                 if cached is not None:
                     self._result_cache.move_to_end(cache_key)
                     self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
             if cached is not None:
-                hit_metrics = replace(cached.metrics.network, cache_hit=True)
+                # A served-from-cache query performed no fragment probes;
+                # replaying the stored per-fragment counters would double
+                # count them in the registry.
+                hit_metrics = replace(
+                    cached.metrics.network,
+                    cache_hit=True,
+                    fragment_cache_hits=0,
+                    fragment_cache_misses=0,
+                    fragment_cache_bytes_saved=0.0,
+                )
                 hit = QueryResult(
                     column_names=list(cached.column_names),
                     rows=list(cached.rows),
@@ -490,17 +658,28 @@ class GlobalInformationSystem:
                     explain_text=cached.explain_text,
                 )
                 self.obs.record_query(sql, hit.metrics)
+                if self.obs.registry.enabled:
+                    self.obs.publish_cache_stats(
+                        result_cache=self.result_cache_stats()
+                    )
                 return hit
         result = self._execute_query(
             sql,
             options,
             lambda tracer, root: self._plan_for_query(sql, options, tracer, root),
         )
-        if self._result_cache_size > 0 and result.complete:
+        if (
+            self._result_cache_size > 0
+            and result.complete
+            and result.metrics.network.materialized_view_hits == 0
+        ):
             # Store a snapshot so callers mutating their result (rows is a
             # plain list) cannot corrupt later cache hits. Partial results
             # are never cached: the excluded source may be back by the next
             # call, and serving its absence from cache would be silent.
+            # Results computed from a materialized snapshot are not cached
+            # either — their freshness is time-bounded (WITH STALENESS) on
+            # a clock the result cache cannot observe.
             with self._cache_lock:
                 self._result_cache[cache_key] = QueryResult(
                     column_names=list(result.column_names),
@@ -511,6 +690,38 @@ class GlobalInformationSystem:
                 while len(self._result_cache) > self._result_cache_size:
                     self._result_cache.popitem(last=False)
         return result
+
+    def _execute_utility(self, utility: UtilityStatement) -> QueryResult:
+        """Run a materialized-view DDL statement; one status row back."""
+        started = time.perf_counter()
+        if utility.kind == "create_materialized":
+            assert utility.select_sql is not None
+            self.create_materialized_view(
+                utility.name,
+                utility.select_sql,
+                staleness_ms=utility.staleness_ms,
+            )
+            view = self.materialized.get(utility.name)
+            message = (
+                f"materialized view {utility.name} created "
+                f"({len(view.rows)} rows)"
+            )
+        elif utility.kind == "refresh_materialized":
+            self.refresh_materialized_view(utility.name)
+            view = self.materialized.get(utility.name)
+            message = (
+                f"materialized view {utility.name} refreshed "
+                f"({len(view.rows)} rows)"
+            )
+        else:
+            self.drop_materialized_view(utility.name)
+            message = f"materialized view {utility.name} dropped"
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        return QueryResult(
+            column_names=["status"],
+            rows=[(message,)],
+            metrics=QueryMetrics(network=ExecutionMetrics(), wall_ms=wall_ms),
+        )
 
     def _execute_query(
         self, sql: str, options: Optional[PlannerOptions], plan_fn
@@ -530,6 +741,9 @@ class GlobalInformationSystem:
             planned, plan_hit = plan_fn(tracer, root)
             context = self._execution_context(options)
             context.metrics.plan_cache_hit = plan_hit
+            context.metrics.materialized_view_hits = self._materialized_hits(
+                planned
+            )
             context.tracer = tracer
             exec_span = tracer.child(root, "phase:execute", "phase")
             context.trace_span = exec_span
@@ -564,6 +778,23 @@ class GlobalInformationSystem:
             root.end()
             if obs.registry.enabled:
                 obs.publish_breakers(self.breakers)
+                obs.publish_cache_stats(
+                    result_cache=(
+                        self.result_cache_stats()
+                        if self._result_cache_size > 0
+                        else None
+                    ),
+                    fragment_cache=(
+                        self.fragment_cache.stats()
+                        if self.fragment_cache.enabled
+                        else None
+                    ),
+                    materialized=(
+                        self.materialized.stats()
+                        if self.materialized.names()
+                        else None
+                    ),
+                )
             obs.collect()
             obs.maybe_export()
         wall_ms = (time.perf_counter() - started) * 1000.0
@@ -593,6 +824,31 @@ class GlobalInformationSystem:
         with self._cache_lock:
             self._result_cache.clear()
         self.plan_cache.invalidate()
+
+    def notify_source_changed(self, source: str) -> None:
+        """Tell the mediator a source's data changed out of band.
+
+        Sources are autonomous — the mediator cannot see their writes.
+        This is the hook an application (or test harness) calls when it
+        knows data moved: the source's epoch is bumped, which lazily
+        invalidates fragment-cache entries and materialized snapshots
+        built on the old epoch, and the result cache is dropped.
+        """
+        self.catalog.source(source)  # validate the name
+        self.source_epochs.bump(source)
+        self.clear_result_cache()
+
+    def result_cache_stats(self) -> Dict[str, Any]:
+        """Hit/miss/occupancy counters for the (sql, options) result cache."""
+        with self._cache_lock:
+            lookups = self.cache_hits + self.cache_misses
+            return {
+                "capacity": self._result_cache_size,
+                "entries": len(self._result_cache),
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            }
 
     def explain_analyze(
         self, sql: str, options: Optional[PlannerOptions] = None
@@ -774,9 +1030,10 @@ class PreparedStatement:
                     cache.record_hit()
                     return bound, True
             statement = bind_statement_values(self._param.statement, values)
-            planned = self._gis.planner.plan_statement(
-                statement, self.sql, opts, tracer=tracer, parent=root
-            )
+            with self._gis.materialized.suspended():
+                planned = self._gis.planner.plan_statement(
+                    statement, self.sql, opts, tracer=tracer, parent=root
+                )
             self._entry = PreparedPlan(
                 entry.shape_key, entry.options, planned,
                 values, self._param.dtypes, cache.epoch,

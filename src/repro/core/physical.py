@@ -114,6 +114,11 @@ class ExecutionMetrics:
     breaker_trips: int = 0
     breaker_fallbacks: int = 0
     parallel_ms: float = 0.0
+    # -- semantic cache statistics (see repro.cache) --
+    fragment_cache_hits: int = 0
+    fragment_cache_misses: int = 0
+    fragment_cache_bytes_saved: float = 0.0
+    materialized_view_hits: int = 0
 
 
 class ExecutionContext:
@@ -159,6 +164,7 @@ class ExecutionContext:
         on_source_failure: str = "fail",
         typed_columns: bool = True,
         morsel_pool=None,
+        fragment_cache=None,
     ) -> None:
         self.catalog = catalog
         self.network = network
@@ -167,6 +173,17 @@ class ExecutionContext:
         self.breakers = breakers
         self.scheduler = None  # set by the mediator when config.scheduled
         self.batch_size = max(batch_size, 1)
+        #: The mediator's semantic fragment cache (repro.cache), or None.
+        #: Exchanges probe it before fetching and fill it on miss.
+        self.fragment_cache = fragment_cache
+        #: Per-source epochs frozen at context construction — strictly
+        #: before any fetch begins, so cache admission can detect a
+        #: source that moved mid-query and drop the collected pages.
+        self.epoch_snapshot: Dict[str, int] = (
+            fragment_cache.epochs.snapshot()
+            if fragment_cache is not None
+            else {}
+        )
         self.deadline = deadline
         self.fault_injector = fault_injector
         self.on_source_failure = on_source_failure
@@ -690,10 +707,25 @@ class ExchangeExec(PhysicalOperator):
             ctx.record_exclusion(exc.source_name, exc)
 
     def _batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        if ctx.scheduler is not None:
-            pages = ctx.scheduler.stream_exchange_pages(self, ctx)
+        decision = None
+        cache = ctx.fragment_cache
+        if cache is not None:
+            # A prestarted exchange already has a worker fetching (and
+            # charging the network) — it may fill the cache but must not
+            # replay from it.
+            prestarted = (
+                ctx.scheduler is not None and ctx.scheduler.was_prestarted(self)
+            )
+            decision = cache.begin(self, ctx, allow_replay=not prestarted)
+        if decision is not None and decision.replay is not None:
+            pages = decision.replay
         else:
-            pages = self._direct_pages(ctx)
+            if ctx.scheduler is not None:
+                pages = ctx.scheduler.stream_exchange_pages(self, ctx)
+            else:
+                pages = self._direct_pages(ctx)
+            if decision is not None and decision.fill is not None:
+                pages = decision.fill(pages)
         # Normalize to columnar pages (a no-op for native adapters; legacy
         # adapters yielding row lists are transposed here), then split
         # charged pages down to the dataflow batch size — never merged

@@ -59,6 +59,17 @@ class QueryMetrics:
                 f"{net.scheduler_stalls} stalls; "
                 f"simulated critical path {net.parallel_ms:.1f} ms"
             )
+        if (
+            net.fragment_cache_hits
+            or net.fragment_cache_misses
+            or net.materialized_view_hits
+        ):
+            lines.append(
+                f"semantic cache: {net.fragment_cache_hits} fragment "
+                f"hit(s) / {net.fragment_cache_misses} miss(es), "
+                f"{net.fragment_cache_bytes_saved:.0f} bytes saved; "
+                f"{net.materialized_view_hits} materialized view hit(s)"
+            )
         if net.breaker_trips or net.breaker_fallbacks:
             lines.append(
                 f"circuit breakers: {net.breaker_trips} trips, "

@@ -469,6 +469,12 @@ class FragmentScheduler:
                     ctx, sizer=getattr(exchange, "_sizer", None),
                 )
 
+    def was_prestarted(self, exchange) -> bool:
+        """Is a producer already fetching this exchange's fragment?
+        (The fragment cache must not replay an entry whose fetch is
+        in flight — the worker is charging the network regardless.)"""
+        return id(exchange) in self._by_exchange
+
     def stream_exchange_pages(self, exchange, ctx) -> Iterator[List[Row]]:
         """Async-pull entry point for ExchangeExec: response pages in
         production order."""

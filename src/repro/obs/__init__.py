@@ -143,6 +143,22 @@ class Observability:
                 registry.counter("result_cache_hits_total").inc()
             if getattr(net, "plan_cache_hit", False):
                 registry.counter("plan_cache_hits_total").inc()
+            fragment_hits = getattr(net, "fragment_cache_hits", 0)
+            fragment_misses = getattr(net, "fragment_cache_misses", 0)
+            if fragment_hits:
+                registry.counter("fragment_cache_hits_total").inc(fragment_hits)
+            if fragment_misses:
+                registry.counter("fragment_cache_misses_total").inc(
+                    fragment_misses
+                )
+            bytes_saved = getattr(net, "fragment_cache_bytes_saved", 0.0)
+            if bytes_saved:
+                registry.counter("fragment_cache_bytes_saved_total").inc(
+                    bytes_saved
+                )
+            mv_hits = getattr(net, "materialized_view_hits", 0)
+            if mv_hits:
+                registry.counter("materialized_view_hits_total").inc(mv_hits)
             registry.counter("rows_shipped_total").inc(net.rows_shipped)
             registry.counter("bytes_shipped_total").inc(net.bytes_shipped)
             registry.counter("messages_total").inc(net.messages)
@@ -170,6 +186,37 @@ class Observability:
                 rows=metrics.network.rows_output,
                 detail=detail,
             )
+
+    def publish_cache_stats(
+        self,
+        result_cache: Optional[Dict[str, Any]] = None,
+        fragment_cache: Optional[Dict[str, Any]] = None,
+        materialized: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Mirror the mediator's cache-layer state into the registry.
+
+        Each argument is a stats dict as produced by the owning cache
+        (``GlobalInformationSystem.result_cache_stats()``,
+        ``FragmentCache.stats()``, ``MaterializedViewRegistry.stats()``,
+        all duck-typed). Cumulative counters land as
+        ``<layer>.<name>`` gauges so the registry always shows the
+        current totals without double counting across queries.
+        """
+        registry = self.registry
+        if not registry.enabled:
+            return
+        for layer, stats in (
+            ("result_cache", result_cache),
+            ("fragment_cache", fragment_cache),
+            ("materialized_views", materialized),
+        ):
+            if not stats:
+                continue
+            for name, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    registry.gauge(f"{layer}.{name}").set(float(value))
 
     def publish_breakers(self, breakers: Any) -> Dict[str, Dict[str, Any]]:
         """Mirror circuit-breaker state into the registry.

@@ -20,6 +20,8 @@ Backslash commands:
 \profile  (prefix to a query) run it and show actual rows per operator
 \metrics  last query's transfer metrics, plus the mediator-wide metrics
           registry and circuit-breaker states when metrics are enabled
+\cache    semantic-cache state: fragment cache, result cache, and
+          materialized views; \cache clear drops fragment+result entries
 \trace on|off|FILE  record spans per query; FILE also exports a Chrome
           trace_event file (chrome://tracing / Perfetto) after each query
 \health   per-source health: breaker state, failure counts, link speed,
@@ -122,6 +124,8 @@ class Repl:
             self._show_schema(argument)
         elif name == "\\metrics":
             self._show_metrics()
+        elif name == "\\cache":
+            self._cache_command(argument)
         elif name == "\\trace":
             self._trace_command(argument)
         elif name == "\\naive":
@@ -209,6 +213,60 @@ class Repl:
                     f"  breaker {source}: {info['state']} "
                     f"({info['trips']} trips)"
                 )
+
+    def _cache_command(self, argument: str) -> None:
+        gis = self.gis
+        if argument.lower() == "clear":
+            dropped = gis.fragment_cache.clear()
+            gis.clear_result_cache()
+            self._write(
+                f"cleared {dropped} fragment cache entries and the "
+                f"result cache"
+            )
+            return
+        if argument:
+            self._write("usage: \\cache [clear]")
+            return
+        fragment = gis.fragment_cache
+        if fragment.enabled:
+            stats = fragment.stats()
+            self._write(
+                f"fragment cache: {stats['entries']} entries / "
+                f"{stats['bytes']:.0f} of {stats['budget_bytes']} bytes; "
+                f"{stats['hits']} exact + {stats['subsumed_hits']} subsumed "
+                f"hits, {stats['misses']} misses "
+                f"(hit rate {stats['hit_rate']:.0%}); "
+                f"{stats['evictions']} evictions, "
+                f"{stats['rejected_stale']} stale rejections"
+            )
+        else:
+            self._write("fragment cache: OFF (fragment_cache_bytes = 0)")
+        result_stats = gis.result_cache_stats()
+        if result_stats["capacity"] > 0:
+            self._write(
+                f"result cache: {result_stats['entries']} of "
+                f"{result_stats['capacity']} entries; "
+                f"{result_stats['hits']} hits, {result_stats['misses']} "
+                f"misses (hit rate {result_stats['hit_rate']:.0%})"
+            )
+        else:
+            self._write("result cache: OFF (result_cache_size = 0)")
+        materialized = gis.materialized.stats()
+        if materialized["views"]:
+            self._write(
+                f"materialized views: {materialized['hits']} snapshot hits, "
+                f"{materialized['stale_substitutions']} stale fallbacks"
+            )
+            for entry in materialized["entries"]:
+                fresh = "fresh" if gis.materialized.fresh(entry["name"]) else "stale"
+                self._write(
+                    f"  {entry['name']}: {entry['rows']} rows ({fresh}), "
+                    f"staleness {entry['staleness_ms']:g} ms, "
+                    f"{entry['refreshes']} refreshes, {entry['hits']} hits, "
+                    f"sources {', '.join(entry['sources'])}"
+                )
+        else:
+            self._write("materialized views: none")
 
     def _show_health(self) -> None:
         sources = list(self.gis.catalog.source_names())

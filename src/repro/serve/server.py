@@ -346,12 +346,28 @@ class QueryServer:
 
         def work():
             span = tracer.root_span("serve:execute", tenant=tenant, sql=sql)
+            result = None
             try:
-                return gis.query(sql, options)
+                result = gis.query(sql, options)
+                return result
             finally:
                 span.end()
                 if registry.enabled:
                     registry.counter(f"tenant.{tenant}.queries_total").inc()
+                    if result is not None:
+                        net = result.metrics.network
+                        if net.cache_hit:
+                            registry.counter(
+                                f"tenant.{tenant}.result_cache_hits"
+                            ).inc()
+                        if net.fragment_cache_hits:
+                            registry.counter(
+                                f"tenant.{tenant}.fragment_cache_hits"
+                            ).inc(net.fragment_cache_hits)
+                        if net.materialized_view_hits:
+                            registry.counter(
+                                f"tenant.{tenant}.materialized_view_hits"
+                            ).inc(net.materialized_view_hits)
 
         return sql, work
 
@@ -475,5 +491,8 @@ class QueryServer:
             "ok": True,
             "tenants": tenants,
             "plan_cache": self.gis.plan_cache.stats(),
+            "result_cache": self.gis.result_cache_stats(),
+            "fragment_cache": self.gis.fragment_cache.stats(),
+            "materialized_views": self.gis.materialized.stats(),
             "workers": self.config.max_workers,
         }

@@ -21,6 +21,8 @@ primary.
 
 from __future__ import annotations
 
+import re
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..datatypes import DataType, parse_type_name
@@ -31,6 +33,73 @@ from .lexer import Lexer, Token, TokenType
 _COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
 _ADDITIVE_OPS = frozenset({"+", "-", "||"})
 _MULTIPLICATIVE_OPS = frozenset({"*", "/", "%"})
+
+
+@dataclass(frozen=True)
+class UtilityStatement:
+    """A parsed cache-management DDL statement (not a SELECT).
+
+    ``kind`` is one of ``create_materialized``, ``refresh_materialized``,
+    ``drop_materialized``. ``staleness_ms`` / ``select_sql`` are only set
+    for ``create_materialized``.
+    """
+
+    kind: str
+    name: str
+    staleness_ms: float = 0.0
+    select_sql: Optional[str] = None
+
+
+_UTILITY_PREFIX = re.compile(r"^\s*(CREATE|REFRESH|DROP)\b", re.IGNORECASE)
+_CREATE_MATERIALIZED = re.compile(
+    r"^\s*CREATE\s+MATERIALIZED\s+VIEW\s+([A-Za-z_][A-Za-z_0-9]*)\s+"
+    r"(?:WITH\s+STALENESS\s+(\d+(?:\.\d+)?)\s+)?AS\s+(.+)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_REFRESH_MATERIALIZED = re.compile(
+    r"^\s*REFRESH\s+MATERIALIZED\s+VIEW\s+([A-Za-z_][A-Za-z_0-9]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_DROP_MATERIALIZED = re.compile(
+    r"^\s*DROP\s+MATERIALIZED\s+VIEW\s+([A-Za-z_][A-Za-z_0-9]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_utility(sql: str) -> Optional[UtilityStatement]:
+    """Recognize a materialized-view DDL statement, or ``None`` fast.
+
+    The main grammar is SELECT-only; these statements are line-oriented
+    enough that a regex front end keeps the hot query path untouched (a
+    single cheap prefix test for non-DDL text). A ``CREATE``/``REFRESH``/
+    ``DROP`` prefix that then fails to parse raises
+    :class:`~repro.errors.ParseError` rather than falling through to the
+    SELECT parser's (more confusing) error.
+    """
+    if _UTILITY_PREFIX.match(sql) is None:
+        return None
+    match = _CREATE_MATERIALIZED.match(sql)
+    if match is not None:
+        name, staleness, select_sql = match.groups()
+        select_sql = select_sql.strip().rstrip(";").strip()
+        if not select_sql:
+            raise ParseError("CREATE MATERIALIZED VIEW requires an AS SELECT body")
+        return UtilityStatement(
+            kind="create_materialized",
+            name=name,
+            staleness_ms=float(staleness) if staleness is not None else 0.0,
+            select_sql=select_sql,
+        )
+    match = _REFRESH_MATERIALIZED.match(sql)
+    if match is not None:
+        return UtilityStatement(kind="refresh_materialized", name=match.group(1))
+    match = _DROP_MATERIALIZED.match(sql)
+    if match is not None:
+        return UtilityStatement(kind="drop_materialized", name=match.group(1))
+    raise ParseError(
+        "unsupported statement: expected SELECT, CREATE MATERIALIZED VIEW, "
+        "REFRESH MATERIALIZED VIEW, or DROP MATERIALIZED VIEW"
+    )
 
 
 def parse_select(sql: str) -> ast.Statement:
