@@ -20,6 +20,9 @@ Quickstart::
 from .config import build_from_config, load_config
 from .catalog import (
     Catalog,
+    CatalogEvent,
+    CatalogJournal,
+    CatalogVersions,
     Column,
     ColumnStatistics,
     EquiDepthHistogram,
@@ -72,6 +75,9 @@ __all__ = [
     "load_config",
     "Catalog",
     "CatalogError",
+    "CatalogEvent",
+    "CatalogJournal",
+    "CatalogVersions",
     "Column",
     "ColumnStatistics",
     "CsvSource",

@@ -2,8 +2,11 @@
 
 Three cooperating pieces (see docs/caching.md for the full layering):
 
-* :class:`~repro.cache.epochs.SourceEpochs` — the per-source
-  invalidation clock everything else keys freshness off.
+* :class:`~repro.catalog.versions.CatalogVersions` — the per-source
+  invalidation clock everything else keys freshness off. It lives on the
+  live catalog now (one invalidation authority for plans, results,
+  fragments, and snapshots alike); the old ``SourceEpochs`` name stays
+  re-exported here for compatibility.
 * :class:`~repro.cache.fragments.FragmentCache` — complete pushed
   fragment results, served back on exact canonical-plan match or
   predicate subsumption with a mediator-side residual filter.
@@ -12,7 +15,7 @@ Three cooperating pieces (see docs/caching.md for the full layering):
   <ms>``) substituted at bind time while fresh.
 """
 
-from .epochs import SourceEpochs
+from ..catalog.versions import CatalogVersions as SourceEpochs
 from .fragments import FragmentCache, FragmentCacheEntry
 from .keys import (
     FragmentShape,

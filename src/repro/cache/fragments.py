@@ -340,6 +340,30 @@ class FragmentCache:
 
     # -- maintenance ---------------------------------------------------------
 
+    def evict_source(self, source: str) -> int:
+        """Eagerly drop every entry filled from one source.
+
+        Epoch bumps invalidate lazily (entries die on next lookup); this
+        is the stronger form for ``unregister_source``, where the entries'
+        memory should not outlive the source itself. Returns the count.
+        """
+        key = source.lower()
+        with self._lock:
+            victims = [k for k, e in self._entries.items() if e.source == key]
+            for k in victims:
+                self._remove(k)
+            return len(victims)
+
+    def evict_table(self, source: str, remote_table: str) -> int:
+        """Eagerly drop the entries cached for one native table (used when
+        a table is dropped or altered). Returns the count."""
+        table_key = (source.lower(), remote_table.lower())
+        with self._lock:
+            victims = list(self._by_table.get(table_key, ()))
+            for k in victims:
+                self._remove(k)
+            return len(victims)
+
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
         with self._lock:

@@ -8,7 +8,7 @@ expansion — the query plan contains a
 source at all for that view.
 
 Freshness is defined against the per-source epoch clock
-(:class:`~repro.cache.epochs.SourceEpochs`): the snapshot records the
+(:class:`~repro.catalog.versions.CatalogVersions`): the snapshot records the
 epoch of every source it read from. A view is fresh while every such
 source is still at its snapshot epoch; past that, a ``WITH STALENESS
 <ms>`` bound lets it keep serving until the *first* invalidating bump is
@@ -30,8 +30,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..catalog.versions import CatalogVersions
 from ..errors import CatalogError
-from .epochs import SourceEpochs
 
 __all__ = ["MaterializedView", "MaterializedViewRegistry"]
 
@@ -71,7 +71,7 @@ class MaterializedViewRegistry:
     as ``catalog.materialized`` so the analyzer can consult it at bind
     time without an import cycle."""
 
-    def __init__(self, epochs: SourceEpochs, clock=time.monotonic) -> None:
+    def __init__(self, epochs: CatalogVersions, clock=time.monotonic) -> None:
         self.epochs = epochs
         self._clock = clock
         self._lock = threading.Lock()

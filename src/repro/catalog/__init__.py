@@ -7,13 +7,20 @@ views (GAV: a global virtual table defined by a query over other global
 tables) and per-table statistics gathered by ``ANALYZE``.
 """
 
-from .catalog import Catalog
+from .catalog import Catalog, CatalogTable
+from .events import CatalogEvent
+from .journal import CatalogJournal
 from .mappings import TableMapping
 from .schema import Column, TableSchema
 from .statistics import ColumnStatistics, EquiDepthHistogram, TableStatistics
+from .versions import CatalogVersions
 
 __all__ = [
     "Catalog",
+    "CatalogEvent",
+    "CatalogJournal",
+    "CatalogTable",
+    "CatalogVersions",
     "Column",
     "ColumnStatistics",
     "EquiDepthHistogram",

@@ -52,3 +52,22 @@ class TableMapping:
                     f"mapping for table {schema.name!r} renames unknown column "
                     f"{global_name!r}"
                 )
+
+    # -- persistence (catalog journal) ---------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the catalog journal."""
+        return {
+            "source": self.source,
+            "remote_table": self.remote_table,
+            "column_map": dict(self.column_map),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "TableMapping":
+        """Rebuild a mapping from its :meth:`to_dict` form."""
+        return TableMapping(
+            source=str(data["source"]),
+            remote_table=str(data["remote_table"]),
+            column_map=dict(data.get("column_map") or {}),  # type: ignore[arg-type]
+        )

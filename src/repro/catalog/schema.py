@@ -87,6 +87,23 @@ class TableSchema:
         cols = ", ".join(f"{c.name} {c.dtype}" for c in self.columns)
         return f"TableSchema({self.name!r}: {cols})"
 
+    # -- persistence (catalog journal) ---------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the catalog journal."""
+        return {
+            "name": self.name,
+            "columns": [[c.name, c.dtype.name] for c in self.columns],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "TableSchema":
+        """Rebuild a schema from its :meth:`to_dict` form."""
+        return TableSchema(
+            str(data["name"]),
+            [Column.of(str(n), str(t)) for n, t in data["columns"]],  # type: ignore[union-attr]
+        )
+
 
 def schema_from_pairs(
     name: str, pairs: Sequence[Tuple[str, Union[str, DataType]]]

@@ -16,6 +16,7 @@ experiment T4 ablates them against the uniform-distribution assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from datetime import date
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..datatypes import DataType, wire_width
@@ -88,6 +89,35 @@ class EquiDepthHistogram:
                 break
         return EquiDepthHistogram(result)
 
+    # -- persistence (catalog journal) ---------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; bucket bounds round-trip exactly."""
+        return {
+            "buckets": [
+                [
+                    _encode_value(b.lower),
+                    _encode_value(b.upper),
+                    b.count,
+                    b.distinct,
+                ]
+                for b in self._buckets
+            ]
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "EquiDepthHistogram":
+        """Rebuild a histogram from its :meth:`to_dict` form."""
+        return EquiDepthHistogram(
+            [
+                _Bucket(
+                    _decode_value(lower), _decode_value(upper),
+                    int(count), int(distinct),
+                )
+                for lower, upper, count, distinct in data["buckets"]
+            ]
+        )
+
     # -- selectivity estimates ---------------------------------------------
     #
     # All return a fraction of the *non-null* rows in [0, 1].
@@ -131,6 +161,20 @@ class EquiDepthHistogram:
         if low is not None:
             lower = self.selectivity_lt(low) if low_inclusive else self.selectivity_le(low)
         return max(upper - lower, 0.0)
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-encode one statistics value (dates get a type tag)."""
+    if isinstance(value, date):
+        return {"$date": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Invert :func:`_encode_value`."""
+    if isinstance(value, dict) and "$date" in value:
+        return date.fromisoformat(value["$date"])
+    return value
 
 
 def _fraction_within(bucket: _Bucket, value: Any) -> float:
@@ -184,6 +228,38 @@ class ColumnStatistics:
             histogram=histogram,
         )
 
+    # -- persistence (catalog journal) ---------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for the catalog journal."""
+        return {
+            "null_fraction": self.null_fraction,
+            "distinct_count": self.distinct_count,
+            "min_value": _encode_value(self.min_value),
+            "max_value": _encode_value(self.max_value),
+            "avg_width": self.avg_width,
+            "histogram": (
+                self.histogram.to_dict() if self.histogram is not None else None
+            ),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ColumnStatistics":
+        """Rebuild column statistics from their :meth:`to_dict` form."""
+        histogram = data.get("histogram")
+        return ColumnStatistics(
+            null_fraction=float(data["null_fraction"]),
+            distinct_count=float(data["distinct_count"]),
+            min_value=_decode_value(data.get("min_value")),
+            max_value=_decode_value(data.get("max_value")),
+            avg_width=float(data["avg_width"]),
+            histogram=(
+                EquiDepthHistogram.from_dict(histogram)
+                if histogram is not None
+                else None
+            ),
+        )
+
 
 @dataclass
 class TableStatistics:
@@ -213,6 +289,29 @@ class TableStatistics:
     def column(self, name: str) -> Optional[ColumnStatistics]:
         """Look up column statistics by (case-insensitive) name."""
         return self.columns.get(name.lower())
+
+    # -- persistence (catalog journal) ---------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; round-trips exactly, so plans costed from
+        recovered statistics are identical to pre-crash plans."""
+        return {
+            "row_count": self.row_count,
+            "columns": {
+                name: stats.to_dict() for name, stats in self.columns.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TableStatistics":
+        """Rebuild table statistics from their :meth:`to_dict` form."""
+        return TableStatistics(
+            row_count=float(data["row_count"]),
+            columns={
+                name: ColumnStatistics.from_dict(stats)
+                for name, stats in dict(data.get("columns", {})).items()
+            },
+        )
 
     def average_row_width(self, schema: TableSchema) -> float:
         """Estimated bytes per row on the simulated wire."""

@@ -85,6 +85,19 @@ section arms the semantic fragment cache and declares materialized views
         }
     }
 
+A ``catalog`` section arms catalog persistence: every catalog operation
+is appended to a JSONL journal (compacted snapshots every
+``snapshot_interval`` records), and with ``recover_on_start`` a restarted
+mediator replays the journal back to the exact pre-crash catalog instead
+of re-applying this file's declarative sections (see
+``docs/catalog.md``)::
+
+    "catalog": {
+        "journal": "catalog.jsonl",
+        "snapshot_interval": 64,
+        "recover_on_start": true
+    }
+
 A ``serve`` section configures the multi-tenant query service
 (``--serve``; see ``docs/serving.md``)::
 
@@ -153,6 +166,11 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         fragment_cache_bytes, materialized_specs = _parse_cache_config(
             config["cache"]
         )
+    journal_path, snapshot_interval, recover = None, 64, False
+    if "catalog" in config:
+        journal_path, snapshot_interval, recover = _parse_catalog_config(
+            config["catalog"]
+        )
     gis = GlobalInformationSystem(
         options=options,
         fragment_retries=fragment_retries,
@@ -161,7 +179,15 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         faults=faults,
         plan_cache_size=int(config.get("plan_cache_size", 0)),
         fragment_cache_bytes=fragment_cache_bytes,
+        catalog_journal_path=journal_path,
+        catalog_snapshot_interval=snapshot_interval,
+        catalog_recover=recover,
     )
+    if gis.catalog_recovery is not None and gis.catalog_recovery.get("recovered"):
+        # The journal replayed the exact pre-crash catalog; it is the
+        # system of record now, so the declarative sections below (which
+        # describe the *initial* federation) are not re-applied on top.
+        return gis
 
     sources = config.get("sources")
     if not isinstance(sources, dict) or not sources:
@@ -169,7 +195,7 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
     for name, spec in sources.items():
         adapter = _build_source(name, spec)
         link = _build_link(spec.get("link"))
-        gis.register_source(name, adapter, link=link)
+        gis.register_source(name, adapter, link=link, spec=spec)
 
     for entry in config.get("tables", []):
         gis.register_table(
@@ -264,6 +290,39 @@ def _parse_cache_config(spec: Any):
             f"cache.materialized_views[{name!r}].", view_spec, "staleness_ms"
         )
     return budget, materialized
+
+
+def _parse_catalog_config(spec: Any):
+    """Parse the declarative ``catalog`` section (persistence & recovery).
+
+    Mirrors the other sections' strictness: unknown keys are rejected so
+    a typo cannot silently run without a journal.
+    """
+    if not isinstance(spec, dict):
+        raise CatalogError("config: 'catalog' must be an object")
+    _check_keys(
+        "catalog", spec, ("journal", "snapshot_interval", "recover_on_start")
+    )
+    journal = spec.get("journal")
+    if not isinstance(journal, str) or not journal:
+        raise CatalogError(
+            f"config: catalog.'journal' must be a non-empty path string "
+            f"(got {journal!r})"
+        )
+    interval = _int_option("catalog.", spec, "snapshot_interval")
+    if interval is None:
+        interval = 64
+    elif interval < 1:
+        raise CatalogError(
+            f"config: catalog.snapshot_interval must be >= 1 (got {interval})"
+        )
+    recover = spec.get("recover_on_start", False)
+    if not isinstance(recover, bool):
+        raise CatalogError(
+            f"config: catalog.'recover_on_start' must be a boolean "
+            f"(got {recover!r})"
+        )
+    return journal, interval, recover
 
 
 def _check_keys(section: str, spec: Dict[str, Any], allowed: tuple) -> None:

@@ -21,8 +21,11 @@ from dataclasses import replace
 from datetime import date
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..cache import FragmentCache, MaterializedViewRegistry, SourceEpochs
+from ..cache import FragmentCache, MaterializedViewRegistry
+from ..catalog import events as catalog_events
 from ..catalog.catalog import Catalog
+from ..catalog.events import CatalogEvent
+from ..catalog.journal import CatalogJournal
 from ..catalog.mappings import TableMapping
 from ..catalog.schema import Column, TableSchema
 from ..catalog.statistics import DEFAULT_HISTOGRAM_BUCKETS, TableStatistics
@@ -74,6 +77,9 @@ class GlobalInformationSystem:
         faults: Optional[FaultPlan] = None,
         plan_cache_size: int = 0,
         fragment_cache_bytes: int = 0,
+        catalog_journal_path: Optional[str] = None,
+        catalog_snapshot_interval: int = 64,
+        catalog_recover: bool = False,
     ) -> None:
         """Create a mediator.
 
@@ -114,6 +120,15 @@ class GlobalInformationSystem:
         zero bytes. Invalidation is per-source-epoch: catalog changes and
         :meth:`notify_source_changed` bump the clock and entries die
         lazily.
+
+        ``catalog_journal_path`` arms catalog persistence: every catalog
+        operation appends to an append-only JSONL journal (with a
+        compacted snapshot record every ``catalog_snapshot_interval``
+        operations). With ``catalog_recover`` the journal is replayed
+        into this fresh mediator first — sources reattach from their
+        declarative connector specs and epochs stay monotone across the
+        restart (see :mod:`repro.catalog.journal`); the replay report
+        lands on ``self.catalog_recovery``.
         """
         self.catalog = Catalog()
         self.network = network or SimulatedNetwork()
@@ -130,12 +145,56 @@ class GlobalInformationSystem:
         self.cache_hits = 0
         self.cache_misses = 0
         self.plan_cache = PlanCache(plan_cache_size)
-        self.source_epochs = SourceEpochs()
-        self.fragment_cache = FragmentCache(fragment_cache_bytes, self.source_epochs)
-        self.materialized = MaterializedViewRegistry(self.source_epochs)
+        self.fragment_cache = FragmentCache(
+            fragment_cache_bytes, self.catalog.versions
+        )
+        self.materialized = MaterializedViewRegistry(self.catalog.versions)
         # The analyzer consults catalog.materialized at bind time (duck
         # attribute: avoids a core -> cache import cycle in the catalog).
         self.catalog.materialized = self.materialized
+        # React to catalog changes before the journal persists them, so a
+        # journaled operation is never observable with stale caches.
+        self.catalog.subscribe(self._on_catalog_event)
+        self.catalog_journal: Optional[CatalogJournal] = None
+        self.catalog_recovery: Optional[Dict[str, Any]] = None
+        if catalog_journal_path is not None:
+            self.catalog_journal = CatalogJournal(
+                catalog_journal_path, catalog_snapshot_interval
+            )
+            self.catalog_journal.attach(self)
+            if catalog_recover:
+                self.catalog_recovery = self.catalog_journal.recover()
+
+    @property
+    def source_epochs(self):
+        """The per-source epoch clock — now the catalog's version tracker
+        (kept under the historical name for callers and tests)."""
+        return self.catalog.versions
+
+    def _on_catalog_event(self, event: CatalogEvent) -> None:
+        """React to one catalog mutation: drop exactly the cached state
+        the event invalidates.
+
+        Epoch-keyed caches (fragments, materialized snapshots) die lazily
+        off the version bumps the catalog already made; this hook handles
+        the eager parts — the result/plan caches (any catalog change can
+        reshape plans) and, on source removal, state whose memory should
+        not outlive the source.
+        """
+        if event.kind == catalog_events.SOURCE_UNREGISTERED:
+            self.fragment_cache.evict_source(event.source)
+            self.breakers.remove(event.source)
+            self.network.remove_link(event.source)
+        elif event.kind in (
+            catalog_events.TABLE_DROPPED,
+            catalog_events.TABLE_ALTERED,
+        ):
+            mapping = event.payload.get("mapping")
+            if mapping:
+                self.fragment_cache.evict_table(
+                    mapping["source"], mapping["remote_table"]
+                )
+        self.clear_result_cache()
 
     # -- federation configuration ------------------------------------------------
 
@@ -144,11 +203,31 @@ class GlobalInformationSystem:
         name: str,
         adapter: Adapter,
         link: Optional[NetworkLink] = None,
+        spec: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Attach a component system under a federation-unique name."""
-        self.catalog.register_source(name, adapter)
+        """Attach a component system under a federation-unique name.
+
+        ``spec`` is the declarative connector spec (the ``config.py``
+        source dictionary); when given, the catalog journal can reattach
+        the source after a restart. Programmatic registrations without
+        one still work — they are just skipped by recovery.
+        """
         if link is not None:
             self.network.set_link(name, link)
+        self.catalog.register_source(name, adapter, spec=spec)
+
+    def unregister_source(self, name: str) -> Dict[str, List[str]]:
+        """Detach a component system at runtime.
+
+        The catalog cascades (replicas on the source dropped everywhere,
+        tables re-pointed at a surviving replica or dropped — see
+        :meth:`repro.catalog.catalog.Catalog.unregister_source`), and the
+        mediator's event hook evicts the source's fragment-cache entries,
+        forgets its circuit breaker, and drops its network link. Queries
+        already in flight see the source fail and degrade through the
+        normal partial-results path. Returns the catalog's cascade report.
+        """
+        return self.catalog.unregister_source(name)
 
     def register_table(
         self,
@@ -195,8 +274,6 @@ class GlobalInformationSystem:
                         f"column {native!r} on {source}.{native_schema.name}"
                     )
         self.catalog.register_table(name, schema, mapping)
-        self.source_epochs.bump(source)
-        self.clear_result_cache()
 
     def register_replica(
         self,
@@ -234,8 +311,74 @@ class GlobalInformationSystem:
                     f"{native!r} (for global {column.name!r})"
                 )
         self.catalog.add_replica(name, mapping)
-        self.source_epochs.bump(source)
-        self.clear_result_cache()
+
+    def alter_table(
+        self,
+        name: str,
+        remote_table: Optional[str] = None,
+        column_map: Optional[Dict[str, str]] = None,
+        schema: Optional[TableSchema] = None,
+    ) -> Dict[str, List[str]]:
+        """Re-derive a table's global schema after a source-side change.
+
+        The source's *current* native schema becomes the new global one
+        (same derivation rules as :meth:`register_table`); replicas that
+        no longer expose every global column are dropped, statistics
+        gathered under the old schema are discarded, and the table's
+        schema version plus the owning source's epoch advance — every
+        cached plan and fragment touching the table dies.
+
+        Returns ``{"dropped_replicas": [source, ...]}``.
+        """
+        entry = self.catalog.table(name)
+        if entry.is_view or entry.mapping is None:
+            raise CatalogError(f"cannot alter view {name!r}")
+        source = entry.mapping.source
+        adapter: Adapter = self.catalog.source(source)
+        native_name = remote_table or entry.mapping.remote_table
+        resolved = self._find_native_table(adapter, native_name)
+        if resolved is None:
+            raise UnknownObjectError(
+                f"source {source!r} has no table {native_name!r}"
+            )
+        native_key, native_schema = resolved
+        mapping = TableMapping(
+            source=source,
+            remote_table=native_key,
+            column_map=dict(column_map or {}),
+        )
+        if schema is None:
+            reverse = {v.lower(): k for k, v in (column_map or {}).items()}
+            columns = [
+                Column(reverse.get(c.name.lower(), c.name), c.dtype)
+                for c in native_schema.columns
+            ]
+            schema = TableSchema(name, columns)
+        else:
+            for column in schema.columns:
+                native = mapping.remote_column(column.name)
+                if not native_schema.has_column(native):
+                    raise CatalogError(
+                        f"global column {column.name!r} maps to missing native "
+                        f"column {native!r} on {source}.{native_schema.name}"
+                    )
+        survivors: List[TableMapping] = []
+        dropped: List[str] = []
+        for replica in entry.replicas:
+            replica_adapter: Adapter = self.catalog.source(replica.source)
+            replica_native = self._find_native_table(
+                replica_adapter, replica.remote_table
+            )
+            keeps = replica_native is not None and all(
+                replica_native[1].has_column(replica.remote_column(c.name))
+                for c in schema.columns
+            )
+            if keeps:
+                survivors.append(replica)
+            else:
+                dropped.append(replica.source)
+        self.catalog.alter_table(name, schema, mapping, survivors)
+        return {"dropped_replicas": dropped}
 
     def register_all_tables(self, source: str) -> List[str]:
         """Publish every native table of a source under its native name."""
@@ -254,7 +397,6 @@ class GlobalInformationSystem:
         except Exception:
             self.catalog.drop(name)
             raise
-        self.clear_result_cache()
 
     # -- materialized views -------------------------------------------------------
 
@@ -292,6 +434,11 @@ class GlobalInformationSystem:
             self.catalog.drop(name)
             self.clear_result_cache()
             raise
+        self.catalog.publish(
+            catalog_events.MATERIALIZED_CREATED,
+            name=name,
+            payload={"sql": sql, "staleness_ms": staleness_ms},
+        )
 
     def refresh_materialized_view(self, name: str) -> None:
         """Re-execute the view's SELECT against base sources and install
@@ -304,7 +451,7 @@ class GlobalInformationSystem:
         """Drop the snapshot and the underlying integration view."""
         self.materialized.drop(name)
         self.catalog.drop(name)
-        self.clear_result_cache()
+        self.catalog.publish(catalog_events.MATERIALIZED_DROPPED, name=name)
 
     def _refresh_snapshot(self, name: str) -> None:
         """Execute the defining SELECT with substitution suspended (a
@@ -388,11 +535,6 @@ class GlobalInformationSystem:
                     statistics.row_count = float(total)
             self.catalog.set_statistics(name, statistics)
             collected[name] = statistics
-        for name in collected:
-            mapping = self.catalog.table(name).mapping
-            if mapping is not None:
-                self.source_epochs.bump(mapping.source)
-        self.clear_result_cache()
         return collected
 
     def _scan_global(self, entry) -> Iterator[Tuple[Any, ...]]:
@@ -825,18 +967,59 @@ class GlobalInformationSystem:
             self._result_cache.clear()
         self.plan_cache.invalidate()
 
-    def notify_source_changed(self, source: str) -> None:
+    def notify_source_changed(self, source: str) -> int:
         """Tell the mediator a source's data changed out of band.
 
         Sources are autonomous — the mediator cannot see their writes.
         This is the hook an application (or test harness) calls when it
         knows data moved: the source's epoch is bumped, which lazily
         invalidates fragment-cache entries and materialized snapshots
-        built on the old epoch, and the result cache is dropped.
+        built on the old epoch, and the result cache is dropped (via the
+        catalog event the bump publishes). Returns the new epoch.
         """
-        self.catalog.source(source)  # validate the name
-        self.source_epochs.bump(source)
-        self.clear_result_cache()
+        return self.catalog.notify_source_changed(source)
+
+    def catalog_status(self) -> Dict[str, Any]:
+        """One operator-facing picture of the live catalog: sources with
+        their epochs, tables/views with per-entry versions, materialized
+        views, and the journal position. Consumed by the REPL's
+        ``\\catalog`` command and the serve tier's ``catalog`` op."""
+        versions = self.catalog.versions
+        sources = [
+            {
+                "name": name,
+                "epoch": versions.current(name),
+                "tables": len(self.catalog.tables_on_source(name)),
+                "recoverable": self.catalog.source_spec(name) is not None,
+            }
+            for name in self.catalog.source_names()
+        ]
+        tables = []
+        for name in self.catalog.table_names():
+            entry = self.catalog.table(name)
+            tables.append(
+                {
+                    "name": entry.name,
+                    "kind": "view" if entry.is_view else "table",
+                    "source": entry.mapping.source if entry.mapping else None,
+                    "replicas": len(entry.replicas),
+                    "schema_version": versions.schema_version(name),
+                    "stats_version": versions.stats_version(name),
+                    "analyzed": self.catalog.statistics(name) is not None,
+                }
+            )
+        return {
+            "catalog_epoch": versions.catalog_epoch,
+            "sources": sources,
+            "tables": tables,
+            "materialized": sorted(self.materialized.names()),
+            "journal": (
+                self.catalog_journal.position()
+                if self.catalog_journal is not None
+                else None
+            ),
+            "recovery": self.catalog_recovery,
+        }
 
     def result_cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/occupancy counters for the (sql, options) result cache."""

@@ -269,6 +269,12 @@ class CircuitBreakerRegistry:
             for source, breaker in sorted(breakers.items())
         }
 
+    def remove(self, source_name: str) -> bool:
+        """Forget one source's breaker (the source left the federation);
+        True if there was one. A later re-register starts closed."""
+        with self._lock:
+            return self._breakers.pop(source_name.lower(), None) is not None
+
     def reset(self) -> None:
         """Forget all breaker state (e.g. after repairing a federation)."""
         with self._lock:

@@ -22,6 +22,9 @@ Backslash commands:
           registry and circuit-breaker states when metrics are enabled
 \cache    semantic-cache state: fragment cache, result cache, and
           materialized views; \cache clear drops fragment+result entries
+\catalog  live catalog state: catalog epoch, sources with epochs,
+          tables/views with schema+stats versions, and — when catalog
+          persistence is armed — the journal position
 \trace on|off|FILE  record spans per query; FILE also exports a Chrome
           trace_event file (chrome://tracing / Perfetto) after each query
 \health   per-source health: breaker state, failure counts, link speed,
@@ -126,6 +129,8 @@ class Repl:
             self._show_metrics()
         elif name == "\\cache":
             self._cache_command(argument)
+        elif name == "\\catalog":
+            self._show_catalog()
         elif name == "\\trace":
             self._trace_command(argument)
         elif name == "\\naive":
@@ -267,6 +272,59 @@ class Repl:
                 )
         else:
             self._write("materialized views: none")
+
+    def _show_catalog(self) -> None:
+        status = self.gis.catalog_status()
+        self._write(f"catalog epoch: {status['catalog_epoch']}")
+        self._write("sources:")
+        if not status["sources"]:
+            self._write("  (none)")
+        for source in status["sources"]:
+            spec = "declarative" if source["recoverable"] else "ephemeral"
+            self._write(
+                f"  {source['name']}: epoch {source['epoch']}, "
+                f"{source['tables']} tables, {spec}"
+            )
+        self._write("tables:")
+        if not status["tables"]:
+            self._write("  (none)")
+        for table in status["tables"]:
+            if table["kind"] == "view":
+                self._write(f"  {table['name']}  (view)")
+                continue
+            stats = "analyzed" if table["analyzed"] else "no stats"
+            line = (
+                f"  {table['name']}  ->  {table['source']} "
+                f"(schema v{table['schema_version']}, "
+                f"stats v{table['stats_version']}, {stats}"
+            )
+            if table["replicas"]:
+                line += f", {table['replicas']} replicas"
+            self._write(line + ")")
+        if status["materialized"]:
+            self._write(
+                "materialized views: " + ", ".join(status["materialized"])
+            )
+        journal = status["journal"]
+        if journal is None:
+            self._write("journal: OFF (no catalog.journal configured)")
+        else:
+            self._write(
+                f"journal: {journal['path']} @ seq {journal['seq']} "
+                f"(last snapshot seq {journal['last_snapshot_seq']}, "
+                f"{journal['records_since_snapshot']} records since, "
+                f"interval {journal['snapshot_interval']})"
+            )
+        recovery = status["recovery"]
+        if recovery is not None and recovery.get("recovered"):
+            self._write(
+                f"recovered: {recovery['records_replayed']} records replayed"
+                + (
+                    f", skipped sources: {', '.join(recovery['skipped_sources'])}"
+                    if recovery["skipped_sources"]
+                    else ""
+                )
+            )
 
     def _show_health(self) -> None:
         sources = list(self.gis.catalog.source_names())

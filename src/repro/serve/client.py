@@ -188,6 +188,11 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self._call({"op": "stats"})
 
+    def catalog(self) -> Dict[str, Any]:
+        """The server's live catalog status (sources, tables with their
+        versions, materialized views, journal position)."""
+        return self._call({"op": "catalog"}).get("catalog", {})
+
     def close(self) -> None:
         try:
             self._sock.sendall(encode_message({"op": "close"}))

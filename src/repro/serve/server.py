@@ -329,6 +329,8 @@ class QueryServer:
             return {"ok": True, "defaults": session.set_defaults(defaults)}
         if op == "stats":
             return self._handle_stats()
+        if op == "catalog":
+            return {"ok": True, "catalog": self.gis.catalog_status()}
         raise ProtocolError(f"unknown op {op!r}")
 
     def _make_work(self, session: Session, request: Dict[str, Any]):

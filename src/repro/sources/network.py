@@ -87,6 +87,12 @@ class SimulatedNetwork:
         """The link used for a source (dedicated, or the default)."""
         return self._links.get(source_name.lower(), self._default_link)
 
+    def remove_link(self, source_name: str) -> bool:
+        """Drop a source's dedicated link (the source left the federation);
+        True if there was one. Its transfer ledger is kept — the bytes
+        really were shipped."""
+        return self._links.pop(source_name.lower(), None) is not None
+
     # -- accounting ---------------------------------------------------------------
 
     def record_transfer(

@@ -1,0 +1,362 @@
+"""Catalog persistence & recovery: journal replay, snapshots, monotone epochs.
+
+The scenario under test is a mediator crash: the process dies mid-workload
+and a fresh one is built from the same config with ``recover_on_start``.
+Recovery must reproduce the *exact* pre-crash catalog — same sources (via
+their declarative connector specs), same schemas and mappings verbatim,
+same statistics (so plans cost identically), and a version vector that is
+never behind the pre-crash one, so no cached artifact from a previous life
+can be mistaken for fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CatalogVersions, build_from_config
+from repro.catalog import events as ev
+from repro.errors import CatalogError, GISError
+
+
+def base_config(journal_path: str, **catalog_overrides) -> dict:
+    catalog = {"journal": journal_path, "recover_on_start": True}
+    catalog.update(catalog_overrides)
+    return {
+        "sources": {
+            "crm": {
+                "type": "memory",
+                "tables": {
+                    "CUSTOMERS": {
+                        "columns": [
+                            ["id", "INT"], ["name", "TEXT"],
+                            ["region", "TEXT"], ["score", "FLOAT"],
+                        ],
+                        "rows": [
+                            [1, "Alice", "east", 10.0],
+                            [2, "Bob", "west", 20.0],
+                            [3, "Cara", "east", 30.0],
+                            [4, "Dan", "west", 40.0],
+                        ],
+                    }
+                },
+                "link": {"latency_ms": 20, "bandwidth_bytes_per_s": 1e6},
+            },
+            "erp": {
+                "type": "sqlite",
+                "tables": {
+                    "ORDERS": {
+                        "columns": [
+                            ["oid", "INT"], ["cid", "INT"], ["total", "FLOAT"],
+                        ],
+                        "rows": [
+                            [100, 1, 250.0], [101, 2, 80.0],
+                            [102, 3, 990.0], [103, 4, 15.0],
+                        ],
+                    }
+                },
+                "link": {"latency_ms": 30, "bandwidth_bytes_per_s": 2e6},
+            },
+        },
+        "tables": [
+            {"name": "customers", "source": "crm", "remote_table": "CUSTOMERS"},
+            {"name": "orders", "source": "erp", "remote_table": "ORDERS"},
+        ],
+        "views": {
+            "big_orders": "SELECT oid, cid, total FROM orders WHERE total > 50"
+        },
+        "analyze": True,
+        "plan_cache_size": 32,
+        "result_cache_size": 8,
+        "cache": {"fragment_bytes": 1 << 20},
+        "catalog": catalog,
+    }
+
+
+WORKLOAD = [
+    "SELECT COUNT(*) FROM big_orders",
+    "SELECT name, total FROM customers, orders "
+    "WHERE id = cid AND total > 100",
+    "SELECT region, SUM(score) FROM customers GROUP BY region",
+]
+
+
+# ---------------------------------------------------------------------------
+# crash / rebuild / replay
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_restart_replays_to_identical_plans_and_results(self, tmp_path):
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        warm_results = {sql: warm.query(sql) for sql in WORKLOAD}
+        warm_plans = {sql: warm.explain(sql) for sql in WORKLOAD}
+
+        # "Crash": drop the mediator, rebuild from the same config.
+        recovered = build_from_config(config)
+        assert recovered.catalog_recovery["recovered"]
+        assert recovered.catalog_recovery["errors"] == []
+        for sql in WORKLOAD:
+            assert recovered.explain(sql) == warm_plans[sql], sql
+            result = recovered.query(sql)
+            assert result.column_names == warm_results[sql].column_names
+            assert sorted(result.rows) == sorted(warm_results[sql].rows)
+            for row, twin in zip(
+                sorted(result.rows), sorted(warm_results[sql].rows)
+            ):
+                for a, b in zip(row, twin):
+                    assert type(a) is type(b), (row, twin)
+
+    def test_statistics_roundtrip_exactly(self, tmp_path):
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        recovered = build_from_config(config)
+        for table in ("customers", "orders"):
+            a = warm.catalog.statistics(table)
+            b = recovered.catalog.statistics(table)
+            assert a is not None and b is not None
+            assert a.to_dict() == b.to_dict()
+
+    def test_epochs_monotone_across_restart(self, tmp_path):
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        for _ in range(3):
+            warm.notify_source_changed("crm")
+        pre = warm.catalog.versions.snapshot()
+        pre_catalog = warm.catalog.versions.catalog_epoch
+        recovered = build_from_config(config)
+        post = recovered.catalog.versions.snapshot()
+        for source, epoch in pre.items():
+            assert post.get(source, 0) >= epoch
+        assert recovered.catalog.versions.catalog_epoch >= pre_catalog
+
+    def test_midworkload_lifecycle_survives_restart(self, tmp_path):
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        warm.query(WORKLOAD[0])
+        warm.unregister_source("erp")  # mid-workload detach...
+        warm.query("SELECT COUNT(*) FROM customers")
+
+        recovered = build_from_config(config)
+        assert not recovered.catalog.has_source("erp")
+        assert not recovered.catalog.has_table("orders")
+        assert recovered.catalog.has_table("customers")
+        assert recovered.query("SELECT COUNT(*) FROM customers").scalar() == 4
+        with pytest.raises(GISError):
+            recovered.query("SELECT COUNT(*) FROM orders")
+
+    def test_materialized_views_are_rebuilt(self, tmp_path):
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        warm.query(
+            "CREATE MATERIALIZED VIEW pricey WITH STALENESS 60000 AS "
+            "SELECT oid, total FROM orders WHERE total > 500"
+        )
+        warm_rows = warm.query("SELECT * FROM pricey").rows
+
+        recovered = build_from_config(config)
+        assert recovered.materialized.has("pricey")
+        result = recovered.query("SELECT * FROM pricey")
+        assert sorted(result.rows) == sorted(warm_rows)
+        assert result.metrics.network.materialized_view_hits == 1
+
+    def test_empty_or_missing_journal_is_a_cold_start(self, tmp_path):
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        gis = build_from_config(config)
+        assert gis.catalog_recovery is not None
+        assert not gis.catalog_recovery["recovered"]
+        assert gis.catalog.source_names() == ["crm", "erp"]
+        assert gis.query(WORKLOAD[0]).scalar() == 3
+
+    def test_torn_final_write_is_dropped_not_fatal(self, tmp_path):
+        journal = tmp_path / "catalog.jsonl"
+        config = base_config(str(journal))
+        build_from_config(config)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 99999, "kind": "stats_upd')  # torn record
+        recovered = build_from_config(config)
+        assert recovered.catalog_recovery["recovered"]
+        assert any(
+            "truncated" in error for error in recovered.catalog_recovery["errors"]
+        )
+        assert recovered.query(WORKLOAD[0]).scalar() == 3
+
+    def test_programmatic_source_is_skipped_with_report(self, tmp_path):
+        from repro import MemorySource
+        from repro.catalog.schema import schema_from_pairs
+
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        extra = MemorySource("extra")
+        extra.add_table(
+            "things", schema_from_pairs("things", [("k", "INT")]), [(1,)]
+        )
+        warm.register_source("extra", extra)  # no spec: ephemeral
+        warm.register_table("things", source="extra")
+
+        recovered = build_from_config(config)
+        assert recovered.catalog_recovery["skipped_sources"] == ["extra"]
+        assert not recovered.catalog.has_source("extra")
+        assert not recovered.catalog.has_table("things")
+        # Everything declarative is still intact.
+        assert recovered.query(WORKLOAD[0]).scalar() == 3
+
+    def test_journal_compacts_on_recovery_and_snapshot_interval(self, tmp_path):
+        journal = tmp_path / "catalog.jsonl"
+        config = base_config(str(journal), snapshot_interval=4)
+        warm = build_from_config(config)
+        for _ in range(6):
+            warm.notify_source_changed("crm")
+        records = [
+            json.loads(line) for line in open(journal, encoding="utf-8")
+        ]
+        assert any(record["kind"] == "snapshot" for record in records)
+
+        build_from_config(config)
+        compacted = [
+            json.loads(line) for line in open(journal, encoding="utf-8")
+        ]
+        assert len(compacted) == 1
+        assert compacted[0]["kind"] == "snapshot"
+        # And the compacted snapshot alone still recovers everything.
+        again = build_from_config(config)
+        assert again.catalog_recovery["recovered"]
+        assert again.query(WORKLOAD[0]).scalar() == 3
+
+    def test_recovered_epoch_rejects_prior_life_admissions(self, tmp_path):
+        """A fill computed under a pre-crash epoch must not be admitted
+        into a recovered mediator whose clock moved past it."""
+        config = base_config(str(tmp_path / "catalog.jsonl"))
+        warm = build_from_config(config)
+        warm.notify_source_changed("erp")
+        pre_epoch = warm.catalog.versions.current("erp") - 1  # stale snapshot
+        recovered = build_from_config(config)
+        cache = recovered.fragment_cache
+        cache._admit("k", "erp", None, [[(1,)]], 8, pre_epoch)
+        assert cache.stats()["rejected_stale"] == 1
+        assert cache.stats()["admissions"] == 0
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogConfig:
+    def test_unknown_key_rejected(self, tmp_path):
+        config = base_config(str(tmp_path / "j.jsonl"))
+        config["catalog"]["journal_pth"] = "typo"
+        with pytest.raises(CatalogError, match="journal_pth"):
+            build_from_config(config)
+
+    def test_journal_must_be_path_string(self, tmp_path):
+        config = base_config(str(tmp_path / "j.jsonl"))
+        config["catalog"]["journal"] = 7
+        with pytest.raises(CatalogError, match="journal"):
+            build_from_config(config)
+
+    def test_snapshot_interval_must_be_positive(self, tmp_path):
+        config = base_config(str(tmp_path / "j.jsonl"), snapshot_interval=0)
+        with pytest.raises(CatalogError, match="snapshot_interval"):
+            build_from_config(config)
+
+    def test_recover_on_start_must_be_boolean(self, tmp_path):
+        config = base_config(str(tmp_path / "j.jsonl"))
+        config["catalog"]["recover_on_start"] = "yes"
+        with pytest.raises(CatalogError, match="recover_on_start"):
+            build_from_config(config)
+
+    def test_journal_without_recovery_still_records(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        config = base_config(str(journal), recover_on_start=False)
+        gis = build_from_config(config)
+        assert gis.catalog_recovery is None
+        assert journal.exists()
+        assert gis.catalog_journal.position()["seq"] > 0
+
+
+# ---------------------------------------------------------------------------
+# property: epochs are monotone under arbitrary interleavings & restarts
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("bump"), st.sampled_from(["a", "b", "c"])),
+        st.tuples(st.just("bump_all"), st.none()),
+        st.tuples(st.just("schema"), st.sampled_from(["t1", "t2"])),
+        st.tuples(st.just("stats"), st.sampled_from(["t1", "t2"])),
+        st.tuples(st.just("catalog"), st.none()),
+        st.tuples(st.just("restart"), st.none()),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_versions_monotone_under_interleavings_and_restarts(ops):
+    """Whatever the event interleaving — including restarts that persist
+    and restore the vector mid-stream — no counter ever goes backwards."""
+    versions = CatalogVersions()
+    watched_sources = ("a", "b", "c")
+    watched_tables = ("t1", "t2")
+
+    def observe():
+        return (
+            {s: versions.current(s) for s in watched_sources},
+            {t: versions.schema_version(t) for t in watched_tables},
+            {t: versions.stats_version(t) for t in watched_tables},
+            versions.catalog_epoch,
+        )
+
+    last = observe()
+    for op, arg in ops:
+        if op == "bump":
+            versions.bump(arg)
+        elif op == "bump_all":
+            versions.bump_all()
+        elif op == "schema":
+            versions.bump_schema(arg)
+        elif op == "stats":
+            versions.bump_stats(arg)
+        elif op == "catalog":
+            versions.bump_catalog()
+        elif op == "restart":
+            state = versions.state()
+            assert state == json.loads(json.dumps(state))  # JSON-safe
+            versions = CatalogVersions()
+            versions.restore(state)
+        now = observe()
+        for source in watched_sources:
+            assert now[0][source] >= last[0][source], (op, arg)
+        for table in watched_tables:
+            assert now[1][table] >= last[1][table], (op, arg)
+            assert now[2][table] >= last[2][table], (op, arg)
+        assert now[3] >= last[3], (op, arg)
+        last = now
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bumps=st.lists(st.sampled_from(["a", "b"]), max_size=20),
+    replay_bumps=st.lists(st.sampled_from(["a", "b"]), max_size=20),
+)
+def test_restore_is_a_max_merge(bumps, replay_bumps):
+    """Replay-side bumps never push the restored clock *behind* the
+    journaled one, and the journaled clock never erases replay progress."""
+    old = CatalogVersions()
+    for source in bumps:
+        old.bump(source)
+    fresh = CatalogVersions()
+    for source in replay_bumps:
+        fresh.bump(source)
+    pre_restore = fresh.snapshot()
+    fresh.restore(old.state())
+    for source in ("a", "b"):
+        assert fresh.current(source) >= old.current(source)
+        assert fresh.current(source) >= pre_restore.get(source, 0)
