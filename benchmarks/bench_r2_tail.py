@@ -1,0 +1,256 @@
+"""R2 — tail tolerance: hedged fetches vs a straggling primary.
+
+One table lives on ``primary`` with a bit-identical replica on
+``backup``. A seeded straggler fault makes a fraction of the primary's
+calls stall in **real** wall-clock before every page — the classic
+fat-tail federation, where median queries are fine and the p99 is
+whatever the slow replica is doing. The same workload (same per-query
+fault seeds, so the *same* queries straggle) runs twice:
+
+* **unhedged** — fetches ride out every stall;
+* **hedged** — when the first page misses the hedge delay, a duplicate
+  fetch races on ``backup`` and the first stream to produce wins.
+
+Reported per mode: wall-clock p50/p95/p99/max, stall counts, and the
+hedge ledger (launched/won/cancelled, duplicate rows). Hard gates:
+
+* every run, in both modes, returns rows **bit-identical** to the
+  fault-free baseline (hedging may never change an answer);
+* hedged p99 is at least **2x** better than unhedged p99;
+* hedge traffic is honestly charged: duplicate rows appear under
+  ``hedges_rows_shipped`` and in the backup's network ledger.
+
+Results go to ``benchmarks/results/bench_r2_tail.txt`` (human) and
+``benchmarks/results/BENCH_R2.json`` (machine-readable). Run directly::
+
+    python benchmarks/bench_r2_tail.py            # full workload
+    python benchmarks/bench_r2_tail.py --smoke    # CI-sized stalls
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (  # noqa: E402
+    FaultPlan,
+    FaultSpec,
+    GlobalInformationSystem,
+    MemorySource,
+    PlannerOptions,
+)
+from repro.catalog.schema import schema_from_pairs  # noqa: E402
+
+from common import emit, emit_json, format_row  # noqa: E402
+
+SQL = "SELECT a, b FROM t ORDER BY a"
+SEED = 2100
+WIDTHS = (10, 9, 9, 9, 9, 9)
+
+
+def build_federation(rows: int, page_rows: int) -> GlobalInformationSystem:
+    schema = schema_from_pairs("t", [("a", "INT"), ("b", "TEXT")])
+    data = [(i, f"v{i}") for i in range(rows)]
+    gis = GlobalInformationSystem()
+    primary = MemorySource("primary", page_rows=page_rows)
+    primary.add_table("t", schema, data)
+    backup = MemorySource("backup", page_rows=page_rows)
+    backup.add_table("t_copy", schema, data)
+    gis.register_source("primary", primary)
+    gis.register_source("backup", backup)
+    gis.register_table("t", source="primary")
+    gis.register_replica("t", source="backup", remote_table="t_copy")
+    return gis
+
+
+def query_plan(index: int, straggle_ms: float, straggle_rate: float) -> FaultPlan:
+    # One seed per query index: whether query #i straggles is a fixed,
+    # replayable fact shared by both modes — the hedged and unhedged
+    # runs face the *same* sequence of slow queries.
+    return FaultPlan.of(
+        seed=SEED + index,
+        primary=FaultSpec(
+            straggle_ms=straggle_ms, straggle_rate=straggle_rate
+        ),
+    )
+
+
+def percentile(sorted_ms: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_ms:
+        return 0.0
+    rank = max(1, int(round(fraction * len(sorted_ms) + 0.5)))
+    return sorted_ms[min(rank, len(sorted_ms)) - 1]
+
+
+def run_mode(
+    hedged: bool,
+    *,
+    queries: int,
+    straggle_ms: float,
+    straggle_rate: float,
+    hedge_delay_ms: float,
+    rows: int,
+    page_rows: int,
+    baseline: List[tuple],
+) -> Dict[str, Any]:
+    gis = build_federation(rows, page_rows)
+    latencies: List[float] = []
+    hedge_totals = {"launched": 0, "won": 0, "cancelled": 0, "rows": 0}
+    for index in range(queries):
+        options = PlannerOptions(
+            faults=query_plan(index, straggle_ms, straggle_rate),
+            replicas="primary",
+            hedge_fragments=hedged,
+            hedge_delay_ms=hedge_delay_ms,
+        )
+        started = time.perf_counter()
+        result = gis.query(SQL, options)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        assert result.rows == baseline, (
+            f"{'hedged' if hedged else 'unhedged'} query {index} returned "
+            "rows that differ from the fault-free baseline"
+        )
+        net = result.metrics.network
+        hedge_totals["launched"] += net.hedges_launched
+        hedge_totals["won"] += net.hedges_won
+        hedge_totals["cancelled"] += net.hedges_cancelled
+        hedge_totals["rows"] += net.hedges_rows_shipped
+    ledger = gis.network.per_source()
+    ordered = sorted(latencies)
+    return {
+        "mode": "hedged" if hedged else "unhedged",
+        "queries": queries,
+        "p50_ms": round(percentile(ordered, 0.50), 2),
+        "p95_ms": round(percentile(ordered, 0.95), 2),
+        "p99_ms": round(percentile(ordered, 0.99), 2),
+        "max_ms": round(ordered[-1], 2),
+        "mean_ms": round(sum(latencies) / len(latencies), 2),
+        "hedges_launched": hedge_totals["launched"],
+        "hedges_won": hedge_totals["won"],
+        "hedges_cancelled": hedge_totals["cancelled"],
+        "hedges_rows_shipped": hedge_totals["rows"],
+        "backup_rows_shipped": int(
+            getattr(ledger.get("backup"), "rows", 0) or 0
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: fewer queries, shorter stalls",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        queries, straggle_ms, rows, page_rows = 12, 40.0, 240, 48
+    else:
+        queries, straggle_ms, rows, page_rows = 30, 120.0, 480, 60
+    straggle_rate = 0.25
+    hedge_delay_ms = max(10.0, straggle_ms / 4.0)
+
+    baseline = build_federation(rows, page_rows).query(SQL).rows
+    assert len(baseline) == rows
+
+    common = dict(
+        queries=queries,
+        straggle_ms=straggle_ms,
+        straggle_rate=straggle_rate,
+        hedge_delay_ms=hedge_delay_ms,
+        rows=rows,
+        page_rows=page_rows,
+        baseline=baseline,
+    )
+    unhedged = run_mode(False, **common)
+    hedged = run_mode(True, **common)
+
+    # -- hard gates -------------------------------------------------------
+    assert unhedged["hedges_launched"] == 0, unhedged
+    assert hedged["hedges_launched"] > 0, (
+        "straggler workload never triggered a hedge", hedged
+    )
+    assert hedged["hedges_won"] > 0, hedged
+    assert hedged["hedges_rows_shipped"] > 0, hedged
+    assert hedged["backup_rows_shipped"] >= hedged["hedges_rows_shipped"], (
+        "hedge traffic missing from the backup's network ledger", hedged
+    )
+    p99_ratio = (
+        unhedged["p99_ms"] / hedged["p99_ms"] if hedged["p99_ms"] else 0.0
+    )
+    assert p99_ratio >= 2.0, (
+        f"hedging cut p99 only {p99_ratio:.2f}x "
+        f"(unhedged {unhedged['p99_ms']}ms vs hedged {hedged['p99_ms']}ms)"
+    )
+
+    # -- report -----------------------------------------------------------
+    lines = [
+        f"workload: {queries} queries, straggle {straggle_ms:.0f}ms at "
+        f"rate {straggle_rate:.0%} on primary, hedge delay "
+        f"{hedge_delay_ms:.0f}ms{' [smoke]' if args.smoke else ''}",
+        "",
+        format_row(
+            ("mode", "p50 ms", "p95 ms", "p99 ms", "max ms", "mean ms"),
+            WIDTHS,
+        ),
+        format_row(("-" * w for w in WIDTHS), WIDTHS),
+    ]
+    for row in (unhedged, hedged):
+        lines.append(
+            format_row(
+                (
+                    row["mode"],
+                    f"{row['p50_ms']:.1f}",
+                    f"{row['p95_ms']:.1f}",
+                    f"{row['p99_ms']:.1f}",
+                    f"{row['max_ms']:.1f}",
+                    f"{row['mean_ms']:.1f}",
+                ),
+                WIDTHS,
+            )
+        )
+    lines += [
+        "",
+        f"hedges: {hedged['hedges_launched']} launched, "
+        f"{hedged['hedges_won']} won, "
+        f"{hedged['hedges_cancelled']} cancelled, "
+        f"{hedged['hedges_rows_shipped']} duplicate rows charged",
+        f"p99 improvement: {p99_ratio:.1f}x (gate: >= 2x)",
+        "rows: bit-identical to the fault-free baseline in "
+        f"all {2 * queries} runs",
+    ]
+    emit("bench_r2_tail", "R2 — tail tolerance: hedged vs unhedged", lines)
+
+    emit_json(
+        "BENCH_R2",
+        {
+            "bench": "R2",
+            "title": "tail tolerance: hedged fetches vs straggling primary",
+            "smoke": args.smoke,
+            "workload": {
+                "queries": queries,
+                "rows": rows,
+                "page_rows": page_rows,
+                "straggle_ms": straggle_ms,
+                "straggle_rate": straggle_rate,
+                "hedge_delay_ms": hedge_delay_ms,
+                "seed": SEED,
+            },
+            "unhedged": unhedged,
+            "hedged": hedged,
+            "p99_improvement_x": round(p99_ratio, 2),
+            "rows_bit_identical": True,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

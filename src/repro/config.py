@@ -53,6 +53,21 @@ A top-level ``observability`` section arms the tracing/metrics subsystem
         "slow_query_log": "slow.jsonl"       # optional slow-query file
     }
 
+A top-level ``tail`` section arms the tail-tolerance machinery —
+adaptive no-progress timeouts, hedged fragment fetches, and
+health-aware replica routing (see ``docs/resilience.md``)::
+
+    "tail": {
+        "adaptive_timeout": true,            # clamp(k * p99, floor, ceiling)
+        "timeout_multiplier": 3.0,
+        "timeout_floor_ms": 50.0,
+        "timeout_ceiling_ms": 30000.0,
+        "hedge": true,                       # duplicate slow fetches
+        "hedge_delay_ms": 50.0,              # cold-start hedge delay
+        "hedge_quantile": 0.95,              # observed delay once warm
+        "health_routing": true               # prefer healthy replicas
+    }
+
 A top-level ``resilience`` section sets the query deadline and the
 partial-result policy, and a ``faults`` section scripts deterministic
 per-source failures (see ``docs/resilience.md``)::
@@ -154,6 +169,8 @@ def build_from_config(config: Dict[str, Any]) -> GlobalInformationSystem:
         )
     if "resilience" in config:
         options = _apply_resilience_config(config["resilience"], options)
+    if "tail" in config:
+        options = _apply_tail_config(config["tail"], options)
     observability = None
     if "observability" in config:
         observability = _build_observability(config["observability"])
@@ -448,6 +465,63 @@ def _apply_resilience_config(
         return (options or PlannerOptions()).but(**changes)
     except PlanError as exc:
         raise CatalogError(f"invalid resilience config: {exc}") from exc
+
+
+def _apply_tail_config(
+    spec: Any, options: Optional[PlannerOptions]
+) -> PlannerOptions:
+    """Fold the declarative ``tail`` section into planner options.
+
+    Mirrors the scheduler section's strictness: every key is validated
+    and unknown keys are rejected so a typo cannot silently leave
+    hedging or adaptive timeouts disarmed.
+    """
+    if not isinstance(spec, dict):
+        raise CatalogError(
+            f"'tail' config must be a mapping (got {type(spec).__name__})"
+        )
+    _check_keys(
+        "tail",
+        spec,
+        (
+            "adaptive_timeout",
+            "timeout_multiplier",
+            "timeout_floor_ms",
+            "timeout_ceiling_ms",
+            "hedge",
+            "hedge_delay_ms",
+            "hedge_quantile",
+            "health_routing",
+        ),
+    )
+    changes: Dict[str, Any] = {}
+    for config_key, option_key in (
+        ("adaptive_timeout", "adaptive_timeout"),
+        ("hedge", "hedge_fragments"),
+        ("health_routing", "health_routing"),
+    ):
+        if config_key in spec:
+            value = spec[config_key]
+            if not isinstance(value, bool):
+                raise CatalogError(
+                    f"tail config: {config_key!r} must be a boolean "
+                    f"(got {value!r})"
+                )
+            changes[option_key] = value
+    for key in (
+        "timeout_multiplier",
+        "timeout_floor_ms",
+        "timeout_ceiling_ms",
+        "hedge_delay_ms",
+        "hedge_quantile",
+    ):
+        value = _float_option("tail.", spec, key)
+        if value is not None:
+            changes[key] = value
+    try:
+        return (options or PlannerOptions()).but(**changes)
+    except PlanError as exc:
+        raise CatalogError(f"invalid tail config: {exc}") from exc
 
 
 def _build_observability(spec: Any) -> "Observability":

@@ -1,0 +1,283 @@
+"""Per-source health tracking: latency quantiles, EWMA, and error rates.
+
+A mediated federation is gated by its slowest component system, and the
+only place latency variance is observable is the mediator side of the
+wire. :class:`SourceHealthRegistry` is that vantage point: every page
+fetch's wall-clock time is recorded per source, along with fetch
+successes and failures, and the registry answers the questions the
+tail-tolerance layer asks at dispatch time:
+
+* **adaptive no-progress timeouts** — ``clamp(k * p99, floor, ceiling)``
+  over the source's observed page-fetch times, replacing the fixed
+  scheduler timeout once enough samples exist (the static value stays as
+  the cold-start fallback);
+* **hedge delays** — the observed p95 (configurable quantile): how long a
+  fragment may sit without a first page before a duplicate fetch is
+  launched on a replica;
+* **health-aware routing** — a scalar health score (EWMA latency
+  inflated by the recent error rate) ranking a fragment's candidate
+  sources at dispatch.
+
+Quantiles are computed over a bounded window of the most recent
+observations (the metrics registry's histograms are bucketed and cannot
+answer quantile queries; a window also tracks regime changes — a source
+that *was* slow should stop inflating its own timeout once it recovers).
+All state is thread-safe: scheduler workers record latencies
+concurrently. Like breakers and network links, a source's health dies
+with it on ``unregister_source`` — the registry's :meth:`remove` is wired
+into the mediator's catalog-event hook.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+#: Default EWMA smoothing factor for per-source latency.
+DEFAULT_EWMA_ALPHA = 0.2
+
+#: Default bounded window of latency observations kept per source.
+DEFAULT_WINDOW = 512
+
+#: Window of recent fetch outcomes used for the rolling error rate.
+OUTCOME_WINDOW = 64
+
+#: Observations required before quantile-derived budgets are trusted.
+MIN_SAMPLES = 8
+
+
+class SourceHealth:
+    """Mutable health state of one source (owned by the registry).
+
+    Tracks a bounded window of page-fetch latencies (milliseconds of
+    wall-clock between consecutive pages of a fetch), an EWMA over the
+    same stream, fetch outcome counts, and cumulative hedge win/loss
+    counters for the source acting as hedge *primary*.
+    """
+
+    __slots__ = (
+        "_alpha", "_window", "_lock", "ewma_ms", "samples", "errors",
+        "successes", "hedges_launched", "hedges_won", "_latencies",
+        "_outcomes", "_sorted",
+    )
+
+    def __init__(
+        self, alpha: float = DEFAULT_EWMA_ALPHA, window: int = DEFAULT_WINDOW
+    ) -> None:
+        self._alpha = alpha
+        self._window = max(window, 1)
+        self._lock = threading.Lock()
+        self.ewma_ms: Optional[float] = None
+        self.samples = 0
+        self.errors = 0
+        self.successes = 0
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        self._latencies: Deque[float] = deque(maxlen=self._window)
+        #: Rolling window of recent fetch outcomes (True = failure).
+        self._outcomes: Deque[bool] = deque(maxlen=OUTCOME_WINDOW)
+        self._sorted: Optional[list] = None
+
+    def observe_latency(self, ms: float) -> None:
+        with self._lock:
+            self.samples += 1
+            self._latencies.append(ms)
+            self._sorted = None
+            if self.ewma_ms is None:
+                self.ewma_ms = ms
+            else:
+                self.ewma_ms += self._alpha * (ms - self.ewma_ms)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+            self._outcomes.append(True)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._outcomes.append(False)
+
+    def record_hedge(self, won: bool) -> None:
+        with self._lock:
+            self.hedges_launched += 1
+            if won:
+                self.hedges_won += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of the windowed latencies (None when empty).
+
+        Nearest-rank over the sorted window; the sort is cached and
+        invalidated on insert (quantiles are asked once per dispatch,
+        latencies arrive once per page).
+        """
+        with self._lock:
+            if not self._latencies:
+                return None
+            ordered = self._sorted
+            if ordered is None:
+                ordered = self._sorted = sorted(self._latencies)
+            rank = min(int(q * len(ordered)), len(ordered) - 1)
+            return ordered[rank]
+
+    def error_rate(self) -> float:
+        """Failure fraction over the recent outcome window (0.0 when idle)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(self._outcomes) / len(self._outcomes)
+
+    def score(self) -> Optional[float]:
+        """Scalar health score for routing: lower is healthier.
+
+        EWMA latency inflated by the recent error rate (a source failing
+        half its fetches scores far worse than its latency alone says).
+        None until at least one latency sample exists — an unknown source
+        is never preferred over, nor rejected against, a known one.
+        """
+        with self._lock:
+            if self.ewma_ms is None:
+                return None
+            rate = (
+                sum(self._outcomes) / len(self._outcomes)
+                if self._outcomes
+                else 0.0
+            )
+        return self.ewma_ms * (1.0 + 4.0 * rate)
+
+
+class SourceHealthRegistry:
+    """Per-source health trackers, created lazily, shared by all of a
+    mediator's queries (observations must accumulate across queries for
+    quantiles to mean anything — mirrors ``CircuitBreakerRegistry``)."""
+
+    def __init__(
+        self, alpha: float = DEFAULT_EWMA_ALPHA, window: int = DEFAULT_WINDOW
+    ) -> None:
+        self._alpha = alpha
+        self._window = window
+        self._lock = threading.Lock()
+        self._sources: Dict[str, SourceHealth] = {}
+
+    def health_for(self, source_name: str) -> SourceHealth:
+        key = source_name.lower()
+        with self._lock:
+            health = self._sources.get(key)
+            if health is None:
+                health = SourceHealth(self._alpha, self._window)
+                self._sources[key] = health
+            return health
+
+    def get(self, source_name: str) -> Optional[SourceHealth]:
+        with self._lock:
+            return self._sources.get(source_name.lower())
+
+    # -- recording ----------------------------------------------------------
+
+    def observe_latency(self, source_name: str, ms: float) -> None:
+        self.health_for(source_name).observe_latency(ms)
+
+    def record_error(self, source_name: str) -> None:
+        self.health_for(source_name).record_error()
+
+    def record_success(self, source_name: str) -> None:
+        self.health_for(source_name).record_success()
+
+    def record_hedge(self, source_name: str, won: bool) -> None:
+        self.health_for(source_name).record_hedge(won)
+
+    # -- derived budgets ----------------------------------------------------
+
+    def quantile(self, source_name: str, q: float) -> Optional[float]:
+        health = self.get(source_name)
+        return health.quantile(q) if health is not None else None
+
+    def score(self, source_name: str) -> Optional[float]:
+        health = self.get(source_name)
+        return health.score() if health is not None else None
+
+    def adaptive_timeout_ms(
+        self,
+        source_name: str,
+        multiplier: float,
+        floor_ms: float,
+        ceiling_ms: float,
+        min_samples: int = MIN_SAMPLES,
+    ) -> Optional[float]:
+        """The quantile-derived no-progress budget for one source.
+
+        ``clamp(multiplier * p99, floor_ms, ceiling_ms)`` once at least
+        ``min_samples`` page fetches have been observed; None while cold
+        (the caller falls back to the static timeout).
+        """
+        health = self.get(source_name)
+        if health is None or health.samples < min_samples:
+            return None
+        p99 = health.quantile(0.99)
+        if p99 is None:
+            return None
+        return min(max(multiplier * p99, floor_ms), ceiling_ms)
+
+    def hedge_delay_ms(
+        self,
+        source_name: str,
+        quantile: float,
+        fallback_ms: float,
+        min_samples: int = MIN_SAMPLES,
+    ) -> float:
+        """How long a fragment may wait for its first page before a hedge
+        is launched: the source's observed latency quantile (~p95), or
+        ``fallback_ms`` while cold. Never below ``fallback_ms`` — the
+        static delay acts as the floor so a momentarily-fast source
+        cannot drive hedge delays (and duplicate traffic) toward zero.
+        """
+        health = self.get(source_name)
+        if health is None or health.samples < min_samples:
+            return fallback_ms
+        observed = health.quantile(quantile)
+        if observed is None:
+            return fallback_ms
+        return max(observed, fallback_ms)
+
+    # -- lifecycle / diagnostics --------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Current latency/error/hedge picture of every known source."""
+        with self._lock:
+            sources = dict(self._sources)
+        out: Dict[str, Dict[str, object]] = {}
+        for name, health in sorted(sources.items()):
+            out[name] = {
+                "ewma_ms": health.ewma_ms,
+                "p50_ms": health.quantile(0.50),
+                "p95_ms": health.quantile(0.95),
+                "p99_ms": health.quantile(0.99),
+                "samples": health.samples,
+                "errors": health.errors,
+                "successes": health.successes,
+                "error_rate": health.error_rate(),
+                "hedges_launched": health.hedges_launched,
+                "hedges_won": health.hedges_won,
+            }
+        return out
+
+    def remove(self, source_name: str) -> bool:
+        """Forget one source's health (the source left the federation);
+        True if there was any. A later re-register starts cold."""
+        with self._lock:
+            return self._sources.pop(source_name.lower(), None) is not None
+
+    def reset(self) -> None:
+        """Forget all health state (e.g. after repairing a federation)."""
+        with self._lock:
+            self._sources.clear()
+
+
+__all__ = [
+    "DEFAULT_EWMA_ALPHA",
+    "DEFAULT_WINDOW",
+    "MIN_SAMPLES",
+    "SourceHealth",
+    "SourceHealthRegistry",
+]

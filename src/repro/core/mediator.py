@@ -38,6 +38,7 @@ from ..sources.network import NetworkLink, SimulatedNetwork
 from ..sql.parser import UtilityStatement, parse_select, parse_utility
 from .analyzer import Analyzer
 from .fragments import interpret_plan
+from .health import SourceHealthRegistry
 from .logical import MaterializedRowsOp, ScanOp
 from .morsels import MorselPool
 from .pages import Page
@@ -135,6 +136,10 @@ class GlobalInformationSystem:
         self.planner = Planner(self.catalog, self.network, options)
         self.fragment_retries = fragment_retries
         self.breakers = CircuitBreakerRegistry()
+        # Per-source latency quantiles / error rates feeding adaptive
+        # timeouts, hedge delays, and health-aware routing; like breakers,
+        # it persists across queries and dies per-source on unregister.
+        self.health = SourceHealthRegistry()
         self.obs = observability or Observability()
         self.fault_injector = FaultInjector(faults) if faults is not None else None
         self._result_cache_size = result_cache_size
@@ -184,6 +189,7 @@ class GlobalInformationSystem:
         if event.kind == catalog_events.SOURCE_UNREGISTERED:
             self.fragment_cache.evict_source(event.source)
             self.breakers.remove(event.source)
+            self.health.remove(event.source)
             self.network.remove_link(event.source)
         elif event.kind in (
             catalog_events.TABLE_DROPPED,
@@ -578,6 +584,15 @@ class GlobalInformationSystem:
             on_source_failure="fail",
             typed_columns=True,
             morsel_workers=1,
+            # Tail-tolerance knobs steer fetching, never the plan shape.
+            adaptive_timeout=False,
+            timeout_multiplier=3.0,
+            timeout_floor_ms=50.0,
+            timeout_ceiling_ms=30000.0,
+            hedge_fragments=False,
+            hedge_delay_ms=50.0,
+            hedge_quantile=0.95,
+            health_routing=False,
         )
 
     def _plan_for_query(
@@ -694,6 +709,7 @@ class GlobalInformationSystem:
             fragment_cache=(
                 self.fragment_cache if self.fragment_cache.enabled else None
             ),
+            health=self.health,
         )
         if config.scheduled:
             context.scheduler = FragmentScheduler(
@@ -920,6 +936,7 @@ class GlobalInformationSystem:
             root.end()
             if obs.registry.enabled:
                 obs.publish_breakers(self.breakers)
+                obs.publish_health(self.health)
                 obs.publish_cache_stats(
                     result_cache=(
                         self.result_cache_stats()
@@ -1019,7 +1036,55 @@ class GlobalInformationSystem:
                 else None
             ),
             "recovery": self.catalog_recovery,
+            "health": self.health_status(),
         }
+
+    def health_status(
+        self, options: Optional[PlannerOptions] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per-source tail-health picture for operators: latency
+        quantiles/EWMA, error rate, hedge win/loss counters, breaker
+        state, and the no-progress timeout currently in force (the
+        adaptive quantile-derived budget once the source is warm, else
+        the static ``fragment_timeout_ms``). Consumed by the REPL's
+        ``\\health`` command and the serve tier's ``catalog`` op."""
+        opts = options or self.planner.options
+        health = self.health.snapshot()
+        breakers = self.breakers.snapshot()
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.catalog.source_names():
+            key = name.lower()
+            entry: Dict[str, Any] = dict(
+                health.get(
+                    key,
+                    {
+                        "ewma_ms": None, "p50_ms": None, "p95_ms": None,
+                        "p99_ms": None, "samples": 0, "errors": 0,
+                        "successes": 0, "error_rate": 0.0,
+                        "hedges_launched": 0, "hedges_won": 0,
+                    },
+                )
+            )
+            timeout_ms: Optional[float] = None
+            adaptive = False
+            if opts.adaptive_timeout:
+                budget = self.health.adaptive_timeout_ms(
+                    key,
+                    opts.timeout_multiplier,
+                    opts.timeout_floor_ms,
+                    opts.timeout_ceiling_ms,
+                )
+                if budget is not None:
+                    timeout_ms, adaptive = budget, True
+            if timeout_ms is None and opts.fragment_timeout_ms > 0:
+                timeout_ms = opts.fragment_timeout_ms
+            entry["timeout_ms"] = timeout_ms
+            entry["timeout_adaptive"] = adaptive
+            entry["breaker"] = breakers.get(
+                key, {"state": "closed", "trips": 0, "failures": 0}
+            )
+            out[name] = entry
+        return out
 
     def result_cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/occupancy counters for the (sql, options) result cache."""

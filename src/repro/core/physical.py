@@ -119,6 +119,16 @@ class ExecutionMetrics:
     fragment_cache_misses: int = 0
     fragment_cache_bytes_saved: float = 0.0
     materialized_view_hits: int = 0
+    # -- tail tolerance (see repro.core.health / docs/resilience.md) --
+    # Hedge traffic is included in the rows/bytes/messages totals above
+    # (it really crossed the wire) and *additionally* broken out here so
+    # the duplicate cost of hedging is always visible.
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
+    hedges_rows_shipped: int = 0
+    hedges_bytes_shipped: float = 0.0
+    health_reroutes: int = 0
 
 
 class ExecutionContext:
@@ -165,12 +175,17 @@ class ExecutionContext:
         typed_columns: bool = True,
         morsel_pool=None,
         fragment_cache=None,
+        health=None,
     ) -> None:
         self.catalog = catalog
         self.network = network
         self.fragment_retries = max(fragment_retries, 0)
         self.scheduler_config = scheduler_config
         self.breakers = breakers
+        #: The mediator's SourceHealthRegistry (repro.core.health), or
+        #: None. Producers feed it page-fetch latencies and outcomes;
+        #: adaptive timeouts, hedge delays, and health routing read it.
+        self.health = health
         self.scheduler = None  # set by the mediator when config.scheduled
         self.batch_size = max(batch_size, 1)
         #: The mediator's semantic fragment cache (repro.cache), or None.
@@ -749,12 +764,26 @@ class ExchangeExec(PhysicalOperator):
         """The sequential path, wrapped in the robustness envelope
         (breaker gate + backoff) when those knobs are armed. Yields the
         fragment's charged pages in order."""
-        from .scheduler import replica_fallback, sleep_ms
+        from .scheduler import health_route, replica_fallback, sleep_ms
 
         ctx.metrics.fragments_executed += 1
         policy = ctx.retry_policy
         adapter, fragment = self.adapter, self.fragment
         source = fragment.source_name
+        health = ctx.health
+        config = ctx.scheduler_config
+        if (
+            config is not None
+            and config.health_routing
+            and ctx.breakers is not None
+        ):
+            routed = health_route(ctx.catalog, fragment, ctx.breakers, health)
+            if routed is not None:
+                ctx.trace_span.event(
+                    "health-route", primary=source, replica=routed[0],
+                )
+                source, adapter, fragment = routed
+                ctx.add_metric("health_reroutes", 1)
         sizer = self._sizer
         rng = random.Random(f"{source}:direct")
         attempt = 0
@@ -784,7 +813,13 @@ class ExchangeExec(PhysicalOperator):
                     continue  # re-evaluate the replica's own breaker
                 produced = False
                 try:
+                    page_started = time.monotonic()
                     for page in ctx.execute_pages(adapter, fragment, self.page_rows):
+                        if health is not None:
+                            health.observe_latency(
+                                source,
+                                (time.monotonic() - page_started) * 1000.0,
+                            )
                         # Every page — including the final (possibly empty)
                         # one — costs a round trip; an empty result still
                         # charges one message.
@@ -793,7 +828,12 @@ class ExchangeExec(PhysicalOperator):
                         if page:
                             yield page
                             produced = True
+                        # Downstream operators run between pages; do not
+                        # charge their time to the source's latency.
+                        page_started = time.monotonic()
                 except SourceError as exc:
+                    if health is not None:
+                        health.record_error(source)
                     if breaker is not None and breaker.record_failure():
                         ctx.add_metric("breaker_trips", 1)
                         span.event("breaker-trip", source=source)
@@ -823,6 +863,8 @@ class ExchangeExec(PhysicalOperator):
                     continue
                 if breaker is not None:
                     breaker.record_success()
+                if health is not None:
+                    health.record_success(source)
                 return
         finally:
             span.end()

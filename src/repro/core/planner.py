@@ -110,6 +110,34 @@ class PlannerOptions:
             to this query's source calls with a fresh injector per
             execution — deterministic fault scripts for tests and chaos
             runs. None (default) injects nothing.
+        adaptive_timeout: derive each source's no-progress timeout from
+            its observed page-fetch latency quantiles —
+            ``clamp(timeout_multiplier * p99, timeout_floor_ms,
+            timeout_ceiling_ms)`` — instead of the fixed
+            ``fragment_timeout_ms`` (which remains the cold-start
+            fallback until enough samples exist). Purely an execution
+            knob.
+        timeout_multiplier: the ``k`` in the adaptive budget ``k * p99``.
+        timeout_floor_ms: lower clamp of the adaptive timeout (a fast
+            source must not collapse its own budget to nothing).
+        timeout_ceiling_ms: upper clamp of the adaptive timeout (a slow
+            source must not grant itself an unbounded budget).
+        hedge_fragments: arm hedged fragment fetches: a fragment whose
+            source produces no page within its hedge delay (~observed
+            p95 latency, ``hedge_delay_ms`` while cold) gets a duplicate
+            fetch launched on a healthy replica; the first stream to
+            produce wins, the loser is cooperatively cancelled. Rows are
+            bit-identical to unhedged execution; duplicate traffic is
+            charged honestly and reported under ``hedges_*`` metrics.
+        hedge_delay_ms: static cold-start hedge delay, and the floor of
+            the adaptive (quantile-derived) delay.
+        hedge_quantile: the observed-latency quantile used as the hedge
+            delay once the source's health window is warm.
+        health_routing: pick each fragment's serving source by health
+            score (EWMA latency inflated by error rate) across the
+            primary and its replicas at dispatch time, instead of only
+            falling back when a circuit breaker opens. Route decisions
+            emit trace events and count in ``health_reroutes``.
     """
 
     rewrites: bool = True
@@ -140,6 +168,14 @@ class PlannerOptions:
     deadline_ms: float = 0.0
     on_source_failure: str = "fail"
     faults: Optional["FaultPlan"] = None
+    adaptive_timeout: bool = False
+    timeout_multiplier: float = 3.0
+    timeout_floor_ms: float = 50.0
+    timeout_ceiling_ms: float = 30000.0
+    hedge_fragments: bool = False
+    hedge_delay_ms: float = 50.0
+    hedge_quantile: float = 0.95
+    health_routing: bool = False
 
     def __post_init__(self) -> None:
         if self.join_strategy not in JOIN_STRATEGIES:
@@ -212,6 +248,27 @@ class PlannerOptions:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise PlanError(
                 f"faults must be a FaultPlan or None (got {self.faults!r})"
+            )
+        if self.timeout_multiplier <= 0:
+            raise PlanError(
+                f"timeout_multiplier must be > 0 (got {self.timeout_multiplier!r})"
+            )
+        if self.timeout_floor_ms < 0:
+            raise PlanError(
+                f"timeout_floor_ms must be >= 0 (got {self.timeout_floor_ms!r})"
+            )
+        if self.timeout_ceiling_ms < self.timeout_floor_ms:
+            raise PlanError(
+                "timeout_ceiling_ms must be >= timeout_floor_ms "
+                f"(got {self.timeout_ceiling_ms!r} < {self.timeout_floor_ms!r})"
+            )
+        if self.hedge_delay_ms < 0:
+            raise PlanError(
+                f"hedge_delay_ms must be >= 0 (got {self.hedge_delay_ms!r})"
+            )
+        if not 0 < self.hedge_quantile < 1:
+            raise PlanError(
+                f"hedge_quantile must be in (0, 1) (got {self.hedge_quantile!r})"
             )
 
     def but(self, **changes) -> "PlannerOptions":

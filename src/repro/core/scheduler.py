@@ -296,6 +296,15 @@ class SchedulerConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker_threshold: int = 0
     breaker_reset_ms: float = 30000.0
+    # -- tail tolerance (see repro.core.health) --
+    adaptive_timeout: bool = False
+    timeout_multiplier: float = 3.0
+    timeout_floor_ms: float = 50.0
+    timeout_ceiling_ms: float = 30000.0
+    hedge: bool = False
+    hedge_delay_ms: float = 50.0
+    hedge_quantile: float = 0.95
+    health_routing: bool = False
 
     @property
     def parallel(self) -> bool:
@@ -304,8 +313,14 @@ class SchedulerConfig:
     @property
     def scheduled(self) -> bool:
         """Does this configuration need worker threads at all? Timeouts
-        require a producer thread even at concurrency 1."""
-        return self.parallel or self.fragment_timeout_ms > 0
+        require a producer thread even at concurrency 1, and hedging
+        races two producer streams against each other."""
+        return (
+            self.parallel
+            or self.fragment_timeout_ms > 0
+            or self.adaptive_timeout
+            or self.hedge
+        )
 
     @staticmethod
     def from_options(options, fragment_retries: int) -> "SchedulerConfig":
@@ -324,6 +339,14 @@ class SchedulerConfig:
             ),
             breaker_threshold=options.breaker_failure_threshold,
             breaker_reset_ms=options.breaker_reset_ms,
+            adaptive_timeout=options.adaptive_timeout,
+            timeout_multiplier=options.timeout_multiplier,
+            timeout_floor_ms=options.timeout_floor_ms,
+            timeout_ceiling_ms=options.timeout_ceiling_ms,
+            hedge=options.hedge_fragments,
+            hedge_delay_ms=options.hedge_delay_ms,
+            hedge_quantile=options.hedge_quantile,
+            health_routing=options.health_routing,
         )
 
 
@@ -332,51 +355,133 @@ class SchedulerConfig:
 # ---------------------------------------------------------------------------
 
 
+def _retarget_candidates(fragment: Fragment):
+    """Alternative sources a fragment could be served by, with its scans.
+
+    Returns ``(scans, sorted_source_keys)``: the fragment's scan nodes and
+    every source (other than the current one) on which *every* scan has a
+    registered copy. Empty candidates means the fragment is pinned.
+    """
+    scans = [node for node in fragment.plan.walk() if isinstance(node, ScanOp)]
+    if not scans:
+        return scans, []
+    current = fragment.source_name.lower()
+    shared: Optional[Set[str]] = None
+    for scan in scans:
+        sources = {m.source.lower() for m in scan.table.all_mappings()} - {current}
+        shared = sources if shared is None else shared & sources
+    return scans, sorted(shared or ())
+
+
+def _retarget(catalog, fragment: Fragment, scans, key: str):
+    """Rebuild a fragment with every scan stamped onto source ``key``'s
+    mapping (column identities are preserved, so the fragment's output
+    layout is unchanged). Returns ``(source_name, adapter, fragment)``.
+    """
+    chosen: Dict[int, Any] = {}
+    for scan in scans:
+        chosen[id(scan)] = next(
+            m for m in scan.table.all_mappings() if m.source.lower() == key
+        )
+
+    def remap(node):
+        if isinstance(node, ScanOp) and id(node) in chosen:
+            return ScanOp(
+                node.table, node.binding_name, node.columns,
+                mapping=chosen[id(node)],
+            )
+        return None
+
+    plan = transform_plan(fragment.plan, remap)
+    display = chosen[id(scans[0])].source
+    return display, catalog.source(display), Fragment(display, plan)
+
+
 def replica_fallback(catalog, fragment: Fragment, breakers):
     """Re-target a fragment at a replica site when its source's breaker is
     open.
 
     Succeeds only when *every* scan in the fragment has a registered copy on
     one common alternative source whose breaker (if any) admits calls; the
-    plan is rebuilt with each scan stamped onto that source's mapping
-    (column identities are preserved, so the fragment's output layout is
-    unchanged). Returns ``(source_name, adapter, fragment)`` or None.
+    plan is rebuilt with each scan stamped onto that source's mapping.
+    Returns ``(source_name, adapter, fragment)`` or None.
 
     The fallback assumes the replica's capability envelope covers the
     fragment (true for same-kind replicas, the normal case); a weaker
     replica rejects the fragment with a CapabilityError, which surfaces
     like any other source failure.
     """
-    scans = [node for node in fragment.plan.walk() if isinstance(node, ScanOp)]
-    if not scans:
-        return None
-    broken = fragment.source_name.lower()
-    shared: Optional[Set[str]] = None
-    for scan in scans:
-        sources = {m.source.lower() for m in scan.table.all_mappings()} - {broken}
-        shared = sources if shared is None else shared & sources
-    for key in sorted(shared or ()):
+    scans, candidates = _retarget_candidates(fragment)
+    for key in candidates:
         breaker = breakers.get(key) if breakers is not None else None
         if breaker is not None and not breaker.allow():
             continue
-        chosen: Dict[int, Any] = {}
-        for scan in scans:
-            chosen[id(scan)] = next(
-                m for m in scan.table.all_mappings() if m.source.lower() == key
-            )
-
-        def remap(node):
-            if isinstance(node, ScanOp) and id(node) in chosen:
-                return ScanOp(
-                    node.table, node.binding_name, node.columns,
-                    mapping=chosen[id(node)],
-                )
-            return None
-
-        plan = transform_plan(fragment.plan, remap)
-        display = chosen[id(scans[0])].source
-        return display, catalog.source(display), Fragment(display, plan)
+        return _retarget(catalog, fragment, scans, key)
     return None
+
+
+def hedge_target(catalog, fragment: Fragment, breakers, health):
+    """Pick the replica a hedged duplicate fetch should race against.
+
+    Candidates are the fragment's common alternative sources whose
+    breakers admit calls, ranked by health score (lower = healthier;
+    unknown sources rank last, in name order, so a cold federation still
+    hedges deterministically). Returns ``(source_name, adapter,
+    fragment)`` or None when the fragment has nowhere else to go.
+    """
+    scans, candidates = _retarget_candidates(fragment)
+    admitted = []
+    for key in candidates:
+        breaker = breakers.get(key) if breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            continue
+        admitted.append(key)
+    if not admitted:
+        return None
+    if health is not None:
+        admitted.sort(
+            key=lambda key: (
+                (0, score) if (score := health.score(key)) is not None
+                else (1, 0.0)
+            )
+        )
+    return _retarget(catalog, fragment, scans, admitted[0])
+
+
+#: A replica must beat the primary's health score by this factor before a
+#: dispatch is proactively rerouted (hysteresis against route flapping).
+HEALTH_ROUTE_MARGIN = 1.25
+
+
+def health_route(catalog, fragment: Fragment, breakers, health):
+    """Proactively re-target a fragment at its healthiest serving source.
+
+    Consulted at dispatch when ``health_routing`` is armed: if a replica's
+    health score beats the primary's by :data:`HEALTH_ROUTE_MARGIN`, the
+    fragment is dispatched there instead of waiting for the primary's
+    breaker to open. Unknown scores (cold sources) never trigger a
+    reroute — reactive fallback still covers them. Returns
+    ``(source_name, adapter, fragment)`` or None to keep the primary.
+    """
+    if health is None:
+        return None
+    primary_score = health.score(fragment.source_name)
+    if primary_score is None:
+        return None
+    scans, candidates = _retarget_candidates(fragment)
+    best = None
+    for key in candidates:
+        breaker = breakers.get(key) if breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            continue
+        score = health.score(key)
+        if score is None:
+            continue
+        if best is None or score < best[0]:
+            best = (score, key)
+    if best is None or best[0] * HEALTH_ROUTE_MARGIN >= primary_score:
+        return None
+    return _retarget(catalog, fragment, scans, best[1])
 
 
 # ---------------------------------------------------------------------------
@@ -389,7 +494,7 @@ class _FragmentTask:
 
     __slots__ = (
         "index", "adapter", "fragment", "page_rows", "sizer", "queue",
-        "cancelled", "done", "virtual_ms", "thread", "span",
+        "cancelled", "done", "virtual_ms", "thread", "span", "hedge",
     )
 
     def __init__(
@@ -399,6 +504,7 @@ class _FragmentTask:
         fragment: Fragment,
         page_rows: int,
         sizer=None,
+        hedge: bool = False,
     ):
         self.index = index
         self.adapter = adapter
@@ -410,6 +516,9 @@ class _FragmentTask:
         self.done = False
         self.virtual_ms = 0.0
         self.thread: Optional[threading.Thread] = None
+        #: A hedged duplicate fetch racing a straggling primary; its
+        #: traffic is charged normally but also tallied under hedges_*.
+        self.hedge = hedge
         # Trace span for this fetch; the producer thread opens it (under
         # the parent captured from the submitting thread's context) and the
         # consumer may close it on timeout — Span.end is race-safe.
@@ -501,13 +610,15 @@ class FragmentScheduler:
             yield from page
 
     def submit_fragment(
-        self, adapter, fragment: Fragment, page_rows: int, ctx, sizer=None
+        self, adapter, fragment: Fragment, page_rows: int, ctx, sizer=None,
+        hedge: bool = False,
     ) -> _FragmentTask:
         """Start fetching one fragment in the background; returns its task."""
         with self._lock:
             index = len(self._tasks)
             task = _FragmentTask(
-                index, adapter, fragment, max(page_rows, 1), sizer
+                index, adapter, fragment, max(page_rows, 1), sizer,
+                hedge=hedge,
             )
             self._tasks.append(task)
         thread = threading.Thread(
@@ -528,37 +639,221 @@ class FragmentScheduler:
         through exactly as the producer queued them (never re-chunked), so
         the consumer sees the same page boundaries the network was charged
         for. When the query carries a deadline the wait is sliced so
-        expiry is noticed promptly even with no fragment timeout set."""
-        timeout_ms = self._config.fragment_timeout_ms
-        timeout_s = timeout_ms / 1000.0 if timeout_ms > 0 else None
+        expiry is noticed promptly even with no fragment timeout set.
+
+        With hedging armed, the wait for the fragment's *first* page runs
+        through :meth:`_stream_hedged`, which may race a duplicate fetch
+        on a replica against a straggling primary."""
+        timeout_ms = self._timeout_ms_for(task.fragment.source_name, ctx)
         deadline: Optional[Deadline] = getattr(ctx, "deadline", None)
+        if self._config.hedge and not task.hedge:
+            yield from self._stream_hedged(task, ctx, timeout_ms, deadline)
+        else:
+            yield from self._stream_plain(task, ctx, timeout_ms, deadline)
+
+    def _timeout_ms_for(self, source: str, ctx) -> float:
+        """The no-progress budget for one source: the adaptive
+        quantile-derived value when armed and warm, else the static
+        ``fragment_timeout_ms`` (the cold-start fallback)."""
+        config = self._config
+        static = config.fragment_timeout_ms
+        if not config.adaptive_timeout:
+            return static
+        health = getattr(ctx, "health", None)
+        if health is None:
+            return static
+        adaptive = health.adaptive_timeout_ms(
+            source,
+            config.timeout_multiplier,
+            config.timeout_floor_ms,
+            config.timeout_ceiling_ms,
+        )
+        return static if adaptive is None else adaptive
+
+    def _stream_plain(
+        self,
+        task: _FragmentTask,
+        ctx,
+        timeout_ms: float,
+        deadline: "Optional[Deadline]",
+    ) -> Iterator[List[Row]]:
+        timeout_s = timeout_ms / 1000.0 if timeout_ms > 0 else None
         while True:
             if task.queue.empty() and not task.done:
                 ctx.add_metric("scheduler_stalls", 1)
             try:
                 kind, payload = self._next_item(task, ctx, timeout_s, deadline)
             except queue.Empty:
-                task.cancelled = True
-                source = task.fragment.source_name
-                breaker = ctx.breaker_for(source)
-                if breaker is not None and breaker.record_failure():
-                    ctx.add_metric("breaker_trips", 1)
-                # Close the abandoned producer's span from here — its own
-                # thread is hung and will never end it.
-                task.span.event("timeout", timeout_ms=timeout_ms)
-                task.span.set_attribute("timeout", True)
-                task.span.end()
-                raise SourceError(
-                    source,
-                    f"fragment made no progress for {timeout_ms:.0f} ms "
-                    "(timeout; source may be hung)",
-                )
+                self._fail_no_progress(task, None, ctx, timeout_ms)
             if kind == "rows":
                 yield payload
             elif kind == "end":
                 return
             else:  # "error"
                 raise payload
+
+    def _fail_no_progress(
+        self,
+        task: _FragmentTask,
+        hedge: "Optional[_FragmentTask]",
+        ctx,
+        timeout_ms: float,
+    ) -> None:
+        """Cancel a fragment (and any in-flight hedge) that made no
+        progress for its budget and raise the attributed SourceError."""
+        task.cancelled = True
+        if hedge is not None:
+            hedge.cancelled = True
+        source = task.fragment.source_name
+        breaker = ctx.breaker_for(source)
+        if breaker is not None and breaker.record_failure():
+            ctx.add_metric("breaker_trips", 1)
+        health = getattr(ctx, "health", None)
+        if health is not None:
+            health.record_error(source)
+        # Close the abandoned producer's span from here — its own
+        # thread is hung and will never end it.
+        task.span.event("timeout", timeout_ms=timeout_ms)
+        task.span.set_attribute("timeout", True)
+        task.span.end()
+        raise SourceError(
+            source,
+            f"fragment made no progress for {timeout_ms:.0f} ms "
+            "(timeout; source may be hung)",
+        )
+
+    # -- hedged consumption -------------------------------------------------
+
+    def _hedge_delay_ms(self, source: str, ctx) -> float:
+        config = self._config
+        health = getattr(ctx, "health", None)
+        if health is None:
+            return config.hedge_delay_ms
+        return health.hedge_delay_ms(
+            source, config.hedge_quantile, config.hedge_delay_ms
+        )
+
+    def _launch_hedge(
+        self, primary: _FragmentTask, ctx
+    ) -> "Optional[_FragmentTask]":
+        """Start the duplicate fetch on the healthiest admitted replica."""
+        target = hedge_target(
+            self._catalog, primary.fragment, self._breakers,
+            getattr(ctx, "health", None),
+        )
+        if target is None:
+            return None
+        source, adapter, fragment = target
+        ctx.add_metric("hedges_launched", 1)
+        ctx.trace_span.event(
+            "hedge-launched",
+            primary=primary.fragment.source_name, replica=source,
+        )
+        return self.submit_fragment(
+            adapter, fragment, primary.page_rows, ctx,
+            sizer=primary.sizer, hedge=True,
+        )
+
+    def _stream_hedged(
+        self,
+        primary: _FragmentTask,
+        ctx,
+        timeout_ms: float,
+        deadline: "Optional[Deadline]",
+    ) -> Iterator[List[Row]]:
+        """Race the primary fetch against a late-launched replica hedge.
+
+        The race covers only the *first* item: once either stream
+        produces a page (or finishes), that task is the winner, the loser
+        is cooperatively cancelled, and consumption continues on the
+        winner alone. Hedging therefore never mixes pages from two
+        streams — the winner's stream is consumed end to end, which is
+        what keeps hedged rows bit-identical to unhedged execution. A
+        primary that produces before the hedge delay elapses commits the
+        race immediately and no hedge is launched.
+        """
+        source = primary.fragment.source_name
+        health = getattr(ctx, "health", None)
+        delay_ms = self._hedge_delay_ms(source, ctx)
+        started = self._clock()
+        hedge: "Optional[_FragmentTask]" = None
+        no_target = False
+        winner: "Optional[_FragmentTask]" = None
+        first = None
+        failures: List[Tuple[_FragmentTask, BaseException]] = []
+        while winner is None:
+            if deadline is not None and deadline.remaining_ms() <= 0:
+                primary.cancelled = True
+                if hedge is not None:
+                    hedge.cancelled = True
+                primary.span.event("deadline", budget_ms=deadline.budget_ms)
+                raise ctx.deadline_error(source)
+            waited_ms = (self._clock() - started) * 1000.0
+            if timeout_ms > 0 and waited_ms >= timeout_ms:
+                self._fail_no_progress(primary, hedge, ctx, timeout_ms)
+            if hedge is None and not no_target and waited_ms >= delay_ms:
+                hedge = self._launch_hedge(primary, ctx)
+                no_target = hedge is None
+            contenders = [
+                t for t in (primary, hedge)
+                if t is not None and all(f is not t for f, _ in failures)
+            ]
+            if not contenders:
+                # Both streams failed terminally (their envelopes already
+                # retried and fell back); attribute to the primary.
+                for failed, error in failures:
+                    if failed is primary:
+                        raise error
+                raise failures[0][1]
+            item = None
+            holder = None
+            for contender in contenders:
+                try:
+                    item = contender.queue.get_nowait()
+                    holder = contender
+                    break
+                except queue.Empty:
+                    continue
+            if item is None:
+                ctx.add_metric("scheduler_stalls", 1)
+                # Bounded block so hedge launch, timeout, and deadline
+                # all stay prompt (the same poll granularity the
+                # producers use for cancellation).
+                slice_s = _POLL_S
+                if hedge is None and not no_target:
+                    slice_s = max(
+                        min(slice_s, (delay_ms - waited_ms) / 1000.0), 0.001
+                    )
+                try:
+                    item = contenders[0].queue.get(timeout=slice_s)
+                    holder = contenders[0]
+                except queue.Empty:
+                    continue
+            kind, payload = item
+            if kind == "error":
+                failures.append((holder, payload))
+                continue
+            winner, first = holder, item
+        loser = hedge if winner is primary else primary
+        if loser is not None:
+            loser.cancelled = True
+            ctx.add_metric("hedges_cancelled", 1)
+        if hedge is not None:
+            hedge_won = winner is hedge
+            if health is not None:
+                health.record_hedge(source, won=hedge_won)
+            if hedge_won:
+                ctx.add_metric("hedges_won", 1)
+                ctx.trace_span.event(
+                    "hedge-won",
+                    replica=winner.fragment.source_name, primary=source,
+                )
+        kind, payload = first
+        if kind == "rows":
+            yield payload
+        elif kind == "end":
+            return
+        yield from self._stream_plain(winner, ctx, timeout_ms, deadline)
 
     def _next_item(
         self,
@@ -645,7 +940,13 @@ class FragmentScheduler:
         return False
 
     def _produce(self, task: _FragmentTask, ctx) -> None:
-        if not self._acquire(self._global_slots, task):
+        # A hedge must run while the straggling primary still holds its
+        # worker slot — under the global cap, max_parallel_fragments=1
+        # would quietly disable hedging. Hedge concurrency is bounded by
+        # the number of in-flight races (at most one per consumer), so
+        # bypassing the cap cannot stampede the pool; per-source
+        # admission still applies inside the envelope.
+        if not task.hedge and not self._acquire(self._global_slots, task):
             return
         try:
             with self._lock:
@@ -655,7 +956,8 @@ class FragmentScheduler:
         finally:
             with self._lock:
                 self._in_flight -= 1
-            self._global_slots.release()
+            if not task.hedge:
+                self._global_slots.release()
 
     def _run_envelope(self, task: _FragmentTask, ctx) -> None:
         """Execute one fragment inside the robustness envelope.
@@ -669,12 +971,26 @@ class FragmentScheduler:
         config = self._config
         adapter, fragment = task.adapter, task.fragment
         source = fragment.source_name
+        if config.health_routing and not task.hedge:
+            routed = health_route(
+                self._catalog, fragment, self._breakers,
+                getattr(ctx, "health", None),
+            )
+            if routed is not None:
+                ctx.trace_span.event(
+                    "health-route", primary=source, replica=routed[0],
+                )
+                source, adapter, fragment = routed
+                task.fragment = fragment
+                ctx.add_metric("health_reroutes", 1)
         rng = random.Random(f"{source}:{task.index}")
         attempt = 0
         span = ctx.trace_child(
             f"fragment:{source}", "fragment",
             source=source, mode="parallel", worker=task.index,
         )
+        if task.hedge:
+            span.set_attribute("hedge", True)
         task.span = span
         with ctx.tracer.activate(span):
             try:
@@ -689,6 +1005,7 @@ class FragmentScheduler:
         self, task, ctx, adapter, fragment, source, rng, attempt, config, span
     ) -> None:
         deadline: Optional[Deadline] = getattr(ctx, "deadline", None)
+        health = getattr(ctx, "health", None)
         while not (self._stop.is_set() or task.cancelled):
             if deadline is not None and deadline.expired():
                 # Unblock the consumer promptly rather than going silent.
@@ -725,18 +1042,36 @@ class FragmentScheduler:
                 # exactly one final partial (possibly empty) page. Every page
                 # — including the trailing empty one that says "result
                 # complete" — costs one response message on the wire.
+                page_started = self._clock()
                 for page in ctx.execute_pages(adapter, fragment, task.page_rows):
+                    if health is not None:
+                        now = self._clock()
+                        health.observe_latency(
+                            source, (now - page_started) * 1000.0
+                        )
                     if self._stop.is_set() or task.cancelled:
                         return
                     task.virtual_ms += ctx.charge_transfer(
                         source, page, 1, task.sizer
                     )
+                    if task.hedge:
+                        ctx.add_metric("hedges_rows_shipped", len(page))
+                        if task.sizer is not None:
+                            ctx.add_metric(
+                                "hedges_bytes_shipped", task.sizer(page)
+                            )
                     span.event("page", rows=len(page))
                     if page:
                         if not task.put(("rows", page), self._stop):
                             return
                         produced = True
+                    # Restart the fetch clock after the (possibly blocking)
+                    # queue hand-off, so consumer backpressure is never
+                    # charged to the source's latency profile.
+                    page_started = self._clock()
             except SourceError as exc:
+                if health is not None:
+                    health.record_error(source)
                 if breaker is not None and breaker.record_failure():
                     ctx.add_metric("breaker_trips", 1)
                     span.event("breaker-trip", source=source)
@@ -775,6 +1110,8 @@ class FragmentScheduler:
                 slot.release()
             if breaker is not None:
                 breaker.record_success()
+            if health is not None:
+                health.record_success(source)
             task.done = True
             task.put(("end", None), self._stop)
             return

@@ -166,6 +166,13 @@ class Observability:
             registry.counter("fragment_retries_total").inc(net.fragment_retries)
             registry.counter("breaker_trips_total").inc(net.breaker_trips)
             registry.counter("breaker_fallbacks_total").inc(net.breaker_fallbacks)
+            for field in (
+                "hedges_launched", "hedges_won", "hedges_cancelled",
+                "hedges_rows_shipped", "health_reroutes",
+            ):
+                value = getattr(net, field, 0)
+                if value:
+                    registry.counter(f"{field}_total").inc(value)
             registry.counter("rows_returned_total").inc(net.rows_output)
             registry.histogram("query_wall_ms").observe(metrics.wall_ms)
             registry.histogram("query_planning_ms").observe(metrics.planning_ms)
@@ -240,6 +247,28 @@ class Observability:
                 registry.gauge(f"breaker.{source}.failures").set(
                     info.get("failures", 0)
                 )
+        return states
+
+    def publish_health(self, health: Any) -> Dict[str, Dict[str, Any]]:
+        """Mirror per-source health state into the registry.
+
+        ``health`` is a
+        :class:`~repro.core.health.SourceHealthRegistry`; each source
+        gets ``health.<source>.<field>`` gauges for its latency EWMA and
+        p50/p95/p99, error rate, sample count, and hedge win/launch
+        counters (missing quantiles — a cold source — publish nothing).
+        """
+        states = health.snapshot()
+        registry = self.registry
+        if registry.enabled:
+            for source, info in states.items():
+                for name, value in info.items():
+                    if isinstance(value, (int, float)) and not isinstance(
+                        value, bool
+                    ):
+                        registry.gauge(f"health.{source}.{name}").set(
+                            float(value)
+                        )
         return states
 
 

@@ -28,7 +28,10 @@ Backslash commands:
 \trace on|off|FILE  record spans per query; FILE also exports a Chrome
           trace_event file (chrome://tracing / Perfetto) after each query
 \health   per-source health: breaker state, failure counts, link speed,
-          shipped totals, and injected-fault counters when faults are armed
+          shipped totals, injected-fault counters when faults are armed,
+          and — once pages have been observed — latency EWMA and
+          p50/p95/p99, error rate, the no-progress timeout in force
+          (adaptive when armed and warm), and hedge win/loss counters
 \naive    toggle the naive (no-optimizer) baseline for comparisons
 \parallel N|off  fetch fragments with N concurrent workers (off = sequential)
 \batch N|off  rows per operator batch (off = planner default, 1 = row-at-a-time)
@@ -331,17 +334,18 @@ class Repl:
         if not sources:
             self._write("no sources registered")
             return
-        breakers = self.gis.breakers.snapshot()
+        status = self.gis.health_status(self._options())
         ledger = self.gis.network.per_source()
         injector = self.gis.fault_injector
         faults = injector.snapshot() if injector is not None else {}
         for name in sources:
             key = name.lower()
             link = self.gis.network.link_for(name)
-            info = breakers.get(key)
-            state = str(info["state"]) if info else "closed"
-            trips = info["trips"] if info else 0
-            failures = info["failures"] if info else 0
+            entry = status.get(name, {})
+            info = entry.get("breaker", {})
+            state = str(info.get("state", "closed"))
+            trips = info.get("trips", 0)
+            failures = info.get("failures", 0)
             line = (
                 f"  {name}: breaker {state} "
                 f"({trips} trips, {failures} recent failures); "
@@ -360,6 +364,24 @@ class Repl:
                     f"; faults {snapshot.failures}/{snapshot.calls} calls"
                 )
             self._write(line)
+            if entry.get("samples"):
+                self._write(
+                    f"    latency ewma {entry['ewma_ms']:.1f}ms, "
+                    f"p50 {entry['p50_ms']:.1f}ms / "
+                    f"p95 {entry['p95_ms']:.1f}ms / "
+                    f"p99 {entry['p99_ms']:.1f}ms "
+                    f"({entry['samples']} pages, "
+                    f"error rate {entry['error_rate']:.0%})"
+                )
+            timeout_ms = entry.get("timeout_ms")
+            if timeout_ms is not None:
+                mode = "adaptive" if entry.get("timeout_adaptive") else "static"
+                self._write(f"    timeout {timeout_ms:.0f}ms ({mode})")
+            if entry.get("hedges_launched"):
+                self._write(
+                    f"    hedges {entry['hedges_won']}/"
+                    f"{entry['hedges_launched']} won"
+                )
 
     def _trace_command(self, argument: str) -> None:
         obs = self.gis.obs

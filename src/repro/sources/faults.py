@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Tuple
 
@@ -33,6 +34,10 @@ from ..errors import CatalogError, SourceError
 #: Failure modes an injected call can take.
 _CONNECT = "connect"
 _MIDSTREAM = "midstream"
+
+#: Real-time sleep hook for straggler faults; tests patch this to observe
+#: the injected delays without actually sleeping.
+_straggle_sleep = time.sleep
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,21 @@ class FaultSpec:
         permanent: injected errors are marked non-retryable
             (``SourceError.retryable = False``), so retry budgets are not
             burned on a source that will never answer.
+        straggle_ms: **real wall-clock** delay injected before each page
+            of a straggling call. Unlike ``latency_ms`` (virtual, ledger
+            only) this actually stalls the fetching thread — it is the
+            knob that exercises no-progress timeouts and hedged fetches,
+            which race wall-clock time.
+        straggle_jitter_ms: extra per-page delay drawn uniformly from
+            ``[0, straggle_jitter_ms)`` off the source's seeded RNG
+            (deterministic per plan seed).
+        straggle_after_pages: the first N pages of a straggling call are
+            served at full speed; delays start after them (a source that
+            answers fast, then bogs down).
+        straggle_rate: probability in [0, 1] that a call straggles at
+            all, drawn per call from the seeded RNG. 1.0 (the default)
+            slows every call; 0.05 models the classic "one request in
+            twenty hits the slow path" tail.
     """
 
     fail_connect: int = 0
@@ -67,6 +87,10 @@ class FaultSpec:
     recover_after: Optional[int] = None
     latency_ms: float = 0.0
     permanent: bool = False
+    straggle_ms: float = 0.0
+    straggle_jitter_ms: float = 0.0
+    straggle_after_pages: int = 0
+    straggle_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.fail_connect < 0:
@@ -95,6 +119,25 @@ class FaultSpec:
             raise CatalogError(
                 f"fault spec: latency_ms must be >= 0 (got {self.latency_ms!r})"
             )
+        if self.straggle_ms < 0:
+            raise CatalogError(
+                f"fault spec: straggle_ms must be >= 0 (got {self.straggle_ms!r})"
+            )
+        if self.straggle_jitter_ms < 0:
+            raise CatalogError(
+                "fault spec: straggle_jitter_ms must be >= 0 "
+                f"(got {self.straggle_jitter_ms!r})"
+            )
+        if self.straggle_after_pages < 0:
+            raise CatalogError(
+                "fault spec: straggle_after_pages must be >= 0 "
+                f"(got {self.straggle_after_pages!r})"
+            )
+        if not 0.0 <= self.straggle_rate <= 1.0:
+            raise CatalogError(
+                "fault spec: straggle_rate must be in [0, 1] "
+                f"(got {self.straggle_rate!r})"
+            )
 
     @property
     def injects_failures(self) -> bool:
@@ -106,6 +149,13 @@ class FaultSpec:
             or self.fail_after_pages is not None
         )
 
+    @property
+    def injects_stragglers(self) -> bool:
+        """Does this spec ever stall a call in real wall-clock time?"""
+        return (
+            self.straggle_ms > 0.0 or self.straggle_jitter_ms > 0.0
+        ) and self.straggle_rate > 0.0
+
 
 #: Keys accepted in a declarative per-source fault spec (config "faults").
 FAULT_SPEC_KEYS = (
@@ -116,6 +166,10 @@ FAULT_SPEC_KEYS = (
     "recover_after",
     "latency_ms",
     "permanent",
+    "straggle_ms",
+    "straggle_jitter_ms",
+    "straggle_after_pages",
+    "straggle_rate",
 )
 
 
@@ -213,13 +267,17 @@ class _SourceFaultState:
     parallel-scheduler chaos runs reproducible.
     """
 
-    __slots__ = ("spec", "calls", "failures", "_rng", "_lock")
+    __slots__ = ("spec", "calls", "failures", "_rng", "_straggle_rng", "_lock")
 
     def __init__(self, spec: FaultSpec, seed: int, source: str) -> None:
         self.spec = spec
         self.calls = 0
         self.failures = 0
         self._rng = random.Random(f"{seed}:{source.lower()}")
+        # Straggler draws come off their own seeded stream so arming (or
+        # tuning) stragglers never shifts the *failure* schedule a seed
+        # produces — existing chaos scripts replay unchanged.
+        self._straggle_rng = random.Random(f"{seed}:{source.lower()}:straggle")
         self._lock = threading.Lock()
 
     def next_call(self) -> Optional[Tuple[str, int]]:
@@ -257,6 +315,26 @@ class _SourceFaultState:
         if self.spec.fail_after_pages is not None:
             return (_MIDSTREAM, self.spec.fail_after_pages)
         return (_CONNECT, 0)
+
+    def next_straggle(self) -> bool:
+        """Decide whether this call takes the slow path (seeded draw)."""
+        spec = self.spec
+        if not spec.injects_stragglers:
+            return False
+        if spec.straggle_rate >= 1.0:
+            return True
+        with self._lock:
+            return self._straggle_rng.random() < spec.straggle_rate
+
+    def straggle_delay_ms(self) -> float:
+        """Per-page wall-clock delay for a straggling call (base + jitter)."""
+        spec = self.spec
+        if spec.straggle_jitter_ms <= 0.0:
+            return spec.straggle_ms
+        with self._lock:
+            return spec.straggle_ms + self._straggle_rng.uniform(
+                0.0, spec.straggle_jitter_ms
+            )
 
 
 @dataclass
@@ -325,6 +403,7 @@ class FaultInjector:
                 f"(call {state.calls}, failure {state.failures})",
                 retryable=not state.spec.permanent,
             )
+        straggling = state.next_straggle()
         produced = 0
         for page in adapter.execute_pages(fragment, page_rows):
             if fate is not None and produced >= fate[1]:
@@ -334,6 +413,10 @@ class FaultInjector:
                     f"{produced} page(s) (call {state.calls})",
                     retryable=not state.spec.permanent,
                 )
+            if straggling and produced >= state.spec.straggle_after_pages:
+                # Real wall-clock stall: this is what no-progress timeouts
+                # and hedged fetches actually race against.
+                _straggle_sleep(state.straggle_delay_ms() / 1000.0)
             yield page
             produced += 1
         if fate is not None:

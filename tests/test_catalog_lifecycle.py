@@ -171,6 +171,38 @@ class TestUnregisterSource:
         assert gis.breakers.get("erp") is None
         assert gis.network.link_for("erp") is default
 
+    def test_health_state_and_hedge_bookkeeping_die_with_the_source(self):
+        """A stale latency profile surviving re-register would poison the
+        adaptive timeout and hedge delay of the *new* source wearing the
+        old name — health must be cleaned up exactly like breakers."""
+        gis = make_gis()
+        for _ in range(10):
+            gis.health.observe_latency("erp", 500.0)
+        gis.health.record_error("erp")
+        gis.health.record_hedge("erp", won=False)
+        assert gis.health.adaptive_timeout_ms("erp", 3.0, 50.0, 30000.0) == 1500.0
+        gis.unregister_source("erp")
+        assert gis.health.get("erp") is None
+        assert "erp" not in gis.health.snapshot()
+        # A re-registered source starts cold: static fallback, no hedge
+        # history, fresh quantiles.
+        erp2 = MemorySource("erp")
+        erp2.add_table(
+            "ORDERS",
+            schema_from_pairs(
+                "ORDERS",
+                [("oid", "INT"), ("cid", "INT"), ("total", "FLOAT")],
+            ),
+            ORDERS,
+        )
+        gis.register_source("erp", erp2)
+        gis.register_table("orders", source="erp", remote_table="ORDERS")
+        assert gis.health.adaptive_timeout_ms("erp", 3.0, 50.0, 30000.0) is None
+        status = gis.health_status()["erp"]
+        assert status["samples"] == 0
+        assert status["hedges_launched"] == 0
+        assert gis.query("SELECT COUNT(*) FROM orders").scalar() == len(ORDERS)
+
     def test_cascade_events_are_flagged(self):
         gis = make_gis()
         seen = []

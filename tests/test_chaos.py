@@ -184,6 +184,173 @@ class TestSeededChaosSweep:
         assert first == second
 
 
+# ---------------------------------------------------------------------------
+# chaos with hedging: stragglers + failures under tail tolerance
+# ---------------------------------------------------------------------------
+
+
+def build_replicated_federation(retries=0):
+    """The three-source federation, plus each table replicated on the
+    next source round-robin — so hedges and fallbacks have a target."""
+    gis = GlobalInformationSystem(fragment_retries=retries)
+    adapters = {}
+    for name in SOURCES:
+        source = MemorySource(name, page_rows=PAGE_ROWS)
+        source.add_table(f"t_{name}", SCHEMA, EXPECTED[name])
+        adapters[name] = source
+    for index, name in enumerate(SOURCES):
+        host = SOURCES[(index + 1) % len(SOURCES)]
+        adapters[host].add_table(f"t_{name}_copy", SCHEMA, EXPECTED[name])
+    for name in SOURCES:
+        gis.register_source(name, adapters[name])
+    for name in SOURCES:
+        gis.register_table(f"t_{name}", source=name)
+    for index, name in enumerate(SOURCES):
+        host = SOURCES[(index + 1) % len(SOURCES)]
+        gis.register_replica(
+            f"t_{name}", source=host, remote_table=f"t_{name}_copy"
+        )
+    return gis
+
+
+def random_tail_plan(rng, seed):
+    """A FaultPlan mixing stragglers (real stalls, small so sweeps stay
+    fast) with the classic failure modes."""
+    specs = {}
+    for name in SOURCES:
+        if rng.random() < 0.3:
+            continue
+        straggle = rng.random() < 0.6
+        fail = rng.choice((None, "connect", "midstream", "rate"))
+        kwargs = {}
+        if straggle:
+            kwargs.update(
+                straggle_ms=rng.choice((5.0, 20.0)),
+                straggle_jitter_ms=rng.choice((0.0, 10.0)),
+                straggle_after_pages=rng.randint(0, 2),
+                straggle_rate=rng.choice((0.5, 1.0)),
+            )
+        if fail == "connect":
+            kwargs.update(
+                fail_connect=rng.randint(1, 3),
+                recover_after=rng.choice((None, 1, 2)),
+            )
+        elif fail == "midstream":
+            kwargs.update(
+                fail_after_pages=rng.randint(0, 2),
+                recover_after=rng.choice((None, 1, 2)),
+            )
+        elif fail == "rate":
+            kwargs.update(
+                failure_rate=rng.choice((0.3, 0.7)),
+                recover_after=rng.choice((None, 2)),
+            )
+        if kwargs:
+            specs[name] = FaultSpec(**kwargs)
+    return FaultPlan.of(seed=seed, **specs)
+
+
+def check_hedged_invariant(plan, mode, retries, parallel):
+    """Tri-outcome invariant with hedging + replicas in play.
+
+    Replicas serve bit-identical copies, so a complete answer must still
+    equal the fault-free rows exactly, no matter which copy each page
+    came from. With fallback targets available, exclusions may be
+    attributed to whichever faulted source actually sank the table's
+    serving chain — but a clean federation subset never loses rows and
+    nothing is ever fabricated.
+    """
+    gis = build_replicated_federation(retries=retries)
+    options = PlannerOptions(
+        faults=plan,
+        on_source_failure=mode,
+        max_parallel_fragments=parallel,
+        replicas="primary",
+        hedge_fragments=True,
+        hedge_delay_ms=5.0,
+        adaptive_timeout=True,
+        # Far above any injected stall: a straggle-only source must never
+        # trip a no-progress timeout (it is slow, not failing).
+        timeout_floor_ms=2000.0,
+        health_routing=True,
+    )
+    faulted = set(plan.faulted_sources)
+    try:
+        result = gis.query(SQL, options)
+    except GISError as exc:
+        assert isinstance(exc, SourceError), exc
+        assert exc.source_name in faulted
+        assert str(exc)
+        return "error"
+    if result.complete:
+        assert result.excluded_sources == {}
+        assert Counter(result.rows) == ALL_ROWS
+        return "ok"
+    excluded = result.excluded_sources
+    assert mode == "partial"
+    assert excluded and set(excluded) <= faulted
+    assert all(reason for reason in excluded.values())
+    got = Counter(result.rows)
+    assert not got - ALL_ROWS, "fabricated rows"
+    return "partial"
+
+
+class TestChaosWithHedging:
+    @pytest.mark.parametrize("chunk", range(4))
+    def test_invariant_holds_with_hedging_armed(self, chunk):
+        for seed in range(chunk * 8, chunk * 8 + 8):
+            rng = random.Random(1000 + seed)
+            plan = random_tail_plan(rng, seed)
+            mode, retries, parallel = scenario_knobs(rng)
+            check_hedged_invariant(plan, mode, retries, parallel)
+
+    def test_pure_stragglers_never_degrade_the_answer(self):
+        """Sources that are only slow (never failing) must yield the
+        complete, exact answer — hedged or not — and hedge accounting
+        must stay coherent (wins + cancellations never exceed launches)."""
+        plan = FaultPlan.of(
+            seed=4,
+            alpha=FaultSpec(straggle_ms=40.0),
+            beta=FaultSpec(straggle_ms=20.0, straggle_after_pages=1),
+        )
+        gis = build_replicated_federation()
+        result = gis.query(
+            SQL,
+            PlannerOptions(
+                faults=plan, replicas="primary", hedge_fragments=True,
+                hedge_delay_ms=5.0, max_parallel_fragments=4,
+            ),
+        )
+        assert Counter(result.rows) == ALL_ROWS
+        net = result.metrics.network
+        assert net.hedges_launched >= 1
+        assert net.hedges_won <= net.hedges_launched
+        assert net.hedges_cancelled <= net.hedges_launched
+
+    def test_hedged_chaos_replays_deterministic_rows(self):
+        """Same plan, same knobs: the *rows* must replay identically even
+        though hedge race outcomes (wall-clock) may differ run to run."""
+        rng = random.Random(77)
+        plan = random_tail_plan(rng, 77)
+        results = []
+        for _ in range(2):
+            gis = build_replicated_federation(retries=1)
+            options = PlannerOptions(
+                faults=plan, on_source_failure="partial",
+                replicas="primary", hedge_fragments=True, hedge_delay_ms=5.0,
+            )
+            try:
+                result = gis.query(SQL, options)
+                results.append(("ok", sorted(result.rows)))
+            except GISError as exc:
+                results.append(("error", type(exc).__name__))
+        kinds = {kind for kind, _ in results}
+        # Hedging may rescue a run that another run failed, but whenever
+        # both runs produce rows they are identical.
+        if kinds == {"ok"}:
+            assert results[0] == results[1]
+
+
 FAULT_SPECS = st.builds(
     FaultSpec,
     fail_connect=st.integers(0, 3),
